@@ -1,0 +1,113 @@
+//! Criterion benchmarks of the simulation substrate itself: how fast
+//! the engine replays virtual time for the evaluation workloads, plus
+//! the MP-HARS allocator and the CONS-I decision path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use heartbeats::{AppId, PerfTarget};
+use hmp_sim::clock::secs_to_ns;
+use hmp_sim::{BoardSpec, Engine, EngineConfig};
+use workloads::Benchmark;
+
+/// One virtual second of each PARSEC analog under GTS at max state.
+fn bench_engine_virtual_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_virtual_second");
+    for bench in [Benchmark::Bodytrack, Benchmark::Ferret] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.abbrev()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    let cfg = EngineConfig {
+                        sensor_noise: 0.0,
+                        ..EngineConfig::default()
+                    };
+                    let mut engine = Engine::new(BoardSpec::odroid_xu3(), cfg);
+                    let app = engine.add_app(bench.spec(8, 1)).unwrap();
+                    engine.run_until(secs_to_ns(1.0));
+                    black_box(engine.app_heartbeats(app))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The Algorithm 4 core allocator under churn.
+fn bench_partition_allocator(c: &mut Criterion) {
+    use hars_core::SystemState;
+    use hmp_sim::{Cluster, FreqKhz};
+    use mp_hars::cluster_data::ClusterData;
+    use mp_hars::partition::get_allocatable_core_set;
+    use mp_hars::AppData;
+
+    c.bench_function("partition_allocate_cycle", |b| {
+        b.iter(|| {
+            let mut big = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
+            let mut little = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+            let mut app = AppData::new(
+                AppId(0),
+                8,
+                PerfTarget::new(9.0, 11.0).unwrap(),
+                4,
+                4,
+                SystemState {
+                    big_cores: 3,
+                    little_cores: 2,
+                    big_freq: FreqKhz::from_mhz(1_600),
+                    little_freq: FreqKhz::from_mhz(1_300),
+                },
+            );
+            let a1 = get_allocatable_core_set(&mut app, &mut big, &mut little);
+            app.state.big_cores = 1;
+            app.dec_big = 2;
+            app.state.little_cores = 4;
+            let a2 = get_allocatable_core_set(&mut app, &mut big, &mut little);
+            black_box((a1, a2))
+        })
+    });
+}
+
+/// One CONS-I heartbeat decision (table lookup + ranked-list step).
+fn bench_cons_decision(c: &mut Criterion) {
+    use mp_hars::{ConsConfig, ConsIManager};
+    let board = BoardSpec::odroid_xu3();
+    c.bench_function("cons_i_decision", |b| {
+        let mut m = ConsIManager::new(&board, ConsConfig::default());
+        m.register_app(AppId(0), PerfTarget::new(9.0, 11.0).unwrap());
+        let mut hb = 0u64;
+        b.iter(|| {
+            hb += 10;
+            black_box(m.on_heartbeat(AppId(0), hb, Some(if hb % 20 == 0 { 30.0 } else { 2.0 })))
+        })
+    });
+}
+
+/// Power-model calibration sweep (the offline setup cost).
+fn bench_calibration(c: &mut Criterion) {
+    use hars_core::calibrate::run_power_calibration;
+    use hmp_sim::microbench::CalibrationConfig;
+    let board = BoardSpec::odroid_xu3();
+    let cfg = EngineConfig {
+        sensor_noise: 0.0,
+        ..EngineConfig::default()
+    };
+    let cal = CalibrationConfig {
+        secs_per_point: 0.6,
+        duties: vec![1.0],
+        spinner_period_ns: 1_000_000,
+    };
+    c.bench_function("power_calibration_coarse", |b| {
+        b.iter(|| black_box(run_power_calibration(&board, &cfg, &cal).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_virtual_second,
+    bench_partition_allocator,
+    bench_cons_decision,
+    bench_calibration
+);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks of the HARS decision path — the real-time
+//! costs behind Figure 5.3(b)'s runtime-overhead model: the search
+//! function at each explored-space size, and the two estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hars_core::power_est::{LinearCoeff, PowerEstimator};
+use hars_core::search::{evaluate_state, get_next_sys_state, SearchConstraints, SearchParams};
+use hars_core::{PerfEstimator, StateSpace, SystemState};
+use heartbeats::PerfTarget;
+use hmp_sim::{BoardSpec, FreqKhz, FreqLadder};
+
+fn test_power() -> PowerEstimator {
+    let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+    let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+    let little = (0..little_ladder.len())
+        .map(|i| LinearCoeff {
+            alpha: 0.10 + 0.015 * i as f64,
+            beta: 0.10,
+        })
+        .collect();
+    let big = (0..big_ladder.len())
+        .map(|i| LinearCoeff {
+            alpha: 0.45 + 0.11 * i as f64,
+            beta: 0.55,
+        })
+        .collect();
+    PowerEstimator::new(little_ladder, big_ladder, little, big)
+}
+
+fn mid_state() -> SystemState {
+    SystemState {
+        big_cores: 2,
+        little_cores: 2,
+        big_freq: FreqKhz::from_mhz(1_200),
+        little_freq: FreqKhz::from_mhz(1_000),
+    }
+}
+
+/// Figure 5.3(b)'s x-axis: search cost at d = 1, 3, 5, 7, 9.
+fn bench_search_distance(c: &mut Criterion) {
+    let board = BoardSpec::odroid_xu3();
+    let space = StateSpace::from_board(&board);
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = test_power();
+    let cur = mid_state();
+    let constraints = SearchConstraints::unrestricted(&space);
+    let mut group = c.benchmark_group("search_vs_distance");
+    for d in [1i64, 3, 5, 7, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let params = SearchParams::new(4, 4, d);
+            b.iter(|| {
+                get_next_sys_state(
+                    black_box(&space),
+                    black_box(&cur),
+                    black_box(20.0),
+                    8,
+                    &target,
+                    params,
+                    &constraints,
+                    &perf,
+                    &power,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// HARS-I's tiny incremental step (the other end of Figure 5.3's
+/// overhead spectrum).
+fn bench_search_incremental(c: &mut Criterion) {
+    let board = BoardSpec::odroid_xu3();
+    let space = StateSpace::from_board(&board);
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = test_power();
+    let cur = mid_state();
+    let constraints = SearchConstraints::unrestricted(&space);
+    c.bench_function("search_incremental_step", |b| {
+        b.iter(|| {
+            get_next_sys_state(
+                black_box(&space),
+                black_box(&cur),
+                black_box(20.0),
+                8,
+                &target,
+                SearchParams::incremental_shrink(),
+                &constraints,
+                &perf,
+                &power,
+            )
+        })
+    });
+}
+
+/// One candidate evaluation: the unit cost the runtime-overhead model
+/// charges per explored state.
+fn bench_candidate_eval(c: &mut Criterion) {
+    let board = BoardSpec::odroid_xu3();
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = test_power();
+    let cur = mid_state();
+    let cand = SystemState {
+        big_cores: 3,
+        little_cores: 1,
+        big_freq: FreqKhz::from_mhz(1_000),
+        little_freq: FreqKhz::from_mhz(1_300),
+    };
+    c.bench_function("evaluate_one_candidate", |b| {
+        b.iter(|| {
+            evaluate_state(
+                black_box(&cand),
+                black_box(20.0),
+                8,
+                &cur,
+                &target,
+                &perf,
+                &power,
+            )
+        })
+    });
+}
+
+/// The full static-optimal estimator sweep over all 1296 states.
+fn bench_estimator_sweep(c: &mut Criterion) {
+    let board = BoardSpec::odroid_xu3();
+    let space = StateSpace::from_board(&board);
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = test_power();
+    c.bench_function("static_optimal_estimator_sweep", |b| {
+        b.iter(|| {
+            hars_core::static_optimal::estimator_sweep(
+                black_box(&space),
+                &target,
+                black_box(30.0),
+                &space.max_state(),
+                8,
+                &perf,
+                &power,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_search_distance,
+    bench_search_incremental,
+    bench_candidate_eval,
+    bench_estimator_sweep
+);
+criterion_main!(benches);

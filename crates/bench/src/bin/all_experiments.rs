@@ -1,0 +1,34 @@
+//! Runs the complete evaluation — every table and figure of the paper's
+//! Chapter 5 — in order. Pass `--quick` for a reduced-scale pass.
+
+use std::process::Command;
+
+fn run(bin: &str, quick: bool) {
+    println!("\n================ {bin} ================\n");
+    let mut cmd = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin));
+    if quick {
+        cmd.arg("--quick");
+    }
+    let status = cmd.status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{bin} exited with {s}"),
+        Err(e) => eprintln!("failed to launch {bin}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    for bin in [
+        "table3_1",
+        "table4_3",
+        "fig5_1",
+        "fig5_2",
+        "fig5_3",
+        "fig5_4",
+        "fig5_5_6_7",
+    ] {
+        run(bin, quick);
+    }
+    println!("\nAll experiments complete. CSVs are under results/.");
+}

@@ -1,0 +1,46 @@
+//! Tiny shared CLI handling for the experiment binaries: every binary
+//! accepts `--quick` for a reduced-scale run.
+
+use crate::multi::MpScale;
+use crate::single::RunScale;
+
+/// Scales selected by the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct CliScales {
+    /// Single-application run scale.
+    pub single: RunScale,
+    /// Multi-application run scale.
+    pub multi: MpScale,
+    /// Whether `--quick` was passed.
+    pub quick: bool,
+}
+
+/// Parses `std::env::args` for the experiment binaries.
+pub fn parse_args() -> CliScales {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    if quick {
+        CliScales {
+            single: RunScale::quick(),
+            multi: MpScale::quick(),
+            quick,
+        }
+    } else {
+        CliScales {
+            single: RunScale::full(),
+            multi: MpScale::full(),
+            quick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_are_full_scale() {
+        // The test harness passes its own args; just check the structure.
+        let s = parse_args();
+        assert!(s.single.hb_budget >= RunScale::quick().hb_budget);
+    }
+}

@@ -1,0 +1,306 @@
+//! Thread assignment between clusters — the paper's Table 3.1.
+//!
+//! Given `T` threads, allocated cores `(C_B, C_L)` and the per-core
+//! performance ratio `r = S_B / S_L`, the assignment minimizes the unit
+//! completion time `t_f = max(t_B, t_L)` under the equal-work-per-thread
+//! assumption. The four regimes of Table 3.1 (for `r ≥ 1`):
+//!
+//! | condition | `T_B` | `T_L` | `C_B,U` | `C_L,U` |
+//! |---|---|---|---|---|
+//! | `T ≤ C_B` | `T` | 0 | `T` | 0 |
+//! | `C_B < T ≤ r·C_B` | `T` | 0 | `C_B` | 0 |
+//! | `r·C_B < T ≤ r·C_B + C_L` | `⌊r·C_B⌋` | `T − T_B` | `C_B` | `T − T_B` |
+//! | `r·C_B + C_L < T` | `⌈r·C_B/(r·C_B+C_L)·T⌉` | `T − T_B` | `C_B` | `C_L` |
+//!
+//! The `r < 1` case (possible when the little cluster out-clocks the big
+//! one far enough, or for `r₀ = 1` workloads) is the mirror image, as the
+//! paper notes ("the results with r < 1 can be similarly derived").
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of Table 3.1: thread counts and *used* core counts per
+/// cluster (used cores can be fewer than allocated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct ThreadAssignment {
+    /// Threads placed on the big cluster (`T_B`).
+    pub big_threads: usize,
+    /// Threads placed on the little cluster (`T_L`).
+    pub little_threads: usize,
+    /// Big cores actually used (`C_B,U`).
+    pub used_big: usize,
+    /// Little cores actually used (`C_L,U`).
+    pub used_little: usize,
+}
+
+impl ThreadAssignment {
+    /// Total threads covered by the assignment.
+    pub fn total_threads(&self) -> usize {
+        self.big_threads + self.little_threads
+    }
+}
+
+/// Computes Table 3.1 (both `r` regimes).
+///
+/// `r` is the *current* per-core performance ratio
+/// `S_B/S_L = r₀ · (f_B/f_L)` — the caller derives it from the candidate
+/// state's frequencies.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, both core counts are zero, or `r` is not a
+/// positive finite number — all programmer errors at call sites.
+pub fn assign_threads(
+    threads: usize,
+    big_cores: usize,
+    little_cores: usize,
+    r: f64,
+) -> ThreadAssignment {
+    assert!(threads > 0, "assignment needs at least one thread");
+    assert!(
+        big_cores + little_cores > 0,
+        "assignment needs at least one core"
+    );
+    assert!(r.is_finite() && r > 0.0, "performance ratio must be positive");
+    if big_cores == 0 {
+        return ThreadAssignment {
+            big_threads: 0,
+            little_threads: threads,
+            used_big: 0,
+            used_little: little_cores.min(threads),
+        };
+    }
+    if little_cores == 0 {
+        return ThreadAssignment {
+            big_threads: threads,
+            little_threads: 0,
+            used_big: big_cores.min(threads),
+            used_little: 0,
+        };
+    }
+    if r >= 1.0 {
+        let (fast, slow, used_fast, used_slow) =
+            assign_fast_first(threads, big_cores, little_cores, r);
+        ThreadAssignment {
+            big_threads: fast,
+            little_threads: slow,
+            used_big: used_fast,
+            used_little: used_slow,
+        }
+    } else {
+        // Mirror: the little cluster is the fast side with ratio 1/r.
+        let (fast, slow, used_fast, used_slow) =
+            assign_fast_first(threads, little_cores, big_cores, 1.0 / r);
+        ThreadAssignment {
+            big_threads: slow,
+            little_threads: fast,
+            used_big: used_slow,
+            used_little: used_fast,
+        }
+    }
+}
+
+/// Table 3.1 with "fast" being the cluster whose per-core speed is `r ≥ 1`
+/// times the other's. Returns `(T_fast, T_slow, C_fast,U, C_slow,U)`.
+fn assign_fast_first(
+    threads: usize,
+    fast_cores: usize,
+    slow_cores: usize,
+    r: f64,
+) -> (usize, usize, usize, usize) {
+    debug_assert!(r >= 1.0);
+    let t = threads as f64;
+    let cap_fast = r * fast_cores as f64; // slow-core-equivalents
+    if threads <= fast_cores {
+        // Row 1: every thread gets its own fast core.
+        (threads, 0, threads, 0)
+    } else if t <= cap_fast {
+        // Row 2: time-sharing fast cores still beats a dedicated slow core.
+        (threads, 0, fast_cores, 0)
+    } else if t <= cap_fast + slow_cores as f64 {
+        // Row 3: fill fast cluster to its equivalent capacity, spill the
+        // rest onto dedicated slow cores.
+        let mut t_fast = (cap_fast.floor() as usize).min(threads);
+        let mut t_slow = threads - t_fast;
+        if t_slow > slow_cores {
+            // Floating-point edge at the row boundary (e.g. r computed
+            // as 1.999…8 makes `cap + slow` round up to exactly `t`):
+            // the spill must still fit the slow cluster, so the excess
+            // time-shares the fast side.
+            t_slow = slow_cores;
+            t_fast = threads - t_slow;
+        }
+        (t_fast, t_slow, fast_cores, t_slow)
+    } else {
+        // Row 4: both clusters saturated; split in proportion to capacity.
+        let t_fast = ((cap_fast / (cap_fast + slow_cores as f64)) * t).ceil() as usize;
+        let t_fast = t_fast.min(threads);
+        (t_fast, threads - t_fast, fast_cores, slow_cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's platform: r₀ = 1.5 at equal frequencies.
+    const R: f64 = 1.5;
+
+    #[test]
+    fn row1_few_threads_all_big_dedicated() {
+        let a = assign_threads(3, 4, 4, R);
+        assert_eq!(
+            a,
+            ThreadAssignment {
+                big_threads: 3,
+                little_threads: 0,
+                used_big: 3,
+                used_little: 0
+            }
+        );
+    }
+
+    #[test]
+    fn row2_timeshare_big_up_to_r_cb() {
+        // T = 6 ≤ 1.5·4 = 6: still all big, sharing 4 cores.
+        let a = assign_threads(6, 4, 4, R);
+        assert_eq!(
+            a,
+            ThreadAssignment {
+                big_threads: 6,
+                little_threads: 0,
+                used_big: 4,
+                used_little: 0
+            }
+        );
+    }
+
+    #[test]
+    fn row3_spill_to_little() {
+        // T = 8 > 6, ≤ 6 + 4: T_B = ⌊6⌋ = 6, T_L = 2 on 2 little cores.
+        let a = assign_threads(8, 4, 4, R);
+        assert_eq!(
+            a,
+            ThreadAssignment {
+                big_threads: 6,
+                little_threads: 2,
+                used_big: 4,
+                used_little: 2
+            }
+        );
+    }
+
+    #[test]
+    fn row4_saturated_proportional_split() {
+        // T = 16 > 6 + 4: T_B = ⌈6/10·16⌉ = ⌈9.6⌉ = 10.
+        let a = assign_threads(16, 4, 4, R);
+        assert_eq!(
+            a,
+            ThreadAssignment {
+                big_threads: 10,
+                little_threads: 6,
+                used_big: 4,
+                used_little: 4
+            }
+        );
+    }
+
+    #[test]
+    fn zero_big_cores_all_little() {
+        let a = assign_threads(8, 0, 4, R);
+        assert_eq!(a.big_threads, 0);
+        assert_eq!(a.little_threads, 8);
+        assert_eq!(a.used_big, 0);
+        assert_eq!(a.used_little, 4);
+        // Fewer threads than cores: only the needed cores are used.
+        let b = assign_threads(2, 0, 4, R);
+        assert_eq!(b.used_little, 2);
+    }
+
+    #[test]
+    fn zero_little_cores_all_big() {
+        let a = assign_threads(8, 2, 0, R);
+        assert_eq!(a.big_threads, 8);
+        assert_eq!(a.used_big, 2);
+        assert_eq!(a.used_little, 0);
+    }
+
+    #[test]
+    fn r_below_one_mirrors_to_little_first() {
+        // r = 0.8: little cores are effectively faster per core.
+        let a = assign_threads(3, 4, 4, 0.8);
+        assert_eq!(a.little_threads, 3, "fast (little) side gets the threads");
+        assert_eq!(a.big_threads, 0);
+        assert_eq!(a.used_little, 3);
+    }
+
+    #[test]
+    fn r_below_one_spill_regime() {
+        // 1/r = 1.25, fast capacity = 5 slow-equivalents; T = 7 ≤ 5 + 4.
+        let a = assign_threads(7, 4, 4, 0.8);
+        assert_eq!(a.little_threads, 5);
+        assert_eq!(a.big_threads, 2);
+        assert_eq!(a.used_little, 4);
+        assert_eq!(a.used_big, 2);
+    }
+
+    #[test]
+    fn float_boundary_regression() {
+        // r = 1.999…8 once produced T_L = 5 on 4 little cores: the
+        // row-3 condition `8 <= 2r + 4` held (the sum rounds to 8.0)
+        // while ⌊2r⌋ = 3. The spill must be clamped to the slow side.
+        let a = assign_threads(8, 2, 4, 1.999_999_999_999_999_8);
+        assert!(a.little_threads <= 4, "{a:?}");
+        assert!(a.used_little <= 4);
+        assert_eq!(a.total_threads(), 8);
+    }
+
+    #[test]
+    fn threads_always_conserved() {
+        for t in 1..=32 {
+            for cb in 0..=4 {
+                for cl in 0..=4 {
+                    if cb + cl == 0 {
+                        continue;
+                    }
+                    for r in [0.5, 0.9, 1.0, 1.3, 1.5, 2.4, 3.0] {
+                        let a = assign_threads(t, cb, cl, r);
+                        assert_eq!(a.total_threads(), t, "t={t} cb={cb} cl={cl} r={r}");
+                        assert!(a.used_big <= cb);
+                        assert!(a.used_little <= cl);
+                        assert!(a.used_big <= a.big_threads);
+                        assert!(a.used_little <= a.little_threads);
+                        // A cluster is used iff it has threads.
+                        assert_eq!(a.used_big == 0, a.big_threads == 0);
+                        assert_eq!(a.used_little == 0, a.little_threads == 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_frequency_ratio_pulls_threads_to_big() {
+        // Same T and cores, growing r: big share must not decrease.
+        let mut prev = 0;
+        for r in [1.0, 1.2, 1.5, 2.0, 3.0] {
+            let a = assign_threads(8, 4, 4, r);
+            assert!(
+                a.big_threads >= prev,
+                "big share shrank from {prev} at r={r}"
+            );
+            prev = a.big_threads;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = assign_threads(0, 4, 4, R);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = assign_threads(4, 0, 0, R);
+    }
+}

@@ -1,0 +1,76 @@
+//! # hars-core — the HARS runtime system
+//!
+//! A reproduction of **HARS**, the heterogeneity-aware runtime system
+//! for self-adaptive multithreaded applications (DAC 2015 / Yun's UNIST
+//! thesis). HARS lets a multithreaded application declare a heartbeat
+//! performance target and then periodically:
+//!
+//! 1. **observes** the application-level heartbeat rate,
+//! 2. **decides** by searching the neighborhood of the current system
+//!    state `(C_B, C_L, f_B, f_L)` ([`search::get_next_sys_state`],
+//!    Algorithm 2) ranked by estimated normalized-performance/power
+//!    ([`PerfEstimator`], [`PowerEstimator`]),
+//! 3. **acts** by setting cluster frequencies and pinning threads with
+//!    the chunk-based or interleaving scheduler ([`sched`]).
+//!
+//! The three evaluated variants are [`policy::hars_i`] (incremental),
+//! [`policy::hars_e`] (exhaustive) and [`policy::hars_ei`] (exhaustive +
+//! interleaving); [`static_optimal`] implements the offline SO baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hars_core::{HarsConfig, PerfEstimator, RuntimeManager};
+//! use hars_core::policy::hars_e;
+//! use hars_core::power_est::{LinearCoeff, PowerEstimator};
+//! use heartbeats::PerfTarget;
+//! use hmp_sim::BoardSpec;
+//!
+//! let board = BoardSpec::odroid_xu3();
+//! // Power model normally comes from hars_core::calibrate; hand-rolled here.
+//! let coeff = |a| LinearCoeff { alpha: a, beta: 0.2 };
+//! let power = PowerEstimator::new(
+//!     board.little_ladder.clone(),
+//!     board.big_ladder.clone(),
+//!     board.little_ladder.iter().map(|_| coeff(0.15)).collect(),
+//!     board.big_ladder.iter().map(|_| coeff(0.9)).collect(),
+//! );
+//! let perf = PerfEstimator::paper_default(board.base_freq);
+//! let target = PerfTarget::from_center(10.0, 0.10)?;
+//! let mut manager = RuntimeManager::new(
+//!     &board, target, perf, power, 8, HarsConfig::from_variant(hars_e()),
+//! );
+//!
+//! // Over-performing at 30 hb/s: the manager decides to shrink.
+//! let decision = manager.on_heartbeat(10, Some(30.0)).expect("adapts");
+//! assert!(decision.state.total_cores() <= 8);
+//! # Ok::<(), heartbeats::HeartbeatError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assign;
+pub mod calibrate;
+pub mod driver;
+pub mod linreg;
+pub mod manager;
+pub mod metrics;
+pub mod perf_est;
+pub mod policy;
+pub mod predictor;
+pub mod power_est;
+pub mod sched;
+pub mod search;
+pub mod state;
+pub mod static_optimal;
+
+pub use assign::{assign_threads, ThreadAssignment};
+pub use driver::{run_single_app, BehaviorSample, RunOutcome};
+pub use manager::{Decision, HarsConfig, RuntimeManager};
+pub use perf_est::{PerfEstimator, UnitTimes};
+pub use power_est::PowerEstimator;
+pub use sched::SchedulerKind;
+pub use predictor::{Kalman1D, Predictor};
+pub use search::{FreqChange, SearchConstraints, SearchOutcome, SearchParams};
+pub use state::{StateSpace, SystemState};

@@ -1,0 +1,108 @@
+//! Ordinary least-squares line fitting for the power estimator's
+//! per-(cluster, frequency) models.
+
+/// Fits `y = slope·x + intercept` to `points` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given or all `x` values
+/// coincide (the slope would be undefined).
+///
+/// ```
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// let (slope, intercept) = hars_core::linreg::fit_line(&pts).unwrap();
+/// assert!((slope - 2.0).abs() < 1e-12);
+/// assert!((intercept - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_line(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|p| p.0).sum();
+    let sum_y: f64 = points.iter().map(|p| p.1).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(x, y) in points {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx <= f64::EPSILON * n {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some((slope, mean_y - slope * mean_x))
+}
+
+/// Coefficient of determination (R²) of a fitted line over `points`.
+///
+/// Returns 1.0 for a perfect fit; may be negative for a terrible one.
+/// Degenerate inputs (constant `y`) return 1.0 when the line matches and
+/// 0.0 otherwise.
+pub fn r_squared(points: &[(f64, f64)], slope: f64, intercept: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        return if ss_res <= f64::EPSILON { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let (a, b) = fit_line(&pts).unwrap();
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b + 2.0).abs() < 1e-12);
+        assert!((r_squared(&pts, a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovered_approximately() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                let noise = ((i * 2_654_435_761_u64) % 1000) as f64 / 1000.0 - 0.5;
+                (x, 0.7 * x + 1.2 + 0.05 * noise)
+            })
+            .collect();
+        let (a, b) = fit_line(&pts).unwrap();
+        assert!((a - 0.7).abs() < 0.02, "slope {a}");
+        assert!((b - 1.2).abs() < 0.05, "intercept {b}");
+        assert!(r_squared(&pts, a, b) > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_line(&[]).is_none());
+        assert!(fit_line(&[(1.0, 2.0)]).is_none());
+        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "vertical");
+    }
+
+    #[test]
+    fn two_points_define_the_line() {
+        let (a, b) = fit_line(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_of_bad_fit_is_low() {
+        let pts = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)];
+        let r2 = r_squared(&pts, 0.0, 0.5);
+        assert!(r2 <= 0.1);
+    }
+}

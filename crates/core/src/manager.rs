@@ -1,0 +1,530 @@
+//! The HARS runtime manager — Algorithm 1 (`HARSMain`).
+//!
+//! The manager consumes the application's heartbeat stream. At every
+//! adaptation period it compares the windowed heartbeat rate against the
+//! target band; on a violation it invokes the search function and emits
+//! a [`Decision`] — the new system state plus the per-thread affinity
+//! plan — which the driver applies to the platform after the decision's
+//! modeled CPU cost.
+
+use heartbeats::PerfTarget;
+use hmp_sim::{BoardSpec, CpuSet};
+use serde::{Deserialize, Serialize};
+
+use std::collections::VecDeque;
+
+use crate::perf_est::PerfEstimator;
+use crate::policy::{HarsVariant, SearchPolicy};
+use crate::power_est::PowerEstimator;
+use crate::predictor::Predictor;
+use crate::sched::{default_core_allocation, plan_affinities, SchedulerKind};
+use crate::search::{get_next_sys_state_tabu, SearchConstraints, SearchOutcome};
+use crate::state::{StateSpace, SystemState};
+
+/// Tunables of one runtime-manager instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarsConfig {
+    /// Search policy (incremental / exhaustive bounds).
+    pub policy: SearchPolicy,
+    /// Thread scheduler used to realize assignments.
+    pub scheduler: SchedulerKind,
+    /// Adaptation period: check the target every this many heartbeats.
+    pub adapt_every: u64,
+    /// Modeled CPU cost per candidate state evaluated (ns) — drives the
+    /// runtime-overhead results of Figure 5.3(b).
+    pub cost_per_state_ns: u64,
+    /// Fixed CPU cost per heartbeat observation (ns).
+    pub cost_per_heartbeat_ns: u64,
+    /// Starting system state (`None` = the board's maximum state, i.e.
+    /// the baseline configuration).
+    pub initial_state: Option<SystemState>,
+    /// Online big/little ratio refinement (the paper's future-work fix
+    /// for blackscholes; see Section 5.1.2).
+    pub ratio_learning: bool,
+    /// Workload predictor: the paper's last-value default or the
+    /// Section 3.1.4 Kalman-filter extension.
+    pub predictor: Predictor,
+    /// Tabu-list length for the Section 3.1.4 local-optimum escape
+    /// (0 disables tabu search).
+    pub tabu_len: usize,
+}
+
+impl Default for HarsConfig {
+    fn default() -> Self {
+        Self {
+            policy: SearchPolicy::exhaustive_default(),
+            scheduler: SchedulerKind::Chunk,
+            adapt_every: 10,
+            cost_per_state_ns: 3_000,
+            cost_per_heartbeat_ns: 500,
+            initial_state: None,
+            ratio_learning: false,
+            predictor: Predictor::LastValue,
+            tabu_len: 0,
+        }
+    }
+}
+
+impl HarsConfig {
+    /// Builds a config from a named variant preset.
+    pub fn from_variant(v: HarsVariant) -> Self {
+        Self {
+            policy: v.policy,
+            scheduler: v.scheduler,
+            ..Self::default()
+        }
+    }
+}
+
+/// A state change the driver must apply: cluster frequencies (inside
+/// `state`) and one affinity mask per thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The next system state.
+    pub state: SystemState,
+    /// Per-thread singleton affinity masks, indexed by thread id.
+    pub affinities: Vec<CpuSet>,
+    /// Modeled CPU time this decision cost (apply after this latency).
+    pub overhead_ns: u64,
+    /// Candidate states evaluated by the search.
+    pub explored: usize,
+}
+
+/// Algorithm 1's per-application runtime manager.
+#[derive(Debug, Clone)]
+pub struct RuntimeManager {
+    cfg: HarsConfig,
+    board: BoardSpec,
+    space: StateSpace,
+    target: PerfTarget,
+    perf: PerfEstimator,
+    power: PowerEstimator,
+    threads: usize,
+    state: SystemState,
+    busy_ns: u64,
+    adaptations: u64,
+    searches: u64,
+    /// Ratio-learning bookkeeping: the rate predicted for the current
+    /// state when it was chosen, plus the big-thread share it assumed
+    /// and the share of the state it replaced (the sign of the share
+    /// change decides the direction of the r₀ update).
+    pending_prediction: Option<(f64, f64, f64)>,
+    /// Workload predictor state.
+    predictor: Predictor,
+    /// Recently visited states (newest last), bounded by `cfg.tabu_len`.
+    tabu: VecDeque<SystemState>,
+}
+
+impl RuntimeManager {
+    /// Creates a manager for an application with `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a configured initial state is not in
+    /// the board's state space.
+    pub fn new(
+        board: &BoardSpec,
+        target: PerfTarget,
+        perf: PerfEstimator,
+        power: PowerEstimator,
+        threads: usize,
+        cfg: HarsConfig,
+    ) -> Self {
+        assert!(threads > 0, "manager needs at least one thread");
+        let space = StateSpace::from_board(board);
+        let state = cfg.initial_state.unwrap_or_else(|| space.max_state());
+        assert!(
+            space.contains(&state),
+            "initial state {state} outside the board's space"
+        );
+        let predictor = cfg.predictor;
+        Self {
+            cfg,
+            board: board.clone(),
+            space,
+            target,
+            perf,
+            power,
+            threads,
+            state,
+            busy_ns: 0,
+            adaptations: 0,
+            searches: 0,
+            pending_prediction: None,
+            predictor,
+            tabu: VecDeque::new(),
+        }
+    }
+
+    /// The current system state the manager believes is applied.
+    pub fn state(&self) -> SystemState {
+        self.state
+    }
+
+    /// The target band.
+    pub fn target(&self) -> &PerfTarget {
+        &self.target
+    }
+
+    /// Replaces the target band at runtime — the Application Heartbeats
+    /// framework lets applications change their goals mid-run; the
+    /// manager reacts at its next adaptation period. The predictor is
+    /// reset so the next decision uses fresh observations.
+    pub fn set_target(&mut self, target: PerfTarget) {
+        self.target = target;
+        self.predictor.on_state_change();
+    }
+
+    /// Total modeled manager CPU time (ns).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Number of state changes made.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// Number of searches run (including ones that kept the state).
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// The current assumed big/little ratio (changes only under
+    /// ratio-learning).
+    pub fn assumed_ratio(&self) -> f64 {
+        self.perf.r0()
+    }
+
+    /// The decision that applies the initial state — the driver calls
+    /// this once before the run (`setSysStateAndScheduleThreads(state)`
+    /// ahead of Algorithm 1's loop).
+    pub fn initial_decision(&mut self) -> Decision {
+        self.decision_for(self.state, 0, 0)
+    }
+
+    /// Algorithm 1, lines 5–9: one heartbeat observation.
+    ///
+    /// Returns a [`Decision`] when the system state must change. The
+    /// manager's modeled CPU time accrues even when no change results;
+    /// read it via [`RuntimeManager::busy_ns`].
+    pub fn on_heartbeat(&mut self, hb_index: u64, rate: Option<f64>) -> Option<Decision> {
+        self.busy_ns += self.cfg.cost_per_heartbeat_ns;
+        if !self.is_adapt_period(hb_index) {
+            return None;
+        }
+        let rate = rate?;
+        // Extension: the predictor (last-value by default) filters the
+        // observation the manager acts on.
+        let rate = self.predictor.observe(rate);
+        self.learn_ratio(rate);
+        // Line 7: |hb.rate − t.avg| > (t.max − t.min)/2.
+        if !self.target.needs_adaptation(rate) {
+            return None;
+        }
+        let overperforming = rate > self.target.avg();
+        let params = self.cfg.policy.params_for(overperforming);
+        let constraints = SearchConstraints::unrestricted(&self.space);
+        let tabu: Vec<SystemState> = self.tabu.iter().copied().collect();
+        let outcome: SearchOutcome = get_next_sys_state_tabu(
+            &self.space,
+            &self.state,
+            rate,
+            self.threads,
+            &self.target,
+            params,
+            &constraints,
+            &self.perf,
+            &self.power,
+            &tabu,
+        );
+        self.searches += 1;
+        let overhead = outcome.explored as u64 * self.cfg.cost_per_state_ns;
+        self.busy_ns += overhead;
+        if outcome.state == self.state {
+            return None;
+        }
+        self.adaptations += 1;
+        if self.cfg.ratio_learning {
+            let new_a = self.perf.assignment(self.threads, &outcome.state);
+            let old_a = self.perf.assignment(self.threads, &self.state);
+            self.pending_prediction = Some((
+                outcome.eval.est_rate,
+                new_a.big_threads as f64 / self.threads as f64,
+                old_a.big_threads as f64 / self.threads as f64,
+            ));
+        }
+        if self.cfg.tabu_len > 0 {
+            self.tabu.push_back(self.state);
+            while self.tabu.len() > self.cfg.tabu_len {
+                self.tabu.pop_front();
+            }
+        }
+        self.predictor.on_state_change();
+        self.state = outcome.state;
+        Some(self.decision_for(outcome.state, overhead, outcome.explored))
+    }
+
+    /// Online r₀ refinement: when the last prediction for the current
+    /// state is off, nudge the assumed ratio in the direction the
+    /// observation implies. Only transitions that actually *changed*
+    /// the big-thread share carry ratio information, and the update's
+    /// sign follows the share change: adding big share and
+    /// under-delivering means r₀ is too high; removing big share and
+    /// over-delivering means the same.
+    fn learn_ratio(&mut self, observed_rate: f64) {
+        if !self.cfg.ratio_learning {
+            return;
+        }
+        let Some((predicted, new_share, old_share)) = self.pending_prediction.take() else {
+            return;
+        };
+        if predicted <= 0.0 || observed_rate <= 0.0 {
+            return;
+        }
+        let delta_share = new_share - old_share;
+        // No share movement -> the error says nothing about r₀
+        // (frequency sensitivity and workload drift dominate).
+        if delta_share.abs() < 0.05 {
+            return;
+        }
+        let error = (observed_rate / predicted).clamp(0.25, 4.0);
+        // Damped multiplicative update, signed by the share direction.
+        let gamma = 0.5 * delta_share.signum();
+        let new_r0 = (self.perf.r0() * error.powf(gamma)).clamp(0.5, 4.0);
+        self.perf.set_r0(new_r0);
+    }
+
+    /// `isAdaptPeriod(hb.index)`: every `adapt_every`-th heartbeat,
+    /// skipping index 0 (no rate window exists yet).
+    fn is_adapt_period(&self, hb_index: u64) -> bool {
+        hb_index > 0 && hb_index.is_multiple_of(self.cfg.adapt_every)
+    }
+
+    /// Builds the decision realizing `state` with the configured
+    /// scheduler.
+    fn decision_for(&self, state: SystemState, overhead_ns: u64, explored: usize) -> Decision {
+        let assignment = self.perf.assignment(self.threads, &state);
+        let (big, little) = default_core_allocation(&self.board, &assignment);
+        let affinities = plan_affinities(self.cfg.scheduler, &assignment, &big, &little);
+        Decision {
+            state,
+            affinities,
+            overhead_ns,
+            explored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_est::LinearCoeff;
+    use hmp_sim::{FreqKhz, FreqLadder};
+
+    fn power() -> PowerEstimator {
+        let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+        let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+        let little = (0..little_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.10 + 0.015 * i as f64,
+                beta: 0.10,
+            })
+            .collect();
+        let big = (0..big_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.45 + 0.11 * i as f64,
+                beta: 0.55,
+            })
+            .collect();
+        PowerEstimator::new(little_ladder, big_ladder, little, big)
+    }
+
+    fn manager(cfg: HarsConfig) -> RuntimeManager {
+        let board = BoardSpec::odroid_xu3();
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let perf = PerfEstimator::paper_default(FreqKhz::from_mhz(1_000));
+        RuntimeManager::new(&board, target, perf, power(), 8, cfg)
+    }
+
+    #[test]
+    fn initial_decision_pins_every_thread() {
+        let mut m = manager(HarsConfig::default());
+        let d = m.initial_decision();
+        assert_eq!(d.affinities.len(), 8);
+        assert!(d.affinities.iter().all(|a| a.len() == 1));
+        assert_eq!(d.state, m.state());
+    }
+
+    #[test]
+    fn no_adaptation_off_period() {
+        let mut m = manager(HarsConfig::default());
+        // Index 7 is not a multiple of adapt_every (10).
+        assert!(m.on_heartbeat(7, Some(30.0)).is_none());
+        assert_eq!(m.searches(), 0);
+    }
+
+    #[test]
+    fn no_adaptation_inside_band() {
+        let mut m = manager(HarsConfig::default());
+        assert!(m.on_heartbeat(10, Some(10.0)).is_none());
+        assert_eq!(m.searches(), 0);
+    }
+
+    #[test]
+    fn overperformance_triggers_shrink() {
+        let mut m = manager(HarsConfig {
+            policy: SearchPolicy::Incremental,
+            ..HarsConfig::default()
+        });
+        let before = m.state();
+        let d = m.on_heartbeat(10, Some(30.0)).expect("must adapt");
+        assert_ne!(d.state, before);
+        assert!(
+            d.state.total_cores() < before.total_cores()
+                || d.state.big_freq < before.big_freq
+                || d.state.little_freq < before.little_freq,
+            "shrink step should reduce something: {} -> {}",
+            before,
+            d.state
+        );
+        assert_eq!(m.adaptations(), 1);
+    }
+
+    #[test]
+    fn missing_rate_skips_adaptation() {
+        let mut m = manager(HarsConfig::default());
+        assert!(m.on_heartbeat(10, None).is_none());
+    }
+
+    #[test]
+    fn overhead_accrues_with_exploration() {
+        let mut m = manager(HarsConfig::default());
+        let d = m.on_heartbeat(10, Some(30.0)).expect("must adapt");
+        assert!(d.explored > 1);
+        assert_eq!(
+            d.overhead_ns,
+            d.explored as u64 * m.cfg.cost_per_state_ns
+        );
+        assert!(m.busy_ns() >= d.overhead_ns);
+    }
+
+    #[test]
+    fn repeated_shrinks_settle_near_target() {
+        // Feed the manager a consistent model-following feedback loop:
+        // claim the observed rate is whatever the estimator predicted.
+        let mut m = manager(HarsConfig::default());
+        let mut rate = 40.0;
+        let mut hb = 10;
+        for _ in 0..40 {
+            let before = m.state();
+            if let Some(_d) = m.on_heartbeat(hb, Some(rate)) {
+                // Perfect world: observation follows the estimate.
+                let perf = PerfEstimator::paper_default(FreqKhz::from_mhz(1_000));
+                rate = perf.estimate_rate(rate, 8, &before, &m.state());
+            }
+            hb += 10;
+        }
+        assert!(
+            m.target().satisfied_by(rate) || (rate - m.target().avg()).abs() < 2.0,
+            "settled rate {rate} not near target"
+        );
+        // And the settled state is cheap: not the max state.
+        assert!(m.state().total_cores() < 8 || m.state().big_freq < FreqKhz::from_mhz(1_600));
+    }
+
+    #[test]
+    fn ratio_learning_moves_r0_toward_truth() {
+        let mut m = manager(HarsConfig {
+            ratio_learning: true,
+            adapt_every: 1,
+            ..HarsConfig::default()
+        });
+        // Pretend the app is blackscholes-like: whenever HARS predicts a
+        // mixed-state speedup assuming r0 = 1.5, reality delivers less.
+        let mut hb = 1;
+        for _ in 0..30 {
+            let predicted = m
+                .on_heartbeat(hb, Some(6.0))
+                .map(|d| (d.state, m.assumed_ratio()));
+            let _ = predicted;
+            hb += 1;
+            // Observed rate always disappointing relative to predictions.
+            let _ = m.on_heartbeat(hb, Some(5.0));
+            hb += 1;
+        }
+        assert!(
+            m.assumed_ratio() <= 1.5,
+            "r0 {} should not grow when reality disappoints",
+            m.assumed_ratio()
+        );
+    }
+
+    #[test]
+    fn retargeting_takes_effect_at_next_period() {
+        let mut m = manager(HarsConfig::default());
+        // In-band at 10 hb/s: no adaptation.
+        assert!(m.on_heartbeat(10, Some(10.0)).is_none());
+        // Raise the goal to 20 ± 2: the same 10 hb/s now under-performs.
+        m.set_target(PerfTarget::new(18.0, 22.0).unwrap());
+        let d = m.on_heartbeat(20, Some(10.0));
+        // Already at the max state, so the search may keep it — but the
+        // manager must have *searched* (goal violation recognized).
+        assert!(m.searches() >= 1, "retarget must trigger a search");
+        let _ = d;
+    }
+
+    #[test]
+    fn tabu_prevents_immediate_backtracking() {
+        let mut m = manager(HarsConfig {
+            tabu_len: 4,
+            adapt_every: 1,
+            ..HarsConfig::default()
+        });
+        let first = m.state();
+        let d1 = m.on_heartbeat(1, Some(30.0)).expect("adapts");
+        // Under-performance would normally pull it straight back up; the
+        // tabu list forbids returning to the max state immediately.
+        if let Some(d2) = m.on_heartbeat(2, Some(1.0)) {
+            assert_ne!(d2.state, first, "tabu must block the backtrack");
+        }
+        let _ = d1;
+    }
+
+    #[test]
+    fn kalman_predictor_dampens_single_outliers() {
+        use crate::predictor::Predictor;
+        let mut plain = manager(HarsConfig {
+            adapt_every: 1,
+            ..HarsConfig::default()
+        });
+        let mut filtered = manager(HarsConfig {
+            adapt_every: 1,
+            predictor: Predictor::kalman(),
+            ..HarsConfig::default()
+        });
+        // Steady in-band rates, then one wild outlier.
+        for hb in 1..10u64 {
+            assert!(plain.on_heartbeat(hb, Some(10.0)).is_none());
+            assert!(filtered.on_heartbeat(hb, Some(10.0)).is_none());
+        }
+        // A moderate outlier: far enough outside the band that the raw
+        // manager reacts, small enough that the filter absorbs it.
+        let plain_reacts = plain.on_heartbeat(10, Some(14.0)).is_some();
+        let filtered_reacts = filtered.on_heartbeat(10, Some(14.0)).is_some();
+        assert!(plain_reacts, "last-value manager chases the outlier");
+        assert!(
+            !filtered_reacts,
+            "kalman manager smooths the outlier away"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let board = BoardSpec::odroid_xu3();
+        let target = PerfTarget::new(1.0, 2.0).unwrap();
+        let perf = PerfEstimator::paper_default(FreqKhz::from_mhz(1_000));
+        let _ = RuntimeManager::new(&board, target, perf, power(), 0, HarsConfig::default());
+    }
+}

@@ -1,0 +1,70 @@
+//! Efficiency metrics: normalized performance, performance-per-watt and
+//! aggregate helpers shared by the runtime and the evaluation harness.
+
+use heartbeats::PerfTarget;
+
+/// Normalized performance `min(g, h)/g` with `g` the target (center) and
+/// `h` the achieved rate — the paper's metric: over-performance earns no
+/// credit ("there is no benefit in overperformance").
+pub fn normalized_performance(target: &PerfTarget, rate: f64) -> f64 {
+    target.normalized_performance(rate)
+}
+
+/// The efficiency score HARS maximizes: normalized performance divided
+/// by power (W). Returns 0 for non-positive power (a degenerate model).
+pub fn perf_per_watt(target: &PerfTarget, rate: f64, watts: f64) -> f64 {
+    if watts <= 0.0 {
+        return 0.0;
+    }
+    normalized_performance(target, rate) / watts
+}
+
+/// Geometric mean of strictly positive values — the paper's "GM" bar.
+///
+/// Returns `None` for an empty slice or any non-positive entry.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> PerfTarget {
+        PerfTarget::new(45.0, 55.0).unwrap()
+    }
+
+    #[test]
+    fn overperformance_earns_nothing() {
+        let t = target();
+        assert!((normalized_performance(&t, 50.0) - 1.0).abs() < 1e-12);
+        assert!((normalized_performance(&t, 500.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underperformance_is_proportional() {
+        let t = target();
+        assert!((normalized_performance(&t, 25.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_per_watt_divides() {
+        let t = target();
+        assert!((perf_per_watt(&t, 50.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(perf_per_watt(&t, 50.0, 0.0), 0.0);
+        assert_eq!(perf_per_watt(&t, 50.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+}

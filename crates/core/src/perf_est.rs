@@ -1,0 +1,305 @@
+//! The performance estimator (Section 3.1.1).
+//!
+//! Assumes performance is proportional to core count and frequency:
+//! `S_B = (f_B/f₀)·S_B,f₀`, `S_L = (f_L/f₀)·S_L,f₀`, with the assumed
+//! big/little ratio `r₀ = S_B,f₀ / S_L,f₀` (1.5 on the paper's board,
+//! from the 3-wide vs 2-wide issue widths of the A15 and A7).
+//!
+//! For a candidate state it derives the Table 3.1 assignment, the
+//! per-cluster unit times
+//!
+//! ```text
+//! t_B = (W/T)/S_B            if T_B ≤ C_B
+//!       T_B·W/(T·C_B,U·S_B)  otherwise
+//! ```
+//!
+//! (`t_L` analogously), the barrier time `t_f = max(t_B, t_L)`, and
+//! predicts the candidate's heartbeat rate as
+//! `observed_rate · t_f(current) / t_f(candidate)` — the paper's simple
+//! last-period workload predictor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assign::{assign_threads, ThreadAssignment};
+use crate::state::SystemState;
+use hmp_sim::FreqKhz;
+
+/// Per-cluster unit times for one state (arbitrary work `W = 1`; only
+/// ratios are ever used).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitTimes {
+    /// Time the big-cluster threads need (`t_B`), 0 when unused.
+    pub t_big: f64,
+    /// Time the little-cluster threads need (`t_L`).
+    pub t_little: f64,
+    /// Barrier completion time `t_f = max(t_B, t_L)`.
+    pub t_finish: f64,
+}
+
+impl UnitTimes {
+    /// Estimated utilization of the used big cores: `U_B = t_B / t_f`.
+    pub fn util_big(&self) -> f64 {
+        if self.t_finish > 0.0 {
+            self.t_big / self.t_finish
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated utilization of the used little cores: `U_L = t_L / t_f`.
+    pub fn util_little(&self) -> f64 {
+        if self.t_finish > 0.0 {
+            self.t_little / self.t_finish
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The performance estimator. Cheap to copy; the search evaluates it for
+/// every candidate state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfEstimator {
+    /// Assumed per-core big/little performance ratio at `f₀` (`r₀`).
+    r0: f64,
+    /// Baseline frequency `f₀`.
+    base_freq: FreqKhz,
+}
+
+impl PerfEstimator {
+    /// Creates an estimator with ratio `r0` at base frequency
+    /// `base_freq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r0` is positive and finite.
+    pub fn new(r0: f64, base_freq: FreqKhz) -> Self {
+        assert!(r0.is_finite() && r0 > 0.0, "r0 must be positive");
+        Self { r0, base_freq }
+    }
+
+    /// The paper's configuration: `r₀ = 3/2` from the instruction-width
+    /// ratio of the Cortex-A15 (3) and Cortex-A7 (2).
+    pub fn paper_default(base_freq: FreqKhz) -> Self {
+        Self::new(1.5, base_freq)
+    }
+
+    /// The assumed ratio `r₀`.
+    pub fn r0(&self) -> f64 {
+        self.r0
+    }
+
+    /// Replaces `r₀` (used by the online ratio-learning extension).
+    pub fn set_r0(&mut self, r0: f64) {
+        assert!(r0.is_finite() && r0 > 0.0, "r0 must be positive");
+        self.r0 = r0;
+    }
+
+    /// Per-core speeds `(S_B, S_L)` in `S_L,f₀ = 1` units.
+    pub fn speeds(&self, state: &SystemState) -> (f64, f64) {
+        let s_big = self.r0 * state.big_freq.ratio_to(self.base_freq);
+        let s_little = state.little_freq.ratio_to(self.base_freq);
+        (s_big, s_little)
+    }
+
+    /// The state's per-core performance ratio `r = S_B/S_L`.
+    pub fn ratio(&self, state: &SystemState) -> f64 {
+        let (sb, sl) = self.speeds(state);
+        sb / sl
+    }
+
+    /// Table 3.1 assignment of `threads` threads under `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the state has no cores.
+    pub fn assignment(&self, threads: usize, state: &SystemState) -> ThreadAssignment {
+        assign_threads(
+            threads,
+            state.big_cores,
+            state.little_cores,
+            self.ratio(state),
+        )
+    }
+
+    /// Unit times of `threads` equally loaded threads under `state`
+    /// (work `W = 1`).
+    pub fn unit_times(&self, threads: usize, state: &SystemState) -> UnitTimes {
+        let a = self.assignment(threads, state);
+        self.unit_times_for(threads, state, &a)
+    }
+
+    /// Unit times under an explicit (possibly non-optimal) assignment.
+    pub fn unit_times_for(
+        &self,
+        threads: usize,
+        state: &SystemState,
+        a: &ThreadAssignment,
+    ) -> UnitTimes {
+        let (s_big, s_little) = self.speeds(state);
+        let t = threads as f64;
+        let t_big = cluster_time(a.big_threads, a.used_big, t, s_big);
+        let t_little = cluster_time(a.little_threads, a.used_little, t, s_little);
+        UnitTimes {
+            t_big,
+            t_little,
+            t_finish: t_big.max(t_little),
+        }
+    }
+
+    /// Predicted heartbeat rate under `candidate` given the rate observed
+    /// under `current`: `rate · t_f(current) / t_f(candidate)`.
+    ///
+    /// Returns 0 for a candidate that cannot run the threads (no cores).
+    pub fn estimate_rate(
+        &self,
+        observed_rate: f64,
+        threads: usize,
+        current: &SystemState,
+        candidate: &SystemState,
+    ) -> f64 {
+        debug_assert!(observed_rate >= 0.0);
+        if candidate.total_cores() == 0 {
+            return 0.0;
+        }
+        let tf_cur = self.unit_times(threads, current).t_finish;
+        let tf_cand = self.unit_times(threads, candidate).t_finish;
+        if tf_cand <= 0.0 {
+            return 0.0;
+        }
+        observed_rate * tf_cur / tf_cand
+    }
+}
+
+/// `t_X` of one cluster: dedicated-core regime or time-shared regime.
+fn cluster_time(cluster_threads: usize, used_cores: usize, total_threads: f64, speed: f64) -> f64 {
+    if cluster_threads == 0 || used_cores == 0 {
+        return 0.0;
+    }
+    let per_thread_work = 1.0 / total_threads;
+    if cluster_threads <= used_cores {
+        per_thread_work / speed
+    } else {
+        cluster_threads as f64 * per_thread_work / (used_cores as f64 * speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> PerfEstimator {
+        PerfEstimator::paper_default(FreqKhz::from_mhz(1_000))
+    }
+
+    fn st(cb: usize, cl: usize, fb_mhz: u32, fl_mhz: u32) -> SystemState {
+        SystemState {
+            big_cores: cb,
+            little_cores: cl,
+            big_freq: FreqKhz::from_mhz(fb_mhz),
+            little_freq: FreqKhz::from_mhz(fl_mhz),
+        }
+    }
+
+    #[test]
+    fn speeds_scale_with_frequency() {
+        let e = est();
+        let (sb, sl) = e.speeds(&st(4, 4, 1600, 1300));
+        assert!((sb - 1.5 * 1.6).abs() < 1e-12);
+        assert!((sl - 1.3).abs() < 1e-12);
+        assert!((e.ratio(&st(4, 4, 1000, 1000)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_can_drop_below_one() {
+        // Big at 0.8 GHz vs little at 1.3 GHz: r = 1.5·0.8/1.3 ≈ 0.92.
+        let e = est();
+        assert!(e.ratio(&st(4, 4, 800, 1300)) < 1.0);
+    }
+
+    #[test]
+    fn unit_times_match_hand_math() {
+        let e = est();
+        // 8 threads, 4B+4L at 1 GHz: T_B = 6 shared on 4 big cores,
+        // T_L = 2 dedicated. t_B = 6·(1/8)/(4·1.5) = 0.125;
+        // t_L = (1/8)/1.0 = 0.125. Balanced by construction.
+        let ut = e.unit_times(8, &st(4, 4, 1000, 1000));
+        assert!((ut.t_big - 0.125).abs() < 1e-12);
+        assert!((ut.t_little - 0.125).abs() < 1e-12);
+        assert!((ut.t_finish - 0.125).abs() < 1e-12);
+        assert!((ut.util_big() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unused_cluster_has_zero_time_and_utilization() {
+        let e = est();
+        // 2 threads on 4B+4L: both fit on big; little unused.
+        let ut = e.unit_times(2, &st(4, 4, 1000, 1000));
+        assert_eq!(ut.t_little, 0.0);
+        assert_eq!(ut.util_little(), 0.0);
+        assert!(ut.t_big > 0.0);
+    }
+
+    #[test]
+    fn estimate_rate_doubles_with_capacity() {
+        let e = est();
+        // 4 threads all on big: doubling big frequency halves t_f.
+        let cur = st(4, 0, 800, 800);
+        let cand = st(4, 0, 1600, 800);
+        let r = e.estimate_rate(10.0, 4, &cur, &cand);
+        assert!((r - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_rate_handles_degenerate_candidate() {
+        let e = est();
+        let cur = st(4, 4, 1000, 1000);
+        let none = SystemState {
+            big_cores: 0,
+            little_cores: 0,
+            big_freq: FreqKhz::from_mhz(800),
+            little_freq: FreqKhz::from_mhz(800),
+        };
+        assert_eq!(e.estimate_rate(10.0, 8, &cur, &none), 0.0);
+    }
+
+    #[test]
+    fn more_cores_never_slower() {
+        let e = est();
+        let mut prev = 0.0;
+        for cb in 1..=4 {
+            let rate = e.estimate_rate(1.0, 8, &st(1, 0, 1000, 1000), &st(cb, 2, 1000, 1000));
+            assert!(rate >= prev, "rate decreased at cb={cb}");
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn unbalanced_explicit_assignment_is_slower() {
+        let e = est();
+        let state = st(4, 4, 1000, 1000);
+        let optimal = e.unit_times(8, &state);
+        // Force a bad split: all 8 threads on the little cluster.
+        let bad = ThreadAssignment {
+            big_threads: 0,
+            little_threads: 8,
+            used_big: 0,
+            used_little: 4,
+        };
+        let forced = e.unit_times_for(8, &state, &bad);
+        assert!(forced.t_finish > optimal.t_finish);
+    }
+
+    #[test]
+    fn set_r0_updates_ratio() {
+        let mut e = est();
+        e.set_r0(1.0);
+        assert!((e.ratio(&st(1, 1, 1000, 1000)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_r0_panics() {
+        let _ = PerfEstimator::new(0.0, FreqKhz::from_mhz(1_000));
+    }
+}

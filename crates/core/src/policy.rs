@@ -1,0 +1,127 @@
+//! Search-policy presets: HARS-I, HARS-E and HARS-EI as evaluated in the
+//! paper, plus the knobs the sensitivity study sweeps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::search::SearchParams;
+use crate::sched::SchedulerKind;
+
+/// How the runtime manager picks its `(m, n, d)` bounds per adaptation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchPolicy {
+    /// HARS-I: one incremental step, direction chosen by whether the app
+    /// over- or under-performs (`m=1,n=0,d=1` / `m=0,n=1,d=1`).
+    Incremental,
+    /// HARS-E style: fixed symmetric bounds regardless of direction.
+    Exhaustive(SearchParams),
+}
+
+impl SearchPolicy {
+    /// The paper's exhaustive setting (`m=4, n=4, d=7`).
+    pub fn exhaustive_default() -> Self {
+        SearchPolicy::Exhaustive(SearchParams::exhaustive())
+    }
+
+    /// The bounds to use for this adaptation, given the direction of the
+    /// target violation.
+    pub fn params_for(&self, overperforming: bool) -> SearchParams {
+        match self {
+            SearchPolicy::Incremental => {
+                if overperforming {
+                    SearchParams::incremental_shrink()
+                } else {
+                    SearchParams::incremental_grow()
+                }
+            }
+            SearchPolicy::Exhaustive(p) => *p,
+        }
+    }
+}
+
+/// A named HARS variant: policy + scheduler, as compared in Figures
+/// 5.1/5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarsVariant {
+    /// Display name ("HARS-I", "HARS-E", "HARS-EI").
+    pub name: &'static str,
+    /// Search policy.
+    pub policy: SearchPolicy,
+    /// Thread scheduler.
+    pub scheduler: SchedulerKind,
+}
+
+/// HARS-I: incremental search, chunk-based scheduler.
+pub fn hars_i() -> HarsVariant {
+    HarsVariant {
+        name: "HARS-I",
+        policy: SearchPolicy::Incremental,
+        scheduler: SchedulerKind::Chunk,
+    }
+}
+
+/// HARS-E: exhaustive search (`m=4,n=4,d=7`), chunk-based scheduler.
+pub fn hars_e() -> HarsVariant {
+    HarsVariant {
+        name: "HARS-E",
+        policy: SearchPolicy::exhaustive_default(),
+        scheduler: SchedulerKind::Chunk,
+    }
+}
+
+/// HARS-EI: exhaustive search with the interleaving scheduler.
+pub fn hars_ei() -> HarsVariant {
+    HarsVariant {
+        name: "HARS-EI",
+        policy: SearchPolicy::exhaustive_default(),
+        scheduler: SchedulerKind::Interleaved,
+    }
+}
+
+/// HARS-EI with an explicit distance bound — the Figure 5.3 sweep.
+pub fn hars_ei_with_distance(d: i64) -> HarsVariant {
+    HarsVariant {
+        name: "HARS-EI",
+        policy: SearchPolicy::Exhaustive(SearchParams::new(4, 4, d)),
+        scheduler: SchedulerKind::Interleaved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_direction_switch() {
+        let p = SearchPolicy::Incremental;
+        let shrink = p.params_for(true);
+        assert_eq!((shrink.m, shrink.n, shrink.d), (1, 0, 1));
+        let grow = p.params_for(false);
+        assert_eq!((grow.m, grow.n, grow.d), (0, 1, 1));
+    }
+
+    #[test]
+    fn exhaustive_ignores_direction() {
+        let p = SearchPolicy::exhaustive_default();
+        assert_eq!(p.params_for(true), p.params_for(false));
+        let params = p.params_for(true);
+        assert_eq!((params.m, params.n, params.d), (4, 4, 7));
+    }
+
+    #[test]
+    fn variants_match_paper() {
+        assert_eq!(hars_i().scheduler, SchedulerKind::Chunk);
+        assert_eq!(hars_e().scheduler, SchedulerKind::Chunk);
+        assert_eq!(hars_ei().scheduler, SchedulerKind::Interleaved);
+        assert_eq!(hars_i().policy, SearchPolicy::Incremental);
+        assert_eq!(hars_e().policy, hars_ei().policy);
+    }
+
+    #[test]
+    fn distance_sweep_variant() {
+        let v = hars_ei_with_distance(5);
+        match v.policy {
+            SearchPolicy::Exhaustive(p) => assert_eq!(p.d, 5),
+            _ => panic!("expected exhaustive"),
+        }
+    }
+}

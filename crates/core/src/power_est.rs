@@ -1,0 +1,236 @@
+//! The power estimator (Section 3.1.2).
+//!
+//! Linear-regression models per (cluster, frequency level):
+//!
+//! ```text
+//! P_B = α_B,f_B · C_B,U · U_B,U + β_B,f_B            (3.1)
+//! P_L = α_L,f_L · C_L,U · U_L,U + β_L,f_L            (3.2)
+//! ```
+//!
+//! with the utilizations `U_B,U = t_B/t_f`, `U_L,U = t_L/t_f` supplied by
+//! the performance estimator. Coefficients come from fitting the
+//! microbenchmark calibration data (see [`crate::calibrate`]).
+
+use hmp_sim::{Cluster, FreqKhz, FreqLadder};
+use serde::{Deserialize, Serialize};
+
+use crate::assign::ThreadAssignment;
+use crate::perf_est::UnitTimes;
+use crate::state::SystemState;
+
+/// One `P = α·(C·U) + β` model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LinearCoeff {
+    /// Watts per (used core × utilization).
+    pub alpha: f64,
+    /// Constant watts (idle cluster floor).
+    pub beta: f64,
+}
+
+impl LinearCoeff {
+    /// Evaluates the model at `core_util = C_used · U`.
+    pub fn watts(&self, core_util: f64) -> f64 {
+        self.alpha * core_util + self.beta
+    }
+}
+
+/// The full per-cluster, per-frequency-level power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerEstimator {
+    little_ladder: FreqLadder,
+    big_ladder: FreqLadder,
+    /// Indexed by little ladder level.
+    little: Vec<LinearCoeff>,
+    /// Indexed by big ladder level.
+    big: Vec<LinearCoeff>,
+}
+
+impl PowerEstimator {
+    /// Builds an estimator from per-level coefficient tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a table's length does not match its ladder.
+    pub fn new(
+        little_ladder: FreqLadder,
+        big_ladder: FreqLadder,
+        little: Vec<LinearCoeff>,
+        big: Vec<LinearCoeff>,
+    ) -> Self {
+        assert_eq!(
+            little.len(),
+            little_ladder.len(),
+            "one coefficient set per little level"
+        );
+        assert_eq!(big.len(), big_ladder.len(), "one coefficient set per big level");
+        Self {
+            little_ladder,
+            big_ladder,
+            little,
+            big,
+        }
+    }
+
+    /// The coefficients for `cluster` at `freq` (nearest level at or
+    /// below `freq` when it is off-ladder).
+    pub fn coeff(&self, cluster: Cluster, freq: FreqKhz) -> LinearCoeff {
+        let (ladder, table) = match cluster {
+            Cluster::Little => (&self.little_ladder, &self.little),
+            Cluster::Big => (&self.big_ladder, &self.big),
+        };
+        let level = ladder
+            .index_of(ladder.floor(freq))
+            .expect("floor always lands on the ladder");
+        table[level]
+    }
+
+    /// Estimated power (W) of one cluster given used cores and their
+    /// utilization.
+    pub fn cluster_watts(
+        &self,
+        cluster: Cluster,
+        freq: FreqKhz,
+        used_cores: usize,
+        utilization: f64,
+    ) -> f64 {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&utilization));
+        self.coeff(cluster, freq)
+            .watts(used_cores as f64 * utilization)
+    }
+
+    /// Total estimated power of a candidate state: equations (3.1) +
+    /// (3.2) with the assignment's used-core counts and the performance
+    /// estimator's utilizations.
+    pub fn estimate(
+        &self,
+        state: &SystemState,
+        assignment: &ThreadAssignment,
+        times: &UnitTimes,
+    ) -> f64 {
+        let p_big = self.cluster_watts(
+            Cluster::Big,
+            state.big_freq,
+            assignment.used_big,
+            times.util_big(),
+        );
+        let p_little = self.cluster_watts(
+            Cluster::Little,
+            state.little_freq,
+            assignment.used_little,
+            times.util_little(),
+        );
+        p_big + p_little
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_estimator() -> PowerEstimator {
+        let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+        let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+        // α grows with level; β constant — easy to eyeball in tests.
+        let little = (0..little_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.1 + 0.01 * i as f64,
+                beta: 0.05,
+            })
+            .collect();
+        let big = (0..big_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.5 + 0.1 * i as f64,
+                beta: 0.3,
+            })
+            .collect();
+        PowerEstimator::new(little_ladder, big_ladder, little, big)
+    }
+
+    fn st(cb: usize, cl: usize, fb_mhz: u32, fl_mhz: u32) -> SystemState {
+        SystemState {
+            big_cores: cb,
+            little_cores: cl,
+            big_freq: FreqKhz::from_mhz(fb_mhz),
+            little_freq: FreqKhz::from_mhz(fl_mhz),
+        }
+    }
+
+    #[test]
+    fn coeff_lookup_by_level() {
+        let e = flat_estimator();
+        let c0 = e.coeff(Cluster::Big, FreqKhz::from_mhz(800));
+        let c8 = e.coeff(Cluster::Big, FreqKhz::from_mhz(1_600));
+        assert!((c0.alpha - 0.5).abs() < 1e-12);
+        assert!((c8.alpha - 1.3).abs() < 1e-12);
+        // Off-ladder frequencies floor to the level below.
+        let c_mid = e.coeff(Cluster::Big, FreqKhz::from_mhz(1_050));
+        assert_eq!(c_mid, e.coeff(Cluster::Big, FreqKhz::from_mhz(1_000)));
+    }
+
+    #[test]
+    fn estimate_sums_both_clusters() {
+        let e = flat_estimator();
+        let state = st(4, 4, 800, 800);
+        let a = ThreadAssignment {
+            big_threads: 4,
+            little_threads: 4,
+            used_big: 4,
+            used_little: 4,
+        };
+        let times = UnitTimes {
+            t_big: 1.0,
+            t_little: 0.5,
+            t_finish: 1.0,
+        };
+        // Big: 0.5·(4·1.0) + 0.3 = 2.3; little: 0.1·(4·0.5) + 0.05 = 0.25.
+        let p = e.estimate(&state, &a, &times);
+        assert!((p - 2.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_cluster_still_costs_beta() {
+        let e = flat_estimator();
+        let state = st(4, 4, 800, 800);
+        let a = ThreadAssignment {
+            big_threads: 2,
+            little_threads: 0,
+            used_big: 2,
+            used_little: 0,
+        };
+        let times = UnitTimes {
+            t_big: 1.0,
+            t_little: 0.0,
+            t_finish: 1.0,
+        };
+        let p = e.estimate(&state, &a, &times);
+        // Big: 0.5·2 + 0.3 = 1.3; little floor: β = 0.05.
+        assert!((p - 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_frequency_is_costlier() {
+        let e = flat_estimator();
+        let a = ThreadAssignment {
+            big_threads: 4,
+            little_threads: 0,
+            used_big: 4,
+            used_little: 0,
+        };
+        let times = UnitTimes {
+            t_big: 1.0,
+            t_little: 0.0,
+            t_finish: 1.0,
+        };
+        let lo = e.estimate(&st(4, 0, 800, 800), &a, &times);
+        let hi = e.estimate(&st(4, 0, 1_600, 800), &a, &times);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "per little level")]
+    fn mismatched_tables_panic() {
+        let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+        let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+        let _ = PowerEstimator::new(little_ladder, big_ladder, vec![], vec![]);
+    }
+}

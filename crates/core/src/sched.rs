@@ -1,0 +1,268 @@
+//! The HARS thread schedulers (Section 3.1.3, Figure 3.2).
+//!
+//! Both schedulers take the Table 3.1 assignment `(T_B, T_L, C_B,U,
+//! C_L,U)` and pin each thread (by id order) to one core via
+//! `sched_setaffinity`:
+//!
+//! * **chunk-based** — the first `T_L` thread ids go to the little
+//!   cores, the rest to the big cores. Consecutive threads share
+//!   clusters (constructive cache sharing) but pipeline stages can end
+//!   up entirely on little cores (the ferret bottleneck).
+//! * **interleaving** — thread ids alternate between clusters in
+//!   proportion `T_L : T_B`, so every pipeline stage receives a fair
+//!   mix of big and little cores.
+
+use hmp_sim::{BoardSpec, Cluster, CoreId, CpuSet};
+use serde::{Deserialize, Serialize};
+
+use crate::assign::ThreadAssignment;
+
+/// Which of the two HARS schedulers to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SchedulerKind {
+    /// Chunk-based: consecutive thread ids share a cluster.
+    #[default]
+    Chunk,
+    /// Interleaving: thread ids alternate clusters proportionally.
+    Interleaved,
+}
+
+impl SchedulerKind {
+    /// Short display name ("chunk" / "interleaved").
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Chunk => "chunk",
+            SchedulerKind::Interleaved => "interleaved",
+        }
+    }
+}
+
+/// Plans per-thread singleton affinity masks.
+///
+/// `big_cores` / `little_cores` are the cores allocated to the
+/// application (from the board for single-app HARS, from the resource
+/// partitioner for MP-HARS); only the first `C_B,U` / `C_L,U` of them
+/// are used, and threads beyond the used-core count share cores
+/// round-robin.
+///
+/// Returns one `CpuSet` per thread id.
+///
+/// # Panics
+///
+/// Panics if the assignment needs cores that were not provided, or if
+/// its thread total is zero.
+pub fn plan_affinities(
+    kind: SchedulerKind,
+    assignment: &ThreadAssignment,
+    big_cores: &[CoreId],
+    little_cores: &[CoreId],
+) -> Vec<CpuSet> {
+    let t = assignment.total_threads();
+    assert!(t > 0, "assignment covers no threads");
+    assert!(
+        assignment.used_big <= big_cores.len(),
+        "need {} big cores, got {}",
+        assignment.used_big,
+        big_cores.len()
+    );
+    assert!(
+        assignment.used_little <= little_cores.len(),
+        "need {} little cores, got {}",
+        assignment.used_little,
+        little_cores.len()
+    );
+    let t_little = assignment.little_threads;
+    // Which thread ids land on the little cluster.
+    let is_little: Vec<bool> = match kind {
+        SchedulerKind::Chunk => (0..t).map(|i| i < t_little).collect(),
+        SchedulerKind::Interleaved => (0..t)
+            // Bresenham spread: exactly t_little ids marked little,
+            // evenly interleaved, starting with a little slot (matching
+            // Figure 3.2(b): T0 little, T1 big, ...).
+            .map(|i| (i * t_little) % t < t_little)
+            .collect(),
+    };
+    let mut out = Vec::with_capacity(t);
+    let mut next_little = 0usize;
+    let mut next_big = 0usize;
+    for little in is_little {
+        if little {
+            let core = little_cores[next_little % assignment.used_little.max(1)];
+            next_little += 1;
+            out.push(CpuSet::single(core));
+        } else {
+            let core = big_cores[next_big % assignment.used_big.max(1)];
+            next_big += 1;
+            out.push(CpuSet::single(core));
+        }
+    }
+    out
+}
+
+/// Default core selection for single-application HARS: the first
+/// `C_B,U` cores of the big cluster and the first `C_L,U` of the little
+/// cluster.
+pub fn default_core_allocation(
+    board: &BoardSpec,
+    assignment: &ThreadAssignment,
+) -> (Vec<CoreId>, Vec<CoreId>) {
+    let big_start = board.cluster_start(Cluster::Big).0;
+    let big: Vec<CoreId> = (0..assignment.used_big)
+        .map(|i| CoreId(big_start + i))
+        .collect();
+    let little: Vec<CoreId> = (0..assignment.used_little).map(CoreId).collect();
+    (big, little)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(tb: usize, tl: usize, ub: usize, ul: usize) -> ThreadAssignment {
+        ThreadAssignment {
+            big_threads: tb,
+            little_threads: tl,
+            used_big: ub,
+            used_little: ul,
+        }
+    }
+
+    fn cores(ids: &[usize]) -> Vec<CoreId> {
+        ids.iter().map(|&i| CoreId(i)).collect()
+    }
+
+    fn side_of(board: &BoardSpec, set: &CpuSet) -> Cluster {
+        board.cluster_of(set.first().unwrap())
+    }
+
+    #[test]
+    fn chunk_matches_figure_3_2a() {
+        // Figure 3.2(a): 8 threads, 4L + 4B; T0-T3 little, T4-T7 big.
+        let board = BoardSpec::odroid_xu3();
+        let plan = plan_affinities(
+            SchedulerKind::Chunk,
+            &asg(4, 4, 4, 4),
+            &cores(&[4, 5, 6, 7]),
+            &cores(&[0, 1, 2, 3]),
+        );
+        let sides: Vec<Cluster> = plan.iter().map(|s| side_of(&board, s)).collect();
+        assert_eq!(
+            sides,
+            vec![
+                Cluster::Little,
+                Cluster::Little,
+                Cluster::Little,
+                Cluster::Little,
+                Cluster::Big,
+                Cluster::Big,
+                Cluster::Big,
+                Cluster::Big
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_matches_figure_3_2b() {
+        // Figure 3.2(b): T0 L, T1 B, T2 L, T3 B, ...
+        let board = BoardSpec::odroid_xu3();
+        let plan = plan_affinities(
+            SchedulerKind::Interleaved,
+            &asg(4, 4, 4, 4),
+            &cores(&[4, 5, 6, 7]),
+            &cores(&[0, 1, 2, 3]),
+        );
+        let sides: Vec<Cluster> = plan.iter().map(|s| side_of(&board, s)).collect();
+        assert_eq!(
+            sides,
+            vec![
+                Cluster::Little,
+                Cluster::Big,
+                Cluster::Little,
+                Cluster::Big,
+                Cluster::Little,
+                Cluster::Big,
+                Cluster::Little,
+                Cluster::Big
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_counts_are_exact_for_uneven_splits() {
+        let board = BoardSpec::odroid_xu3();
+        for tl in 0..=8usize {
+            let tb = 8 - tl;
+            let a = asg(tb, tl, tb.min(4).max(usize::from(tb > 0)), tl.min(4).max(usize::from(tl > 0)));
+            let plan = plan_affinities(
+                SchedulerKind::Interleaved,
+                &a,
+                &cores(&[4, 5, 6, 7]),
+                &cores(&[0, 1, 2, 3]),
+            );
+            let n_little = plan
+                .iter()
+                .filter(|s| side_of(&board, s) == Cluster::Little)
+                .count();
+            assert_eq!(n_little, tl, "tl={tl}");
+        }
+    }
+
+    #[test]
+    fn threads_share_cores_round_robin_when_oversubscribed() {
+        // 6 big threads on 4 used big cores: cores 4,5 get 2 threads.
+        let plan = plan_affinities(
+            SchedulerKind::Chunk,
+            &asg(6, 2, 4, 2),
+            &cores(&[4, 5, 6, 7]),
+            &cores(&[0, 1]),
+        );
+        assert_eq!(plan.len(), 8);
+        let big_targets: Vec<usize> = plan[2..]
+            .iter()
+            .map(|s| s.first().unwrap().0)
+            .collect();
+        assert_eq!(big_targets, vec![4, 5, 6, 7, 4, 5]);
+    }
+
+    #[test]
+    fn every_affinity_is_a_singleton() {
+        let plan = plan_affinities(
+            SchedulerKind::Interleaved,
+            &asg(5, 3, 3, 3),
+            &cores(&[4, 5, 6]),
+            &cores(&[0, 1, 2]),
+        );
+        assert!(plan.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn default_core_allocation_uses_cluster_prefixes() {
+        let board = BoardSpec::odroid_xu3();
+        let (big, little) = default_core_allocation(&board, &asg(6, 2, 3, 2));
+        assert_eq!(big, cores(&[4, 5, 6]));
+        assert_eq!(little, cores(&[0, 1]));
+    }
+
+    #[test]
+    fn all_big_assignment_has_no_little_pins() {
+        let board = BoardSpec::odroid_xu3();
+        let plan = plan_affinities(
+            SchedulerKind::Chunk,
+            &asg(8, 0, 4, 0),
+            &cores(&[4, 5, 6, 7]),
+            &[],
+        );
+        assert!(plan.iter().all(|s| side_of(&board, s) == Cluster::Big));
+    }
+
+    #[test]
+    #[should_panic(expected = "big cores")]
+    fn missing_cores_panic() {
+        let _ = plan_affinities(
+            SchedulerKind::Chunk,
+            &asg(4, 0, 4, 0),
+            &cores(&[4, 5]),
+            &[],
+        );
+    }
+}

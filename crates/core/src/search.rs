@@ -1,0 +1,548 @@
+//! The search function of HARS — Algorithm 2 (`GetNextSysState`).
+//!
+//! The explorable neighborhood of the current state is bounded by three
+//! parameters: sweeps of `[x − m, x + n]` per dimension and a Manhattan-
+//! distance cap `d` in the 4-D index space. Candidates are ranked by a
+//! satisfaction-first ordering:
+//!
+//! 1. a state whose *estimated* rate reaches `t.min` beats any state
+//!    that does not;
+//! 2. among satisfying states, higher normalized-performance/power wins;
+//! 3. among non-satisfying states, higher estimated performance wins
+//!    (get as close to the target as possible).
+//!
+//! The current state participates in the comparison
+//! (`getBetterState(cs, ns)`), so the search never moves to a state its
+//! own estimators consider worse.
+
+use heartbeats::PerfTarget;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::normalized_performance;
+use crate::perf_est::PerfEstimator;
+use crate::power_est::PowerEstimator;
+use crate::state::{StateIndex, StateSpace, SystemState};
+
+/// The `(m, n, d)` exploration bounds of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Steps explored below the current value in each dimension.
+    pub m: i64,
+    /// Steps explored above.
+    pub n: i64,
+    /// Manhattan-distance cap over the four dimensions.
+    pub d: i64,
+}
+
+impl SearchParams {
+    /// Creates bounds, validating `m, n ≥ 0` and `d > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid bounds (the paper requires `m ≥ 0`, `n ≥ 0`,
+    /// `d > 0`).
+    pub fn new(m: i64, n: i64, d: i64) -> Self {
+        assert!(m >= 0 && n >= 0 && d > 0, "need m,n >= 0 and d > 0");
+        Self { m, n, d }
+    }
+
+    /// The exhaustive HARS-E bounds: `m = n = 4`, `d = 7`.
+    pub fn exhaustive() -> Self {
+        Self::new(4, 4, 7)
+    }
+
+    /// The incremental HARS-I bounds for an *under-performing* app:
+    /// `m = 0, n = 1, d = 1` (grow only).
+    pub fn incremental_grow() -> Self {
+        Self::new(0, 1, 1)
+    }
+
+    /// The incremental HARS-I bounds for an *over-performing* app:
+    /// `m = 1, n = 0, d = 1` (shrink only).
+    pub fn incremental_shrink() -> Self {
+        Self::new(1, 0, 1)
+    }
+}
+
+/// How a cluster's frequency may be changed during a search — MP-HARS's
+/// interference-aware restriction (single-app HARS uses
+/// [`FreqChange::Any`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FreqChange {
+    /// Frequency fully controllable.
+    #[default]
+    Any,
+    /// Only increases allowed (another app shares the cluster and the
+    /// conservative model forbids decreases, or the cluster is frozen).
+    IncreaseOnly,
+    /// Frequency must stay as it is.
+    Fixed,
+}
+
+impl FreqChange {
+    /// `true` when stepping from ladder index `from` to `to` is allowed.
+    pub fn allows(&self, from: i64, to: i64) -> bool {
+        match self {
+            FreqChange::Any => true,
+            FreqChange::IncreaseOnly => to >= from,
+            FreqChange::Fixed => to == from,
+        }
+    }
+}
+
+/// Search-time constraints: MP-HARS restricts core growth to free cores
+/// and freq changes to controllable clusters. The single-app defaults
+/// allow the whole space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConstraints {
+    /// Upper bound on candidate big-core count (current + free).
+    pub max_big_cores: usize,
+    /// Upper bound on candidate little-core count.
+    pub max_little_cores: usize,
+    /// Allowed big-cluster frequency movement.
+    pub big_freq: FreqChange,
+    /// Allowed little-cluster frequency movement.
+    pub little_freq: FreqChange,
+}
+
+impl SearchConstraints {
+    /// No constraints beyond the state space itself.
+    pub fn unrestricted(space: &StateSpace) -> Self {
+        Self {
+            max_big_cores: space.max_cores(hmp_sim::Cluster::Big),
+            max_little_cores: space.max_cores(hmp_sim::Cluster::Little),
+            big_freq: FreqChange::Any,
+            little_freq: FreqChange::Any,
+        }
+    }
+}
+
+/// The estimators' verdict about one state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateEval {
+    /// Estimated heartbeat rate.
+    pub est_rate: f64,
+    /// Estimated power (W).
+    pub est_watts: f64,
+    /// Normalized performance / watt (`pp` in Algorithm 2).
+    pub perf_per_watt: f64,
+    /// Whether the estimated rate reaches `t.min`.
+    pub satisfies: bool,
+}
+
+/// The search result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The chosen next state (possibly the current one).
+    pub state: SystemState,
+    /// The estimators' evaluation of the chosen state.
+    pub eval: CandidateEval,
+    /// Number of candidate states evaluated (drives the runtime-overhead
+    /// model and Figure 5.3(b)).
+    pub explored: usize,
+}
+
+/// Evaluates one state with both estimators.
+pub fn evaluate_state(
+    state: &SystemState,
+    observed_rate: f64,
+    threads: usize,
+    current: &SystemState,
+    target: &PerfTarget,
+    perf: &PerfEstimator,
+    power: &PowerEstimator,
+) -> CandidateEval {
+    let est_rate = perf.estimate_rate(observed_rate, threads, current, state);
+    let assignment = perf.assignment(threads, state);
+    let times = perf.unit_times_for(threads, state, &assignment);
+    let est_watts = power.estimate(state, &assignment, &times);
+    let pp = if est_watts > 0.0 {
+        normalized_performance(target, est_rate) / est_watts
+    } else {
+        0.0
+    };
+    CandidateEval {
+        est_rate,
+        est_watts,
+        perf_per_watt: pp,
+        satisfies: est_rate >= target.min(),
+    }
+}
+
+/// `true` when `a` is preferable to `b` under Algorithm 2's ordering.
+fn better(a: &CandidateEval, b: &CandidateEval) -> bool {
+    match (a.satisfies, b.satisfies) {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => a.perf_per_watt > b.perf_per_watt,
+        (false, false) => a.est_rate > b.est_rate,
+    }
+}
+
+/// Algorithm 2: sweeps the `(m, n, d)`-bounded neighborhood of
+/// `current`, ranks candidates, and returns the better of the best
+/// candidate and the current state.
+///
+/// # Panics
+///
+/// Panics if `current` is not a valid state of `space` (programmer
+/// error — the manager only ever holds valid states).
+#[allow(clippy::too_many_arguments)]
+pub fn get_next_sys_state(
+    space: &StateSpace,
+    current: &SystemState,
+    observed_rate: f64,
+    threads: usize,
+    target: &PerfTarget,
+    params: SearchParams,
+    constraints: &SearchConstraints,
+    perf: &PerfEstimator,
+    power: &PowerEstimator,
+) -> SearchOutcome {
+    get_next_sys_state_tabu(
+        space,
+        current,
+        observed_rate,
+        threads,
+        target,
+        params,
+        constraints,
+        perf,
+        power,
+        &[],
+    )
+}
+
+/// [`get_next_sys_state`] with a **tabu list** — the paper's Section
+/// 3.1.4 escape hatch for local optima ("it can be overcome by another
+/// algorithms (e.g., Tabu search)"). Recently visited states are
+/// skipped, except under the classic aspiration criterion: a tabu
+/// candidate that satisfies the target with a strictly better
+/// perf/watt than anything seen so far is admitted anyway.
+///
+/// # Panics
+///
+/// Panics if `current` is not a valid state of `space`.
+#[allow(clippy::too_many_arguments)]
+pub fn get_next_sys_state_tabu(
+    space: &StateSpace,
+    current: &SystemState,
+    observed_rate: f64,
+    threads: usize,
+    target: &PerfTarget,
+    params: SearchParams,
+    constraints: &SearchConstraints,
+    perf: &PerfEstimator,
+    power: &PowerEstimator,
+    tabu: &[SystemState],
+) -> SearchOutcome {
+    let cur_idx = space
+        .index_of(current)
+        .expect("current state must be on the board's ladders");
+    let mut best_state = *current;
+    let mut best_eval = evaluate_state(
+        current,
+        observed_rate,
+        threads,
+        current,
+        target,
+        perf,
+        power,
+    );
+    let mut explored = 1usize; // the current state itself
+    for i in (cur_idx.cb - params.m)..=(cur_idx.cb + params.n) {
+        for j in (cur_idx.cl - params.m)..=(cur_idx.cl + params.n) {
+            for k in (cur_idx.kb - params.m)..=(cur_idx.kb + params.n) {
+                for l in (cur_idx.kl - params.m)..=(cur_idx.kl + params.n) {
+                    let cand_idx = StateIndex {
+                        cb: i,
+                        cl: j,
+                        kb: k,
+                        kl: l,
+                    };
+                    if cand_idx == cur_idx {
+                        continue;
+                    }
+                    if cand_idx.manhattan(&cur_idx) > params.d {
+                        continue;
+                    }
+                    let Some(cand) = space.state_at(&cand_idx) else {
+                        continue;
+                    };
+                    if cand.big_cores > constraints.max_big_cores
+                        || cand.little_cores > constraints.max_little_cores
+                        || !constraints.big_freq.allows(cur_idx.kb, k)
+                        || !constraints.little_freq.allows(cur_idx.kl, l)
+                    {
+                        continue;
+                    }
+                    let eval = evaluate_state(
+                        &cand,
+                        observed_rate,
+                        threads,
+                        current,
+                        target,
+                        perf,
+                        power,
+                    );
+                    explored += 1;
+                    if tabu.contains(&cand) {
+                        // Aspiration: only a strictly dominating,
+                        // target-satisfying candidate overrides tabu.
+                        let aspires = eval.satisfies
+                            && best_eval.satisfies
+                            && eval.perf_per_watt > best_eval.perf_per_watt * 1.05;
+                        if !aspires {
+                            continue;
+                        }
+                    }
+                    if better(&eval, &best_eval) {
+                        best_state = cand;
+                        best_eval = eval;
+                    }
+                }
+            }
+        }
+    }
+    SearchOutcome {
+        state: best_state,
+        eval: best_eval,
+        explored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_est::LinearCoeff;
+    use hmp_sim::{BoardSpec, FreqKhz, FreqLadder};
+
+    fn space() -> StateSpace {
+        StateSpace::from_board(&BoardSpec::odroid_xu3())
+    }
+
+    fn perf() -> PerfEstimator {
+        PerfEstimator::paper_default(FreqKhz::from_mhz(1_000))
+    }
+
+    /// A rough but monotone power model for tests: α grows with level.
+    fn power() -> PowerEstimator {
+        let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+        let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+        let little = (0..little_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.10 + 0.015 * i as f64,
+                beta: 0.10,
+            })
+            .collect();
+        let big = (0..big_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.45 + 0.11 * i as f64,
+                beta: 0.55,
+            })
+            .collect();
+        PowerEstimator::new(little_ladder, big_ladder, little, big)
+    }
+
+    fn st(cb: usize, cl: usize, fb: u32, fl: u32) -> SystemState {
+        SystemState {
+            big_cores: cb,
+            little_cores: cl,
+            big_freq: FreqKhz::from_mhz(fb),
+            little_freq: FreqKhz::from_mhz(fl),
+        }
+    }
+
+    fn run(
+        cur: SystemState,
+        rate: f64,
+        target: PerfTarget,
+        params: SearchParams,
+    ) -> SearchOutcome {
+        let sp = space();
+        let c = SearchConstraints::unrestricted(&sp);
+        get_next_sys_state(&sp, &cur, rate, 8, &target, params, &c, &perf(), &power())
+    }
+
+    #[test]
+    fn overperforming_app_shrinks() {
+        // Running flat out at 30 hb/s against a 10±1 target: HARS-I's
+        // shrink step must pick a smaller/slower state.
+        let cur = st(4, 4, 1600, 1300);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let out = run(cur, 30.0, target, SearchParams::incremental_shrink());
+        assert_ne!(out.state, cur, "must move off the max state");
+        let sp = space();
+        let d = sp
+            .index_of(&out.state)
+            .unwrap()
+            .manhattan(&sp.index_of(&cur).unwrap());
+        assert_eq!(d, 1, "incremental step is distance 1");
+    }
+
+    #[test]
+    fn underperforming_app_grows() {
+        let cur = st(1, 0, 800, 800);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let out = run(cur, 2.0, target, SearchParams::incremental_grow());
+        assert_ne!(out.state, cur);
+        // The grown state must promise more performance.
+        assert!(out.eval.est_rate > 2.0);
+    }
+
+    #[test]
+    fn exhaustive_search_respects_distance_cap() {
+        let cur = st(4, 4, 1600, 1300);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let out = run(cur, 30.0, target, SearchParams::exhaustive());
+        let sp = space();
+        let d = sp
+            .index_of(&out.state)
+            .unwrap()
+            .manhattan(&sp.index_of(&cur).unwrap());
+        assert!(d <= 7, "distance {d} exceeds cap");
+        // Exhaustive explores far more states than incremental.
+        let inc = run(cur, 30.0, target, SearchParams::incremental_shrink());
+        assert!(out.explored > 10 * inc.explored);
+    }
+
+    #[test]
+    fn satisfying_state_beats_higher_pp_unsatisfying() {
+        // Paper: "although a certain state has the highest perf/watt, if
+        // it cannot satisfy the target, another state ... that achieves
+        // the target performance can be selected."
+        let cur = st(2, 2, 1000, 1000);
+        // Current rate exactly at the target: candidates that shrink
+        // would fall below t.min even if their pp is better.
+        let target = PerfTarget::new(9.5, 10.5).unwrap();
+        let out = run(cur, 10.0, target, SearchParams::exhaustive());
+        assert!(
+            out.eval.satisfies,
+            "search must keep the target satisfied; chose {} at {:.2} hb/s",
+            out.state, out.eval.est_rate
+        );
+    }
+
+    #[test]
+    fn stays_put_when_current_is_best() {
+        // A state already at the target with everything slower violating
+        // it: the search should return the current state (getBetterState).
+        let cur = st(0, 1, 800, 800);
+        let rate = 10.0;
+        let target = PerfTarget::new(9.9, 10.1).unwrap();
+        let out = run(cur, rate, target, SearchParams::incremental_shrink());
+        assert_eq!(out.state, cur);
+    }
+
+    #[test]
+    fn constraints_bound_core_growth() {
+        let sp = space();
+        let cur = st(1, 1, 1000, 1000);
+        let target = PerfTarget::new(90.0, 110.0).unwrap(); // unreachable
+        let mut c = SearchConstraints::unrestricted(&sp);
+        c.max_big_cores = 1; // no free big cores
+        let out = get_next_sys_state(
+            &sp,
+            &cur,
+            1.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf(),
+            &power(),
+        );
+        assert!(out.state.big_cores <= 1, "grew past the free-core bound");
+    }
+
+    #[test]
+    fn freq_change_restrictions() {
+        assert!(FreqChange::Any.allows(3, 0));
+        assert!(FreqChange::IncreaseOnly.allows(3, 3));
+        assert!(FreqChange::IncreaseOnly.allows(3, 5));
+        assert!(!FreqChange::IncreaseOnly.allows(3, 2));
+        assert!(FreqChange::Fixed.allows(3, 3));
+        assert!(!FreqChange::Fixed.allows(3, 4));
+
+        let sp = space();
+        let cur = st(4, 4, 1600, 1300);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let mut c = SearchConstraints::unrestricted(&sp);
+        c.big_freq = FreqChange::Fixed;
+        c.little_freq = FreqChange::Fixed;
+        let out = get_next_sys_state(
+            &sp,
+            &cur,
+            30.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf(),
+            &power(),
+        );
+        assert_eq!(out.state.big_freq, cur.big_freq);
+        assert_eq!(out.state.little_freq, cur.little_freq);
+    }
+
+    #[test]
+    fn explored_count_scales_with_bounds() {
+        let cur = st(2, 2, 1200, 1000);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let mut prev = 0;
+        for d in [1, 3, 5, 7, 9] {
+            let out = run(cur, 10.0, target, SearchParams::new(4, 4, d));
+            assert!(
+                out.explored > prev,
+                "d={d} explored {} (prev {prev})",
+                out.explored
+            );
+            prev = out.explored;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d > 0")]
+    fn invalid_params_panic() {
+        let _ = SearchParams::new(1, 1, 0);
+    }
+
+    #[test]
+    fn tabu_list_redirects_the_search() {
+        let sp = space();
+        let cur = st(4, 4, 1600, 1300);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let c = SearchConstraints::unrestricted(&sp);
+        let free = get_next_sys_state(
+            &sp, &cur, 30.0, 8, &target,
+            SearchParams::exhaustive(), &c, &perf(), &power(),
+        );
+        assert_ne!(free.state, cur);
+        // Forbid the free search's favourite: the tabu run must land
+        // somewhere else (or stay put).
+        let tabu = [free.state];
+        let redirected = get_next_sys_state_tabu(
+            &sp, &cur, 30.0, 8, &target,
+            SearchParams::exhaustive(), &c, &perf(), &power(), &tabu,
+        );
+        assert_ne!(redirected.state, free.state, "tabu state must be avoided");
+    }
+
+    #[test]
+    fn empty_tabu_matches_plain_search() {
+        let sp = space();
+        let cur = st(2, 2, 1200, 1000);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let c = SearchConstraints::unrestricted(&sp);
+        let a = get_next_sys_state(
+            &sp, &cur, 14.0, 8, &target,
+            SearchParams::exhaustive(), &c, &perf(), &power(),
+        );
+        let b = get_next_sys_state_tabu(
+            &sp, &cur, 14.0, 8, &target,
+            SearchParams::exhaustive(), &c, &perf(), &power(), &[],
+        );
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.explored, b.explored);
+    }
+}

@@ -1,0 +1,304 @@
+//! System states and the explorable state space.
+//!
+//! A HARS *system state* is the 4-tuple the runtime controls: the number
+//! of big and little cores allocated to the application and the two
+//! cluster frequencies. The search of Algorithm 2 walks this space in
+//! *index* coordinates (core counts step by one core, frequencies by one
+//! ladder level), with the Manhattan distance bounding exploration.
+
+use hmp_sim::{BoardSpec, Cluster, FreqKhz, FreqLadder};
+use serde::{Deserialize, Serialize};
+
+/// One configurable system state `(C_B, C_L, f_B, f_L)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemState {
+    /// Big cores allocated to the application (`C_B`).
+    pub big_cores: usize,
+    /// Little cores allocated (`C_L`).
+    pub little_cores: usize,
+    /// Big-cluster frequency (`f_B`).
+    pub big_freq: FreqKhz,
+    /// Little-cluster frequency (`f_L`).
+    pub little_freq: FreqKhz,
+}
+
+impl SystemState {
+    /// Total cores allocated.
+    pub fn total_cores(&self) -> usize {
+        self.big_cores + self.little_cores
+    }
+}
+
+impl std::fmt::Display for SystemState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}B@{} + {}L@{}",
+            self.big_cores, self.big_freq, self.little_cores, self.little_freq
+        )
+    }
+}
+
+/// A state in index coordinates: `(C_B, C_L, big ladder index, little
+/// ladder index)` — the space Algorithm 2's nested loops sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateIndex {
+    /// Big core count (already an index).
+    pub cb: i64,
+    /// Little core count.
+    pub cl: i64,
+    /// Big-ladder level index.
+    pub kb: i64,
+    /// Little-ladder level index.
+    pub kl: i64,
+}
+
+impl StateIndex {
+    /// Manhattan distance to `other` in the 4-D index space (the paper's
+    /// `getDistance`).
+    pub fn manhattan(&self, other: &StateIndex) -> i64 {
+        (self.cb - other.cb).abs()
+            + (self.cl - other.cl).abs()
+            + (self.kb - other.kb).abs()
+            + (self.kl - other.kl).abs()
+    }
+}
+
+/// The bounds of the explorable space for one board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSpace {
+    max_big: usize,
+    max_little: usize,
+    big_ladder: FreqLadder,
+    little_ladder: FreqLadder,
+    base_freq: FreqKhz,
+}
+
+impl StateSpace {
+    /// Builds the space from a board description.
+    pub fn from_board(board: &BoardSpec) -> Self {
+        Self {
+            max_big: board.n_big,
+            max_little: board.n_little,
+            big_ladder: board.big_ladder.clone(),
+            little_ladder: board.little_ladder.clone(),
+            base_freq: board.base_freq,
+        }
+    }
+
+    /// Maximum cores of `cluster`.
+    pub fn max_cores(&self, cluster: Cluster) -> usize {
+        match cluster {
+            Cluster::Big => self.max_big,
+            Cluster::Little => self.max_little,
+        }
+    }
+
+    /// The DVFS ladder of `cluster`.
+    pub fn ladder(&self, cluster: Cluster) -> &FreqLadder {
+        match cluster {
+            Cluster::Big => &self.big_ladder,
+            Cluster::Little => &self.little_ladder,
+        }
+    }
+
+    /// The baseline frequency `f0`.
+    pub fn base_freq(&self) -> FreqKhz {
+        self.base_freq
+    }
+
+    /// The state every Linux box boots into: all cores, maximum
+    /// frequencies (the paper's baseline).
+    pub fn max_state(&self) -> SystemState {
+        SystemState {
+            big_cores: self.max_big,
+            little_cores: self.max_little,
+            big_freq: self.big_ladder.max(),
+            little_freq: self.little_ladder.max(),
+        }
+    }
+
+    /// `true` when `state` is a valid operating point: at least one core
+    /// in total, per-cluster counts within bounds, frequencies on their
+    /// ladders.
+    pub fn contains(&self, state: &SystemState) -> bool {
+        state.total_cores() >= 1
+            && state.big_cores <= self.max_big
+            && state.little_cores <= self.max_little
+            && self.big_ladder.contains(state.big_freq)
+            && self.little_ladder.contains(state.little_freq)
+    }
+
+    /// Converts a state to index coordinates.
+    ///
+    /// Returns `None` when a frequency is not on its ladder.
+    pub fn index_of(&self, state: &SystemState) -> Option<StateIndex> {
+        Some(StateIndex {
+            cb: state.big_cores as i64,
+            cl: state.little_cores as i64,
+            kb: self.big_ladder.index_of(state.big_freq)? as i64,
+            kl: self.little_ladder.index_of(state.little_freq)? as i64,
+        })
+    }
+
+    /// Converts index coordinates back to a state.
+    ///
+    /// Returns `None` for out-of-bounds indices (including the all-zero
+    /// core allocation).
+    pub fn state_at(&self, idx: &StateIndex) -> Option<SystemState> {
+        if idx.cb < 0
+            || idx.cl < 0
+            || idx.kb < 0
+            || idx.kl < 0
+            || idx.cb as usize > self.max_big
+            || idx.cl as usize > self.max_little
+            || idx.cb + idx.cl == 0
+        {
+            return None;
+        }
+        Some(SystemState {
+            big_cores: idx.cb as usize,
+            little_cores: idx.cl as usize,
+            big_freq: self.big_ladder.level(idx.kb as usize)?,
+            little_freq: self.little_ladder.level(idx.kl as usize)?,
+        })
+    }
+
+    /// Iterates over every valid state (the static-optimal sweep).
+    pub fn iter_all(&self) -> impl Iterator<Item = SystemState> + '_ {
+        let bigs = 0..=self.max_big;
+        bigs.flat_map(move |cb| {
+            (0..=self.max_little).flat_map(move |cl| {
+                self.big_ladder.iter().flat_map(move |fb| {
+                    self.little_ladder.iter().filter_map(move |fl| {
+                        let s = SystemState {
+                            big_cores: cb,
+                            little_cores: cl,
+                            big_freq: fb,
+                            little_freq: fl,
+                        };
+                        if s.total_cores() >= 1 {
+                            Some(s)
+                        } else {
+                            None
+                        }
+                    })
+                })
+            })
+        })
+    }
+
+    /// Total number of valid states (for the ODROID-XU3: `(5·5−1)·9·6 =
+    /// 1296`).
+    pub fn len(&self) -> usize {
+        ((self.max_big + 1) * (self.max_little + 1) - 1)
+            * self.big_ladder.len()
+            * self.little_ladder.len()
+    }
+
+    /// `false`: a space always has at least the single-core states.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> StateSpace {
+        StateSpace::from_board(&BoardSpec::odroid_xu3())
+    }
+
+    fn st(cb: usize, cl: usize, fb_mhz: u32, fl_mhz: u32) -> SystemState {
+        SystemState {
+            big_cores: cb,
+            little_cores: cl,
+            big_freq: FreqKhz::from_mhz(fb_mhz),
+            little_freq: FreqKhz::from_mhz(fl_mhz),
+        }
+    }
+
+    #[test]
+    fn xu3_space_size() {
+        let s = space();
+        assert_eq!(s.len(), 24 * 9 * 6);
+        assert_eq!(s.iter_all().count(), s.len());
+    }
+
+    #[test]
+    fn contains_validates_everything() {
+        let s = space();
+        assert!(s.contains(&st(4, 4, 1600, 1300)));
+        assert!(s.contains(&st(0, 1, 800, 800)));
+        assert!(!s.contains(&st(0, 0, 800, 800)), "zero cores");
+        assert!(!s.contains(&st(5, 0, 800, 800)), "too many big");
+        assert!(!s.contains(&st(1, 1, 850, 800)), "off-ladder freq");
+        assert!(!s.contains(&st(1, 1, 800, 1400)), "little over max");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = space();
+        for state in s.iter_all() {
+            let idx = s.index_of(&state).unwrap();
+            assert_eq!(s.state_at(&idx), Some(state));
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let s = space();
+        let a = s.index_of(&st(4, 4, 1600, 1300)).unwrap();
+        let b = s.index_of(&st(3, 4, 1500, 1300)).unwrap();
+        assert_eq!(a.manhattan(&b), 2);
+        assert_eq!(a.manhattan(&a), 0);
+        let c = s.index_of(&st(0, 1, 800, 800)).unwrap();
+        // |4-0| + |4-1| + |8-0| + |5-0| = 20
+        assert_eq!(a.manhattan(&c), 20);
+    }
+
+    #[test]
+    fn state_at_rejects_out_of_bounds() {
+        let s = space();
+        assert!(s
+            .state_at(&StateIndex {
+                cb: -1,
+                cl: 2,
+                kb: 0,
+                kl: 0
+            })
+            .is_none());
+        assert!(s
+            .state_at(&StateIndex {
+                cb: 0,
+                cl: 0,
+                kb: 0,
+                kl: 0
+            })
+            .is_none());
+        assert!(s
+            .state_at(&StateIndex {
+                cb: 1,
+                cl: 1,
+                kb: 9,
+                kl: 0
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn max_state_is_baseline() {
+        let s = space();
+        let m = s.max_state();
+        assert_eq!(m, st(4, 4, 1600, 1300));
+        assert!(s.contains(&m));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let txt = st(2, 3, 1000, 900).to_string();
+        assert!(txt.contains("2B"));
+        assert!(txt.contains("3L"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The static-optimal (SO) baseline (Section 5.1.1).
+//!
+//! The paper's SO version "runs with the optimal number of cores and
+//! frequency level determined by the offline simulations ... that sweep
+//! all available system states and estimate the performance/watt", then
+//! executes under the stock Linux HMP scheduler. Two sweep flavors are
+//! provided:
+//!
+//! * [`estimator_sweep`] — rank all states with HARS's own estimators
+//!   (cheap, but inherits their modeling errors);
+//! * [`oracle_sweep`] — measure each state with a caller-supplied
+//!   evaluation (e.g. a short simulation run) and keep the best; this is
+//!   the offline-profiling interpretation and is what the evaluation
+//!   harness uses.
+
+use heartbeats::PerfTarget;
+
+use crate::perf_est::PerfEstimator;
+use crate::power_est::PowerEstimator;
+use crate::search::{evaluate_state, CandidateEval};
+use crate::state::{StateSpace, SystemState};
+
+/// Result of a static-optimal sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticOptimal {
+    /// The chosen state.
+    pub state: SystemState,
+    /// Its score: estimator evaluation (estimator sweep) or the measured
+    /// objective (oracle sweep, packed into `perf_per_watt`).
+    pub eval: CandidateEval,
+    /// States considered.
+    pub considered: usize,
+}
+
+/// Offline full-space sweep with HARS's estimators, anchored on a
+/// reference observation (a baseline run's rate under `reference_state`).
+/// Ranking follows Algorithm 2's satisfaction-first ordering.
+pub fn estimator_sweep(
+    space: &StateSpace,
+    target: &PerfTarget,
+    reference_rate: f64,
+    reference_state: &SystemState,
+    threads: usize,
+    perf: &PerfEstimator,
+    power: &PowerEstimator,
+) -> StaticOptimal {
+    let mut best: Option<(SystemState, CandidateEval)> = None;
+    let mut considered = 0;
+    for cand in space.iter_all() {
+        let eval = evaluate_state(
+            &cand,
+            reference_rate,
+            threads,
+            reference_state,
+            target,
+            perf,
+            power,
+        );
+        considered += 1;
+        let replace = match &best {
+            None => true,
+            Some((_, b)) => match (eval.satisfies, b.satisfies) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => eval.perf_per_watt > b.perf_per_watt,
+                (false, false) => eval.est_rate > b.est_rate,
+            },
+        };
+        if replace {
+            best = Some((cand, eval));
+        }
+    }
+    let (state, eval) = best.expect("state space is never empty");
+    StaticOptimal {
+        state,
+        eval,
+        considered,
+    }
+}
+
+/// Offline oracle sweep: `measure` returns the *measured*
+/// `(normalized perf, perf/watt)` of a state (typically from a short
+/// simulation); the best measured perf/watt among target-satisfying
+/// states wins, falling back to the highest normalized performance when
+/// nothing satisfies.
+///
+/// `satisfy_threshold` is the normalized-performance level treated as
+/// "achieves the target" (1.0 − tolerance; the paper's ±5% band maps to
+/// ~0.9 with `g = t.avg`).
+pub fn oracle_sweep<F>(
+    space: &StateSpace,
+    satisfy_threshold: f64,
+    mut measure: F,
+) -> StaticOptimal
+where
+    F: FnMut(&SystemState) -> (f64, f64),
+{
+    let mut best: Option<(SystemState, f64, f64, bool)> = None;
+    let mut considered = 0;
+    for cand in space.iter_all() {
+        let (norm_perf, pp) = measure(&cand);
+        considered += 1;
+        let satisfies = norm_perf >= satisfy_threshold;
+        let replace = match &best {
+            None => true,
+            Some((_, b_np, b_pp, b_sat)) => match (satisfies, *b_sat) {
+                (true, false) => true,
+                (false, true) => false,
+                (true, true) => pp > *b_pp,
+                (false, false) => norm_perf > *b_np,
+            },
+        };
+        if replace {
+            best = Some((cand, norm_perf, pp, satisfies));
+        }
+    }
+    let (state, norm_perf, pp, satisfies) = best.expect("state space is never empty");
+    StaticOptimal {
+        state,
+        eval: CandidateEval {
+            est_rate: norm_perf,
+            est_watts: if pp > 0.0 { norm_perf / pp } else { 0.0 },
+            perf_per_watt: pp,
+            satisfies,
+        },
+        considered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_est::LinearCoeff;
+    use hmp_sim::{BoardSpec, FreqKhz, FreqLadder};
+
+    fn space() -> StateSpace {
+        StateSpace::from_board(&BoardSpec::odroid_xu3())
+    }
+
+    fn perf() -> PerfEstimator {
+        PerfEstimator::paper_default(FreqKhz::from_mhz(1_000))
+    }
+
+    fn power() -> PowerEstimator {
+        let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+        let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+        let little = (0..little_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.10 + 0.015 * i as f64,
+                beta: 0.10,
+            })
+            .collect();
+        let big = (0..big_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.45 + 0.11 * i as f64,
+                beta: 0.55,
+            })
+            .collect();
+        PowerEstimator::new(little_ladder, big_ladder, little, big)
+    }
+
+    #[test]
+    fn estimator_sweep_covers_whole_space_and_satisfies() {
+        let sp = space();
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let so = estimator_sweep(
+            &sp,
+            &target,
+            30.0,
+            &sp.max_state(),
+            8,
+            &perf(),
+            &power(),
+        );
+        assert_eq!(so.considered, sp.len());
+        assert!(so.eval.satisfies, "a reachable target must be satisfied");
+        // The chosen state must be cheaper than the baseline max state.
+        assert!(so.state != sp.max_state());
+    }
+
+    #[test]
+    fn estimator_sweep_unreachable_target_maximizes_perf() {
+        let sp = space();
+        let target = PerfTarget::new(900.0, 1100.0).unwrap();
+        let so = estimator_sweep(
+            &sp,
+            &target,
+            30.0,
+            &sp.max_state(),
+            8,
+            &perf(),
+            &power(),
+        );
+        assert!(!so.eval.satisfies);
+        // Nothing satisfies, so SO maximizes estimated performance. Note
+        // several states tie for the maximum rate (the barrier time is
+        // bound by one dedicated little-core thread in each), so compare
+        // rates, not states.
+        let max_eval = evaluate_state(
+            &sp.max_state(),
+            30.0,
+            8,
+            &sp.max_state(),
+            &target,
+            &perf(),
+            &power(),
+        );
+        assert!(so.eval.est_rate >= max_eval.est_rate - 1e-9);
+    }
+
+    #[test]
+    fn oracle_sweep_picks_measured_best() {
+        let sp = space();
+        // Fake oracle: pp is maximized by exactly one known state.
+        let favorite = SystemState {
+            big_cores: 1,
+            little_cores: 3,
+            big_freq: FreqKhz::from_mhz(1_000),
+            little_freq: FreqKhz::from_mhz(1_100),
+        };
+        let so = oracle_sweep(&sp, 0.9, |s| {
+            if *s == favorite {
+                (1.0, 5.0)
+            } else {
+                (1.0, 1.0)
+            }
+        });
+        assert_eq!(so.state, favorite);
+        assert_eq!(so.considered, sp.len());
+    }
+
+    #[test]
+    fn oracle_sweep_prefers_satisfying_states() {
+        let sp = space();
+        // States with more than 2 total cores "satisfy"; among them pp
+        // favors small states. A non-satisfying state has huge pp.
+        let so = oracle_sweep(&sp, 0.9, |s| {
+            if s.total_cores() > 2 {
+                (1.0, 1.0 / s.total_cores() as f64)
+            } else {
+                (0.5, 100.0)
+            }
+        });
+        assert!(so.eval.satisfies);
+        assert_eq!(so.state.total_cores(), 3);
+    }
+}

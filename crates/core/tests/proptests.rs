@@ -1,0 +1,246 @@
+//! Property-based tests for the HARS core algorithms.
+
+use heartbeats::PerfTarget;
+use proptest::prelude::*;
+
+use hars_core::power_est::LinearCoeff;
+use hars_core::search::{get_next_sys_state, SearchConstraints, SearchParams};
+use hars_core::{assign_threads, PerfEstimator, PowerEstimator, StateSpace, SystemState};
+use hmp_sim::{BoardSpec, FreqKhz, FreqLadder};
+
+fn test_power() -> PowerEstimator {
+    let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+    let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+    let little = (0..little_ladder.len())
+        .map(|i| LinearCoeff {
+            alpha: 0.10 + 0.015 * i as f64,
+            beta: 0.10,
+        })
+        .collect();
+    let big = (0..big_ladder.len())
+        .map(|i| LinearCoeff {
+            alpha: 0.45 + 0.11 * i as f64,
+            beta: 0.55,
+        })
+        .collect();
+    PowerEstimator::new(little_ladder, big_ladder, little, big)
+}
+
+/// Brute-force reference: the best `t_f` over all `(T_B, T_L)` splits.
+fn brute_force_tf(threads: usize, cb: usize, cl: usize, r: f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for tb in 0..=threads {
+        let tl = threads - tb;
+        if (tb > 0 && cb == 0) || (tl > 0 && cl == 0) {
+            continue;
+        }
+        let t_big = if tb == 0 {
+            0.0
+        } else {
+            let used = tb.min(cb);
+            tb as f64 / (threads as f64 * used as f64 * r)
+        };
+        let t_little = if tl == 0 {
+            0.0
+        } else {
+            let used = tl.min(cl);
+            tl as f64 / (threads as f64 * used as f64)
+        };
+        best = best.min(t_big.max(t_little));
+    }
+    best
+}
+
+/// `t_f` of a concrete assignment in the same units.
+fn tf_of(a: &hars_core::ThreadAssignment, threads: usize, r: f64) -> f64 {
+    let t_big = if a.big_threads == 0 {
+        0.0
+    } else {
+        a.big_threads as f64 / (threads as f64 * a.used_big as f64 * r)
+    };
+    let t_little = if a.little_threads == 0 {
+        0.0
+    } else {
+        a.little_threads as f64 / (threads as f64 * a.used_little as f64)
+    };
+    t_big.max(t_little)
+}
+
+proptest! {
+    /// Table 3.1 invariants: conservation, bounds, non-empty usage.
+    #[test]
+    fn assignment_invariants(
+        threads in 1usize..64,
+        cb in 0usize..=4,
+        cl in 0usize..=4,
+        r in 0.3f64..4.0,
+    ) {
+        prop_assume!(cb + cl > 0);
+        let a = assign_threads(threads, cb, cl, r);
+        prop_assert_eq!(a.total_threads(), threads);
+        prop_assert!(a.used_big <= cb);
+        prop_assert!(a.used_little <= cl);
+        prop_assert!(a.used_big <= a.big_threads);
+        prop_assert!(a.used_little <= a.little_threads);
+        prop_assert_eq!(a.used_big == 0, a.big_threads == 0);
+        prop_assert_eq!(a.used_little == 0, a.little_threads == 0);
+    }
+
+    /// Table 3.1 near-optimality. The paper's closed form rounds the
+    /// saturated-regime split with a ceiling (`T_B = ⌈r·C_B/(r·C_B+C_L)
+    /// ·T⌉`), which costs up to one thread's worth of big-cluster time
+    /// against the true optimum — a relative penalty bounded by ~1/T_B
+    /// ≤ (r·C_B+C_L)/(r·C_B) / T. We assert the implementation stays
+    /// inside that analytic envelope (and therefore converges to the
+    /// optimum as T grows).
+    #[test]
+    fn assignment_near_optimal(
+        threads in 1usize..128,
+        cb in 1usize..=4,
+        cl in 1usize..=4,
+        r in 1.0f64..3.0,
+    ) {
+        let a = assign_threads(threads, cb, cl, r);
+        let got = tf_of(&a, threads, r);
+        let best = brute_force_tf(threads, cb, cl, r);
+        let rounding_margin = 1.0
+            + (r * cb as f64 + cl as f64) / (r * cb as f64) / threads as f64;
+        prop_assert!(
+            got <= best * rounding_margin + 1e-12,
+            "assignment t_f {} vs brute force {} (margin {}) for T={} C=({},{}) r={}",
+            got, best, rounding_margin, threads, cb, cl, r
+        );
+    }
+
+    /// The search result is always valid, within the distance cap, and
+    /// never worse than the current state under its own objective.
+    #[test]
+    fn search_respects_bounds(
+        cb in 0usize..=4,
+        cl in 0usize..=4,
+        kb in 0usize..9,
+        kl in 0usize..6,
+        rate in 1.0f64..50.0,
+        target_center in 1.0f64..40.0,
+        m in 0i64..5,
+        n in 0i64..5,
+        d in 1i64..10,
+    ) {
+        prop_assume!(cb + cl > 0);
+        let board = BoardSpec::odroid_xu3();
+        let space = StateSpace::from_board(&board);
+        let cur = SystemState {
+            big_cores: cb,
+            little_cores: cl,
+            big_freq: board.big_ladder.level(kb).unwrap(),
+            little_freq: board.little_ladder.level(kl).unwrap(),
+        };
+        let target = PerfTarget::from_center(target_center, 0.1).unwrap();
+        let perf = PerfEstimator::paper_default(FreqKhz::from_mhz(1_000));
+        let out = get_next_sys_state(
+            &space,
+            &cur,
+            rate,
+            8,
+            &target,
+            SearchParams::new(m, n, d),
+            &SearchConstraints::unrestricted(&space),
+            &perf,
+            &test_power(),
+        );
+        prop_assert!(space.contains(&out.state));
+        let dist = space
+            .index_of(&out.state)
+            .unwrap()
+            .manhattan(&space.index_of(&cur).unwrap());
+        prop_assert!(dist <= d, "distance {} > cap {}", dist, d);
+        prop_assert!(out.explored >= 1);
+    }
+
+    /// Estimated rates are monotone in capacity: adding big cores at
+    /// fixed frequency never lowers the estimate.
+    #[test]
+    fn estimate_monotone_in_big_cores(
+        rate in 1.0f64..100.0,
+        kb in 0usize..9,
+        kl in 0usize..6,
+        threads in 1usize..32,
+    ) {
+        let board = BoardSpec::odroid_xu3();
+        let perf = PerfEstimator::paper_default(board.base_freq);
+        let fb = board.big_ladder.level(kb).unwrap();
+        let fl = board.little_ladder.level(kl).unwrap();
+        let cur = SystemState {
+            big_cores: 1,
+            little_cores: 1,
+            big_freq: fb,
+            little_freq: fl,
+        };
+        let mut prev = 0.0;
+        for cb in 1..=4usize {
+            let cand = SystemState {
+                big_cores: cb,
+                little_cores: 1,
+                big_freq: fb,
+                little_freq: fl,
+            };
+            let est = perf.estimate_rate(rate, threads, &cur, &cand);
+            prop_assert!(est >= prev - 1e-9, "rate dropped at cb={}", cb);
+            prev = est;
+        }
+    }
+
+    /// Power estimates are non-negative and monotone in utilization.
+    #[test]
+    fn power_monotone_in_utilization(
+        cb in 0usize..=4,
+        cl in 0usize..=4,
+        kb in 0usize..9,
+        kl in 0usize..6,
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+    ) {
+        prop_assume!(cb + cl > 0);
+        let board = BoardSpec::odroid_xu3();
+        let power = test_power();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let fb = board.big_ladder.level(kb).unwrap();
+        let fl = board.little_ladder.level(kl).unwrap();
+        let p = |u: f64| {
+            power.cluster_watts(hmp_sim::Cluster::Big, fb, cb, u)
+                + power.cluster_watts(hmp_sim::Cluster::Little, fl, cl, u)
+        };
+        prop_assert!(p(lo) >= 0.0);
+        prop_assert!(p(hi) >= p(lo) - 1e-12);
+    }
+
+    /// Normalized performance is in [0, 1] and capped at the target.
+    #[test]
+    fn normalized_perf_bounds(center in 0.1f64..1000.0, rate in 0.0f64..10_000.0) {
+        let t = PerfTarget::from_center(center, 0.1).unwrap();
+        let np = hars_core::metrics::normalized_performance(&t, rate);
+        prop_assert!((0.0..=1.0).contains(&np));
+        if rate >= center {
+            prop_assert!((np - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Least-squares recovery: fitting noiseless samples of any line
+    /// recovers its coefficients.
+    #[test]
+    fn linreg_recovers_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..50,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = i as f64 * 0.5;
+                (x, slope * x + intercept)
+            })
+            .collect();
+        let (a, b) = hars_core::linreg::fit_line(&pts).unwrap();
+        prop_assert!((a - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((b - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+    }
+}

@@ -1,0 +1,297 @@
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{HeartbeatError, HeartbeatRate, HeartbeatRecord, PerfTarget, RateWindow};
+
+/// Monitors the heartbeats of one application: accepts emissions, tracks
+/// the sliding-window rate, and classifies it against an optional
+/// [`PerfTarget`].
+///
+/// This is the observation half of the self-adaptive loop. In HARS the
+/// runtime manager polls [`HeartbeatMonitor::window_rate`] at each
+/// adaptation period.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    window: RateWindow,
+    target: Option<PerfTarget>,
+    total: u64,
+    first_ns: Option<u64>,
+    last_ns: Option<u64>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor with a rate window of `window` heartbeats and no
+    /// target band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2` (see [`RateWindow::new`]).
+    pub fn new(window: usize) -> Self {
+        Self {
+            window: RateWindow::new(window),
+            target: None,
+            total: 0,
+            first_ns: None,
+            last_ns: None,
+        }
+    }
+
+    /// Creates a monitor with a target band attached.
+    pub fn with_target(target: PerfTarget, window: usize) -> Self {
+        let mut m = Self::new(window);
+        m.target = Some(target);
+        m
+    }
+
+    /// Sets or replaces the target band.
+    pub fn set_target(&mut self, target: PerfTarget) {
+        self.target = Some(target);
+    }
+
+    /// The registered target band, if any.
+    pub fn target(&self) -> Option<&PerfTarget> {
+        self.target.as_ref()
+    }
+
+    /// Emits a heartbeat at `timestamp_ns`, assigning the next index.
+    ///
+    /// Returns the recorded heartbeat. Out-of-order timestamps are
+    /// clamped forward to the previous timestamp (a real framework
+    /// serializes emissions; under a virtual clock this cannot happen and
+    /// is checked in debug builds).
+    pub fn emit(&mut self, timestamp_ns: u64) -> HeartbeatRecord {
+        let ts = match self.last_ns {
+            Some(prev) => {
+                debug_assert!(timestamp_ns >= prev, "heartbeat time went backwards");
+                timestamp_ns.max(prev)
+            }
+            None => timestamp_ns,
+        };
+        let record = HeartbeatRecord::new(self.total, ts);
+        self.window.push(record);
+        self.total += 1;
+        self.first_ns.get_or_insert(ts);
+        self.last_ns = Some(ts);
+        record
+    }
+
+    /// Strict emission that rejects time going backwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeartbeatError::NonMonotonicTime`] when `timestamp_ns`
+    /// precedes the previous heartbeat.
+    pub fn try_emit(&mut self, timestamp_ns: u64) -> Result<HeartbeatRecord, HeartbeatError> {
+        if let Some(prev) = self.last_ns {
+            if timestamp_ns < prev {
+                return Err(HeartbeatError::NonMonotonicTime {
+                    previous_ns: prev,
+                    offered_ns: timestamp_ns,
+                });
+            }
+        }
+        Ok(self.emit(timestamp_ns))
+    }
+
+    /// Total number of heartbeats ever emitted.
+    pub fn total_heartbeats(&self) -> u64 {
+        self.total
+    }
+
+    /// Index of the most recent heartbeat, or `None` before the first.
+    pub fn latest_index(&self) -> Option<u64> {
+        self.window.latest().map(|r| r.index())
+    }
+
+    /// Timestamp of the most recent heartbeat.
+    pub fn latest_timestamp_ns(&self) -> Option<u64> {
+        self.last_ns
+    }
+
+    /// The sliding-window heartbeat rate (the paper's `hb.rate`).
+    pub fn window_rate(&self) -> Option<HeartbeatRate> {
+        self.window.rate()
+    }
+
+    /// The rate over the whole run (first to last heartbeat).
+    pub fn global_rate(&self) -> Option<HeartbeatRate> {
+        let first = self.first_ns?;
+        let last = self.last_ns?;
+        if self.total < 2 {
+            return None;
+        }
+        HeartbeatRate::from_span(self.total - 1, last.checked_sub(first)?)
+    }
+
+    /// `true` when the window rate violates the target band (Algorithm 1
+    /// line 7). `false` when no target or no rate is available yet.
+    pub fn needs_adaptation(&self) -> bool {
+        match (self.target, self.window_rate()) {
+            (Some(t), Some(r)) => t.needs_adaptation(r.heartbeats_per_sec()),
+            _ => false,
+        }
+    }
+
+    /// Resets the rate window (e.g. after a drastic system-state change)
+    /// while keeping the total count and target.
+    pub fn reset_window(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// A cheaply clonable, thread-safe handle to a [`HeartbeatMonitor`].
+///
+/// Applications (possibly running on other threads) emit through one
+/// clone while the runtime manager observes through another — mirroring
+/// the shared-memory channel of the original framework.
+///
+/// ```
+/// use heartbeats::SharedMonitor;
+/// let shared = SharedMonitor::new(8);
+/// let emitter = shared.clone();
+/// emitter.emit(0);
+/// emitter.emit(1_000_000_000);
+/// assert_eq!(shared.total_heartbeats(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedMonitor {
+    inner: Arc<Mutex<HeartbeatMonitor>>,
+}
+
+impl SharedMonitor {
+    /// Creates a shared monitor with the given window size.
+    pub fn new(window: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(HeartbeatMonitor::new(window))),
+        }
+    }
+
+    /// Creates a shared monitor with a target band.
+    pub fn with_target(target: PerfTarget, window: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(HeartbeatMonitor::with_target(target, window))),
+        }
+    }
+
+    /// Emits a heartbeat (see [`HeartbeatMonitor::emit`]).
+    pub fn emit(&self, timestamp_ns: u64) -> HeartbeatRecord {
+        self.inner.lock().emit(timestamp_ns)
+    }
+
+    /// Sets the target band.
+    pub fn set_target(&self, target: PerfTarget) {
+        self.inner.lock().set_target(target);
+    }
+
+    /// The current target band, if set.
+    pub fn target(&self) -> Option<PerfTarget> {
+        self.inner.lock().target().copied()
+    }
+
+    /// Total heartbeats emitted so far.
+    pub fn total_heartbeats(&self) -> u64 {
+        self.inner.lock().total_heartbeats()
+    }
+
+    /// Index of the latest heartbeat.
+    pub fn latest_index(&self) -> Option<u64> {
+        self.inner.lock().latest_index()
+    }
+
+    /// Sliding-window rate.
+    pub fn window_rate(&self) -> Option<HeartbeatRate> {
+        self.inner.lock().window_rate()
+    }
+
+    /// Whole-run rate.
+    pub fn global_rate(&self) -> Option<HeartbeatRate> {
+        self.inner.lock().global_rate()
+    }
+
+    /// Whether the current rate violates the target band.
+    pub fn needs_adaptation(&self) -> bool {
+        self.inner.lock().needs_adaptation()
+    }
+
+    /// Runs `f` with exclusive access to the underlying monitor.
+    pub fn with_monitor<R>(&self, f: impl FnOnce(&mut HeartbeatMonitor) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_assigns_sequential_indices() {
+        let mut m = HeartbeatMonitor::new(4);
+        assert_eq!(m.emit(0).index(), 0);
+        assert_eq!(m.emit(10).index(), 1);
+        assert_eq!(m.emit(20).index(), 2);
+        assert_eq!(m.total_heartbeats(), 3);
+        assert_eq!(m.latest_index(), Some(2));
+    }
+
+    #[test]
+    fn try_emit_rejects_backwards_time() {
+        let mut m = HeartbeatMonitor::new(4);
+        m.try_emit(100).unwrap();
+        let err = m.try_emit(50).unwrap_err();
+        assert!(matches!(err, HeartbeatError::NonMonotonicTime { .. }));
+    }
+
+    #[test]
+    fn window_and_global_rates_agree_for_steady_beat() {
+        let mut m = HeartbeatMonitor::new(8);
+        for i in 0..20u64 {
+            m.emit(i * 250_000_000); // 4 hb/s
+        }
+        let w = m.window_rate().unwrap().heartbeats_per_sec();
+        let g = m.global_rate().unwrap().heartbeats_per_sec();
+        assert!((w - 4.0).abs() < 1e-9);
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_adaptation_tracks_target() {
+        let target = PerfTarget::new(3.5, 4.5).unwrap();
+        let mut m = HeartbeatMonitor::with_target(target, 4);
+        for i in 0..8u64 {
+            m.emit(i * 250_000_000); // 4 hb/s, inside band
+        }
+        assert!(!m.needs_adaptation());
+        // Slow down to 1 hb/s; window fills with slow intervals.
+        let mut t = 8 * 250_000_000;
+        for _ in 0..8u64 {
+            t += 1_000_000_000;
+            m.emit(t);
+        }
+        assert!(m.needs_adaptation());
+    }
+
+    #[test]
+    fn shared_monitor_is_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedMonitor>();
+        let s = SharedMonitor::new(4);
+        let c = s.clone();
+        c.emit(0);
+        c.emit(500_000_000);
+        assert_eq!(s.total_heartbeats(), 2);
+        assert!(s.window_rate().is_some());
+    }
+
+    #[test]
+    fn reset_window_keeps_totals() {
+        let mut m = HeartbeatMonitor::new(4);
+        m.emit(0);
+        m.emit(100);
+        m.reset_window();
+        assert_eq!(m.total_heartbeats(), 2);
+        assert!(m.window_rate().is_none());
+        // New beats still get increasing indices.
+        assert_eq!(m.emit(200).index(), 2);
+    }
+}

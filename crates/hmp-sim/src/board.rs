@@ -1,0 +1,337 @@
+//! Board descriptions: cluster topology, DVFS ladders, voltage tables and
+//! ground-truth power coefficients.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpuset::{CoreId, CpuSet};
+use crate::freq::{FreqKhz, FreqLadder};
+
+/// The two core types of a big.LITTLE system.
+///
+/// HARS assumes a two-cluster HMP system (the paper notes the design
+/// generalizes to more); the simulator follows suit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cluster {
+    /// The slow, power-efficient cluster (Cortex-A7 on the Exynos 5422).
+    Little,
+    /// The fast, power-hungry cluster (Cortex-A15).
+    Big,
+}
+
+impl Cluster {
+    /// Both clusters, little first (matching core numbering).
+    pub const ALL: [Cluster; 2] = [Cluster::Little, Cluster::Big];
+
+    /// Index used for per-cluster arrays: little = 0, big = 1.
+    pub fn index(self) -> usize {
+        match self {
+            Cluster::Little => 0,
+            Cluster::Big => 1,
+        }
+    }
+
+    /// The other cluster.
+    #[must_use]
+    pub fn other(self) -> Cluster {
+        match self {
+            Cluster::Little => Cluster::Big,
+            Cluster::Big => Cluster::Little,
+        }
+    }
+
+    /// Short lowercase name ("little" / "big").
+    pub fn name(self) -> &'static str {
+        match self {
+            Cluster::Little => "little",
+            Cluster::Big => "big",
+        }
+    }
+}
+
+impl std::fmt::Display for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ground-truth power coefficients for one cluster.
+///
+/// The simulator's *true* power model (what the board's power sensor
+/// measures) is deliberately nonlinear in frequency, unlike the linear
+/// model HARS fits — reproducing the estimation-error structure of the
+/// real system:
+///
+/// ```text
+/// P_cluster = Σ_busy κ·V(f)²·f_GHz  (dynamic, per busy core)
+///           + n_online · σ·V(f)     (leakage, per online core)
+///           + υ·V(f)²·f_GHz + χ     (uncore, when the cluster is active)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPowerModel {
+    /// Dynamic switching coefficient κ (W per V²·GHz per busy core).
+    pub kappa: f64,
+    /// Leakage coefficient σ (W per volt per online core).
+    pub sigma: f64,
+    /// Uncore dynamic coefficient υ (W per V²·GHz).
+    pub upsilon: f64,
+    /// Uncore constant χ (W).
+    pub chi: f64,
+    /// Voltage at the lowest ladder level (V).
+    pub volt_lo: f64,
+    /// Voltage at the highest ladder level (V).
+    pub volt_hi: f64,
+}
+
+impl ClusterPowerModel {
+    /// Operating voltage at frequency `f`, linearly interpolated across
+    /// the ladder span (clamped at the ends).
+    pub fn voltage(&self, f: FreqKhz, ladder: &FreqLadder) -> f64 {
+        let lo = ladder.min().ghz();
+        let hi = ladder.max().ghz();
+        if hi <= lo {
+            return self.volt_lo;
+        }
+        let t = ((f.ghz() - lo) / (hi - lo)).clamp(0.0, 1.0);
+        self.volt_lo + t * (self.volt_hi - self.volt_lo)
+    }
+}
+
+/// A complete HMP board description.
+///
+/// Use [`BoardSpec::odroid_xu3`] for the paper's evaluation platform or
+/// the fields directly for custom topologies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardSpec {
+    /// Human-readable board name.
+    pub name: String,
+    /// Number of little cores (numbered `0..n_little`).
+    pub n_little: usize,
+    /// Number of big cores (numbered `n_little..n_little+n_big`).
+    pub n_big: usize,
+    /// DVFS ladder of the little cluster.
+    pub little_ladder: FreqLadder,
+    /// DVFS ladder of the big cluster.
+    pub big_ladder: FreqLadder,
+    /// Ground-truth power model of the little cluster.
+    pub little_power: ClusterPowerModel,
+    /// Ground-truth power model of the big cluster.
+    pub big_power: ClusterPowerModel,
+    /// Baseline frequency `f0` for performance ratios (the paper uses the
+    /// common 1.0 GHz point of both ladders).
+    pub base_freq: FreqKhz,
+    /// Work units per second executed by one little core at `base_freq`
+    /// by a fully compute-bound thread. Sets the absolute time scale.
+    pub little_units_per_sec: f64,
+    /// Power sensor sampling period in nanoseconds (the XU3's INA231
+    /// setup samples every 263,808 µs).
+    pub sensor_period_ns: u64,
+}
+
+impl BoardSpec {
+    /// The ODROID-XU3 (Samsung Exynos 5422): 4×Cortex-A15 at
+    /// 0.8–1.6 GHz + 4×Cortex-A7 at 0.8–1.3 GHz, per-cluster DVFS,
+    /// on-board power sensors sampling every 263,808 µs.
+    ///
+    /// Power coefficients are chosen so the full-load envelope matches
+    /// published XU3 measurements (big cluster ≈ 6 W at 1.6 GHz, little
+    /// cluster ≈ 0.7 W at 1.3 GHz).
+    pub fn odroid_xu3() -> Self {
+        Self {
+            name: "ODROID-XU3 (Exynos 5422)".to_string(),
+            n_little: 4,
+            n_big: 4,
+            little_ladder: FreqLadder::from_mhz_range(800, 1_300, 100),
+            big_ladder: FreqLadder::from_mhz_range(800, 1_600, 100),
+            little_power: ClusterPowerModel {
+                kappa: 0.100,
+                sigma: 0.020,
+                upsilon: 0.012,
+                chi: 0.012,
+                volt_lo: 1.00,
+                volt_hi: 1.10,
+            },
+            big_power: ClusterPowerModel {
+                kappa: 0.650,
+                sigma: 0.150,
+                upsilon: 0.080,
+                chi: 0.050,
+                volt_lo: 0.90,
+                volt_hi: 1.13,
+            },
+            base_freq: FreqKhz::from_mhz(1_000),
+            little_units_per_sec: 1_000.0,
+            sensor_period_ns: 263_808_000,
+        }
+    }
+
+    /// A phone-class SoC with an asymmetric split: 2 big cores
+    /// (0.8–2.0 GHz) + 4 little cores (0.6–1.4 GHz). Exercises every
+    /// code path that must not assume the XU3's 4+4 symmetry (state
+    /// spaces, Table 3.1, partitioning).
+    pub fn phone_2big_4little() -> Self {
+        Self {
+            name: "phone-class 2+4 SoC".to_string(),
+            n_little: 4,
+            n_big: 2,
+            little_ladder: FreqLadder::from_mhz_range(600, 1_400, 200),
+            big_ladder: FreqLadder::from_mhz_range(800, 2_000, 200),
+            little_power: ClusterPowerModel {
+                kappa: 0.080,
+                sigma: 0.015,
+                upsilon: 0.010,
+                chi: 0.010,
+                volt_lo: 0.95,
+                volt_hi: 1.05,
+            },
+            big_power: ClusterPowerModel {
+                kappa: 0.700,
+                sigma: 0.180,
+                upsilon: 0.090,
+                chi: 0.060,
+                volt_lo: 0.85,
+                volt_hi: 1.20,
+            },
+            base_freq: FreqKhz::from_mhz(1_000),
+            little_units_per_sec: 1_000.0,
+            sensor_period_ns: 100_000_000,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.n_little + self.n_big
+    }
+
+    /// The cluster a core belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for this board.
+    pub fn cluster_of(&self, core: CoreId) -> Cluster {
+        assert!(core.0 < self.n_cores(), "core {core} out of range");
+        if core.0 < self.n_little {
+            Cluster::Little
+        } else {
+            Cluster::Big
+        }
+    }
+
+    /// Number of cores in `cluster`.
+    pub fn cluster_size(&self, cluster: Cluster) -> usize {
+        match cluster {
+            Cluster::Little => self.n_little,
+            Cluster::Big => self.n_big,
+        }
+    }
+
+    /// The cores of `cluster` as a set.
+    pub fn cluster_cores(&self, cluster: Cluster) -> CpuSet {
+        match cluster {
+            Cluster::Little => CpuSet::from_range(0..self.n_little),
+            Cluster::Big => CpuSet::from_range(self.n_little..self.n_cores()),
+        }
+    }
+
+    /// All cores of the board as a set.
+    pub fn all_cores(&self) -> CpuSet {
+        CpuSet::first_n(self.n_cores())
+    }
+
+    /// The DVFS ladder of `cluster`.
+    pub fn ladder(&self, cluster: Cluster) -> &FreqLadder {
+        match cluster {
+            Cluster::Little => &self.little_ladder,
+            Cluster::Big => &self.big_ladder,
+        }
+    }
+
+    /// The ground-truth power model of `cluster`.
+    pub fn power_model(&self, cluster: Cluster) -> &ClusterPowerModel {
+        match cluster {
+            Cluster::Little => &self.little_power,
+            Cluster::Big => &self.big_power,
+        }
+    }
+
+    /// First core id of `cluster` (the paper's `bigStartIndex` for the
+    /// big cluster).
+    pub fn cluster_start(&self, cluster: Cluster) -> CoreId {
+        match cluster {
+            Cluster::Little => CoreId(0),
+            Cluster::Big => CoreId(self.n_little),
+        }
+    }
+}
+
+impl Default for BoardSpec {
+    fn default() -> Self {
+        Self::odroid_xu3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xu3_topology() {
+        let b = BoardSpec::odroid_xu3();
+        assert_eq!(b.n_cores(), 8);
+        assert_eq!(b.cluster_of(CoreId(0)), Cluster::Little);
+        assert_eq!(b.cluster_of(CoreId(3)), Cluster::Little);
+        assert_eq!(b.cluster_of(CoreId(4)), Cluster::Big);
+        assert_eq!(b.cluster_of(CoreId(7)), Cluster::Big);
+        assert_eq!(b.cluster_start(Cluster::Big), CoreId(4));
+        assert_eq!(b.ladder(Cluster::Big).len(), 9);
+        assert_eq!(b.ladder(Cluster::Little).len(), 6);
+    }
+
+    #[test]
+    fn cluster_sets_partition_the_board() {
+        let b = BoardSpec::odroid_xu3();
+        let little = b.cluster_cores(Cluster::Little);
+        let big = b.cluster_cores(Cluster::Big);
+        assert!(little.is_disjoint(big));
+        assert_eq!(little.union(big), b.all_cores());
+    }
+
+    #[test]
+    fn voltage_interpolation_clamps() {
+        let b = BoardSpec::odroid_xu3();
+        let pm = b.power_model(Cluster::Big);
+        let ladder = b.ladder(Cluster::Big);
+        let v_lo = pm.voltage(FreqKhz::from_mhz(800), ladder);
+        let v_hi = pm.voltage(FreqKhz::from_mhz(1600), ladder);
+        assert!((v_lo - pm.volt_lo).abs() < 1e-12);
+        assert!((v_hi - pm.volt_hi).abs() < 1e-12);
+        let v_mid = pm.voltage(FreqKhz::from_mhz(1200), ladder);
+        assert!(v_lo < v_mid && v_mid < v_hi);
+        // Out-of-range frequencies clamp.
+        assert!((pm.voltage(FreqKhz::from_mhz(100), ladder) - pm.volt_lo).abs() < 1e-12);
+        assert!((pm.voltage(FreqKhz::from_mhz(9000), ladder) - pm.volt_hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_helpers() {
+        assert_eq!(Cluster::Little.other(), Cluster::Big);
+        assert_eq!(Cluster::Big.index(), 1);
+        assert_eq!(Cluster::Little.to_string(), "little");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cluster_of_out_of_range_panics() {
+        BoardSpec::odroid_xu3().cluster_of(CoreId(8));
+    }
+
+    #[test]
+    fn phone_preset_is_asymmetric() {
+        let b = BoardSpec::phone_2big_4little();
+        assert_eq!(b.n_cores(), 6);
+        assert_eq!(b.cluster_size(Cluster::Big), 2);
+        assert_eq!(b.cluster_of(CoreId(3)), Cluster::Little);
+        assert_eq!(b.cluster_of(CoreId(4)), Cluster::Big);
+        assert_eq!(b.cluster_start(Cluster::Big), CoreId(4));
+        assert!(b.cluster_cores(Cluster::Big).is_disjoint(b.cluster_cores(Cluster::Little)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Virtual time base of the simulator.
+//!
+//! All simulator time is `u64` nanoseconds from simulation start. This
+//! module provides the conversion helpers used throughout the crate so
+//! unit mistakes stay in one place.
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// Converts a nanosecond count to fractional seconds.
+///
+/// ```
+/// assert!((hmp_sim::clock::ns_to_secs(1_500_000_000) - 1.5).abs() < 1e-12);
+/// ```
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / NS_PER_SEC as f64
+}
+
+/// Converts fractional seconds to nanoseconds (saturating at `u64::MAX`,
+/// truncating fractions below 1 ns).
+///
+/// ```
+/// assert_eq!(hmp_sim::clock::secs_to_ns(0.25), 250_000_000);
+/// ```
+pub fn secs_to_ns(secs: f64) -> u64 {
+    debug_assert!(secs >= 0.0, "negative duration");
+    let ns = secs * NS_PER_SEC as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Converts milliseconds to nanoseconds.
+pub fn ms_to_ns(ms: u64) -> u64 {
+    ms.saturating_mul(NS_PER_MS)
+}
+
+/// Converts microseconds to nanoseconds.
+pub fn us_to_ns(us: u64) -> u64 {
+    us.saturating_mul(NS_PER_US)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        for &s in &[0.0, 0.001, 1.0, 12.345] {
+            let ns = secs_to_ns(s);
+            assert!((ns_to_secs(ns) - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(secs_to_ns(1e30), u64::MAX);
+        assert_eq!(ms_to_ns(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn small_unit_helpers() {
+        assert_eq!(ms_to_ns(3), 3_000_000);
+        assert_eq!(us_to_ns(7), 7_000);
+    }
+}

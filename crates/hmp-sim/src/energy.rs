@@ -1,0 +1,197 @@
+//! Per-cluster energy integration.
+//!
+//! The engine calls [`EnergyMeter::accumulate`] on every event interval
+//! (within which the busy-core set and frequencies are constant), so the
+//! integral is exact, independent of sensor sampling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::board::{BoardSpec, Cluster};
+use crate::clock::ns_to_secs;
+use crate::freq::FreqKhz;
+use crate::power::cluster_power;
+
+/// Exact integrator of cluster energy over simulated time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    /// Joules consumed by [little, big].
+    joules: [f64; 2],
+    /// Busy core-seconds by [little, big] (∫ busy_cores dt).
+    busy_core_secs: [f64; 2],
+    /// Total integrated time in seconds.
+    elapsed_secs: f64,
+}
+
+impl EnergyMeter {
+    /// A meter with all accumulators at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrates `dt_ns` of operation with `busy` cores busy per cluster
+    /// at the given frequencies.
+    pub fn accumulate(
+        &mut self,
+        board: &BoardSpec,
+        freqs: [FreqKhz; 2],
+        busy: [f64; 2],
+        dt_ns: u64,
+    ) {
+        let dt = ns_to_secs(dt_ns);
+        if dt <= 0.0 {
+            return;
+        }
+        for cluster in Cluster::ALL {
+            let i = cluster.index();
+            let p = cluster_power(board, cluster, freqs[i], busy[i], board.cluster_size(cluster));
+            self.joules[i] += p * dt;
+            self.busy_core_secs[i] += busy[i] * dt;
+        }
+        self.elapsed_secs += dt;
+    }
+
+    /// Energy consumed by `cluster` so far (J).
+    pub fn cluster_joules(&self, cluster: Cluster) -> f64 {
+        self.joules[cluster.index()]
+    }
+
+    /// Total board energy so far (J).
+    pub fn total_joules(&self) -> f64 {
+        self.joules[0] + self.joules[1]
+    }
+
+    /// Busy core-seconds accumulated on `cluster`.
+    pub fn busy_core_secs(&self, cluster: Cluster) -> f64 {
+        self.busy_core_secs[cluster.index()]
+    }
+
+    /// Time integrated so far (s).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_secs
+    }
+
+    /// Average board power over the integrated interval (W), or 0 before
+    /// any time has passed.
+    pub fn average_power(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.total_joules() / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power of one cluster (W).
+    pub fn average_cluster_power(&self, cluster: Cluster) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.cluster_joules(cluster) / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Snapshot of the meter for differential measurements: subtracting
+    /// two snapshots gives the energy of the interval between them.
+    pub fn snapshot(&self) -> EnergySnapshot {
+        EnergySnapshot {
+            joules: self.joules,
+            elapsed_secs: self.elapsed_secs,
+        }
+    }
+}
+
+/// A point-in-time copy of an [`EnergyMeter`]'s accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySnapshot {
+    joules: [f64; 2],
+    elapsed_secs: f64,
+}
+
+impl EnergySnapshot {
+    /// Energy and time elapsed since `earlier`. Returns
+    /// `(joules, seconds)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is actually later.
+    pub fn since(&self, earlier: &EnergySnapshot) -> (f64, f64) {
+        let j = (self.joules[0] + self.joules[1]) - (earlier.joules[0] + earlier.joules[1]);
+        let t = self.elapsed_secs - earlier.elapsed_secs;
+        debug_assert!(j >= -1e-9 && t >= -1e-12, "snapshots out of order");
+        (j.max(0.0), t.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::NS_PER_SEC;
+
+    fn xu3() -> BoardSpec {
+        BoardSpec::odroid_xu3()
+    }
+
+    fn max_freqs(b: &BoardSpec) -> [FreqKhz; 2] {
+        [b.little_ladder.max(), b.big_ladder.max()]
+    }
+
+    #[test]
+    fn energy_equals_power_times_time() {
+        let b = xu3();
+        let mut m = EnergyMeter::new();
+        let freqs = max_freqs(&b);
+        m.accumulate(&b, freqs, [4.0, 4.0], 2 * NS_PER_SEC);
+        let p = crate::power::board_power(&b, freqs[0], freqs[1], 4.0, 4.0);
+        assert!((m.total_joules() - 2.0 * p).abs() < 1e-9);
+        assert!((m.average_power() - p).abs() < 1e-9);
+        assert!((m.elapsed_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_interval_is_noop() {
+        let b = xu3();
+        let mut m = EnergyMeter::new();
+        m.accumulate(&b, max_freqs(&b), [1.0, 1.0], 0);
+        assert_eq!(m.total_joules(), 0.0);
+        assert_eq!(m.average_power(), 0.0);
+    }
+
+    #[test]
+    fn busy_core_seconds_accumulate() {
+        let b = xu3();
+        let mut m = EnergyMeter::new();
+        m.accumulate(&b, max_freqs(&b), [2.0, 3.0], NS_PER_SEC);
+        m.accumulate(&b, max_freqs(&b), [1.0, 0.0], NS_PER_SEC);
+        assert!((m.busy_core_secs(Cluster::Little) - 3.0).abs() < 1e-9);
+        assert!((m.busy_core_secs(Cluster::Big) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_give_interval_energy() {
+        let b = xu3();
+        let mut m = EnergyMeter::new();
+        let freqs = max_freqs(&b);
+        m.accumulate(&b, freqs, [4.0, 4.0], NS_PER_SEC);
+        let s1 = m.snapshot();
+        m.accumulate(&b, freqs, [0.0, 0.0], NS_PER_SEC);
+        let s2 = m.snapshot();
+        let (j, t) = s2.since(&s1);
+        let p_idle = crate::power::board_power(&b, freqs[0], freqs[1], 0.0, 0.0);
+        assert!((j - p_idle).abs() < 1e-9);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_frequency_costs_less_energy_for_same_time() {
+        let b = xu3();
+        let mut hi = EnergyMeter::new();
+        let mut lo = EnergyMeter::new();
+        hi.accumulate(&b, max_freqs(&b), [4.0, 4.0], NS_PER_SEC);
+        lo.accumulate(
+            &b,
+            [b.little_ladder.min(), b.big_ladder.min()],
+            [4.0, 4.0],
+            NS_PER_SEC,
+        );
+        assert!(lo.total_joules() < hi.total_joules());
+    }
+}

@@ -1,0 +1,1029 @@
+//! The simulation engine: an exact discrete-event executor for
+//! multithreaded applications on a big.LITTLE board.
+//!
+//! Between events the set of runnable threads per core is constant, so
+//! CPU shares, power draw and completion times are all closed-form; the
+//! engine advances directly to the earliest next event (work-item
+//! completion, scheduler tick, sensor sample, deferred action, sleep
+//! wake-up or deadline) with no quantization error.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use heartbeats::{AppId, HeartbeatMonitor, HeartbeatRegistry, PerfTarget};
+
+use crate::app::{AppState, ModelState};
+use crate::board::{BoardSpec, Cluster};
+use crate::clock::ns_to_secs;
+use crate::cpuset::{CoreId, CpuSet};
+use crate::energy::EnergyMeter;
+use crate::error::SimError;
+use crate::freq::FreqKhz;
+use crate::power::cluster_power;
+use crate::sched::gts::gts_tick;
+use crate::sched::{dequeue_thread, place_thread, CoreState, GtsConfig};
+use crate::sensor::PowerSensor;
+use crate::spec::{AppSpec, ParallelismModel};
+use crate::thread::{BlockReason, RunState, ThreadState};
+use crate::trace::{TraceEvent, TraceLog};
+
+/// Work remaining below this many units counts as complete.
+const WORK_EPS: f64 = 1e-9;
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// GTS scheduler parameters.
+    pub gts: GtsConfig,
+    /// Relative power-sensor noise (σ of a multiplicative Gaussian).
+    pub sensor_noise: f64,
+    /// Seed for all engine randomness (sensor noise).
+    pub seed: u64,
+    /// Heartbeat rate-window length (heartbeats).
+    pub hb_window: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            gts: GtsConfig::default(),
+            sensor_noise: 0.01,
+            seed: 0x4841_5253, // "HARS"
+            hb_window: 20,
+        }
+    }
+}
+
+/// A deferred state-change request, applied when the virtual clock
+/// reaches its scheduled time. This is how runtime managers model their
+/// own decision latency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Set a cluster's DVFS frequency.
+    SetClusterFreq {
+        /// Target cluster.
+        cluster: Cluster,
+        /// New operating point (must be on the cluster's ladder).
+        freq: FreqKhz,
+    },
+    /// Set one thread's affinity mask (`sched_setaffinity`).
+    SetThreadAffinity {
+        /// Owning application.
+        app: AppId,
+        /// Thread index within the application.
+        thread: usize,
+        /// New mask (must be non-empty and on-board).
+        affinity: CpuSet,
+    },
+}
+
+/// A heartbeat that occurred during simulation, returned to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatEvent {
+    /// Emitting application.
+    pub app: AppId,
+    /// Heartbeat index (0-based).
+    pub index: u64,
+    /// Emission time (ns).
+    pub time_ns: u64,
+}
+
+/// The big.LITTLE simulation engine (see the crate-level docs for
+/// the execution model).
+#[derive(Debug)]
+pub struct Engine {
+    board: BoardSpec,
+    cfg: EngineConfig,
+    now_ns: u64,
+    freqs: [FreqKhz; 2],
+    cores: Vec<CoreState>,
+    threads: Vec<ThreadState>,
+    apps: Vec<AppState>,
+    registry: HeartbeatRegistry,
+    energy: EnergyMeter,
+    sensor: PowerSensor,
+    next_tick_ns: u64,
+    actions: BTreeMap<u64, Vec<Action>>,
+    events: VecDeque<HeartbeatEvent>,
+    /// Pipeline threads' current item ids (parallel to `threads`).
+    cur_items: Vec<Option<u64>>,
+    /// Optional event trace (disabled by default).
+    trace: TraceLog,
+}
+
+impl Engine {
+    /// Creates an engine for `board` with the given configuration.
+    ///
+    /// Clusters start at their **maximum** frequencies (the Linux
+    /// performance governor state the paper's baseline runs under).
+    pub fn new(board: BoardSpec, cfg: EngineConfig) -> Self {
+        cfg.gts.assert_valid();
+        let cores = (0..board.n_cores())
+            .map(|i| CoreState::new(CoreId(i), board.cluster_of(CoreId(i))))
+            .collect();
+        let freqs = [board.little_ladder.max(), board.big_ladder.max()];
+        let sensor = PowerSensor::new(board.sensor_period_ns, cfg.sensor_noise, cfg.seed);
+        let next_tick_ns = cfg.gts.tick_ns;
+        let registry = HeartbeatRegistry::new(cfg.hb_window);
+        Self {
+            board,
+            cfg,
+            now_ns: 0,
+            freqs,
+            cores,
+            threads: Vec::new(),
+            apps: Vec::new(),
+            registry,
+            energy: EnergyMeter::new(),
+            sensor,
+            next_tick_ns,
+            actions: BTreeMap::new(),
+            events: VecDeque::new(),
+            cur_items: Vec::new(),
+            trace: TraceLog::disabled(),
+        }
+    }
+
+    /// Enables event tracing, retaining up to `capacity` events (see
+    /// [`TraceLog`]). Call before running; tracing an already-running
+    /// engine only captures events from this point on.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceLog::enabled(capacity);
+    }
+
+    /// The event trace (empty unless [`Engine::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// The board this engine simulates.
+    pub fn board(&self) -> &BoardSpec {
+        &self.board
+    }
+
+    /// Current virtual time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Current frequency of `cluster`.
+    pub fn cluster_freq(&self, cluster: Cluster) -> FreqKhz {
+        self.freqs[cluster.index()]
+    }
+
+    /// The exact energy meter.
+    pub fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// The sampling power sensor.
+    pub fn sensor(&self) -> &PowerSensor {
+        &self.sensor
+    }
+
+    /// Total busy time of one core (ns).
+    pub fn core_busy_ns(&self, core: CoreId) -> u64 {
+        self.cores[core.0].busy_ns
+    }
+
+    // ------------------------------------------------------------------
+    // Application management
+    // ------------------------------------------------------------------
+
+    /// Instantiates an application. Its threads start immediately with
+    /// affinity over all cores (default Linux behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSpec`] when `spec` fails validation.
+    pub fn add_app(&mut self, spec: AppSpec) -> Result<AppId, SimError> {
+        spec.validate()?;
+        let hb_id = self.registry.register(None);
+        debug_assert_eq!(hb_id.0 as usize, self.apps.len(), "app ids track app order");
+        let app_idx = self.apps.len();
+        let mut app = AppState::new(spec.clone(), hb_id);
+        let all = self.board.all_cores();
+        for local in 0..spec.threads {
+            let tid = self.threads.len();
+            let stage = spec.stage_of_thread(local);
+            self.threads.push(ThreadState::new(app_idx, stage, all));
+            self.cur_items.push(None);
+            app.threads.push(tid);
+        }
+        self.apps.push(app);
+        self.start_app(app_idx);
+        Ok(hb_id)
+    }
+
+    /// Sets the performance target the app's monitor classifies against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] for an unregistered id.
+    pub fn set_perf_target(&mut self, app: AppId, target: PerfTarget) -> Result<(), SimError> {
+        self.registry
+            .monitor_mut(app)
+            .map_err(|_| SimError::UnknownApp(app.0))?
+            .set_target(target);
+        Ok(())
+    }
+
+    /// The heartbeat monitor of `app`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] for an unregistered id.
+    pub fn monitor(&self, app: AppId) -> Result<&HeartbeatMonitor, SimError> {
+        self.registry
+            .monitor(app)
+            .map_err(|_| SimError::UnknownApp(app.0))
+    }
+
+    /// `true` once `app` has emitted its configured heartbeat budget.
+    pub fn app_done(&self, app: AppId) -> bool {
+        self.app_ref(app).map(|a| a.done).unwrap_or(false)
+    }
+
+    /// `true` when every application is done.
+    pub fn all_done(&self) -> bool {
+        !self.apps.is_empty() && self.apps.iter().all(|a| a.done)
+    }
+
+    /// Heartbeats emitted by `app` so far.
+    pub fn app_heartbeats(&self, app: AppId) -> u64 {
+        self.app_ref(app).map(|a| a.heartbeats).unwrap_or(0)
+    }
+
+    /// Completed units (data-parallel) or items (pipeline).
+    pub fn app_units_done(&self, app: AppId) -> u64 {
+        self.app_ref(app).map(|a| a.units_done).unwrap_or(0)
+    }
+
+    /// Number of threads of `app`.
+    pub fn app_threads(&self, app: AppId) -> usize {
+        self.app_ref(app).map(|a| a.threads.len()).unwrap_or(0)
+    }
+
+    /// The core a thread currently sits on (its last core while blocked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] / [`SimError::UnknownThread`].
+    pub fn thread_core(&self, app: AppId, thread: usize) -> Result<Option<CoreId>, SimError> {
+        Ok(self.threads[self.thread_id(app, thread)?].core)
+    }
+
+    /// A thread's current GTS load estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownApp`] / [`SimError::UnknownThread`].
+    pub fn thread_load(&self, app: AppId, thread: usize) -> Result<f64, SimError> {
+        Ok(self.threads[self.thread_id(app, thread)?].load)
+    }
+
+    fn app_ref(&self, app: AppId) -> Option<&AppState> {
+        self.apps.get(app.0 as usize)
+    }
+
+    fn thread_id(&self, app: AppId, thread: usize) -> Result<usize, SimError> {
+        let a = self.app_ref(app).ok_or(SimError::UnknownApp(app.0))?;
+        a.threads
+            .get(thread)
+            .copied()
+            .ok_or(SimError::UnknownThread { app: app.0, thread })
+    }
+
+    // ------------------------------------------------------------------
+    // Control surface (what HARS drives)
+    // ------------------------------------------------------------------
+
+    /// Immediately sets a cluster frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFrequency`] when `freq` is not an
+    /// operating point of the cluster's ladder.
+    pub fn set_cluster_freq(&mut self, cluster: Cluster, freq: FreqKhz) -> Result<(), SimError> {
+        if !self.board.ladder(cluster).contains(freq) {
+            return Err(SimError::InvalidFrequency {
+                freq,
+                cluster: cluster.name(),
+            });
+        }
+        let from = self.freqs[cluster.index()];
+        if from != freq {
+            self.trace.record(TraceEvent::FreqChange {
+                time_ns: self.now_ns,
+                cluster,
+                from,
+                to: freq,
+            });
+        }
+        self.freqs[cluster.index()] = freq;
+        Ok(())
+    }
+
+    /// Immediately sets one thread's affinity mask, migrating it if its
+    /// current core is no longer allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyCpuSet`], [`SimError::CoreOutOfRange`],
+    /// [`SimError::UnknownApp`] or [`SimError::UnknownThread`].
+    pub fn set_thread_affinity(
+        &mut self,
+        app: AppId,
+        thread: usize,
+        affinity: CpuSet,
+    ) -> Result<(), SimError> {
+        self.validate_cpuset(affinity)?;
+        let tid = self.thread_id(app, thread)?;
+        self.threads[tid].affinity = affinity;
+        let needs_move = self.threads[tid]
+            .core
+            .map(|c| !affinity.contains(c))
+            .unwrap_or(false);
+        if needs_move {
+            if self.threads[tid].is_runnable() {
+                dequeue_thread(tid, &self.threads, &mut self.cores);
+                self.threads[tid].core = None;
+                place_thread(tid, &mut self.threads, &mut self.cores);
+            } else {
+                self.threads[tid].core = None; // re-placed at wake-up
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules `action` to apply when the clock reaches `at_ns`
+    /// (clamped to "now" if already past). Used by runtime managers to
+    /// model their decision latency.
+    ///
+    /// # Errors
+    ///
+    /// Validates the action's arguments immediately (same errors as the
+    /// direct setters) so a rejected action is reported at schedule time.
+    pub fn schedule_action(&mut self, at_ns: u64, action: Action) -> Result<(), SimError> {
+        match &action {
+            Action::SetClusterFreq { cluster, freq } => {
+                if !self.board.ladder(*cluster).contains(*freq) {
+                    return Err(SimError::InvalidFrequency {
+                        freq: *freq,
+                        cluster: cluster.name(),
+                    });
+                }
+            }
+            Action::SetThreadAffinity { app, thread, affinity } => {
+                self.validate_cpuset(*affinity)?;
+                self.thread_id(*app, *thread)?;
+            }
+        }
+        self.actions.entry(at_ns.max(self.now_ns)).or_default().push(action);
+        Ok(())
+    }
+
+    fn validate_cpuset(&self, set: CpuSet) -> Result<(), SimError> {
+        if set.is_empty() {
+            return Err(SimError::EmptyCpuSet);
+        }
+        if let Some(worst) = set.iter().max_by_key(|c| c.0) {
+            if worst.0 >= self.board.n_cores() {
+                return Err(SimError::CoreOutOfRange {
+                    core: worst,
+                    ncores: self.board.n_cores(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_action(&mut self, action: Action) {
+        match action {
+            Action::SetClusterFreq { cluster, freq } => {
+                // Validated at schedule time.
+                let from = self.freqs[cluster.index()];
+                if from != freq {
+                    self.trace.record(TraceEvent::FreqChange {
+                        time_ns: self.now_ns,
+                        cluster,
+                        from,
+                        to: freq,
+                    });
+                }
+                self.freqs[cluster.index()] = freq;
+            }
+            Action::SetThreadAffinity { app, thread, affinity } => {
+                // Validated at schedule time; the thread cannot vanish.
+                let _ = self.set_thread_affinity(app, thread, affinity);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Time advancement
+    // ------------------------------------------------------------------
+
+    /// Runs until the next heartbeat from any application, or until
+    /// `deadline_ns`. Returns `None` at the deadline or when every
+    /// application has finished.
+    pub fn next_heartbeat(&mut self, deadline_ns: u64) -> Option<HeartbeatEvent> {
+        loop {
+            if let Some(e) = self.events.pop_front() {
+                return Some(e);
+            }
+            if self.now_ns >= deadline_ns || self.all_done() {
+                return None;
+            }
+            self.step(deadline_ns);
+        }
+    }
+
+    /// Runs the clock to exactly `deadline_ns`, buffering heartbeats for
+    /// later [`Engine::next_heartbeat`] calls / [`Engine::drain_heartbeats`].
+    pub fn run_until(&mut self, deadline_ns: u64) {
+        while self.now_ns < deadline_ns {
+            self.step(deadline_ns);
+        }
+        self.process_due();
+    }
+
+    /// Like [`Engine::run_until`] but stops as soon as every application
+    /// has finished its heartbeat budget — so energy/time accounting
+    /// covers only the active run, without diluting average power with
+    /// idle tail time.
+    pub fn run_while_active(&mut self, deadline_ns: u64) {
+        while self.now_ns < deadline_ns && !self.all_done() {
+            self.step(deadline_ns);
+        }
+        self.process_due();
+    }
+
+    /// Removes and returns all buffered heartbeat events.
+    pub fn drain_heartbeats(&mut self) -> Vec<HeartbeatEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// One engine step: process everything due now, then advance to the
+    /// next event (bounded by `deadline_ns`).
+    fn step(&mut self, deadline_ns: u64) {
+        self.process_due();
+        if self.now_ns >= deadline_ns {
+            return;
+        }
+        let dt = self.next_event_dt(deadline_ns);
+        if dt > 0 {
+            self.advance(dt);
+        }
+        self.process_due();
+    }
+
+    /// True per-thread execution speed in work-units/sec on its current
+    /// core at current frequencies (1.0 "seconds/sec" for time-based
+    /// duty-cycle threads).
+    fn speed_of(&self, tid: usize) -> f64 {
+        let t = &self.threads[tid];
+        if t.time_based {
+            return 1.0;
+        }
+        let core = t.core.expect("runnable thread must be placed");
+        let cluster = self.board.cluster_of(core);
+        let f = self.freqs[cluster.index()];
+        let profile = self.apps[t.app].spec.speed;
+        let ratio = match cluster {
+            Cluster::Little => 1.0,
+            Cluster::Big => profile.big_little_ratio,
+        };
+        let fr = f.ratio_to(self.board.base_freq);
+        self.board.little_units_per_sec
+            * ratio
+            * (profile.mem_bound_frac + (1.0 - profile.mem_bound_frac) * fr)
+    }
+
+    /// Time (ns) until the earliest next event, all future event times
+    /// being strictly after `now` (guaranteed by `process_due`).
+    fn next_event_dt(&self, deadline_ns: u64) -> u64 {
+        let mut next = deadline_ns
+            .min(self.next_tick_ns)
+            .min(self.sensor.next_sample_ns());
+        if let Some((&t, _)) = self.actions.first_key_value() {
+            next = next.min(t);
+        }
+        for t in &self.threads {
+            if let RunState::Blocked(BlockReason::Sleep { until_ns }) = t.run {
+                next = next.min(until_ns);
+            }
+        }
+        let mut dt = next.saturating_sub(self.now_ns);
+        for core in &self.cores {
+            let k = core.nr_running();
+            if k == 0 {
+                continue;
+            }
+            for &tid in &core.runnable {
+                let speed = self.speed_of(tid);
+                let secs = self.threads[tid].work_left * k as f64 / speed;
+                let fin_ns = ((secs * 1e9).ceil()).max(1.0) as u64;
+                dt = dt.min(fin_ns);
+            }
+        }
+        dt
+    }
+
+    /// Advances the clock by `dt_ns`, integrating energy, busy time,
+    /// load-tracking counters and work progress.
+    fn advance(&mut self, dt_ns: u64) {
+        let mut busy = [0.0f64; 2];
+        for core in &mut self.cores {
+            if core.nr_running() > 0 {
+                busy[core.cluster.index()] += 1.0;
+                core.busy_ns += dt_ns;
+            }
+        }
+        self.energy
+            .accumulate(&self.board, self.freqs, busy, dt_ns);
+        let dt_secs = ns_to_secs(dt_ns);
+        for ci in 0..self.cores.len() {
+            let k = self.cores[ci].nr_running();
+            if k == 0 {
+                continue;
+            }
+            let share = 1.0 / k as f64;
+            // Clone the (tiny) run queue to sidestep aliasing with the
+            // per-thread updates below.
+            let rq = self.cores[ci].runnable.clone();
+            for tid in rq {
+                let speed = self.speed_of(tid);
+                let done = dt_secs * share * speed;
+                let t = &mut self.threads[tid];
+                t.work_left = (t.work_left - done).max(0.0);
+                t.runnable_ns_since_tick = t.runnable_ns_since_tick.saturating_add(dt_ns);
+            }
+        }
+        self.now_ns += dt_ns;
+    }
+
+    /// Processes every event due at the current instant, repeating until
+    /// a fixed point (completions can cascade through queues/barriers).
+    fn process_due(&mut self) {
+        loop {
+            let mut progressed = false;
+            // Deferred actions.
+            while let Some((&t, _)) = self.actions.first_key_value() {
+                if t > self.now_ns {
+                    break;
+                }
+                let (_, acts) = self.actions.pop_first().expect("checked non-empty");
+                for a in acts {
+                    self.apply_action(a);
+                }
+                progressed = true;
+            }
+            // Sleep wake-ups.
+            for tid in 0..self.threads.len() {
+                if let RunState::Blocked(BlockReason::Sleep { until_ns }) = self.threads[tid].run {
+                    if until_ns <= self.now_ns {
+                        self.wake_duty_thread(tid);
+                        progressed = true;
+                    }
+                }
+            }
+            // Work-item completions.
+            for tid in 0..self.threads.len() {
+                if self.threads[tid].is_runnable() && self.threads[tid].work_left <= WORK_EPS {
+                    self.on_work_complete(tid);
+                    progressed = true;
+                }
+            }
+            // Scheduler tick.
+            if self.next_tick_ns <= self.now_ns {
+                let before: Vec<Option<CoreId>> = if self.trace.is_enabled() {
+                    self.threads.iter().map(|t| t.core).collect()
+                } else {
+                    Vec::new()
+                };
+                gts_tick(&self.cfg.gts, &self.board, &mut self.threads, &mut self.cores);
+                if self.trace.is_enabled() {
+                    for (tid, prev) in before.iter().enumerate() {
+                        let now_core = self.threads[tid].core;
+                        if let Some(to) = now_core {
+                            if *prev != now_core {
+                                let t = &self.threads[tid];
+                                let local = self.apps[t.app]
+                                    .threads
+                                    .iter()
+                                    .position(|&x| x == tid)
+                                    .unwrap_or(0);
+                                self.trace.record(TraceEvent::Migration {
+                                    time_ns: self.now_ns,
+                                    app: self.apps[t.app].hb_id.0,
+                                    thread: local,
+                                    from: *prev,
+                                    to,
+                                });
+                            }
+                        }
+                    }
+                }
+                self.next_tick_ns += self.cfg.gts.tick_ns;
+                progressed = true;
+            }
+            // Sensor sample.
+            if self.sensor.next_sample_ns() <= self.now_ns {
+                let (pl, pb) = self.instant_power();
+                self.sensor.sample(self.now_ns, pl, pb);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Instantaneous true per-cluster power (W) — what the sensor reads.
+    fn instant_power(&self) -> (f64, f64) {
+        let mut busy = [0.0f64; 2];
+        for core in &self.cores {
+            if core.nr_running() > 0 {
+                busy[core.cluster.index()] += 1.0;
+            }
+        }
+        let pl = cluster_power(
+            &self.board,
+            Cluster::Little,
+            self.freqs[0],
+            busy[0],
+            self.board.n_little,
+        );
+        let pb = cluster_power(
+            &self.board,
+            Cluster::Big,
+            self.freqs[1],
+            busy[1],
+            self.board.n_big,
+        );
+        (pl, pb)
+    }
+
+    // ------------------------------------------------------------------
+    // Application state machines
+    // ------------------------------------------------------------------
+
+    /// Launches an app's threads according to its parallelism model.
+    fn start_app(&mut self, app_idx: usize) {
+        match self.apps[app_idx].spec.model.clone() {
+            ParallelismModel::DataParallel => {
+                if self.apps[app_idx].spec.startup_work > 0.0 {
+                    // Single-threaded startup: thread 0 runs, others wait.
+                    let t0 = self.apps[app_idx].threads[0];
+                    self.threads[t0].work_left = self.apps[app_idx].spec.startup_work;
+                    self.make_runnable(t0);
+                    for &tid in self.apps[app_idx].threads.clone().iter().skip(1) {
+                        self.threads[tid].run = RunState::Blocked(BlockReason::Startup);
+                    }
+                } else {
+                    self.start_unit(app_idx);
+                }
+            }
+            ParallelismModel::Pipeline { .. } => {
+                for &tid in self.apps[app_idx].threads.clone().iter() {
+                    self.pipeline_fetch(tid);
+                }
+            }
+            ParallelismModel::DutyCycle { duty, period_ns } => {
+                for &tid in self.apps[app_idx].threads.clone().iter() {
+                    self.threads[tid].time_based = true;
+                    if duty > 0.0 {
+                        self.threads[tid].work_left = duty * ns_to_secs(period_ns);
+                        self.make_runnable(tid);
+                    } else {
+                        self.threads[tid].run = RunState::Blocked(BlockReason::Sleep {
+                            until_ns: self.now_ns + period_ns,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Starts the next data-parallel unit: the single-threaded serial
+    /// section first (when the spec has one), then the parallel phase.
+    fn start_unit(&mut self, app_idx: usize) {
+        let unit = match &self.apps[app_idx].model {
+            ModelState::DataParallel { unit, .. } => *unit,
+            _ => unreachable!("start_unit on non-data-parallel app"),
+        };
+        if self.apps[app_idx].spec.serial_frac > 0.0 {
+            if let ModelState::DataParallel { in_serial, .. } = &mut self.apps[app_idx].model {
+                *in_serial = true;
+            }
+            let serial = self.apps[app_idx].serial_work(unit);
+            let t0 = self.apps[app_idx].threads[0];
+            self.threads[t0].work_left = serial;
+            self.make_runnable(t0);
+            for &tid in self.apps[app_idx].threads.clone().iter().skip(1) {
+                if self.threads[tid].is_runnable() {
+                    self.block_thread(tid, BlockReason::SerialWait);
+                } else {
+                    self.threads[tid].run = RunState::Blocked(BlockReason::SerialWait);
+                }
+            }
+        } else {
+            self.start_parallel_phase(app_idx, unit);
+        }
+    }
+
+    /// Launches the parallel section of a unit: every thread gets an
+    /// equal chunk of the parallel work and becomes runnable.
+    fn start_parallel_phase(&mut self, app_idx: usize, unit: u64) {
+        let chunk = self.apps[app_idx].chunk_work(unit);
+        for &tid in self.apps[app_idx].threads.clone().iter() {
+            self.threads[tid].work_left = chunk;
+            self.make_runnable(tid);
+        }
+    }
+
+    fn make_runnable(&mut self, tid: usize) {
+        if !self.threads[tid].is_runnable() {
+            self.threads[tid].run = RunState::Runnable;
+            place_thread(tid, &mut self.threads, &mut self.cores);
+        }
+    }
+
+    fn block_thread(&mut self, tid: usize, reason: BlockReason) {
+        dequeue_thread(tid, &self.threads, &mut self.cores);
+        self.threads[tid].run = RunState::Blocked(reason);
+    }
+
+    /// Emits a heartbeat for an app and buffers the event.
+    fn emit_heartbeat(&mut self, app_idx: usize) {
+        let hb_id = self.apps[app_idx].hb_id;
+        let index = self.apps[app_idx].heartbeats;
+        self.apps[app_idx].heartbeats += 1;
+        self.registry
+            .emit(hb_id, self.now_ns)
+            .expect("engine-registered app");
+        self.events.push_back(HeartbeatEvent {
+            app: hb_id,
+            index,
+            time_ns: self.now_ns,
+        });
+        self.trace.record(TraceEvent::Heartbeat {
+            time_ns: self.now_ns,
+            app: hb_id.0,
+            index,
+        });
+        if let Some(max) = self.apps[app_idx].spec.max_heartbeats {
+            if self.apps[app_idx].heartbeats >= max {
+                self.finish_app(app_idx);
+            }
+        }
+    }
+
+    /// Terminates an app: all threads stop consuming CPU.
+    fn finish_app(&mut self, app_idx: usize) {
+        self.apps[app_idx].done = true;
+        for &tid in self.apps[app_idx].threads.clone().iter() {
+            dequeue_thread(tid, &self.threads, &mut self.cores);
+            self.threads[tid].run = RunState::Finished;
+            self.threads[tid].work_left = 0.0;
+        }
+    }
+
+    /// Dispatch for a thread that exhausted its current work item.
+    fn on_work_complete(&mut self, tid: usize) {
+        let app_idx = self.threads[tid].app;
+        if self.apps[app_idx].done {
+            self.block_thread(tid, BlockReason::Startup);
+            return;
+        }
+        match self.apps[app_idx].spec.model.clone() {
+            ParallelismModel::DataParallel => self.data_parallel_complete(tid, app_idx),
+            ParallelismModel::Pipeline { .. } => self.pipeline_complete(tid, app_idx),
+            ParallelismModel::DutyCycle { duty, period_ns } => {
+                if duty >= 1.0 {
+                    self.threads[tid].work_left = ns_to_secs(period_ns);
+                } else {
+                    let idle = ((1.0 - duty) * period_ns as f64) as u64;
+                    self.block_thread(
+                        tid,
+                        BlockReason::Sleep {
+                            until_ns: self.now_ns + idle.max(1),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn wake_duty_thread(&mut self, tid: usize) {
+        let app_idx = self.threads[tid].app;
+        if let ParallelismModel::DutyCycle { duty, period_ns } = self.apps[app_idx].spec.model {
+            if duty > 0.0 {
+                self.threads[tid].work_left = duty * ns_to_secs(period_ns);
+                self.make_runnable(tid);
+            } else {
+                self.threads[tid].run = RunState::Blocked(BlockReason::Sleep {
+                    until_ns: self.now_ns + period_ns,
+                });
+            }
+        }
+    }
+
+    /// Barrier arrival for data-parallel apps (and startup completion).
+    fn data_parallel_complete(&mut self, tid: usize, app_idx: usize) {
+        let n_threads = self.apps[app_idx].threads.len();
+        let (arrived_now, startup_finished, serial_finished, unit_now) =
+            match &mut self.apps[app_idx].model {
+                ModelState::DataParallel {
+                    arrived,
+                    in_startup,
+                    in_serial,
+                    unit,
+                } => {
+                    if *in_startup {
+                        *in_startup = false;
+                        (0, true, false, *unit)
+                    } else if *in_serial {
+                        *in_serial = false;
+                        (0, false, true, *unit)
+                    } else {
+                        *arrived += 1;
+                        (*arrived, false, false, *unit)
+                    }
+                }
+                _ => unreachable!("data-parallel app with wrong model state"),
+            };
+        if startup_finished {
+            // The startup thread finished parsing input; launch unit 0.
+            self.start_unit(app_idx);
+            return;
+        }
+        if serial_finished {
+            // Thread 0 completed the unit's serial section.
+            self.start_parallel_phase(app_idx, unit_now);
+            return;
+        }
+        self.block_thread(tid, BlockReason::Barrier);
+        if arrived_now == n_threads {
+            // Unit complete: heartbeat bookkeeping, then the next unit.
+            let units_done = {
+                let app = &mut self.apps[app_idx];
+                app.units_done += 1;
+                match &mut app.model {
+                    ModelState::DataParallel { unit, arrived, .. } => {
+                        *arrived = 0;
+                        *unit += 1;
+                    }
+                    _ => unreachable!(),
+                }
+                app.units_done
+            };
+            if self.apps[app_idx].heartbeat_due(units_done) {
+                self.emit_heartbeat(app_idx);
+            }
+            if !self.apps[app_idx].done {
+                self.start_unit(app_idx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline mechanics
+    // ------------------------------------------------------------------
+
+    fn queue_capacity(&self, app_idx: usize) -> usize {
+        match &self.apps[app_idx].spec.model {
+            ParallelismModel::Pipeline { queue_capacity, .. } => *queue_capacity,
+            _ => 0,
+        }
+    }
+
+    fn n_stages(&self, app_idx: usize) -> usize {
+        self.apps[app_idx].spec.n_stages()
+    }
+
+    /// A pipeline thread finished the work of its current item.
+    fn pipeline_complete(&mut self, tid: usize, app_idx: usize) {
+        let stage = self.threads[tid].stage;
+        let last_stage = self.n_stages(app_idx) - 1;
+        let item = self.cur_items[tid].take().expect("pipeline thread had an item");
+        if stage == last_stage {
+            let completed = {
+                let app = &mut self.apps[app_idx];
+                app.units_done += 1;
+                match &mut app.model {
+                    ModelState::Pipeline {
+                        completed_items, ..
+                    } => {
+                        *completed_items += 1;
+                        *completed_items
+                    }
+                    _ => unreachable!("pipeline app with wrong model state"),
+                }
+            };
+            if self.apps[app_idx].heartbeat_due(completed) {
+                self.emit_heartbeat(app_idx);
+            }
+            if !self.apps[app_idx].done {
+                self.pipeline_fetch(tid);
+            }
+        } else {
+            self.pipeline_push(tid, app_idx, stage, item);
+        }
+    }
+
+    /// Pushes `item` into the queue downstream of `stage`, blocking the
+    /// thread on back-pressure.
+    fn pipeline_push(&mut self, tid: usize, app_idx: usize, stage: usize, item: u64) {
+        let cap = self.queue_capacity(app_idx);
+        let full = match &self.apps[app_idx].model {
+            ModelState::Pipeline { queues, .. } => queues[stage].len() >= cap,
+            _ => unreachable!(),
+        };
+        if full {
+            self.threads[tid].held_item = Some(item);
+            self.block_thread(tid, BlockReason::PushWait { queue: stage });
+        } else {
+            if let ModelState::Pipeline { queues, .. } = &mut self.apps[app_idx].model {
+                queues[stage].push_back(item);
+            }
+            self.wake_one_popper(app_idx, stage);
+            self.pipeline_fetch(tid);
+        }
+    }
+
+    /// Gets the thread its next item: generated fresh for the source
+    /// stage, popped from upstream otherwise; blocks when starved.
+    fn pipeline_fetch(&mut self, tid: usize) {
+        let app_idx = self.threads[tid].app;
+        let stage = self.threads[tid].stage;
+        if stage == 0 {
+            let item = match &mut self.apps[app_idx].model {
+                ModelState::Pipeline { next_item, .. } => {
+                    let i = *next_item;
+                    *next_item += 1;
+                    i
+                }
+                _ => unreachable!(),
+            };
+            self.start_item(tid, app_idx, item);
+        } else {
+            let popped = match &mut self.apps[app_idx].model {
+                ModelState::Pipeline { queues, .. } => queues[stage - 1].pop_front(),
+                _ => unreachable!(),
+            };
+            match popped {
+                Some(item) => {
+                    self.wake_one_pusher(app_idx, stage - 1);
+                    self.start_item(tid, app_idx, item);
+                }
+                None => self.block_thread(tid, BlockReason::PopWait { queue: stage - 1 }),
+            }
+        }
+    }
+
+    /// Assigns `item` to a thread and makes it runnable.
+    fn start_item(&mut self, tid: usize, app_idx: usize, item: u64) {
+        let stage = self.threads[tid].stage;
+        self.cur_items[tid] = Some(item);
+        self.threads[tid].work_left = self.apps[app_idx].stage_work(item, stage);
+        self.make_runnable(tid);
+    }
+
+    /// Hands a freshly pushed item to one starving downstream thread.
+    fn wake_one_popper(&mut self, app_idx: usize, queue: usize) {
+        let waiter = self.apps[app_idx].threads.iter().copied().find(|&tid| {
+            matches!(
+                self.threads[tid].run,
+                RunState::Blocked(BlockReason::PopWait { queue: q }) if q == queue
+            )
+        });
+        if let Some(tid) = waiter {
+            let popped = match &mut self.apps[app_idx].model {
+                ModelState::Pipeline { queues, .. } => queues[queue].pop_front(),
+                _ => unreachable!(),
+            };
+            if let Some(item) = popped {
+                self.wake_one_pusher(app_idx, queue);
+                self.start_item(tid, app_idx, item);
+            }
+        }
+    }
+
+    /// A pop freed queue space: completes one blocked pusher's push.
+    fn wake_one_pusher(&mut self, app_idx: usize, queue: usize) {
+        let waiter = self.apps[app_idx].threads.iter().copied().find(|&tid| {
+            matches!(
+                self.threads[tid].run,
+                RunState::Blocked(BlockReason::PushWait { queue: q }) if q == queue
+            )
+        });
+        if let Some(tid) = waiter {
+            let item = self.threads[tid].held_item.take().expect("pusher holds an item");
+            if let ModelState::Pipeline { queues, .. } = &mut self.apps[app_idx].model {
+                queues[queue].push_back(item);
+            }
+            self.pipeline_fetch(tid);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # hmp-sim — a big.LITTLE (HMP) platform simulator
+//!
+//! This crate is the hardware substrate for the HARS reproduction: a
+//! deterministic, event-exact simulator of an asymmetric multicore board
+//! in the mold of the ODROID-XU3 (Samsung Exynos 5422) the paper
+//! evaluates on:
+//!
+//! * two clusters (4×Cortex-A15 "big", 4×Cortex-A7 "little") with
+//!   independent per-cluster DVFS ladders ([`BoardSpec::odroid_xu3`]),
+//! * a ground-truth `V²f` power model measured by a sampling
+//!   [`PowerSensor`] (263,808 µs period, like the board's INA231 rails),
+//! * a Linux GTS-style HMP scheduler ([`GtsConfig`]) with up/down
+//!   migration thresholds and in-cluster balancing,
+//! * multithreaded application models (data-parallel barriers, bounded
+//!   -queue pipelines, duty-cycle calibration spinners) that emit
+//!   heartbeats through the `heartbeats` crate,
+//! * the exact control surface HARS drives: per-cluster frequency
+//!   setting and per-thread `sched_setaffinity` masks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hmp_sim::{AppSpec, BoardSpec, Engine, EngineConfig};
+//!
+//! let mut engine = Engine::new(BoardSpec::odroid_xu3(), EngineConfig::default());
+//! let app = engine.add_app(AppSpec::data_parallel("demo", 8, 800.0))?;
+//!
+//! // Run for two virtual seconds and inspect the heartbeat rate.
+//! engine.run_until(2_000_000_000);
+//! let rate = engine.monitor(app)?.window_rate().unwrap();
+//! assert!(rate.heartbeats_per_sec() > 0.0);
+//! # Ok::<(), hmp_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod app;
+mod board;
+pub mod clock;
+mod cpuset;
+mod energy;
+mod engine;
+mod error;
+mod freq;
+pub mod microbench;
+mod power;
+mod sched;
+mod sensor;
+mod spec;
+mod thread;
+pub mod trace;
+
+pub use board::{BoardSpec, Cluster, ClusterPowerModel};
+pub use cpuset::{CoreId, CpuSet, CpuSetIter};
+pub use energy::{EnergyMeter, EnergySnapshot};
+pub use engine::{Action, Engine, EngineConfig, HeartbeatEvent};
+pub use error::SimError;
+pub use freq::{FreqKhz, FreqLadder};
+pub use power::{board_power, cluster_power};
+pub use sched::GtsConfig;
+pub use sensor::{PowerSample, PowerSensor};
+pub use spec::{AppSpec, ParallelismModel, SpeedProfile, WorkSource};
+pub use trace::{TraceEvent, TraceLog};
+
+// Re-export the heartbeat vocabulary used across the API surface.
+pub use heartbeats::{AppId, PerfTarget};

@@ -1,0 +1,223 @@
+//! The power-model calibration microbenchmark.
+//!
+//! The paper builds its power estimator from linear regressions over
+//! data "collected by the microbenchmark, which stresses the cores and
+//! memory ... configure the number of cores, frequency level, and CPU
+//! utilization". This module reproduces that methodology against the
+//! simulator: for each (cluster, frequency, used cores, duty cycle)
+//! point it runs duty-cycle spinner threads pinned one-per-core and
+//! records the mean *sensor* (noisy) cluster power.
+//!
+//! `hars-core`'s calibration fits `P = α·(C·U) + β` per (cluster,
+//! frequency) to these points.
+
+use crate::board::{BoardSpec, Cluster};
+use crate::clock::secs_to_ns;
+use crate::cpuset::CpuSet;
+use crate::engine::{Engine, EngineConfig};
+use crate::error::SimError;
+use crate::freq::FreqKhz;
+use crate::spec::{AppSpec, ParallelismModel, SpeedProfile, WorkSource};
+
+/// One measured calibration point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationPoint {
+    /// Cluster under test.
+    pub cluster: Cluster,
+    /// Frequency the cluster ran at.
+    pub freq: FreqKhz,
+    /// Number of cores running spinner threads.
+    pub cores_used: usize,
+    /// Spinner duty cycle (CPU utilization per used core).
+    pub duty: f64,
+    /// Mean sensor reading for the cluster over the measurement run (W).
+    pub measured_watts: f64,
+}
+
+impl CalibrationPoint {
+    /// The regressor the paper's model uses: `C_used · U`.
+    pub fn load_product(&self) -> f64 {
+        self.cores_used as f64 * self.duty
+    }
+}
+
+/// Calibration sweep parameters.
+#[derive(Debug, Clone)]
+pub struct CalibrationConfig {
+    /// Virtual seconds measured per point (longer = more sensor samples).
+    pub secs_per_point: f64,
+    /// Duty cycles to sweep.
+    pub duties: Vec<f64>,
+    /// Duty-cycle period of the spinner threads (ns).
+    pub spinner_period_ns: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            secs_per_point: 3.0,
+            duties: vec![0.25, 0.5, 0.75, 1.0],
+            spinner_period_ns: 1_000_000,
+        }
+    }
+}
+
+/// Runs the full calibration sweep for both clusters of `board`.
+///
+/// Every point uses a fresh engine so points are independent, exactly
+/// like rebooting the microbenchmark per configuration.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine setup (cannot occur for a valid
+/// board).
+pub fn run_calibration(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    cal: &CalibrationConfig,
+) -> Result<Vec<CalibrationPoint>, SimError> {
+    let mut points = Vec::new();
+    for cluster in Cluster::ALL {
+        let ladder = board.ladder(cluster).clone();
+        for freq in ladder.iter() {
+            for cores_used in 1..=board.cluster_size(cluster) {
+                for &duty in &cal.duties {
+                    let watts =
+                        measure_point(board, engine_cfg, cal, cluster, freq, cores_used, duty)?;
+                    points.push(CalibrationPoint {
+                        cluster,
+                        freq,
+                        cores_used,
+                        duty,
+                        measured_watts: watts,
+                    });
+                }
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Measures a single calibration point (exposed for tests and targeted
+/// recalibration).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine setup.
+pub fn measure_point(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    cal: &CalibrationConfig,
+    cluster: Cluster,
+    freq: FreqKhz,
+    cores_used: usize,
+    duty: f64,
+) -> Result<f64, SimError> {
+    let mut engine = Engine::new(board.clone(), engine_cfg.clone());
+    // Quiesce both clusters at the lowest operating point, then raise the
+    // cluster under test.
+    engine.set_cluster_freq(Cluster::Little, board.little_ladder.min())?;
+    engine.set_cluster_freq(Cluster::Big, board.big_ladder.min())?;
+    engine.set_cluster_freq(cluster, freq)?;
+    let spec = AppSpec {
+        name: format!("spinner-{}-{}-{}x{duty}", cluster.name(), freq, cores_used),
+        threads: cores_used,
+        model: ParallelismModel::DutyCycle {
+            duty,
+            period_ns: cal.spinner_period_ns,
+        },
+        speed: SpeedProfile::default(),
+        work: WorkSource::Constant(1.0),
+        items_per_heartbeat: 1,
+        startup_work: 0.0,
+        serial_frac: 0.0,
+        max_heartbeats: None,
+    };
+    let app = engine.add_app(spec)?;
+    // Pin one spinner per core, starting at the cluster's first core.
+    let start = board.cluster_start(cluster).0;
+    for i in 0..cores_used {
+        engine.set_thread_affinity(app, i, CpuSet::single(crate::cpuset::CoreId(start + i)))?;
+    }
+    engine.run_until(secs_to_ns(cal.secs_per_point));
+    Ok(engine
+        .sensor()
+        .mean_watts(cluster)
+        .expect("run longer than one sensor period"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> EngineConfig {
+        EngineConfig {
+            sensor_noise: 0.0,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn quick_cal() -> CalibrationConfig {
+        CalibrationConfig {
+            secs_per_point: 1.1,
+            duties: vec![0.5, 1.0],
+            spinner_period_ns: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn full_load_point_matches_truth_model() {
+        let board = BoardSpec::odroid_xu3();
+        let f = FreqKhz::from_mhz(1_600);
+        let watts = measure_point(&board, &quiet_cfg(), &quick_cal(), Cluster::Big, f, 4, 1.0)
+            .unwrap();
+        let truth = crate::power::cluster_power(&board, Cluster::Big, f, 4.0, 4);
+        assert!(
+            (watts - truth).abs() < 0.05 * truth,
+            "measured {watts} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn duty_cycle_halves_dynamic_power() {
+        let board = BoardSpec::odroid_xu3();
+        let f = FreqKhz::from_mhz(1_200);
+        let cfg = quiet_cfg();
+        let cal = quick_cal();
+        let full = measure_point(&board, &cfg, &cal, Cluster::Big, f, 2, 1.0).unwrap();
+        let half = measure_point(&board, &cfg, &cal, Cluster::Big, f, 2, 0.5).unwrap();
+        let idle = crate::power::cluster_power(&board, Cluster::Big, f, 0.0, 4);
+        let dyn_full = full - idle;
+        let dyn_half = half - idle;
+        assert!(
+            (dyn_half - 0.5 * dyn_full).abs() < 0.15 * dyn_full,
+            "half-duty dynamic power {dyn_half} not ~half of {dyn_full}"
+        );
+    }
+
+    #[test]
+    fn sweep_produces_expected_point_count() {
+        let board = BoardSpec::odroid_xu3();
+        let cal = CalibrationConfig {
+            secs_per_point: 0.6,
+            duties: vec![1.0],
+            spinner_period_ns: 1_000_000,
+        };
+        let points = run_calibration(&board, &quiet_cfg(), &cal).unwrap();
+        // (6 little freqs × 4 cores + 9 big freqs × 4 cores) × 1 duty.
+        assert_eq!(points.len(), (6 * 4 + 9 * 4));
+        assert!(points.iter().all(|p| p.measured_watts > 0.0));
+    }
+
+    #[test]
+    fn load_product() {
+        let p = CalibrationPoint {
+            cluster: Cluster::Big,
+            freq: FreqKhz::from_mhz(1_000),
+            cores_used: 3,
+            duty: 0.5,
+            measured_watts: 1.0,
+        };
+        assert!((p.load_product() - 1.5).abs() < 1e-12);
+    }
+}

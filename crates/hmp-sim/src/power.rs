@@ -1,0 +1,132 @@
+//! Ground-truth power computation.
+//!
+//! This is what the board "really" consumes — a `V²f` dynamic model plus
+//! leakage — and what the [`crate::sensor::PowerSensor`] measures. HARS
+//! never sees these equations; it fits a *linear* model to sensor data
+//! (see `hars-core`), exactly as the paper fits linear regressions to
+//! INA231 samples.
+
+use crate::board::{BoardSpec, Cluster};
+use crate::freq::FreqKhz;
+
+/// Instantaneous power draw of one cluster.
+///
+/// * `busy_cores` — sum of per-core busy fractions over the interval of
+///   interest (a core running any thread counts 1.0; an idle core 0.0;
+///   fractional values arise when averaging over an interval).
+/// * `online_cores` — cores powered on in the cluster (all of them, on
+///   the XU3: Linux keeps cores online and idle-gates them, which the
+///   small leakage term models).
+///
+/// Returns watts.
+pub fn cluster_power(
+    board: &BoardSpec,
+    cluster: Cluster,
+    freq: FreqKhz,
+    busy_cores: f64,
+    online_cores: usize,
+) -> f64 {
+    debug_assert!(busy_cores >= 0.0);
+    debug_assert!(busy_cores <= online_cores as f64 + 1e-9);
+    let pm = board.power_model(cluster);
+    let ladder = board.ladder(cluster);
+    let v = pm.voltage(freq, ladder);
+    let f = freq.ghz();
+    let dynamic = pm.kappa * v * v * f * busy_cores;
+    let leakage = pm.sigma * v * online_cores as f64;
+    let uncore = if online_cores > 0 {
+        pm.upsilon * v * v * f + pm.chi
+    } else {
+        0.0
+    };
+    dynamic + leakage + uncore
+}
+
+/// Total board power: both clusters at their current frequencies.
+pub fn board_power(
+    board: &BoardSpec,
+    little_freq: FreqKhz,
+    big_freq: FreqKhz,
+    little_busy: f64,
+    big_busy: f64,
+) -> f64 {
+    cluster_power(board, Cluster::Little, little_freq, little_busy, board.n_little)
+        + cluster_power(board, Cluster::Big, big_freq, big_busy, board.n_big)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xu3() -> BoardSpec {
+        BoardSpec::odroid_xu3()
+    }
+
+    #[test]
+    fn idle_cluster_draws_only_static_power() {
+        let b = xu3();
+        let f = FreqKhz::from_mhz(800);
+        let p_idle = cluster_power(&b, Cluster::Big, f, 0.0, 4);
+        let p_busy = cluster_power(&b, Cluster::Big, f, 4.0, 4);
+        assert!(p_idle > 0.0, "leakage + uncore should be nonzero");
+        assert!(p_busy > 2.0 * p_idle, "full load dwarfs idle");
+    }
+
+    #[test]
+    fn power_is_monotone_in_frequency_and_load() {
+        let b = xu3();
+        let mut prev = 0.0;
+        for f in b.ladder(Cluster::Big).clone().iter() {
+            let p = cluster_power(&b, Cluster::Big, f, 4.0, 4);
+            assert!(p > prev, "power must increase with frequency");
+            prev = p;
+        }
+        let f = FreqKhz::from_mhz(1_200);
+        let p1 = cluster_power(&b, Cluster::Big, f, 1.0, 4);
+        let p3 = cluster_power(&b, Cluster::Big, f, 3.0, 4);
+        assert!(p3 > p1);
+    }
+
+    #[test]
+    fn big_cluster_is_much_hungrier_than_little() {
+        let b = xu3();
+        let p_big = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(1_600), 4.0, 4);
+        let p_little = cluster_power(&b, Cluster::Little, FreqKhz::from_mhz(1_300), 4.0, 4);
+        // Published XU3 envelopes: big ~5-7 W, little ~0.4-1 W.
+        assert!(p_big > 4.0 && p_big < 8.0, "big cluster {p_big} W out of envelope");
+        assert!(
+            p_little > 0.3 && p_little < 1.2,
+            "little cluster {p_little} W out of envelope"
+        );
+        assert!(p_big / p_little > 5.0);
+    }
+
+    #[test]
+    fn offline_cluster_draws_nothing() {
+        let b = xu3();
+        let p = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(1_600), 0.0, 0);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn board_power_sums_clusters() {
+        let b = xu3();
+        let fl = FreqKhz::from_mhz(1_000);
+        let fb = FreqKhz::from_mhz(1_000);
+        let total = board_power(&b, fl, fb, 2.0, 2.0);
+        let parts = cluster_power(&b, Cluster::Little, fl, 2.0, 4)
+            + cluster_power(&b, Cluster::Big, fb, 2.0, 4);
+        assert!((total - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superlinear_in_frequency() {
+        // The true model must be superlinear in f (V scales with f), which
+        // is what makes high-frequency states inefficient and the paper's
+        // race-to-idle-vs-pace tradeoff interesting.
+        let b = xu3();
+        let p_lo = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(800), 4.0, 4);
+        let p_hi = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(1_600), 4.0, 4);
+        assert!(p_hi > 2.0 * p_lo, "doubling f should more than double power");
+    }
+}

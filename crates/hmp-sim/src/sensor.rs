@@ -1,0 +1,197 @@
+//! The board's power sensor.
+//!
+//! The ODROID-XU3 carries INA231 current/voltage sensors on each cluster
+//! rail, sampled every 263,808 µs. HARS's power-model calibration reads
+//! *these samples*, not the ground truth — so the sensor adds optional
+//! Gaussian measurement noise to reproduce real calibration conditions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::board::Cluster;
+
+/// One sensor sample: per-cluster power at a sample instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Sample timestamp (ns).
+    pub time_ns: u64,
+    /// Measured little-cluster power (W).
+    pub little_watts: f64,
+    /// Measured big-cluster power (W).
+    pub big_watts: f64,
+}
+
+impl PowerSample {
+    /// Measured power of `cluster`.
+    pub fn watts(&self, cluster: Cluster) -> f64 {
+        match cluster {
+            Cluster::Little => self.little_watts,
+            Cluster::Big => self.big_watts,
+        }
+    }
+
+    /// Total measured board power.
+    pub fn total_watts(&self) -> f64 {
+        self.little_watts + self.big_watts
+    }
+}
+
+/// Periodic sampling power sensor with optional multiplicative Gaussian
+/// noise (`reading = truth × (1 + ε)`, ε ~ N(0, σ²)).
+#[derive(Debug, Clone)]
+pub struct PowerSensor {
+    period_ns: u64,
+    next_sample_ns: u64,
+    noise_sigma: f64,
+    rng: StdRng,
+    samples: Vec<PowerSample>,
+}
+
+impl PowerSensor {
+    /// Creates a sensor sampling every `period_ns` with relative noise
+    /// `noise_sigma` (0.0 = ideal sensor) and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns == 0` or `noise_sigma < 0`.
+    pub fn new(period_ns: u64, noise_sigma: f64, seed: u64) -> Self {
+        assert!(period_ns > 0, "sensor period must be positive");
+        assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
+        Self {
+            period_ns,
+            next_sample_ns: period_ns,
+            noise_sigma,
+            rng: StdRng::seed_from_u64(seed),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sampling period (ns).
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Time of the next scheduled sample (ns).
+    pub fn next_sample_ns(&self) -> u64 {
+        self.next_sample_ns
+    }
+
+    /// Records a sample at `time_ns` given the true per-cluster powers,
+    /// then schedules the next one. The engine calls this exactly when
+    /// the clock reaches [`PowerSensor::next_sample_ns`].
+    pub fn sample(&mut self, time_ns: u64, little_watts: f64, big_watts: f64) {
+        let s = PowerSample {
+            time_ns,
+            little_watts: self.noisy(little_watts),
+            big_watts: self.noisy(big_watts),
+        };
+        self.samples.push(s);
+        self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
+    }
+
+    fn noisy(&mut self, truth: f64) -> f64 {
+        if self.noise_sigma == 0.0 {
+            return truth;
+        }
+        // Box-Muller transform: two uniforms -> one standard normal.
+        let u1: f64 = self.rng.random_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (truth * (1.0 + self.noise_sigma * z)).max(0.0)
+    }
+
+    /// All samples recorded so far, oldest first.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Mean measured power of `cluster` over all samples (W), or `None`
+    /// before the first sample.
+    pub fn mean_watts(&self, cluster: Cluster) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.samples.iter().map(|s| s.watts(cluster)).sum();
+        Some(sum / self.samples.len() as f64)
+    }
+
+    /// Discards recorded samples (the schedule continues).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_reports_truth() {
+        let mut s = PowerSensor::new(1_000, 0.0, 42);
+        s.sample(1_000, 0.5, 3.0);
+        s.sample(2_000, 0.6, 3.5);
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.samples()[0].little_watts, 0.5);
+        assert_eq!(s.samples()[1].big_watts, 3.5);
+        assert!((s.mean_watts(Cluster::Big).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_advances_by_period() {
+        let mut s = PowerSensor::new(250, 0.0, 0);
+        assert_eq!(s.next_sample_ns(), 250);
+        s.sample(250, 1.0, 1.0);
+        assert_eq!(s.next_sample_ns(), 500);
+        s.sample(500, 1.0, 1.0);
+        assert_eq!(s.next_sample_ns(), 750);
+    }
+
+    #[test]
+    fn noise_is_unbiased_and_bounded() {
+        let mut s = PowerSensor::new(1, 0.02, 7);
+        let truth = 4.0;
+        for t in 1..=2_000u64 {
+            s.sample(t, truth, truth);
+        }
+        let mean = s.mean_watts(Cluster::Big).unwrap();
+        assert!(
+            (mean - truth).abs() < 0.01 * truth,
+            "noisy mean {mean} too far from truth {truth}"
+        );
+        // 2% sigma: essentially all samples within 10%.
+        for sample in s.samples() {
+            assert!((sample.big_watts - truth).abs() < 0.2 * truth);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = PowerSensor::new(1, 0.05, 9);
+        let mut b = PowerSensor::new(1, 0.05, 9);
+        for t in 1..=100u64 {
+            a.sample(t, 2.0, 5.0);
+            b.sample(t, 2.0, 5.0);
+        }
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn noise_never_goes_negative() {
+        let mut s = PowerSensor::new(1, 2.0, 3); // absurd noise
+        for t in 1..=500u64 {
+            s.sample(t, 0.01, 0.01);
+        }
+        assert!(s.samples().iter().all(|x| x.little_watts >= 0.0));
+    }
+
+    #[test]
+    fn total_watts_sums() {
+        let s = PowerSample {
+            time_ns: 0,
+            little_watts: 0.25,
+            big_watts: 1.75,
+        };
+        assert!((s.total_watts() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-thread runtime state.
+
+use crate::cpuset::{CoreId, CpuSet};
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum BlockReason {
+    /// Waiting at the data-parallel unit barrier.
+    Barrier,
+    /// Pipeline: waiting for an item to appear in queue `queue`.
+    PopWait {
+        /// Inter-stage queue index (queue `q` connects stage `q` to `q+1`).
+        queue: usize,
+    },
+    /// Pipeline: finished an item but the downstream queue is full; the
+    /// held item id is in [`ThreadState::held_item`].
+    PushWait {
+        /// Inter-stage queue index.
+        queue: usize,
+    },
+    /// Duty-cycle microbenchmark idle phase, wakes at `until_ns`.
+    Sleep {
+        /// Absolute wake time (ns).
+        until_ns: u64,
+    },
+    /// Waiting for the application's single-threaded startup phase to end.
+    Startup,
+    /// Waiting for the unit's single-threaded serial section to finish
+    /// (the Amdahl fraction of a data-parallel unit).
+    SerialWait,
+}
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum RunState {
+    /// On a core with work to execute.
+    Runnable,
+    /// Blocked; not consuming CPU.
+    Blocked(BlockReason),
+    /// The application has completed; the thread exists but never runs.
+    Finished,
+}
+
+/// Full runtime state of one simulated thread.
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadState {
+    /// Index of the owning application in the engine's app table.
+    pub app: usize,
+    /// Pipeline stage this thread serves (0 for non-pipeline models).
+    pub stage: usize,
+    /// Cores the thread may run on (`sched_setaffinity` mask).
+    pub affinity: CpuSet,
+    /// Core the thread is placed on (kept as "last core" while blocked).
+    pub core: Option<CoreId>,
+    /// Scheduling state.
+    pub run: RunState,
+    /// Remaining cost of the current work item. Work units normally;
+    /// busy-*seconds* when `time_based` (duty-cycle threads).
+    pub work_left: f64,
+    /// `true` for duty-cycle threads whose cost is expressed in time.
+    pub time_based: bool,
+    /// Item id held while in `PushWait` (pipeline back-pressure).
+    pub held_item: Option<u64>,
+    /// GTS load estimate: EWMA of the runnable fraction per tick.
+    pub load: f64,
+    /// Time spent runnable since the last scheduler tick (ns).
+    pub runnable_ns_since_tick: u64,
+}
+
+impl ThreadState {
+    /// A fresh thread, blocked until the engine places it.
+    pub fn new(app: usize, stage: usize, affinity: CpuSet) -> Self {
+        Self {
+            app,
+            stage,
+            affinity,
+            core: None,
+            run: RunState::Blocked(BlockReason::Startup),
+            work_left: 0.0,
+            time_based: false,
+            held_item: None,
+            load: 0.0,
+            runnable_ns_since_tick: 0,
+        }
+    }
+
+    /// `true` when the thread is currently runnable.
+    pub fn is_runnable(&self) -> bool {
+        self.run == RunState::Runnable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_thread_starts_blocked() {
+        let t = ThreadState::new(0, 1, CpuSet::first_n(8));
+        assert!(!t.is_runnable());
+        assert_eq!(t.run, RunState::Blocked(BlockReason::Startup));
+        assert_eq!(t.stage, 1);
+        assert!(t.core.is_none());
+    }
+
+    #[test]
+    fn runnable_flag() {
+        let mut t = ThreadState::new(0, 0, CpuSet::first_n(2));
+        t.run = RunState::Runnable;
+        assert!(t.is_runnable());
+        t.run = RunState::Finished;
+        assert!(!t.is_runnable());
+    }
+}

@@ -1,0 +1,146 @@
+//! Mixed-model co-scheduling: barrier apps, pipelines and duty-cycle
+//! spinners sharing one board must all progress correctly and the
+//! accounting must stay consistent.
+
+use hmp_sim::clock::secs_to_ns;
+use hmp_sim::{
+    AppSpec, BoardSpec, Cluster, CoreId, CpuSet, Engine, EngineConfig, ParallelismModel,
+    SpeedProfile, WorkSource,
+};
+
+fn engine() -> Engine {
+    Engine::new(
+        BoardSpec::odroid_xu3(),
+        EngineConfig {
+            sensor_noise: 0.0,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+fn pipeline_spec(name: &str) -> AppSpec {
+    AppSpec {
+        name: name.into(),
+        threads: 4,
+        model: ParallelismModel::Pipeline {
+            stage_threads: vec![1, 2, 1],
+            stage_work_frac: vec![0.2, 0.6, 0.2],
+            queue_capacity: 4,
+        },
+        speed: SpeedProfile::compute_bound(1.5),
+        work: WorkSource::Constant(150.0),
+        items_per_heartbeat: 1,
+        startup_work: 0.0,
+        serial_frac: 0.0,
+        max_heartbeats: None,
+    }
+}
+
+#[test]
+fn three_models_coexist() {
+    let mut e = engine();
+    let dp = e.add_app(AppSpec::data_parallel("dp", 4, 400.0)).unwrap();
+    let pipe = e.add_app(pipeline_spec("pipe")).unwrap();
+    let mut duty = AppSpec::data_parallel("duty", 2, 1.0);
+    duty.model = ParallelismModel::DutyCycle {
+        duty: 0.5,
+        period_ns: 1_000_000,
+    };
+    let spin = e.add_app(duty).unwrap();
+    e.run_until(secs_to_ns(3.0));
+    assert!(e.app_heartbeats(dp) > 0, "barrier app stalled");
+    assert!(e.app_heartbeats(pipe) > 0, "pipeline stalled");
+    assert_eq!(e.app_heartbeats(spin), 0, "duty cycle emits no heartbeats");
+    assert!(e.energy().total_joules() > 0.0);
+}
+
+#[test]
+fn per_app_budgets_are_independent() {
+    let mut e = engine();
+    let mut a = AppSpec::data_parallel("a", 2, 100.0);
+    a.max_heartbeats = Some(10);
+    let mut b = AppSpec::data_parallel("b", 2, 100.0);
+    b.max_heartbeats = Some(50);
+    let ida = e.add_app(a).unwrap();
+    let idb = e.add_app(b).unwrap();
+    e.run_while_active(secs_to_ns(60.0));
+    assert_eq!(e.app_heartbeats(ida), 10);
+    assert_eq!(e.app_heartbeats(idb), 50);
+    assert!(e.all_done());
+}
+
+#[test]
+fn partitioned_apps_do_not_interfere() {
+    // App A pinned to big cores, app B pinned to little cores: B's
+    // rate must match its solo little-side rate exactly.
+    let solo = {
+        let mut e = engine();
+        let b = e.add_app(AppSpec::data_parallel("b", 4, 400.0)).unwrap();
+        for i in 0..4 {
+            e.set_thread_affinity(b, i, CpuSet::single(CoreId(i))).unwrap();
+        }
+        e.run_until(secs_to_ns(4.0));
+        e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec()
+    };
+    let shared = {
+        let mut e = engine();
+        let a = e.add_app(AppSpec::data_parallel("a", 4, 400.0)).unwrap();
+        let b = e.add_app(AppSpec::data_parallel("b", 4, 400.0)).unwrap();
+        for i in 0..4 {
+            e.set_thread_affinity(a, i, CpuSet::single(CoreId(4 + i))).unwrap();
+            e.set_thread_affinity(b, i, CpuSet::single(CoreId(i))).unwrap();
+        }
+        e.run_until(secs_to_ns(4.0));
+        e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec()
+    };
+    assert!(
+        (solo - shared).abs() < 0.02 * solo,
+        "partitioned co-run changed B's rate: solo {solo} vs shared {shared}"
+    );
+}
+
+#[test]
+fn cluster_freq_affects_only_that_cluster() {
+    let mut e = engine();
+    let a = e.add_app(AppSpec::data_parallel("a", 4, 400.0)).unwrap();
+    let b = e.add_app(AppSpec::data_parallel("b", 4, 400.0)).unwrap();
+    for i in 0..4 {
+        e.set_thread_affinity(a, i, CpuSet::single(CoreId(4 + i))).unwrap();
+        e.set_thread_affinity(b, i, CpuSet::single(CoreId(i))).unwrap();
+    }
+    e.run_until(secs_to_ns(2.0));
+    let rate_b_before = e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec();
+    // Throttle the big cluster: only app A may slow down.
+    e.set_cluster_freq(Cluster::Big, hmp_sim::FreqKhz::from_mhz(800)).unwrap();
+    e.run_until(secs_to_ns(4.0));
+    let rate_b_after = e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec();
+    let rate_a_after = e.monitor(a).unwrap().window_rate().unwrap().heartbeats_per_sec();
+    assert!(
+        (rate_b_after - rate_b_before).abs() < 0.02 * rate_b_before,
+        "little app caught big-cluster throttle: {rate_b_before} -> {rate_b_after}"
+    );
+    // A at 0.8 GHz vs 1.6 GHz start: roughly half its initial speed.
+    assert!(rate_a_after < 0.7 * rate_b_after * 1.5 * 2.0, "sanity");
+}
+
+#[test]
+fn startup_app_and_running_app_share_gracefully() {
+    let mut e = engine();
+    let mut late = AppSpec::data_parallel("late", 4, 400.0);
+    late.startup_work = 2_400.0; // ~1s single-threaded
+    let early = e.add_app(AppSpec::data_parallel("early", 4, 400.0)).unwrap();
+    let l = e.add_app(late).unwrap();
+    e.run_until(secs_to_ns(3.0));
+    assert!(e.app_heartbeats(early) > 0);
+    assert!(
+        e.app_heartbeats(l) > 0,
+        "late app must start emitting after its startup phase"
+    );
+    let first_late_hb = e
+        .monitor(l)
+        .unwrap()
+        .global_rate()
+        .map(|r| r.heartbeats_per_sec())
+        .unwrap_or(0.0);
+    assert!(first_late_hb > 0.0);
+}

@@ -1,0 +1,85 @@
+//! Integration tests of the engine's event trace.
+
+use hmp_sim::clock::secs_to_ns;
+use hmp_sim::{
+    AppSpec, BoardSpec, Cluster, CoreId, CpuSet, Engine, EngineConfig, FreqKhz, TraceEvent,
+};
+
+fn engine() -> Engine {
+    let cfg = EngineConfig {
+        sensor_noise: 0.0,
+        ..EngineConfig::default()
+    };
+    Engine::new(BoardSpec::odroid_xu3(), cfg)
+}
+
+#[test]
+fn trace_records_freq_changes_and_heartbeats() {
+    let mut e = engine();
+    e.enable_trace(10_000);
+    let app = e.add_app(AppSpec::data_parallel("t", 4, 400.0)).unwrap();
+    e.set_cluster_freq(Cluster::Big, FreqKhz::from_mhz(1_000)).unwrap();
+    e.run_until(secs_to_ns(1.0));
+    let trace = e.trace();
+    assert!(trace.is_enabled());
+    let freq_changes = trace
+        .events()
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::FreqChange { .. }))
+        .count();
+    assert_eq!(freq_changes, 1);
+    let heartbeats = trace
+        .events()
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::Heartbeat { .. }))
+        .count();
+    assert_eq!(heartbeats as u64, e.app_heartbeats(app));
+    // Timestamps never go backwards.
+    let times: Vec<u64> = trace.events().iter().map(|ev| ev.time_ns()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn trace_counts_gts_migrations() {
+    let mut e = engine();
+    e.enable_trace(10_000);
+    // 8 CPU-bound threads start spread 1/core; GTS packs them onto the
+    // big cluster — at least the 4 little-side threads must migrate.
+    let _ = e.add_app(AppSpec::data_parallel("t", 8, 800.0)).unwrap();
+    e.run_until(secs_to_ns(1.0));
+    assert!(
+        e.trace().migration_count() >= 4,
+        "expected up-migrations, saw {}",
+        e.trace().migration_count()
+    );
+}
+
+#[test]
+fn unchanged_frequency_is_not_an_event() {
+    let mut e = engine();
+    e.enable_trace(100);
+    let max = e.cluster_freq(Cluster::Big);
+    e.set_cluster_freq(Cluster::Big, max).unwrap();
+    assert!(e.trace().events().is_empty());
+}
+
+#[test]
+fn pinned_threads_produce_no_migrations() {
+    let mut e = engine();
+    e.enable_trace(10_000);
+    let app = e.add_app(AppSpec::data_parallel("t", 4, 400.0)).unwrap();
+    for i in 0..4 {
+        e.set_thread_affinity(app, i, CpuSet::single(CoreId(4 + i))).unwrap();
+    }
+    e.run_until(secs_to_ns(1.0));
+    assert_eq!(e.trace().migration_count(), 0);
+}
+
+#[test]
+fn disabled_trace_is_free() {
+    let mut e = engine();
+    let _ = e.add_app(AppSpec::data_parallel("t", 8, 800.0)).unwrap();
+    e.run_until(secs_to_ns(1.0));
+    assert!(e.trace().events().is_empty());
+    assert!(!e.trace().is_enabled());
+}

@@ -1,0 +1,221 @@
+//! Per-application data (the paper's Table 4.1).
+//!
+//! Every registered self-adaptive application carries its core-ownership
+//! bitmaps (`use_b_core[]` / `use_l_core[]`), its target, its latest
+//! observed heartbeat rate, and the two freezing counts of the
+//! interference-aware adaptation.
+
+use heartbeats::{AppId, PerfTarget};
+use hmp_sim::Cluster;
+use serde::{Deserialize, Serialize};
+
+use hars_core::SystemState;
+
+/// Classification of an app's performance against its target band —
+/// the rows of Table 4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerfClass {
+    /// Below `t.min`.
+    Underperf,
+    /// Inside the band.
+    Achieve,
+    /// Above `t.max`.
+    Overperf,
+}
+
+impl PerfClass {
+    /// Classifies a rate against a target.
+    pub fn of(target: &PerfTarget, rate: f64) -> PerfClass {
+        if target.is_underperforming(rate) {
+            PerfClass::Underperf
+        } else if target.is_overperforming(rate) {
+            PerfClass::Overperf
+        } else {
+            PerfClass::Achieve
+        }
+    }
+}
+
+/// Table 4.1: the runtime manager's per-application record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppData {
+    /// The application's id.
+    pub app: AppId,
+    /// Thread count (the paper's benchmarks run with 8).
+    pub threads: usize,
+    /// The application's own performance target.
+    pub target: PerfTarget,
+    /// The app's view of its system state: owned core counts
+    /// (`nprocs_b` / `nprocs_l`) plus the shared cluster frequencies.
+    pub state: SystemState,
+    /// `use_b_core[i]`: does the app own big-cluster core `i`?
+    pub use_big: Vec<bool>,
+    /// `use_l_core[i]`: does the app own little-cluster core `i`?
+    pub use_little: Vec<bool>,
+    /// Pending core releases from the last shrink (`decBigCoreCnt`).
+    pub dec_big: usize,
+    /// Pending little-core releases (`decLittleCoreCnt`).
+    pub dec_little: usize,
+    /// Latest observed heartbeat rate (`heartbeat_rate`).
+    pub last_rate: Option<f64>,
+    /// Heartbeats to wait before the big frequency is controllable.
+    pub freezing_cnt_big: u32,
+    /// Heartbeats to wait before the little frequency is controllable.
+    pub freezing_cnt_little: u32,
+    /// `true` once the app has received its initial core allocation.
+    pub allocated: bool,
+}
+
+impl AppData {
+    /// A fresh record: no cores owned, counts zeroed.
+    pub fn new(
+        app: AppId,
+        threads: usize,
+        target: PerfTarget,
+        n_big: usize,
+        n_little: usize,
+        initial: SystemState,
+    ) -> Self {
+        Self {
+            app,
+            threads,
+            target,
+            state: initial,
+            use_big: vec![false; n_big],
+            use_little: vec![false; n_little],
+            dec_big: 0,
+            dec_little: 0,
+            last_rate: None,
+            freezing_cnt_big: 0,
+            freezing_cnt_little: 0,
+            allocated: false,
+        }
+    }
+
+    /// Number of big cores currently owned.
+    pub fn owned_big(&self) -> usize {
+        self.use_big.iter().filter(|&&u| u).count()
+    }
+
+    /// Number of little cores currently owned.
+    pub fn owned_little(&self) -> usize {
+        self.use_little.iter().filter(|&&u| u).count()
+    }
+
+    /// Cores owned in `cluster`.
+    pub fn owned(&self, cluster: Cluster) -> usize {
+        match cluster {
+            Cluster::Big => self.owned_big(),
+            Cluster::Little => self.owned_little(),
+        }
+    }
+
+    /// `true` when the app uses any core of `cluster` — i.e. shares that
+    /// cluster's frequency with whoever else uses it.
+    pub fn uses_cluster(&self, cluster: Cluster) -> bool {
+        self.owned(cluster) > 0
+    }
+
+    /// Current [`PerfClass`] from the last observed rate.
+    pub fn perf_class(&self) -> Option<PerfClass> {
+        self.last_rate.map(|r| PerfClass::of(&self.target, r))
+    }
+
+    /// Freezing count for `cluster`.
+    pub fn freezing_cnt(&self, cluster: Cluster) -> u32 {
+        match cluster {
+            Cluster::Big => self.freezing_cnt_big,
+            Cluster::Little => self.freezing_cnt_little,
+        }
+    }
+
+    /// Sets the freezing count for `cluster` (after a frequency drop).
+    pub fn set_freezing_cnt(&mut self, cluster: Cluster, count: u32) {
+        match cluster {
+            Cluster::Big => self.freezing_cnt_big = count,
+            Cluster::Little => self.freezing_cnt_little = count,
+        }
+    }
+
+    /// Algorithm 3 lines 8–11: decrement both freezing counts on a new
+    /// heartbeat.
+    pub fn tick_freezing_counts(&mut self) {
+        self.freezing_cnt_big = self.freezing_cnt_big.saturating_sub(1);
+        self.freezing_cnt_little = self.freezing_cnt_little.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_sim::FreqKhz;
+
+    fn target() -> PerfTarget {
+        PerfTarget::new(9.0, 11.0).unwrap()
+    }
+
+    fn initial() -> SystemState {
+        SystemState {
+            big_cores: 0,
+            little_cores: 0,
+            big_freq: FreqKhz::from_mhz(1_600),
+            little_freq: FreqKhz::from_mhz(1_300),
+        }
+    }
+
+    fn data() -> AppData {
+        AppData::new(AppId(0), 8, target(), 4, 4, initial())
+    }
+
+    #[test]
+    fn perf_classification() {
+        let t = target();
+        assert_eq!(PerfClass::of(&t, 5.0), PerfClass::Underperf);
+        assert_eq!(PerfClass::of(&t, 10.0), PerfClass::Achieve);
+        assert_eq!(PerfClass::of(&t, 9.0), PerfClass::Achieve);
+        assert_eq!(PerfClass::of(&t, 11.5), PerfClass::Overperf);
+    }
+
+    #[test]
+    fn fresh_record_owns_nothing() {
+        let d = data();
+        assert_eq!(d.owned_big(), 0);
+        assert_eq!(d.owned_little(), 0);
+        assert!(!d.uses_cluster(Cluster::Big));
+        assert!(d.perf_class().is_none());
+        assert!(!d.allocated);
+    }
+
+    #[test]
+    fn ownership_counting() {
+        let mut d = data();
+        d.use_big[0] = true;
+        d.use_big[3] = true;
+        d.use_little[2] = true;
+        assert_eq!(d.owned_big(), 2);
+        assert_eq!(d.owned(Cluster::Little), 1);
+        assert!(d.uses_cluster(Cluster::Big));
+    }
+
+    #[test]
+    fn freezing_count_lifecycle() {
+        let mut d = data();
+        d.set_freezing_cnt(Cluster::Big, 2);
+        assert_eq!(d.freezing_cnt(Cluster::Big), 2);
+        d.tick_freezing_counts();
+        assert_eq!(d.freezing_cnt(Cluster::Big), 1);
+        d.tick_freezing_counts();
+        d.tick_freezing_counts(); // saturates at zero
+        assert_eq!(d.freezing_cnt(Cluster::Big), 0);
+        assert_eq!(d.freezing_cnt(Cluster::Little), 0);
+    }
+
+    #[test]
+    fn perf_class_tracks_last_rate() {
+        let mut d = data();
+        d.last_rate = Some(20.0);
+        assert_eq!(d.perf_class(), Some(PerfClass::Overperf));
+        d.last_rate = Some(3.0);
+        assert_eq!(d.perf_class(), Some(PerfClass::Underperf));
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-cluster data (the paper's Table 4.2): the free-core bitmap, the
+//! frozen flag and the cluster's current frequency level.
+
+use hmp_sim::{Cluster, CoreId, FreqKhz};
+use serde::{Deserialize, Serialize};
+
+/// Table 4.2: shared cluster-level state of the resource partitioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterData {
+    /// Which cluster this record describes.
+    pub cluster: Cluster,
+    /// First board core id of this cluster (`bigStartIndex` for big).
+    pub start_core: usize,
+    /// `free_core[i]`: is core `i` of the cluster unowned?
+    pub free: Vec<bool>,
+    /// Frozen flag: a frozen cluster's frequency must not be decreased.
+    pub frozen: bool,
+    /// Current cluster frequency (`nfreq`).
+    pub freq: FreqKhz,
+}
+
+impl ClusterData {
+    /// A cluster with all `n` cores free at frequency `freq`.
+    pub fn new(cluster: Cluster, start_core: usize, n: usize, freq: FreqKhz) -> Self {
+        Self {
+            cluster,
+            start_core,
+            free: vec![true; n],
+            frozen: false,
+            freq,
+        }
+    }
+
+    /// Number of free cores.
+    pub fn free_count(&self) -> usize {
+        self.free.iter().filter(|&&f| f).count()
+    }
+
+    /// Number of cores in the cluster.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `true` when the cluster has no cores (never for real boards).
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Board-level core id of cluster-local index `i`.
+    pub fn core_id(&self, i: usize) -> CoreId {
+        CoreId(self.start_core + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cluster_is_all_free() {
+        let c = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
+        assert_eq!(c.free_count(), 4);
+        assert_eq!(c.len(), 4);
+        assert!(!c.frozen);
+        assert_eq!(c.core_id(0), CoreId(4));
+        assert_eq!(c.core_id(3), CoreId(7));
+    }
+
+    #[test]
+    fn free_count_tracks_bitmap() {
+        let mut c = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+        c.free[1] = false;
+        c.free[2] = false;
+        assert_eq!(c.free_count(), 2);
+        assert_eq!(c.core_id(1), CoreId(1));
+    }
+}

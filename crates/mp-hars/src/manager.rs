@@ -1,0 +1,611 @@
+//! The MP-HARS runtime manager — Algorithm 3 (`IterateNodes`).
+//!
+//! One manager supervises every registered application. Each application
+//! keeps its own HARS-style adaptation loop (same estimators, same
+//! search), but:
+//!
+//! * candidate core counts are capped by the cluster **free-core**
+//!   counts (resource partitioning: apps never take each other's cores);
+//! * cluster **frequency decreases** are gated by the interference-aware
+//!   rules: only allowed when every co-located application over-performs
+//!   and the cluster is not frozen; every decrease freezes the cluster
+//!   by arming freezing counts on the affected applications.
+
+use heartbeats::{AppId, PerfTarget};
+use hmp_sim::{BoardSpec, Cluster, CpuSet, FreqKhz};
+use serde::{Deserialize, Serialize};
+
+use hars_core::policy::SearchPolicy;
+use hars_core::search::{get_next_sys_state, FreqChange, SearchConstraints};
+use hars_core::sched::plan_affinities;
+use hars_core::{PerfEstimator, PowerEstimator, SchedulerKind, StateSpace, SystemState};
+
+use crate::app_data::{AppData, PerfClass};
+use crate::cluster_data::ClusterData;
+use crate::freeze::combine_others;
+use crate::partition::{get_allocatable_core_set, AllocatedCores};
+
+/// MP-HARS tunables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MpHarsConfig {
+    /// Per-app search policy (MP-HARS-I: incremental; MP-HARS-E:
+    /// exhaustive `m=4,n=4,d=7`).
+    pub policy: SearchPolicy,
+    /// Thread scheduler for realizing assignments.
+    pub scheduler: SchedulerKind,
+    /// Per-app adaptation period (heartbeats).
+    pub adapt_every: u64,
+    /// Freezing-count value armed when a cluster frequency decreases
+    /// ("number of heartbeats to wait ... to collect the performance
+    /// data of the new system state").
+    pub freeze_heartbeats: u32,
+    /// Modeled CPU cost per candidate state evaluated (ns).
+    pub cost_per_state_ns: u64,
+    /// Modeled CPU cost per heartbeat observation (ns).
+    pub cost_per_heartbeat_ns: u64,
+}
+
+impl Default for MpHarsConfig {
+    fn default() -> Self {
+        Self {
+            policy: SearchPolicy::exhaustive_default(),
+            scheduler: SchedulerKind::Chunk,
+            adapt_every: 10,
+            freeze_heartbeats: 10,
+            cost_per_state_ns: 3_000,
+            cost_per_heartbeat_ns: 500,
+        }
+    }
+}
+
+/// The paper's MP-HARS-I: incremental search with distance 1.
+pub fn mp_hars_i() -> MpHarsConfig {
+    MpHarsConfig {
+        policy: SearchPolicy::Incremental,
+        ..MpHarsConfig::default()
+    }
+}
+
+/// The paper's MP-HARS-E: exhaustive search (`m=4, n=4, d=7`).
+pub fn mp_hars_e() -> MpHarsConfig {
+    MpHarsConfig {
+        policy: SearchPolicy::exhaustive_default(),
+        ..MpHarsConfig::default()
+    }
+}
+
+/// A state change for one application: its new thread pinning plus the
+/// (shared) cluster frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpDecision {
+    /// The application this decision re-pins.
+    pub app: AppId,
+    /// Per-thread affinity masks.
+    pub affinities: Vec<CpuSet>,
+    /// Big-cluster frequency after this decision.
+    pub big_freq: FreqKhz,
+    /// Little-cluster frequency after this decision.
+    pub little_freq: FreqKhz,
+    /// Modeled decision latency (ns).
+    pub overhead_ns: u64,
+    /// Candidate states evaluated.
+    pub explored: usize,
+}
+
+/// The multi-application runtime manager.
+#[derive(Debug, Clone)]
+pub struct MpHarsManager {
+    cfg: MpHarsConfig,
+    board: BoardSpec,
+    space: StateSpace,
+    perf: PerfEstimator,
+    power: PowerEstimator,
+    apps: Vec<AppData>,
+    little: ClusterData,
+    big: ClusterData,
+    busy_ns: u64,
+    adaptations: u64,
+}
+
+impl MpHarsManager {
+    /// Creates a manager for `board`; clusters start at maximum
+    /// frequency with every core free.
+    pub fn new(
+        board: &BoardSpec,
+        perf: PerfEstimator,
+        power: PowerEstimator,
+        cfg: MpHarsConfig,
+    ) -> Self {
+        Self {
+            cfg,
+            board: board.clone(),
+            space: StateSpace::from_board(board),
+            perf,
+            power,
+            apps: Vec::new(),
+            little: ClusterData::new(
+                Cluster::Little,
+                0,
+                board.n_little,
+                board.little_ladder.max(),
+            ),
+            big: ClusterData::new(
+                Cluster::Big,
+                board.n_little,
+                board.n_big,
+                board.big_ladder.max(),
+            ),
+            busy_ns: 0,
+            adaptations: 0,
+        }
+    }
+
+    /// Registers an application. It owns no cores until its first
+    /// heartbeat triggers the initial allocation.
+    pub fn register_app(&mut self, app: AppId, threads: usize, target: PerfTarget) {
+        let initial = SystemState {
+            big_cores: 0,
+            little_cores: 0,
+            big_freq: self.big.freq,
+            little_freq: self.little.freq,
+        };
+        self.apps.push(AppData::new(
+            app,
+            threads,
+            target,
+            self.board.n_big,
+            self.board.n_little,
+            initial,
+        ));
+    }
+
+    /// Removes an application, returning its cores to the free lists.
+    pub fn unregister_app(&mut self, app: AppId) {
+        if let Some(pos) = self.apps.iter().position(|a| a.app == app) {
+            let data = self.apps.remove(pos);
+            for (i, used) in data.use_big.iter().enumerate() {
+                if *used {
+                    self.big.free[i] = true;
+                }
+            }
+            for (i, used) in data.use_little.iter().enumerate() {
+                if *used {
+                    self.little.free[i] = true;
+                }
+            }
+        }
+    }
+
+    /// Total modeled manager CPU time (ns).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// State changes applied across all applications.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// One application's current state view, if registered.
+    pub fn app_state(&self, app: AppId) -> Option<SystemState> {
+        self.apps.iter().find(|a| a.app == app).map(|a| SystemState {
+            big_freq: self.big.freq,
+            little_freq: self.little.freq,
+            ..a.state
+        })
+    }
+
+    /// An app's target band, if registered.
+    pub fn app_target(&self, app: AppId) -> Option<PerfTarget> {
+        self.apps.iter().find(|a| a.app == app).map(|a| a.target)
+    }
+
+    /// The shared frequency of `cluster`.
+    pub fn cluster_freq(&self, cluster: Cluster) -> FreqKhz {
+        match cluster {
+            Cluster::Little => self.little.freq,
+            Cluster::Big => self.big.freq,
+        }
+    }
+
+    /// Whether `cluster` is currently frozen.
+    pub fn cluster_frozen(&self, cluster: Cluster) -> bool {
+        match cluster {
+            Cluster::Little => self.little.frozen,
+            Cluster::Big => self.big.frozen,
+        }
+    }
+
+    /// Algorithm 3 for one incoming heartbeat of `app`.
+    pub fn on_heartbeat(
+        &mut self,
+        app: AppId,
+        hb_index: u64,
+        rate: Option<f64>,
+    ) -> Option<MpDecision> {
+        self.busy_ns += self.cfg.cost_per_heartbeat_ns;
+        let ai = self.apps.iter().position(|a| a.app == app)?;
+        // Lines 7–11: tick this app's freezing counts.
+        self.apps[ai].tick_freezing_counts();
+        if let Some(r) = rate {
+            self.apps[ai].last_rate = Some(r);
+        }
+        // Lines 12–15: refresh the per-cluster frozen flags.
+        self.refresh_frozen_flags();
+        // Line 16: adaptation period?
+        if !(hb_index > 0 && hb_index.is_multiple_of(self.cfg.adapt_every)) {
+            // The initial allocation happens at the very first heartbeat.
+            if hb_index == 0 && !self.apps[ai].allocated {
+                return self.initial_allocation(ai);
+            }
+            return None;
+        }
+        if !self.apps[ai].allocated {
+            return self.initial_allocation(ai);
+        }
+        let rate = rate?;
+        // Line 17: target check.
+        if !self.apps[ai].target.needs_adaptation(rate) {
+            return None;
+        }
+        // An under-performer unfreezes the clusters it depends on ("the
+        // frozen state can be unfreezed ... if the system performance
+        // needs to be increased").
+        if PerfClass::of(&self.apps[ai].target, rate) == PerfClass::Underperf {
+            for cluster in Cluster::ALL {
+                if self.apps[ai].uses_cluster(cluster) {
+                    self.unfreeze(cluster);
+                }
+            }
+        }
+        // Lines 18–19: free cores and controllable clusters.
+        let constraints = self.constraints_for(ai);
+        // Refresh the app's view of the shared frequencies.
+        self.apps[ai].state.big_freq = self.big.freq;
+        self.apps[ai].state.little_freq = self.little.freq;
+        let current = self.apps[ai].state;
+        let overperforming = rate > self.apps[ai].target.avg();
+        let params = self.cfg.policy.params_for(overperforming);
+        // Line 20: the HARS search, bounded by the constraints.
+        let outcome = get_next_sys_state(
+            &self.space,
+            &current,
+            rate,
+            self.apps[ai].threads,
+            &self.apps[ai].target,
+            params,
+            &constraints,
+            &self.perf,
+            &self.power,
+        );
+        let overhead = outcome.explored as u64 * self.cfg.cost_per_state_ns;
+        self.busy_ns += overhead;
+        if outcome.state == current {
+            return None;
+        }
+        self.adaptations += 1;
+        // Lines 21–26: allocate cores, apply frequencies, arm freezes.
+        Some(self.apply_state(ai, outcome.state, overhead, outcome.explored))
+    }
+
+    /// Initial fair-share allocation at an app's first heartbeat: claim
+    /// up to `cluster_size / live_apps` cores per cluster from the free
+    /// lists (at least one core somewhere).
+    fn initial_allocation(&mut self, ai: usize) -> Option<MpDecision> {
+        let napps = self.apps.len().max(1);
+        let want_big = (self.board.n_big / napps)
+            .min(self.big.free_count())
+            .min(self.apps[ai].threads);
+        let want_little = (self.board.n_little / napps)
+            .min(self.little.free_count())
+            .min(self.apps[ai].threads);
+        let (want_big, want_little) = if want_big + want_little == 0 {
+            // Everything is owned: fall back to one free core anywhere.
+            if self.big.free_count() > 0 {
+                (1, 0)
+            } else if self.little.free_count() > 0 {
+                (0, 1)
+            } else {
+                return None; // truly nothing free; stay GTS-scheduled
+            }
+        } else {
+            (want_big, want_little)
+        };
+        let state = SystemState {
+            big_cores: want_big,
+            little_cores: want_little,
+            big_freq: self.big.freq,
+            little_freq: self.little.freq,
+        };
+        self.apps[ai].allocated = true;
+        Some(self.apply_state(ai, state, 0, 0))
+    }
+
+    /// The search constraints for app `ai` (Algorithm 3 lines 18–19).
+    fn constraints_for(&self, ai: usize) -> SearchConstraints {
+        let app = &self.apps[ai];
+        SearchConstraints {
+            max_big_cores: app.state.big_cores + self.big.free_count(),
+            max_little_cores: app.state.little_cores + self.little.free_count(),
+            big_freq: self.freq_change_for(ai, Cluster::Big),
+            little_freq: self.freq_change_for(ai, Cluster::Little),
+        }
+    }
+
+    /// Interference-aware frequency gating for one cluster, derived from
+    /// Table 4.3: a decrease needs a unanimous over-performing domain
+    /// and an unfrozen cluster; increases are always allowed.
+    fn freq_change_for(&self, ai: usize, cluster: Cluster) -> FreqChange {
+        let frozen = self.cluster_frozen(cluster);
+        if frozen {
+            return FreqChange::IncreaseOnly;
+        }
+        let sharers: Vec<Option<PerfClass>> = self
+            .apps
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| *i != ai && a.allocated && a.uses_cluster(cluster))
+            .map(|(_, a)| a.perf_class())
+            .collect();
+        match combine_others(sharers) {
+            None | Some(PerfClass::Overperf) => FreqChange::Any,
+            _ => FreqChange::IncreaseOnly,
+        }
+    }
+
+    fn refresh_frozen_flags(&mut self) {
+        self.big.frozen = self
+            .apps
+            .iter()
+            .any(|a| a.freezing_cnt(Cluster::Big) > 0);
+        self.little.frozen = self
+            .apps
+            .iter()
+            .any(|a| a.freezing_cnt(Cluster::Little) > 0);
+    }
+
+    fn unfreeze(&mut self, cluster: Cluster) {
+        for a in &mut self.apps {
+            a.set_freezing_cnt(cluster, 0);
+        }
+        match cluster {
+            Cluster::Big => self.big.frozen = false,
+            Cluster::Little => self.little.frozen = false,
+        }
+    }
+
+    /// Applies a chosen state: partitions cores (Algorithm 4), updates
+    /// the shared frequencies, arms freezing counts on decreases
+    /// (Algorithm 3 lines 23–26), and plans the app's thread pinning.
+    fn apply_state(
+        &mut self,
+        ai: usize,
+        new_state: SystemState,
+        overhead_ns: u64,
+        explored: usize,
+    ) -> MpDecision {
+        // Pending decrements for the allocator.
+        {
+            let app = &mut self.apps[ai];
+            let owned_b = app.owned_big();
+            let owned_l = app.owned_little();
+            if new_state.big_cores < owned_b {
+                app.dec_big = owned_b - new_state.big_cores;
+            }
+            if new_state.little_cores < owned_l {
+                app.dec_little = owned_l - new_state.little_cores;
+            }
+            app.state = new_state;
+        }
+        let alloc: AllocatedCores =
+            get_allocatable_core_set(&mut self.apps[ai], &mut self.big, &mut self.little);
+        // Clamp to what was actually granted (never differs when the
+        // constraints were honored).
+        self.apps[ai].state.big_cores = alloc.big.len();
+        self.apps[ai].state.little_cores = alloc.little.len();
+        // Frequency changes are cluster-wide.
+        for (cluster, new_freq) in [
+            (Cluster::Big, new_state.big_freq),
+            (Cluster::Little, new_state.little_freq),
+        ] {
+            let cur = self.cluster_freq(cluster);
+            if new_freq == cur {
+                continue;
+            }
+            let decreased = new_freq < cur;
+            match cluster {
+                Cluster::Big => self.big.freq = new_freq,
+                Cluster::Little => self.little.freq = new_freq,
+            }
+            if decreased {
+                // Arm freezing counts on every app using the cluster.
+                let freeze = self.cfg.freeze_heartbeats;
+                for a in &mut self.apps {
+                    if a.uses_cluster(cluster) {
+                        a.set_freezing_cnt(cluster, freeze);
+                    }
+                }
+                match cluster {
+                    Cluster::Big => self.big.frozen = true,
+                    Cluster::Little => self.little.frozen = true,
+                }
+            }
+        }
+        let app = &self.apps[ai];
+        let assignment = self.perf.assignment(app.threads, &app.state);
+        let affinities =
+            plan_affinities(self.cfg.scheduler, &assignment, &alloc.big, &alloc.little);
+        MpDecision {
+            app: app.app,
+            affinities,
+            big_freq: self.big.freq,
+            little_freq: self.little.freq,
+            overhead_ns,
+            explored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hars_core::power_est::LinearCoeff;
+    use hmp_sim::FreqLadder;
+
+    fn power() -> PowerEstimator {
+        let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+        let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+        let little = (0..little_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.10 + 0.015 * i as f64,
+                beta: 0.10,
+            })
+            .collect();
+        let big = (0..big_ladder.len())
+            .map(|i| LinearCoeff {
+                alpha: 0.45 + 0.11 * i as f64,
+                beta: 0.55,
+            })
+            .collect();
+        PowerEstimator::new(little_ladder, big_ladder, little, big)
+    }
+
+    fn manager(cfg: MpHarsConfig) -> MpHarsManager {
+        let board = BoardSpec::odroid_xu3();
+        let perf = PerfEstimator::paper_default(board.base_freq);
+        MpHarsManager::new(&board, perf, power(), cfg)
+    }
+
+    fn target(lo: f64, hi: f64) -> PerfTarget {
+        PerfTarget::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn first_heartbeat_triggers_fair_initial_allocation() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let d0 = m.on_heartbeat(AppId(0), 0, None).expect("initial alloc");
+        assert_eq!(d0.affinities.len(), 8);
+        let s0 = m.app_state(AppId(0)).unwrap();
+        assert_eq!((s0.big_cores, s0.little_cores), (2, 2), "fair half share");
+        let d1 = m.on_heartbeat(AppId(1), 0, None).expect("initial alloc");
+        assert_eq!(d1.affinities.len(), 8);
+        let s1 = m.app_state(AppId(1)).unwrap();
+        assert_eq!((s1.big_cores, s1.little_cores), (2, 2));
+    }
+
+    #[test]
+    fn apps_never_share_cores() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let _ = m.on_heartbeat(AppId(1), 0, None);
+        // Drive both through many adaptations with oscillating rates.
+        for step in 1..60u64 {
+            let r0 = if step % 2 == 0 { 30.0 } else { 4.0 };
+            let r1 = if step % 3 == 0 { 25.0 } else { 6.0 };
+            let _ = m.on_heartbeat(AppId(0), step * 10, Some(r0));
+            let _ = m.on_heartbeat(AppId(1), step * 10, Some(r1));
+            // Invariant: core ownership disjoint, free lists consistent.
+            for i in 0..4 {
+                let owners: usize = m
+                    .apps
+                    .iter()
+                    .map(|a| usize::from(a.use_big[i]))
+                    .sum();
+                assert!(owners <= 1, "big core {i} shared at step {step}");
+                assert_eq!(owners == 0, m.big.free[i]);
+                let owners_l: usize = m
+                    .apps
+                    .iter()
+                    .map(|a| usize::from(a.use_little[i]))
+                    .sum();
+                assert!(owners_l <= 1);
+                assert_eq!(owners_l == 0, m.little.free[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn freq_decrease_freezes_cluster_until_counts_drain() {
+        let mut m = manager(MpHarsConfig {
+            freeze_heartbeats: 3,
+            ..mp_hars_e()
+        });
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        // Over-performing: the search will shrink, likely dropping freqs.
+        let mut decision = None;
+        for step in 1..20u64 {
+            decision = m.on_heartbeat(AppId(0), step * 10, Some(40.0));
+            if decision.is_some() {
+                break;
+            }
+        }
+        let d = decision.expect("over-performing app must adapt");
+        let dropped_big = d.big_freq < BoardSpec::odroid_xu3().big_ladder.max();
+        let dropped_little = d.little_freq < BoardSpec::odroid_xu3().little_ladder.max();
+        if dropped_big {
+            assert!(m.cluster_frozen(Cluster::Big));
+        }
+        if dropped_little {
+            assert!(m.cluster_frozen(Cluster::Little));
+        }
+        assert!(dropped_big || dropped_little || d.affinities.len() == 8);
+    }
+
+    #[test]
+    fn shared_cluster_blocks_decrease_when_other_underperforms() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let _ = m.on_heartbeat(AppId(1), 0, None);
+        // App 1 under-performs and both share both clusters (2B+2L each).
+        let _ = m.on_heartbeat(AppId(1), 10, Some(2.0));
+        // Now app 0 over-performs; it may not decrease shared freqs.
+        let fb_before = m.cluster_freq(Cluster::Big);
+        let fl_before = m.cluster_freq(Cluster::Little);
+        if let Some(d) = m.on_heartbeat(AppId(0), 10, Some(40.0)) {
+            assert!(d.big_freq >= fb_before, "big freq decreased under interference");
+            assert!(
+                d.little_freq >= fl_before,
+                "little freq decreased under interference"
+            );
+        }
+    }
+
+    #[test]
+    fn unregister_frees_cores() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        assert!(m.big.free_count() < 4 || m.little.free_count() < 4);
+        m.unregister_app(AppId(0));
+        assert_eq!(m.big.free_count(), 4);
+        assert_eq!(m.little.free_count(), 4);
+        assert!(m.app_state(AppId(0)).is_none());
+    }
+
+    #[test]
+    fn unknown_app_heartbeat_is_ignored() {
+        let mut m = manager(mp_hars_e());
+        assert!(m.on_heartbeat(AppId(7), 0, Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn growth_limited_to_free_cores() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let _ = m.on_heartbeat(AppId(1), 0, None);
+        // Starve app 0 hard: it wants to grow but only free cores are
+        // available (none: 2+2 each, 0 free).
+        let _ = m.on_heartbeat(AppId(0), 10, Some(1.0));
+        let s0 = m.app_state(AppId(0)).unwrap();
+        assert!(s0.big_cores <= 2 && s0.little_cores <= 2, "stole cores: {s0}");
+    }
+}

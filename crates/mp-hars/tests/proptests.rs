@@ -1,0 +1,143 @@
+//! Property-based tests for MP-HARS's resource partitioning and
+//! decision logic.
+
+use heartbeats::{AppId, PerfTarget};
+use proptest::prelude::*;
+
+use hars_core::SystemState;
+use hmp_sim::{Cluster, FreqKhz};
+use mp_hars::app_data::{AppData, PerfClass};
+use mp_hars::cluster_data::ClusterData;
+use mp_hars::freeze::{combine_others, decide, FreezeDecision, StateDecision};
+use mp_hars::partition::get_allocatable_core_set;
+
+fn mk_app(id: u64) -> AppData {
+    AppData::new(
+        AppId(id),
+        8,
+        PerfTarget::new(9.0, 11.0).unwrap(),
+        4,
+        4,
+        SystemState {
+            big_cores: 0,
+            little_cores: 0,
+            big_freq: FreqKhz::from_mhz(1_600),
+            little_freq: FreqKhz::from_mhz(1_300),
+        },
+    )
+}
+
+proptest! {
+    /// Partitioning invariant under arbitrary request sequences: no
+    /// core is ever owned by two apps, the free lists mirror ownership
+    /// exactly, and every grant matches the ownership bitmap.
+    #[test]
+    fn partitioning_is_always_disjoint(
+        requests in proptest::collection::vec(
+            (0usize..3, 0usize..=4, 0usize..=4),
+            1..40,
+        )
+    ) {
+        let mut big = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
+        let mut little = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+        let mut apps: Vec<AppData> = (0..3).map(|i| mk_app(i)).collect();
+        for (idx, want_b, want_l) in requests {
+            {
+                let app = &mut apps[idx];
+                let owned_b = app.owned_big();
+                let owned_l = app.owned_little();
+                if want_b < owned_b {
+                    app.dec_big = owned_b - want_b;
+                }
+                if want_l < owned_l {
+                    app.dec_little = owned_l - want_l;
+                }
+                app.state.big_cores = want_b;
+                app.state.little_cores = want_l;
+            }
+            let alloc = get_allocatable_core_set(&mut apps[idx], &mut big, &mut little);
+            // Grant matches ownership.
+            prop_assert_eq!(alloc.big.len(), apps[idx].owned_big());
+            prop_assert_eq!(alloc.little.len(), apps[idx].owned_little());
+            // Global disjointness + free-list consistency.
+            for i in 0..4 {
+                let owners_b = apps.iter().filter(|a| a.use_big[i]).count();
+                prop_assert!(owners_b <= 1);
+                prop_assert_eq!(owners_b == 0, big.free[i]);
+                let owners_l = apps.iter().filter(|a| a.use_little[i]).count();
+                prop_assert!(owners_l <= 1);
+                prop_assert_eq!(owners_l == 0, little.free[i]);
+            }
+        }
+    }
+
+    /// Shrinking by decrement always releases exactly the decrement.
+    #[test]
+    fn decrement_releases_exactly(
+        initial in 1usize..=4,
+        dec in 1usize..=4,
+    ) {
+        prop_assume!(dec <= initial);
+        let mut big = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
+        let mut little = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+        let mut app = mk_app(0);
+        app.state.big_cores = initial;
+        let _ = get_allocatable_core_set(&mut app, &mut big, &mut little);
+        prop_assert_eq!(app.owned_big(), initial);
+        app.state.big_cores = initial - dec;
+        app.dec_big = dec;
+        let alloc = get_allocatable_core_set(&mut app, &mut big, &mut little);
+        prop_assert_eq!(alloc.big.len(), initial - dec);
+        prop_assert_eq!(big.free_count(), 4 - (initial - dec));
+    }
+
+    /// Decision-table safety invariants hold for every input, not just
+    /// the tabulated rows: decreases need unanimity and no freeze, and
+    /// any decrease freezes.
+    #[test]
+    fn decision_table_safety(
+        app_c in 0usize..3,
+        others_c in 0usize..4,
+        frozen in proptest::bool::ANY,
+    ) {
+        let classes = [PerfClass::Underperf, PerfClass::Achieve, PerfClass::Overperf];
+        let app = classes[app_c];
+        let others = if others_c == 3 { None } else { Some(classes[others_c]) };
+        let (s, f) = decide(app, others, frozen);
+        if s == StateDecision::Dec {
+            prop_assert_eq!(app, PerfClass::Overperf);
+            prop_assert!(others.is_none() || others == Some(PerfClass::Overperf));
+            prop_assert!(!frozen);
+            prop_assert_eq!(f, FreezeDecision::Freeze);
+        }
+        if app == PerfClass::Underperf {
+            prop_assert_eq!(s, StateDecision::Inc);
+        }
+        if app == PerfClass::Achieve {
+            prop_assert_eq!(s, StateDecision::Keep);
+        }
+        // Unfreeze only happens for under-performers.
+        if f == FreezeDecision::Unfreeze {
+            prop_assert_eq!(app, PerfClass::Underperf);
+        }
+    }
+
+    /// combine_others is order-independent and worst-case dominated.
+    #[test]
+    fn combine_others_is_commutative(perm in proptest::collection::vec(0usize..4, 0..6)) {
+        let classes = [
+            None,
+            Some(PerfClass::Underperf),
+            Some(PerfClass::Achieve),
+            Some(PerfClass::Overperf),
+        ];
+        let items: Vec<Option<PerfClass>> = perm.iter().map(|&i| classes[i]).collect();
+        let mut reversed = items.clone();
+        reversed.reverse();
+        prop_assert_eq!(combine_others(items.clone()), combine_others(reversed));
+        // Any under-performer dominates.
+        if items.contains(&Some(PerfClass::Underperf)) {
+            prop_assert_eq!(combine_others(items), Some(PerfClass::Underperf));
+        }
+    }
+}

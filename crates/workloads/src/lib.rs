@@ -1,0 +1,26 @@
+//! # workloads — synthetic PARSEC analogs for the HMP simulator
+//!
+//! The HARS paper evaluates on six PARSEC benchmarks running natively on
+//! an ODROID-XU3. This crate builds [`hmp_sim::AppSpec`]s that reproduce
+//! the traits those benchmarks exhibit *as seen by HARS* — parallel
+//! structure, big/little speedup ratio, frequency sensitivity, workload
+//! variation, heartbeat cadence — so every effect analyzed in the
+//! paper's Chapter 5 has a concrete cause in the workload model.
+//!
+//! ```
+//! use workloads::Benchmark;
+//!
+//! // The paper's configuration: every benchmark with 8 threads.
+//! let spec = Benchmark::Ferret.spec(8, 42);
+//! assert_eq!(spec.name, "ferret");
+//! assert_eq!(spec.n_stages(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod parsec;
+pub mod variation;
+
+pub use parsec::{ferret_stage_threads, Benchmark};
+pub use variation::{Phase, VariationSpec};

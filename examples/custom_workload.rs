@@ -1,0 +1,94 @@
+//! Building a custom self-adaptive application from scratch: a
+//! phase-structured, memory-bound workload with an Amdahl serial
+//! section, run under HARS-EI.
+//!
+//! This is the downstream-user path: you are not limited to the six
+//! PARSEC analogs — any `AppSpec` works.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use hars::hars_core::calibrate::run_power_calibration;
+use hars::hars_core::policy::hars_ei;
+use hars::prelude::*;
+use hars::workloads::{Phase, VariationSpec};
+use hmp_sim::WorkSource;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload with a 3:1 phase pattern (think: video frames with
+    //    a heavy key frame every fourth) and 5% noise.
+    let schedule = VariationSpec {
+        base_work: 500.0,
+        noise_cv: 0.05,
+        phases: vec![Phase::new(1.0, 3), Phase::new(1.8, 1)],
+        len: 256,
+        seed: 2024,
+    }
+    .generate();
+
+    // 2. The application: 6 threads, moderately memory-bound, big cores
+    //    only 1.3x faster, 8% serial section.
+    let spec = AppSpec {
+        name: "transcode".into(),
+        threads: 6,
+        model: hmp_sim::ParallelismModel::DataParallel,
+        speed: SpeedProfile {
+            big_little_ratio: 1.3,
+            mem_bound_frac: 0.4,
+        },
+        work: WorkSource::Schedule(schedule),
+        items_per_heartbeat: 1,
+        startup_work: 0.0,
+        serial_frac: 0.08,
+        max_heartbeats: Some(400),
+    };
+
+    let board = BoardSpec::odroid_xu3();
+    println!("calibrating power model...");
+    let power =
+        run_power_calibration(&board, &EngineConfig::default(), &CalibrationConfig::default())?;
+    let perf = PerfEstimator::paper_default(board.base_freq);
+
+    // 3. Measure its max rate, target 60% of it.
+    let mut engine = Engine::new(board.clone(), EngineConfig::default());
+    let app = engine.add_app(spec.clone())?;
+    engine.run_while_active(120_000_000_000);
+    let max = engine
+        .monitor(app)?
+        .global_rate()
+        .expect("heartbeats observed")
+        .heartbeats_per_sec();
+    let target = PerfTarget::from_center(0.6 * max, 0.10)?;
+    println!("max {max:.2} hb/s -> target {target}");
+
+    // 4. Run under HARS-EI with the ratio-learning extension (our app's
+    //    true ratio of 1.3 differs from the assumed 1.5).
+    let mut engine = Engine::new(board.clone(), EngineConfig::default());
+    let app = engine.add_app(spec)?;
+    let mut manager = RuntimeManager::new(
+        &board,
+        target,
+        perf,
+        power,
+        6,
+        HarsConfig {
+            ratio_learning: true,
+            ..HarsConfig::from_variant(hars_ei())
+        },
+    );
+    let out =
+        hars::hars_core::run_single_app(&mut engine, app, &mut manager, 240_000_000_000, false)?;
+    println!(
+        "HARS-EI: {:.2} hb/s at {:.2} W (norm perf {:.3}), settled at {}",
+        out.avg_rate,
+        out.avg_watts,
+        out.norm_perf,
+        manager.state()
+    );
+    println!(
+        "ratio learning refined r0: 1.50 -> {:.2} (true 1.30)",
+        manager.assumed_ratio()
+    );
+    Ok(())
+}

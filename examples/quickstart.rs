@@ -1,0 +1,60 @@
+//! Quickstart: run one self-adaptive application under HARS-E on the
+//! simulated ODROID-XU3 and watch it settle on an efficient state.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hars::hars_core::calibrate::run_power_calibration;
+use hars::hars_core::policy::hars_e;
+use hars::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = BoardSpec::odroid_xu3();
+    println!("board: {}", board.name);
+
+    // 1. Calibrate the power estimator from the microbenchmark sweep —
+    //    the offline step HARS performs once per board.
+    println!("calibrating power model...");
+    let cal = CalibrationConfig::default();
+    let power = run_power_calibration(&board, &EngineConfig::default(), &cal)?;
+    let perf = PerfEstimator::paper_default(board.base_freq);
+
+    // 2. Measure the app's maximum achievable performance (baseline).
+    let bench = Benchmark::Bodytrack;
+    let mut engine = Engine::new(board.clone(), EngineConfig::default());
+    let app = engine.add_app(bench.spec_with_budget(8, 42, 150))?;
+    engine.run_while_active(60_000_000_000);
+    let max_rate = engine
+        .monitor(app)?
+        .global_rate()
+        .expect("baseline produced heartbeats")
+        .heartbeats_per_sec();
+    let base_watts = engine.energy().average_power();
+    println!(
+        "baseline: {max_rate:.2} hb/s at {base_watts:.2} W (all cores, max frequencies)"
+    );
+
+    // 3. Declare the paper's default target: 50% ± 5% of the maximum.
+    let target = PerfTarget::new(0.45 * max_rate, 0.55 * max_rate)?;
+    println!("target band: {target}");
+
+    // 4. Run the same application under the HARS-E runtime manager.
+    let mut engine = Engine::new(board.clone(), EngineConfig::default());
+    let app = engine.add_app(bench.spec_with_budget(8, 42, 400))?;
+    let mut manager =
+        RuntimeManager::new(&board, target, perf, power, 8, HarsConfig::from_variant(hars_e()));
+    let out = run_single_app(&mut engine, app, &mut manager, 240_000_000_000, false)?;
+
+    println!(
+        "HARS-E:   {:.2} hb/s at {:.2} W  (normalized perf {:.3}, {} adaptations)",
+        out.avg_rate, out.avg_watts, out.norm_perf, out.adaptations
+    );
+    println!("settled state: {}", manager.state());
+    println!(
+        "power saved vs baseline: {:.0}%  |  perf/watt gain: {:.2}x",
+        100.0 * (1.0 - out.avg_watts / base_watts),
+        (out.norm_perf / out.avg_watts) / (1.0 / base_watts)
+    );
+    Ok(())
+}
