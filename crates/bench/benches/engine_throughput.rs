@@ -37,33 +37,29 @@ fn bench_engine_virtual_second(c: &mut Criterion) {
 /// The Algorithm 4 core allocator under churn.
 fn bench_partition_allocator(c: &mut Criterion) {
     use hars_core::SystemState;
-    use hmp_sim::{Cluster, FreqKhz};
+    use hmp_sim::{ClusterId, FreqKhz};
     use mp_hars::cluster_data::ClusterData;
     use mp_hars::partition::get_allocatable_core_set;
     use mp_hars::AppData;
 
     c.bench_function("partition_allocate_cycle", |b| {
         b.iter(|| {
-            let mut big = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
-            let mut little = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+            let mut clusters = vec![
+                ClusterData::new(ClusterId::LITTLE, 0, 4, FreqKhz::from_mhz(1_300)),
+                ClusterData::new(ClusterId::BIG, 4, 4, FreqKhz::from_mhz(1_600)),
+            ];
             let mut app = AppData::new(
                 AppId(0),
                 8,
                 PerfTarget::new(9.0, 11.0).unwrap(),
-                4,
-                4,
-                SystemState {
-                    big_cores: 3,
-                    little_cores: 2,
-                    big_freq: FreqKhz::from_mhz(1_600),
-                    little_freq: FreqKhz::from_mhz(1_300),
-                },
+                &[4, 4],
+                SystemState::big_little(3, 2, FreqKhz::from_mhz(1_600), FreqKhz::from_mhz(1_300)),
             );
-            let a1 = get_allocatable_core_set(&mut app, &mut big, &mut little);
-            app.state.big_cores = 1;
-            app.dec_big = 2;
-            app.state.little_cores = 4;
-            let a2 = get_allocatable_core_set(&mut app, &mut big, &mut little);
+            let a1 = get_allocatable_core_set(&mut app, &mut clusters);
+            app.state.set_cores(ClusterId::BIG, 1);
+            app.dec[ClusterId::BIG.index()] = 2;
+            app.state.set_cores(ClusterId::LITTLE, 4);
+            let a2 = get_allocatable_core_set(&mut app, &mut clusters);
             black_box((a1, a2))
         })
     });
@@ -79,7 +75,11 @@ fn bench_cons_decision(c: &mut Criterion) {
         let mut hb = 0u64;
         b.iter(|| {
             hb += 10;
-            black_box(m.on_heartbeat(AppId(0), hb, Some(if hb % 20 == 0 { 30.0 } else { 2.0 })))
+            black_box(m.on_heartbeat(
+                AppId(0),
+                hb,
+                Some(if hb.is_multiple_of(20) { 30.0 } else { 2.0 }),
+            ))
         })
     });
 }

@@ -30,12 +30,7 @@ fn test_power() -> PowerEstimator {
 }
 
 fn mid_state() -> SystemState {
-    SystemState {
-        big_cores: 2,
-        little_cores: 2,
-        big_freq: FreqKhz::from_mhz(1_200),
-        little_freq: FreqKhz::from_mhz(1_000),
-    }
+    SystemState::big_little(2, 2, FreqKhz::from_mhz(1_200), FreqKhz::from_mhz(1_000))
 }
 
 /// Figure 5.3(b)'s x-axis: search cost at d = 1, 3, 5, 7, 9.
@@ -104,12 +99,7 @@ fn bench_candidate_eval(c: &mut Criterion) {
     let perf = PerfEstimator::paper_default(board.base_freq);
     let power = test_power();
     let cur = mid_state();
-    let cand = SystemState {
-        big_cores: 3,
-        little_cores: 1,
-        big_freq: FreqKhz::from_mhz(1_000),
-        little_freq: FreqKhz::from_mhz(1_300),
-    };
+    let cand = SystemState::big_little(3, 1, FreqKhz::from_mhz(1_000), FreqKhz::from_mhz(1_300));
     c.bench_function("evaluate_one_candidate", |b| {
         b.iter(|| {
             evaluate_state(

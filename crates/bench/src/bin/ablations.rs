@@ -50,7 +50,11 @@ fn run_with(
 fn main() {
     let scales = parse_args();
     eprintln!("ablations: calibrating power model...");
-    let lab = if scales.quick { Lab::quick() } else { Lab::new() };
+    let lab = if scales.quick {
+        Lab::quick()
+    } else {
+        Lab::new()
+    };
     let scale = scales.single;
 
     // --- Ablation 1 & 3: blackscholes, the mis-modeled benchmark. ---
@@ -112,10 +116,20 @@ fn main() {
     for bench in Benchmark::ALL {
         let max = measure_max_rate(&lab, bench, 8, seed_for(bench));
         let target = target_for(max, 0.5);
-        let (_, pp_chunk) =
-            run_with(&lab, bench, &target, &scale, HarsConfig::from_variant(hars_e()));
-        let (_, pp_il) =
-            run_with(&lab, bench, &target, &scale, HarsConfig::from_variant(hars_ei()));
+        let (_, pp_chunk) = run_with(
+            &lab,
+            bench,
+            &target,
+            &scale,
+            HarsConfig::from_variant(hars_e()),
+        );
+        let (_, pp_il) = run_with(
+            &lab,
+            bench,
+            &target,
+            &scale,
+            HarsConfig::from_variant(hars_ei()),
+        );
         rows.push((
             bench.abbrev().to_string(),
             vec![pp_chunk, pp_il, pp_il / pp_chunk],

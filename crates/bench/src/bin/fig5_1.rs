@@ -12,7 +12,11 @@ fn main() {
         "fig5_1: calibrating power model ({} mode)...",
         if scales.quick { "quick" } else { "full" }
     );
-    let lab = if scales.quick { Lab::quick() } else { Lab::new() };
+    let lab = if scales.quick {
+        Lab::quick()
+    } else {
+        Lab::new()
+    };
     eprintln!("fig5_1: running 6 benchmarks x 5 versions...");
     let fig = figure_perf_per_watt(&lab, 0.50, &scales.single);
     let mut rows = fig.rows.clone();

@@ -12,19 +12,18 @@ fn main() {
         "fig5_3: calibrating power model ({} mode)...",
         if scales.quick { "quick" } else { "full" }
     );
-    let lab = if scales.quick { Lab::quick() } else { Lab::new() };
+    let lab = if scales.quick {
+        Lab::quick()
+    } else {
+        Lab::new()
+    };
     eprintln!("fig5_3: sweeping d in {{1,3,5,7,9}} x 6 benchmarks x 2 targets...");
     let fig = figure_distance_sweep(&lab, &scales.single);
     let rows_a: Vec<(String, Vec<f64>)> = fig
         .distances
         .iter()
         .enumerate()
-        .map(|(i, d)| {
-            (
-                format!("d={d}"),
-                vec![fig.pp_default[i], fig.pp_high[i]],
-            )
-        })
+        .map(|(i, d)| (format!("d={d}"), vec![fig.pp_default[i], fig.pp_high[i]]))
         .collect();
     println!(
         "{}",
@@ -38,12 +37,7 @@ fn main() {
         .distances
         .iter()
         .enumerate()
-        .map(|(i, d)| {
-            (
-                format!("d={d}"),
-                vec![fig.cpu_default[i], fig.cpu_high[i]],
-            )
-        })
+        .map(|(i, d)| (format!("d={d}"), vec![fig.cpu_default[i], fig.cpu_high[i]]))
         .collect();
     println!(
         "{}",

@@ -11,7 +11,11 @@ fn main() {
         "fig5_4: calibrating power model ({} mode)...",
         if scales.quick { "quick" } else { "full" }
     );
-    let lab = if scales.quick { Lab::quick() } else { Lab::new() };
+    let lab = if scales.quick {
+        Lab::quick()
+    } else {
+        Lab::new()
+    };
     eprintln!("fig5_4: running 6 cases x 4 versions...");
     let fig = figure_multi_app(&lab, &scales.multi);
     let mut rows = fig.rows.clone();

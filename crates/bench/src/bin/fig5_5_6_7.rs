@@ -14,10 +14,10 @@ fn trace_rows(samples: &[BehaviorSample]) -> Vec<(String, Vec<f64>)> {
                 s.hb_index.to_string(),
                 vec![
                     s.rate.unwrap_or(0.0),
-                    s.big_cores as f64,
-                    s.little_cores as f64,
-                    s.big_freq.ghz(),
-                    s.little_freq.ghz(),
+                    s.big_cores() as f64,
+                    s.little_cores() as f64,
+                    s.big_freq().ghz(),
+                    s.little_freq().ghz(),
                 ],
             )
         })
@@ -35,12 +35,13 @@ fn summarize(label: &str, samples: &[BehaviorSample], band: (f64, f64)) {
         .filter(|r| **r >= band.0 && **r <= band.1)
         .count();
     let mean_b: f64 =
-        samples.iter().map(|s| s.big_cores as f64).sum::<f64>() / samples.len() as f64;
+        samples.iter().map(|s| s.big_cores() as f64).sum::<f64>() / samples.len() as f64;
     let mean_l: f64 =
-        samples.iter().map(|s| s.little_cores as f64).sum::<f64>() / samples.len() as f64;
-    let mean_fb: f64 = samples.iter().map(|s| s.big_freq.ghz()).sum::<f64>() / samples.len() as f64;
+        samples.iter().map(|s| s.little_cores() as f64).sum::<f64>() / samples.len() as f64;
+    let mean_fb: f64 =
+        samples.iter().map(|s| s.big_freq().ghz()).sum::<f64>() / samples.len() as f64;
     let mean_fl: f64 =
-        samples.iter().map(|s| s.little_freq.ghz()).sum::<f64>() / samples.len() as f64;
+        samples.iter().map(|s| s.little_freq().ghz()).sum::<f64>() / samples.len() as f64;
     println!(
         "{label}: {} heartbeats, {:.0}% in target band [{:.2}, {:.2}], \
          avg {:.2} big cores @ {:.2} GHz, {:.2} little cores @ {:.2} GHz",
@@ -61,13 +62,24 @@ fn main() {
         "fig5_5_6_7: calibrating power model ({} mode)...",
         if scales.quick { "quick" } else { "full" }
     );
-    let lab = if scales.quick { Lab::quick() } else { Lab::new() };
+    let lab = if scales.quick {
+        Lab::quick()
+    } else {
+        Lab::new()
+    };
     let versions = [
         (MpVersionKind::ConsI, "fig5_5"),
         (MpVersionKind::MpHarsI, "fig5_6"),
         (MpVersionKind::MpHarsE, "fig5_7"),
     ];
-    let headers = ["hb_index", "hps", "b_core", "l_core", "b_freq_ghz", "l_freq_ghz"];
+    let headers = [
+        "hb_index",
+        "hps",
+        "b_core",
+        "l_core",
+        "b_freq_ghz",
+        "l_freq_ghz",
+    ];
     for (kind, figure) in versions {
         eprintln!("{figure}: tracing case 4 under {}...", kind.label());
         let traces = behavior_trace(&lab, kind, &scales.multi);
@@ -78,10 +90,7 @@ fn main() {
         summarize("  bodytrack   ", &traces.bodytrack, traces.targets[0]);
         summarize("  fluidanimate", &traces.fluidanimate, traces.targets[1]);
         let dir = results_dir();
-        for (app_label, samples) in [
-            ("bo", &traces.bodytrack),
-            ("fl", &traces.fluidanimate),
-        ] {
+        for (app_label, samples) in [("bo", &traces.bodytrack), ("fl", &traces.fluidanimate)] {
             let rows = trace_rows(samples);
             let path = dir.join(format!("{figure}_{app_label}.csv"));
             if let Err(e) = write_csv(&path, &headers, &rows) {
@@ -116,7 +125,10 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &format!("  fluidanimate excerpt under {} (every 50th heartbeat)", traces.version),
+                &format!(
+                    "  fluidanimate excerpt under {} (every 50th heartbeat)",
+                    traces.version
+                ),
                 &headers,
                 &excerpt,
             )

@@ -49,7 +49,10 @@ fn main() {
             }
             "--target" => {
                 i += 1;
-                target_frac = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                target_frac = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 if !(0.05..=0.95).contains(&target_frac) {
                     eprintln!("target fraction must be in [0.05, 0.95]");
                     std::process::exit(2);
@@ -57,7 +60,11 @@ fn main() {
             }
             "--budget" => {
                 i += 1;
-                budget = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                budget = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--quick" | "-q" => quick = true,
             other => {
@@ -67,7 +74,11 @@ fn main() {
         }
         i += 1;
     }
-    let mut scale = if quick { RunScale::quick() } else { RunScale::full() };
+    let mut scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
     if let Some(b) = budget {
         scale.hb_budget = b;
     }

@@ -26,7 +26,11 @@ fn main() {
         };
         println!(
             "{:>3}  {:>4}  {:>4}  {:>5}  {:>5}   {regime}",
-            t, a.big_threads, a.little_threads, a.used_big, a.used_little
+            t,
+            a.big_threads(),
+            a.little_threads(),
+            a.used_big(),
+            a.used_little()
         );
     }
     println!("\nWith per-cluster DVFS the ratio shifts: r = r0 * (f_B / f_L).");
@@ -35,7 +39,11 @@ fn main() {
         let a = assign_threads(t, cb, cl, 0.92);
         println!(
             "T = {:>2}: T_B = {}, T_L = {}, C_B,U = {}, C_L,U = {}",
-            t, a.big_threads, a.little_threads, a.used_big, a.used_little
+            t,
+            a.big_threads(),
+            a.little_threads(),
+            a.used_big(),
+            a.used_little()
         );
     }
 }

@@ -35,7 +35,11 @@ fn main() {
         "AppInPeriod", "TheOthers", "FrozenState", "StateDecision", "FreezeDecision"
     );
     println!("{}", "-".repeat(60));
-    let classes = [PerfClass::Underperf, PerfClass::Achieve, PerfClass::Overperf];
+    let classes = [
+        PerfClass::Underperf,
+        PerfClass::Achieve,
+        PerfClass::Overperf,
+    ];
     for app in classes {
         for others in classes {
             for frozen in [true, false] {

@@ -37,10 +37,7 @@ pub fn figure_perf_per_watt(lab: &Lab, target_frac: f64, scale: &RunScale) -> Fi
             .map(|v| run_version(lab, bench, *v, &target, scale, false))
             .collect();
         let base_pp = results[0].perf_per_watt.max(1e-12);
-        let normalized: Vec<f64> = results
-            .iter()
-            .map(|r| r.perf_per_watt / base_pp)
-            .collect();
+        let normalized: Vec<f64> = results.iter().map(|r| r.perf_per_watt / base_pp).collect();
         for (i, v) in normalized.iter().enumerate() {
             per_version[i].push(*v);
         }
@@ -188,7 +185,12 @@ mod tests {
         scale.oracle_stride = 4;
         scale.oracle_hb_budget = 25;
         // One benchmark, two versions, to keep CI fast.
-        let max = measure_max_rate(&lab, Benchmark::Swaptions, 8, seed_for(Benchmark::Swaptions));
+        let max = measure_max_rate(
+            &lab,
+            Benchmark::Swaptions,
+            8,
+            seed_for(Benchmark::Swaptions),
+        );
         let target = target_for(max, 0.5);
         let base = run_version(
             &lab,

@@ -13,12 +13,12 @@ use crate::setup::{measure_max_rate, seed_for, target_for, Lab};
 
 /// The six benchmark pairings of Figure 5.4, in case order.
 pub const CASES: [(Benchmark, Benchmark); 6] = [
-    (Benchmark::Bodytrack, Benchmark::Swaptions),     // case 1
-    (Benchmark::Blackscholes, Benchmark::Swaptions),  // case 2
+    (Benchmark::Bodytrack, Benchmark::Swaptions), // case 1
+    (Benchmark::Blackscholes, Benchmark::Swaptions), // case 2
     (Benchmark::Fluidanimate, Benchmark::Blackscholes), // case 3
-    (Benchmark::Bodytrack, Benchmark::Fluidanimate),  // case 4
-    (Benchmark::Fluidanimate, Benchmark::Swaptions),  // case 5
-    (Benchmark::Bodytrack, Benchmark::Blackscholes),  // case 6
+    (Benchmark::Bodytrack, Benchmark::Fluidanimate), // case 4
+    (Benchmark::Fluidanimate, Benchmark::Swaptions), // case 5
+    (Benchmark::Bodytrack, Benchmark::Blackscholes), // case 6
 ];
 
 /// The four versions of Figure 5.4.
@@ -165,15 +165,9 @@ mod tests {
     fn case_list_matches_paper() {
         assert_eq!(CASES.len(), 6);
         // Case 4 is BO + FL (the behavior-graph case).
-        assert_eq!(
-            CASES[3],
-            (Benchmark::Bodytrack, Benchmark::Fluidanimate)
-        );
+        assert_eq!(CASES[3], (Benchmark::Bodytrack, Benchmark::Fluidanimate));
         // Case 6 is BO + BL (the late-heartbeat case).
-        assert_eq!(
-            CASES[5],
-            (Benchmark::Bodytrack, Benchmark::Blackscholes)
-        );
+        assert_eq!(CASES[5], (Benchmark::Bodytrack, Benchmark::Blackscholes));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use heartbeats::PerfTarget;
 use hmp_sim::clock::secs_to_ns;
-use hmp_sim::{Action, AppId, Cluster, Engine};
+use hmp_sim::{Action, AppId, Engine};
 use serde::{Deserialize, Serialize};
 
 use hars_core::driver::{run_single_app, BehaviorSample};
@@ -138,15 +138,39 @@ pub fn run_version(
     match version {
         Version::Baseline => {
             let state = StateSpace::from_board(&lab.board).max_state();
-            run_static(lab, bench, &state, target, scale.hb_budget, scale.deadline_secs, version)
+            run_static(
+                lab,
+                bench,
+                &state,
+                target,
+                scale.hb_budget,
+                scale.deadline_secs,
+                version,
+            )
         }
         Version::StaticOptimal => {
             let state = find_static_optimal(lab, bench, target, scale);
-            run_static(lab, bench, &state, target, scale.hb_budget, scale.deadline_secs, version)
+            run_static(
+                lab,
+                bench,
+                &state,
+                target,
+                scale.hb_budget,
+                scale.deadline_secs,
+                version,
+            )
         }
         Version::HarsI | Version::HarsE | Version::HarsEI => {
             let variant = version.hars_variant().expect("hars versions have variants");
-            run_hars(lab, bench, variant, target, scale, record_trace, version.label())
+            run_hars(
+                lab,
+                bench,
+                variant,
+                target,
+                scale,
+                record_trace,
+                version.label(),
+            )
         }
     }
 }
@@ -258,16 +282,22 @@ fn run_static(
 /// frequencies set, every thread's affinity limited to the state's core
 /// set, GTS scheduling within it.
 fn apply_static_state(engine: &mut Engine, app: AppId, state: &SystemState) {
-    engine
-        .set_cluster_freq(Cluster::Big, state.big_freq)
-        .expect("ladder state");
-    engine
-        .set_cluster_freq(Cluster::Little, state.little_freq)
-        .expect("ladder state");
+    for (cluster, _, freq) in state.iter().rev() {
+        engine
+            .set_cluster_freq(cluster, freq)
+            .expect("ladder state");
+    }
     let mask = allowed_core_set(engine.board(), state);
     for thread in 0..engine.app_threads(app) {
         engine
-            .schedule_action(0, Action::SetThreadAffinity { app, thread, affinity: mask })
+            .schedule_action(
+                0,
+                Action::SetThreadAffinity {
+                    app,
+                    thread,
+                    affinity: mask,
+                },
+            )
             .expect("valid affinity");
     }
 }
@@ -285,20 +315,16 @@ pub fn find_static_optimal(
     // band's lower edge relative to its center.
     let satisfy = target.min() / target.avg();
     let stride = scale.oracle_stride.max(1);
-    let big_min = lab.board.big_ladder.min();
-    let little_min = lab.board.little_ladder.min();
     let so = oracle_sweep(&space, satisfy, |state| {
-        // Stride pruning: skip off-stride frequency levels (they remain
-        // measured as "worthless" so the sweep ignores them).
-        let kb = lab.board.big_ladder.index_of(state.big_freq).unwrap_or(0);
-        let kl = lab
-            .board
-            .little_ladder
-            .index_of(state.little_freq)
-            .unwrap_or(0);
-        if (!kb.is_multiple_of(stride) && state.big_freq != big_min)
-            || (!kl.is_multiple_of(stride) && state.little_freq != little_min)
-        {
+        // Stride pruning: skip off-stride frequency levels on any
+        // cluster (they remain measured as "worthless" so the sweep
+        // ignores them).
+        let off_stride = lab.board.cluster_ids().any(|c| {
+            let ladder = lab.board.ladder(c);
+            let k = ladder.index_of(state.freq(c)).unwrap_or(0);
+            !k.is_multiple_of(stride) && state.freq(c) != ladder.min()
+        });
+        if off_stride {
             return (0.0, 0.0);
         }
         probe_state(lab, bench, state, target, scale)
@@ -340,7 +366,12 @@ mod tests {
     #[test]
     fn baseline_overperforms_and_burns_power() {
         let lab = Lab::quick();
-        let max = measure_max_rate(&lab, Benchmark::Swaptions, 8, seed_for(Benchmark::Swaptions));
+        let max = measure_max_rate(
+            &lab,
+            Benchmark::Swaptions,
+            8,
+            seed_for(Benchmark::Swaptions),
+        );
         let target = target_for(max, 0.5);
         let r = run_version(
             &lab,
@@ -357,7 +388,12 @@ mod tests {
     #[test]
     fn hars_e_beats_baseline_efficiency() {
         let lab = Lab::quick();
-        let max = measure_max_rate(&lab, Benchmark::Swaptions, 8, seed_for(Benchmark::Swaptions));
+        let max = measure_max_rate(
+            &lab,
+            Benchmark::Swaptions,
+            8,
+            seed_for(Benchmark::Swaptions),
+        );
         let target = target_for(max, 0.5);
         let scale = RunScale::quick();
         let base = run_version(

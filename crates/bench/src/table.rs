@@ -13,7 +13,9 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[(String, Vec<f64>)]) 
     let label_w = rows
         .iter()
         .map(|(l, _)| l.len())
-        .chain(std::iter::once(headers.first().map(|h| h.len()).unwrap_or(0)))
+        .chain(std::iter::once(
+            headers.first().map(|h| h.len()).unwrap_or(0),
+        ))
         .max()
         .unwrap_or(8)
         .max(4);
@@ -52,7 +54,11 @@ pub fn render_bars(title: &str, entries: &[(String, f64)], width: usize) -> Stri
         } else {
             0
         };
-        let _ = writeln!(out, "{label:<label_w$}  {:<width$}  {value:.3}", "#".repeat(n));
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {:<width$}  {value:.3}",
+            "#".repeat(n)
+        );
     }
     out
 }
@@ -62,11 +68,7 @@ pub fn render_bars(title: &str, entries: &[(String, f64)], width: usize) -> Stri
 /// # Errors
 ///
 /// Returns the underlying I/O error on filesystem failure.
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[(String, Vec<f64>)],
-) -> io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[(String, Vec<f64>)]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }

@@ -6,7 +6,7 @@
 //! frequency level) yields the α/β coefficients of equations (3.1)/(3.2).
 
 use hmp_sim::microbench::{run_calibration, CalibrationConfig, CalibrationPoint};
-use hmp_sim::{BoardSpec, Cluster, EngineConfig, SimError};
+use hmp_sim::{BoardSpec, EngineConfig, SimError};
 
 use crate::linreg::fit_line;
 use crate::power_est::{LinearCoeff, PowerEstimator};
@@ -22,41 +22,37 @@ use crate::power_est::{LinearCoeff, PowerEstimator};
 /// load points — the sweep in [`run_power_calibration`] always provides
 /// enough.
 pub fn fit_power_model(board: &BoardSpec, points: &[CalibrationPoint]) -> PowerEstimator {
-    let mut little = Vec::with_capacity(board.little_ladder.len());
-    let mut big = Vec::with_capacity(board.big_ladder.len());
-    for cluster in Cluster::ALL {
-        let ladder = board.ladder(cluster);
-        for freq in ladder.iter() {
-            let group: Vec<(f64, f64)> = points
+    let clusters = board
+        .cluster_ids()
+        .map(|cluster| {
+            let ladder = board.ladder(cluster);
+            let table = ladder
                 .iter()
-                .filter(|p| p.cluster == cluster && p.freq == freq)
-                .map(|p| (p.load_product(), p.measured_watts))
+                .map(|freq| {
+                    let group: Vec<(f64, f64)> = points
+                        .iter()
+                        .filter(|p| p.cluster == cluster && p.freq == freq)
+                        .map(|p| (p.load_product(), p.measured_watts))
+                        .collect();
+                    let (alpha, beta) = fit_line(&group).unwrap_or_else(|| {
+                        panic!(
+                            "calibration sweep must cover the {} cluster at {freq} \
+                             with at least two load points",
+                            board.cluster_name(cluster)
+                        )
+                    });
+                    LinearCoeff {
+                        // Power physically increases with load; clamp tiny
+                        // negative slopes from sensor noise.
+                        alpha: alpha.max(0.0),
+                        beta: beta.max(0.0),
+                    }
+                })
                 .collect();
-            let (alpha, beta) = fit_line(&group).unwrap_or_else(|| {
-                panic!(
-                    "calibration sweep must cover {} cluster at {freq} with \
-                     at least two load points",
-                    cluster.name()
-                )
-            });
-            let coeff = LinearCoeff {
-                // Power physically increases with load; clamp tiny
-                // negative slopes from sensor noise.
-                alpha: alpha.max(0.0),
-                beta: beta.max(0.0),
-            };
-            match cluster {
-                Cluster::Little => little.push(coeff),
-                Cluster::Big => big.push(coeff),
-            }
-        }
-    }
-    PowerEstimator::new(
-        board.little_ladder.clone(),
-        board.big_ladder.clone(),
-        little,
-        big,
-    )
+            (ladder.clone(), table)
+        })
+        .collect();
+    PowerEstimator::from_clusters(clusters)
 }
 
 /// End-to-end calibration: runs the microbenchmark sweep on a fresh
@@ -79,7 +75,7 @@ pub fn run_power_calibration(
 mod tests {
     use super::*;
     use hmp_sim::cluster_power;
-    use hmp_sim::FreqKhz;
+    use hmp_sim::{ClusterId, FreqKhz};
 
     fn quick() -> (BoardSpec, PowerEstimator) {
         let board = BoardSpec::odroid_xu3();
@@ -99,7 +95,7 @@ mod tests {
     #[test]
     fn fitted_model_tracks_truth_at_full_load() {
         let (board, est) = quick();
-        for cluster in Cluster::ALL {
+        for cluster in board.cluster_ids() {
             for freq in board.ladder(cluster).clone().iter() {
                 let n = board.cluster_size(cluster);
                 let truth = cluster_power(&board, cluster, freq, n as f64, n);
@@ -108,7 +104,7 @@ mod tests {
                 assert!(
                     err < 0.10,
                     "{} @ {freq}: fit {fit:.3} vs truth {truth:.3} ({err:.1}% err)",
-                    cluster.name()
+                    board.cluster_name(cluster)
                 );
             }
         }
@@ -118,8 +114,8 @@ mod tests {
     fn alpha_monotone_in_frequency() {
         let (board, est) = quick();
         let mut prev = 0.0;
-        for freq in board.big_ladder.clone().iter() {
-            let a = est.coeff(Cluster::Big, freq).alpha;
+        for freq in board.ladder(ClusterId::BIG).clone().iter() {
+            let a = est.coeff(ClusterId::BIG, freq).alpha;
             assert!(a >= prev, "alpha must grow with frequency");
             prev = a;
         }
@@ -128,8 +124,8 @@ mod tests {
     #[test]
     fn big_cluster_costs_more_per_core() {
         let (_, est) = quick();
-        let ab = est.coeff(Cluster::Big, FreqKhz::from_mhz(1_300)).alpha;
-        let al = est.coeff(Cluster::Little, FreqKhz::from_mhz(1_300)).alpha;
+        let ab = est.coeff(ClusterId::BIG, FreqKhz::from_mhz(1_300)).alpha;
+        let al = est.coeff(ClusterId::LITTLE, FreqKhz::from_mhz(1_300)).alpha;
         assert!(ab > 3.0 * al, "big {ab} vs little {al}");
     }
 
@@ -147,8 +143,11 @@ mod tests {
         };
         let est = run_power_calibration(&board, &cfg, &cal).unwrap();
         let f = FreqKhz::from_mhz(1_600);
-        let truth = cluster_power(&board, Cluster::Big, f, 4.0, 4);
-        let fit = est.cluster_watts(Cluster::Big, f, 4, 1.0);
-        assert!((fit - truth).abs() / truth < 0.15, "fit {fit} truth {truth}");
+        let truth = cluster_power(&board, ClusterId::BIG, f, 4.0, 4);
+        let fit = est.cluster_watts(ClusterId::BIG, f, 4, 1.0);
+        assert!(
+            (fit - truth).abs() / truth < 0.15,
+            "fit {fit} truth {truth}"
+        );
     }
 }

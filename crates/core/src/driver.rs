@@ -6,7 +6,7 @@
 //! after each decision's modeled CPU latency.
 
 use heartbeats::AppId;
-use hmp_sim::{Action, Cluster, Engine, FreqKhz, SimError};
+use hmp_sim::{Action, ClusterId, Engine, FreqKhz, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::manager::{Decision, RuntimeManager};
@@ -14,7 +14,7 @@ use crate::metrics::{normalized_performance, perf_per_watt};
 
 /// One behavior-graph sample (Figures 5.5–5.7): the state HARS holds at
 /// a heartbeat plus the observed rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BehaviorSample {
     /// Heartbeat index.
     pub hb_index: u64,
@@ -22,14 +22,41 @@ pub struct BehaviorSample {
     pub time_ns: u64,
     /// Windowed heartbeat rate (HPS), if available.
     pub rate: Option<f64>,
-    /// Allocated big cores.
-    pub big_cores: usize,
-    /// Allocated little cores.
-    pub little_cores: usize,
-    /// Big-cluster frequency.
-    pub big_freq: FreqKhz,
-    /// Little-cluster frequency.
-    pub little_freq: FreqKhz,
+    /// Allocated cores, indexed by cluster.
+    pub cores: Vec<usize>,
+    /// Cluster frequencies, indexed by cluster.
+    pub freqs: Vec<FreqKhz>,
+}
+
+impl BehaviorSample {
+    /// Allocated big cores of a two-cluster sample.
+    pub fn big_cores(&self) -> usize {
+        self.cores.get(ClusterId::BIG.index()).copied().unwrap_or(0)
+    }
+
+    /// Allocated little cores of a two-cluster sample.
+    pub fn little_cores(&self) -> usize {
+        self.cores
+            .get(ClusterId::LITTLE.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Big-cluster frequency of a two-cluster sample.
+    pub fn big_freq(&self) -> FreqKhz {
+        self.freqs
+            .get(ClusterId::BIG.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Little-cluster frequency of a two-cluster sample.
+    pub fn little_freq(&self) -> FreqKhz {
+        self.freqs
+            .get(ClusterId::LITTLE.index())
+            .copied()
+            .unwrap_or_default()
+    }
 }
 
 /// Aggregate results of one driven run.
@@ -70,20 +97,9 @@ pub fn apply_decision(
     decision: &Decision,
     at_ns: u64,
 ) -> Result<(), SimError> {
-    engine.schedule_action(
-        at_ns,
-        Action::SetClusterFreq {
-            cluster: Cluster::Big,
-            freq: decision.state.big_freq,
-        },
-    )?;
-    engine.schedule_action(
-        at_ns,
-        Action::SetClusterFreq {
-            cluster: Cluster::Little,
-            freq: decision.state.little_freq,
-        },
-    )?;
+    for (cluster, _, freq) in decision.state.iter().rev() {
+        engine.schedule_action(at_ns, Action::SetClusterFreq { cluster, freq })?;
+    }
     for (thread, &affinity) in decision.affinities.iter().enumerate() {
         engine.schedule_action(
             at_ns,
@@ -128,10 +144,8 @@ pub fn run_single_app(
                 hb_index: hb.index,
                 time_ns: hb.time_ns,
                 rate,
-                big_cores: s.big_cores,
-                little_cores: s.little_cores,
-                big_freq: s.big_freq,
-                little_freq: s.little_freq,
+                cores: s.iter().map(|(_, cores, _)| cores).collect(),
+                freqs: s.iter().map(|(_, _, freq)| freq).collect(),
             });
         }
         if let Some(decision) = manager.on_heartbeat(hb.index, rate) {
@@ -241,8 +255,7 @@ mod tests {
             8,
             HarsConfig::from_variant(hars_e()),
         );
-        let out =
-            run_single_app(&mut engine, app, &mut manager, secs_to_ns(60.0), true).unwrap();
+        let out = run_single_app(&mut engine, app, &mut manager, secs_to_ns(60.0), true).unwrap();
 
         assert!(
             out.norm_perf > 0.85,

@@ -7,15 +7,22 @@
 //!
 //! 1. **observes** the application-level heartbeat rate,
 //! 2. **decides** by searching the neighborhood of the current system
-//!    state `(C_B, C_L, f_B, f_L)` ([`search::get_next_sys_state`],
-//!    Algorithm 2) ranked by estimated normalized-performance/power
-//!    ([`PerfEstimator`], [`PowerEstimator`]),
+//!    state — per cluster, an allocated-core count and a DVFS frequency
+//!    ([`SystemState`]; the paper's big.LITTLE 4-tuple
+//!    `(C_B, C_L, f_B, f_L)` is the two-cluster case) — with
+//!    [`search::get_next_sys_state`] (Algorithm 2, swept over all `2N`
+//!    index dimensions) ranked by estimated
+//!    normalized-performance/power ([`PerfEstimator`],
+//!    [`PowerEstimator`]),
 //! 3. **acts** by setting cluster frequencies and pinning threads with
 //!    the chunk-based or interleaving scheduler ([`sched`]).
 //!
 //! The three evaluated variants are [`policy::hars_i`] (incremental),
 //! [`policy::hars_e`] (exhaustive) and [`policy::hars_ei`] (exhaustive +
 //! interleaving); [`static_optimal`] implements the offline SO baseline.
+//! Everything is cluster-count agnostic: the same manager runs the
+//! ODROID-XU3, a DynamIQ tri-cluster SoC or an x86 P/E hybrid — pick a
+//! [`hmp_sim::BoardSpec`] preset or describe your own board.
 //!
 //! ## Quickstart
 //!
@@ -27,15 +34,25 @@
 //! use hmp_sim::BoardSpec;
 //!
 //! let board = BoardSpec::odroid_xu3();
-//! // Power model normally comes from hars_core::calibrate; hand-rolled here.
-//! let coeff = |a| LinearCoeff { alpha: a, beta: 0.2 };
-//! let power = PowerEstimator::new(
-//!     board.little_ladder.clone(),
-//!     board.big_ladder.clone(),
-//!     board.little_ladder.iter().map(|_| coeff(0.15)).collect(),
-//!     board.big_ladder.iter().map(|_| coeff(0.9)).collect(),
+//! // Power model normally comes from hars_core::calibrate; hand-rolled
+//! // here: one (ladder, per-level coefficient table) pair per cluster.
+//! let power = PowerEstimator::from_clusters(
+//!     board
+//!         .cluster_ids()
+//!         .map(|c| {
+//!             let alpha = if c == hmp_sim::ClusterId::BIG { 0.9 } else { 0.15 };
+//!             let ladder = board.ladder(c).clone();
+//!             let table = ladder
+//!                 .iter()
+//!                 .map(|_| LinearCoeff { alpha, beta: 0.2 })
+//!                 .collect();
+//!             (ladder, table)
+//!         })
+//!         .collect(),
 //! );
-//! let perf = PerfEstimator::paper_default(board.base_freq);
+//! // The estimator assumes the board's nominal per-cluster ratios
+//! // (r₀ = 1.5 for the XU3 big cluster, straight from the paper).
+//! let perf = PerfEstimator::from_board(&board);
 //! let target = PerfTarget::from_center(10.0, 0.10)?;
 //! let mut manager = RuntimeManager::new(
 //!     &board, target, perf, power, 8, HarsConfig::from_variant(hars_e()),
@@ -58,8 +75,8 @@ pub mod manager;
 pub mod metrics;
 pub mod perf_est;
 pub mod policy;
-pub mod predictor;
 pub mod power_est;
+pub mod predictor;
 pub mod sched;
 pub mod search;
 pub mod state;
@@ -70,7 +87,7 @@ pub use driver::{run_single_app, BehaviorSample, RunOutcome};
 pub use manager::{Decision, HarsConfig, RuntimeManager};
 pub use perf_est::{PerfEstimator, UnitTimes};
 pub use power_est::PowerEstimator;
-pub use sched::SchedulerKind;
 pub use predictor::{Kalman1D, Predictor};
+pub use sched::SchedulerKind;
 pub use search::{FreqChange, SearchConstraints, SearchOutcome, SearchParams};
 pub use state::{StateSpace, SystemState};

@@ -38,8 +38,8 @@ pub struct HarsConfig {
     /// Starting system state (`None` = the board's maximum state, i.e.
     /// the baseline configuration).
     pub initial_state: Option<SystemState>,
-    /// Online big/little ratio refinement (the paper's future-work fix
-    /// for blackscholes; see Section 5.1.2).
+    /// Online refinement of the fastest cluster's assumed ratio (the
+    /// paper's future-work fix for blackscholes; see Section 5.1.2).
     pub ratio_learning: bool,
     /// Workload predictor: the paper's last-value default or the
     /// Section 3.1.4 Kalman-filter extension.
@@ -105,7 +105,7 @@ pub struct RuntimeManager {
     adaptations: u64,
     searches: u64,
     /// Ratio-learning bookkeeping: the rate predicted for the current
-    /// state when it was chosen, plus the big-thread share it assumed
+    /// state when it was chosen, plus the fast-cluster thread share it assumed
     /// and the share of the state it replaced (the sign of the share
     /// change decides the direction of the r₀ update).
     pending_prediction: Option<(f64, f64, f64)>,
@@ -246,12 +246,13 @@ impl RuntimeManager {
         }
         self.adaptations += 1;
         if self.cfg.ratio_learning {
+            let fast = self.perf.fast_cluster();
             let new_a = self.perf.assignment(self.threads, &outcome.state);
             let old_a = self.perf.assignment(self.threads, &self.state);
             self.pending_prediction = Some((
                 outcome.eval.est_rate,
-                new_a.big_threads as f64 / self.threads as f64,
-                old_a.big_threads as f64 / self.threads as f64,
+                new_a.threads(fast) as f64 / self.threads as f64,
+                old_a.threads(fast) as f64 / self.threads as f64,
             ));
         }
         if self.cfg.tabu_len > 0 {
@@ -305,8 +306,8 @@ impl RuntimeManager {
     /// scheduler.
     fn decision_for(&self, state: SystemState, overhead_ns: u64, explored: usize) -> Decision {
         let assignment = self.perf.assignment(self.threads, &state);
-        let (big, little) = default_core_allocation(&self.board, &assignment);
-        let affinities = plan_affinities(self.cfg.scheduler, &assignment, &big, &little);
+        let cores = default_core_allocation(&self.board, &assignment);
+        let affinities = plan_affinities(self.cfg.scheduler, &assignment, &cores);
         Decision {
             state,
             affinities,
@@ -382,8 +383,8 @@ mod tests {
         assert_ne!(d.state, before);
         assert!(
             d.state.total_cores() < before.total_cores()
-                || d.state.big_freq < before.big_freq
-                || d.state.little_freq < before.little_freq,
+                || d.state.big_freq() < before.big_freq()
+                || d.state.little_freq() < before.little_freq(),
             "shrink step should reduce something: {} -> {}",
             before,
             d.state
@@ -402,10 +403,7 @@ mod tests {
         let mut m = manager(HarsConfig::default());
         let d = m.on_heartbeat(10, Some(30.0)).expect("must adapt");
         assert!(d.explored > 1);
-        assert_eq!(
-            d.overhead_ns,
-            d.explored as u64 * m.cfg.cost_per_state_ns
-        );
+        assert_eq!(d.overhead_ns, d.explored as u64 * m.cfg.cost_per_state_ns);
         assert!(m.busy_ns() >= d.overhead_ns);
     }
 
@@ -430,7 +428,7 @@ mod tests {
             "settled rate {rate} not near target"
         );
         // And the settled state is cheap: not the max state.
-        assert!(m.state().total_cores() < 8 || m.state().big_freq < FreqKhz::from_mhz(1_600));
+        assert!(m.state().total_cores() < 8 || m.state().big_freq() < FreqKhz::from_mhz(1_600));
     }
 
     #[test]
@@ -513,10 +511,7 @@ mod tests {
         let plain_reacts = plain.on_heartbeat(10, Some(14.0)).is_some();
         let filtered_reacts = filtered.on_heartbeat(10, Some(14.0)).is_some();
         assert!(plain_reacts, "last-value manager chases the outlier");
-        assert!(
-            !filtered_reacts,
-            "kalman manager smooths the outlier away"
-        );
+        assert!(!filtered_reacts, "kalman manager smooths the outlier away");
     }
 
     #[test]

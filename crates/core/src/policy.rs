@@ -3,8 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::search::SearchParams;
 use crate::sched::SchedulerKind;
+use crate::search::SearchParams;
 
 /// How the runtime manager picks its `(m, n, d)` bounds per adaptation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

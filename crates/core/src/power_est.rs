@@ -1,17 +1,17 @@
-//! The power estimator (Section 3.1.2).
+//! The power estimator (Section 3.1.2), generalized to N clusters.
 //!
 //! Linear-regression models per (cluster, frequency level):
 //!
 //! ```text
-//! P_B = α_B,f_B · C_B,U · U_B,U + β_B,f_B            (3.1)
-//! P_L = α_L,f_L · C_L,U · U_L,U + β_L,f_L            (3.2)
+//! P_c = α_c,f_c · C_c,U · U_c,U + β_c,f_c
 //! ```
 //!
-//! with the utilizations `U_B,U = t_B/t_f`, `U_L,U = t_L/t_f` supplied by
-//! the performance estimator. Coefficients come from fitting the
-//! microbenchmark calibration data (see [`crate::calibrate`]).
+//! (the paper's equations (3.1)/(3.2) are the big/little instances),
+//! with the utilizations `U_c,U = t_c/t_f` supplied by the performance
+//! estimator. Coefficients come from fitting the microbenchmark
+//! calibration data (see [`crate::calibrate`]).
 
-use hmp_sim::{Cluster, FreqKhz, FreqLadder};
+use hmp_sim::{ClusterId, FreqKhz, FreqLadder};
 use serde::{Deserialize, Serialize};
 
 use crate::assign::ThreadAssignment;
@@ -37,16 +37,15 @@ impl LinearCoeff {
 /// The full per-cluster, per-frequency-level power model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerEstimator {
-    little_ladder: FreqLadder,
-    big_ladder: FreqLadder,
-    /// Indexed by little ladder level.
-    little: Vec<LinearCoeff>,
-    /// Indexed by big ladder level.
-    big: Vec<LinearCoeff>,
+    /// Per-cluster DVFS ladders, indexed by cluster.
+    ladders: Vec<FreqLadder>,
+    /// Per-cluster coefficient tables, indexed by (cluster, level).
+    tables: Vec<Vec<LinearCoeff>>,
 }
 
 impl PowerEstimator {
-    /// Builds an estimator from per-level coefficient tables.
+    /// Builds a two-cluster estimator from per-level coefficient tables
+    /// (little = cluster 0, big = cluster 1 — the paper's platform).
     ///
     /// # Panics
     ///
@@ -62,33 +61,60 @@ impl PowerEstimator {
             little_ladder.len(),
             "one coefficient set per little level"
         );
-        assert_eq!(big.len(), big_ladder.len(), "one coefficient set per big level");
+        assert_eq!(
+            big.len(),
+            big_ladder.len(),
+            "one coefficient set per big level"
+        );
         Self {
-            little_ladder,
-            big_ladder,
-            little,
-            big,
+            ladders: vec![little_ladder, big_ladder],
+            tables: vec![little, big],
         }
+    }
+
+    /// Builds an N-cluster estimator from per-cluster `(ladder, table)`
+    /// pairs in cluster-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no clusters are given or a table's length does not
+    /// match its ladder.
+    pub fn from_clusters(clusters: Vec<(FreqLadder, Vec<LinearCoeff>)>) -> Self {
+        assert!(!clusters.is_empty(), "at least one cluster");
+        let mut ladders = Vec::with_capacity(clusters.len());
+        let mut tables = Vec::with_capacity(clusters.len());
+        for (i, (ladder, table)) in clusters.into_iter().enumerate() {
+            assert_eq!(
+                table.len(),
+                ladder.len(),
+                "one coefficient set per level of cluster {i}"
+            );
+            ladders.push(ladder);
+            tables.push(table);
+        }
+        Self { ladders, tables }
+    }
+
+    /// Number of clusters modeled.
+    pub fn n_clusters(&self) -> usize {
+        self.ladders.len()
     }
 
     /// The coefficients for `cluster` at `freq` (nearest level at or
     /// below `freq` when it is off-ladder).
-    pub fn coeff(&self, cluster: Cluster, freq: FreqKhz) -> LinearCoeff {
-        let (ladder, table) = match cluster {
-            Cluster::Little => (&self.little_ladder, &self.little),
-            Cluster::Big => (&self.big_ladder, &self.big),
-        };
+    pub fn coeff(&self, cluster: ClusterId, freq: FreqKhz) -> LinearCoeff {
+        let ladder = &self.ladders[cluster.index()];
         let level = ladder
             .index_of(ladder.floor(freq))
             .expect("floor always lands on the ladder");
-        table[level]
+        self.tables[cluster.index()][level]
     }
 
     /// Estimated power (W) of one cluster given used cores and their
     /// utilization.
     pub fn cluster_watts(
         &self,
-        cluster: Cluster,
+        cluster: ClusterId,
         freq: FreqKhz,
         used_cores: usize,
         utilization: f64,
@@ -98,28 +124,23 @@ impl PowerEstimator {
             .watts(used_cores as f64 * utilization)
     }
 
-    /// Total estimated power of a candidate state: equations (3.1) +
-    /// (3.2) with the assignment's used-core counts and the performance
-    /// estimator's utilizations.
+    /// Total estimated power of a candidate state: the per-cluster
+    /// linear models summed with the assignment's used-core counts and
+    /// the performance estimator's utilizations. Clusters are summed
+    /// highest index first (the paper's `P_B + P_L` ordering).
     pub fn estimate(
         &self,
         state: &SystemState,
         assignment: &ThreadAssignment,
         times: &UnitTimes,
     ) -> f64 {
-        let p_big = self.cluster_watts(
-            Cluster::Big,
-            state.big_freq,
-            assignment.used_big,
-            times.util_big(),
-        );
-        let p_little = self.cluster_watts(
-            Cluster::Little,
-            state.little_freq,
-            assignment.used_little,
-            times.util_little(),
-        );
-        p_big + p_little
+        debug_assert_eq!(state.n_clusters(), self.n_clusters());
+        let mut total = 0.0;
+        for i in (0..self.n_clusters()).rev() {
+            let c = ClusterId(i);
+            total += self.cluster_watts(c, state.freq(c), assignment.used(c), times.util(c));
+        }
+        total
     }
 }
 
@@ -147,41 +168,27 @@ mod tests {
     }
 
     fn st(cb: usize, cl: usize, fb_mhz: u32, fl_mhz: u32) -> SystemState {
-        SystemState {
-            big_cores: cb,
-            little_cores: cl,
-            big_freq: FreqKhz::from_mhz(fb_mhz),
-            little_freq: FreqKhz::from_mhz(fl_mhz),
-        }
+        SystemState::big_little(cb, cl, FreqKhz::from_mhz(fb_mhz), FreqKhz::from_mhz(fl_mhz))
     }
 
     #[test]
     fn coeff_lookup_by_level() {
         let e = flat_estimator();
-        let c0 = e.coeff(Cluster::Big, FreqKhz::from_mhz(800));
-        let c8 = e.coeff(Cluster::Big, FreqKhz::from_mhz(1_600));
+        let c0 = e.coeff(ClusterId::BIG, FreqKhz::from_mhz(800));
+        let c8 = e.coeff(ClusterId::BIG, FreqKhz::from_mhz(1_600));
         assert!((c0.alpha - 0.5).abs() < 1e-12);
         assert!((c8.alpha - 1.3).abs() < 1e-12);
         // Off-ladder frequencies floor to the level below.
-        let c_mid = e.coeff(Cluster::Big, FreqKhz::from_mhz(1_050));
-        assert_eq!(c_mid, e.coeff(Cluster::Big, FreqKhz::from_mhz(1_000)));
+        let c_mid = e.coeff(ClusterId::BIG, FreqKhz::from_mhz(1_050));
+        assert_eq!(c_mid, e.coeff(ClusterId::BIG, FreqKhz::from_mhz(1_000)));
     }
 
     #[test]
     fn estimate_sums_both_clusters() {
         let e = flat_estimator();
         let state = st(4, 4, 800, 800);
-        let a = ThreadAssignment {
-            big_threads: 4,
-            little_threads: 4,
-            used_big: 4,
-            used_little: 4,
-        };
-        let times = UnitTimes {
-            t_big: 1.0,
-            t_little: 0.5,
-            t_finish: 1.0,
-        };
+        let a = ThreadAssignment::big_little(4, 4, 4, 4);
+        let times = UnitTimes::big_little(1.0, 0.5);
         // Big: 0.5·(4·1.0) + 0.3 = 2.3; little: 0.1·(4·0.5) + 0.05 = 0.25.
         let p = e.estimate(&state, &a, &times);
         assert!((p - 2.55).abs() < 1e-12);
@@ -191,17 +198,8 @@ mod tests {
     fn idle_cluster_still_costs_beta() {
         let e = flat_estimator();
         let state = st(4, 4, 800, 800);
-        let a = ThreadAssignment {
-            big_threads: 2,
-            little_threads: 0,
-            used_big: 2,
-            used_little: 0,
-        };
-        let times = UnitTimes {
-            t_big: 1.0,
-            t_little: 0.0,
-            t_finish: 1.0,
-        };
+        let a = ThreadAssignment::big_little(2, 0, 2, 0);
+        let times = UnitTimes::big_little(1.0, 0.0);
         let p = e.estimate(&state, &a, &times);
         // Big: 0.5·2 + 0.3 = 1.3; little floor: β = 0.05.
         assert!((p - 1.35).abs() < 1e-12);
@@ -210,20 +208,49 @@ mod tests {
     #[test]
     fn higher_frequency_is_costlier() {
         let e = flat_estimator();
-        let a = ThreadAssignment {
-            big_threads: 4,
-            little_threads: 0,
-            used_big: 4,
-            used_little: 0,
-        };
-        let times = UnitTimes {
-            t_big: 1.0,
-            t_little: 0.0,
-            t_finish: 1.0,
-        };
+        let a = ThreadAssignment::big_little(4, 0, 4, 0);
+        let times = UnitTimes::big_little(1.0, 0.0);
         let lo = e.estimate(&st(4, 0, 800, 800), &a, &times);
         let hi = e.estimate(&st(4, 0, 1_600, 800), &a, &times);
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn from_clusters_builds_n_cluster_model() {
+        let mk = |lo, hi, step, alpha0: f64| {
+            let ladder = FreqLadder::from_mhz_range(lo, hi, step);
+            let table: Vec<LinearCoeff> = (0..ladder.len())
+                .map(|i| LinearCoeff {
+                    alpha: alpha0 + 0.05 * i as f64,
+                    beta: 0.1,
+                })
+                .collect();
+            (ladder, table)
+        };
+        let e = PowerEstimator::from_clusters(vec![
+            mk(600, 1_400, 200, 0.1),
+            mk(800, 2_000, 200, 0.4),
+            mk(800, 2_600, 200, 0.6),
+        ]);
+        assert_eq!(e.n_clusters(), 3);
+        let f = FreqKhz::from_mhz(1_000);
+        assert!(
+            e.cluster_watts(ClusterId(2), f, 1, 1.0) > e.cluster_watts(ClusterId(0), f, 1, 1.0)
+        );
+        let state = SystemState::new(&[(1, f), (1, f), (1, f)]);
+        let a = {
+            let mut a = ThreadAssignment::empty(3);
+            a.set(ClusterId(0), 1, 1);
+            a.set(ClusterId(1), 1, 1);
+            a.set(ClusterId(2), 1, 1);
+            a
+        };
+        let times = UnitTimes::new(&[1.0, 1.0, 1.0]);
+        let total = e.estimate(&state, &a, &times);
+        let parts: f64 = (0..3)
+            .map(|i| e.cluster_watts(ClusterId(i), f, 1, 1.0))
+            .sum();
+        assert!((total - parts).abs() < 1e-12);
     }
 
     #[test]

@@ -78,8 +78,7 @@ impl Kalman1D {
 }
 
 /// The workload predictor used by the runtime manager.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Predictor {
     /// The paper's default: the next period looks like the last one.
     #[default]
@@ -112,7 +111,6 @@ impl Predictor {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

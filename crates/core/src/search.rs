@@ -1,9 +1,11 @@
-//! The search function of HARS — Algorithm 2 (`GetNextSysState`).
+//! The search function of HARS — Algorithm 2 (`GetNextSysState`),
+//! generalized to N clusters.
 //!
 //! The explorable neighborhood of the current state is bounded by three
 //! parameters: sweeps of `[x − m, x + n]` per dimension and a Manhattan-
-//! distance cap `d` in the 4-D index space. Candidates are ranked by a
-//! satisfaction-first ordering:
+//! distance cap `d` in the `2N`-dimensional index space (per cluster,
+//! one core-count dimension and one ladder-level dimension). Candidates
+//! are ranked by a satisfaction-first ordering:
 //!
 //! 1. a state whose *estimated* rate reaches `t.min` beats any state
 //!    that does not;
@@ -14,14 +16,21 @@
 //! The current state participates in the comparison
 //! (`getBetterState(cs, ns)`), so the search never moves to a state its
 //! own estimators consider worse.
+//!
+//! The sweep visits dimensions in the paper's order — core counts from
+//! the highest cluster index down, then ladder levels from the highest
+//! cluster index down — so on a big.LITTLE board it reproduces the
+//! original `(C_B, C_L, k_B, k_L)` nested loops candidate for
+//! candidate.
 
 use heartbeats::PerfTarget;
+use hmp_sim::{ClusterId, MAX_CLUSTERS};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::normalized_performance;
 use crate::perf_est::PerfEstimator;
 use crate::power_est::PowerEstimator;
-use crate::state::{StateIndex, StateSpace, SystemState};
+use crate::state::{StateSpace, SystemState};
 
 /// The `(m, n, d)` exploration bounds of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,7 +39,7 @@ pub struct SearchParams {
     pub m: i64,
     /// Steps explored above.
     pub n: i64,
-    /// Manhattan-distance cap over the four dimensions.
+    /// Manhattan-distance cap over all `2N` dimensions.
     pub d: i64,
 }
 
@@ -91,29 +100,56 @@ impl FreqChange {
 }
 
 /// Search-time constraints: MP-HARS restricts core growth to free cores
-/// and freq changes to controllable clusters. The single-app defaults
-/// allow the whole space.
+/// and freq changes to controllable clusters, per cluster. The
+/// single-app defaults allow the whole space.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchConstraints {
-    /// Upper bound on candidate big-core count (current + free).
-    pub max_big_cores: usize,
-    /// Upper bound on candidate little-core count.
-    pub max_little_cores: usize,
-    /// Allowed big-cluster frequency movement.
-    pub big_freq: FreqChange,
-    /// Allowed little-cluster frequency movement.
-    pub little_freq: FreqChange,
+    n: u8,
+    /// Upper bound on candidate core count, indexed by cluster.
+    max_cores: [u16; MAX_CLUSTERS],
+    /// Allowed frequency movement, indexed by cluster.
+    freq: [FreqChange; MAX_CLUSTERS],
 }
 
 impl SearchConstraints {
     /// No constraints beyond the state space itself.
     pub fn unrestricted(space: &StateSpace) -> Self {
-        Self {
-            max_big_cores: space.max_cores(hmp_sim::Cluster::Big),
-            max_little_cores: space.max_cores(hmp_sim::Cluster::Little),
-            big_freq: FreqChange::Any,
-            little_freq: FreqChange::Any,
+        let mut c = Self {
+            n: space.n_clusters() as u8,
+            max_cores: [0; MAX_CLUSTERS],
+            freq: [FreqChange::Any; MAX_CLUSTERS],
+        };
+        for cluster in space.cluster_ids() {
+            c.max_cores[cluster.index()] =
+                u16::try_from(space.max_cores(cluster)).expect("core count fits u16");
         }
+        c
+    }
+
+    /// Number of clusters constrained.
+    pub fn n_clusters(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Upper bound on candidate core count for `cluster`.
+    pub fn max_cores(&self, cluster: ClusterId) -> usize {
+        self.max_cores[cluster.index()] as usize
+    }
+
+    /// Sets the core-count bound of `cluster` (current + free, in
+    /// MP-HARS).
+    pub fn set_max_cores(&mut self, cluster: ClusterId, max: usize) {
+        self.max_cores[cluster.index()] = u16::try_from(max).expect("core count fits u16");
+    }
+
+    /// Allowed frequency movement of `cluster`.
+    pub fn freq_change(&self, cluster: ClusterId) -> FreqChange {
+        self.freq[cluster.index()]
+    }
+
+    /// Sets the allowed frequency movement of `cluster`.
+    pub fn set_freq_change(&mut self, cluster: ClusterId, change: FreqChange) {
+        self.freq[cluster.index()] = change;
     }
 }
 
@@ -236,6 +272,8 @@ pub fn get_next_sys_state_tabu(
     power: &PowerEstimator,
     tabu: &[SystemState],
 ) -> SearchOutcome {
+    let n = space.n_clusters();
+    debug_assert_eq!(constraints.n_clusters(), n);
     let cur_idx = space
         .index_of(current)
         .expect("current state must be on the board's ladders");
@@ -250,59 +288,65 @@ pub fn get_next_sys_state_tabu(
         power,
     );
     let mut explored = 1usize; // the current state itself
-    for i in (cur_idx.cb - params.m)..=(cur_idx.cb + params.n) {
-        for j in (cur_idx.cl - params.m)..=(cur_idx.cl + params.n) {
-            for k in (cur_idx.kb - params.m)..=(cur_idx.kb + params.n) {
-                for l in (cur_idx.kl - params.m)..=(cur_idx.kl + params.n) {
-                    let cand_idx = StateIndex {
-                        cb: i,
-                        cl: j,
-                        kb: k,
-                        kl: l,
-                    };
-                    if cand_idx == cur_idx {
-                        continue;
-                    }
-                    if cand_idx.manhattan(&cur_idx) > params.d {
-                        continue;
-                    }
-                    let Some(cand) = space.state_at(&cand_idx) else {
-                        continue;
-                    };
-                    if cand.big_cores > constraints.max_big_cores
-                        || cand.little_cores > constraints.max_little_cores
-                        || !constraints.big_freq.allows(cur_idx.kb, k)
-                        || !constraints.little_freq.allows(cur_idx.kl, l)
-                    {
-                        continue;
-                    }
-                    let eval = evaluate_state(
-                        &cand,
-                        observed_rate,
-                        threads,
-                        current,
-                        target,
-                        perf,
-                        power,
-                    );
+
+    // The 2N sweep dimensions, in the paper's nesting order: cores of
+    // cluster N-1..0, then ladder levels of cluster N-1..0. `center[d]`
+    // is the current state's coordinate; the sweep walks offsets
+    // `-m..=+n` per dimension with the last dimension varying fastest.
+    let dims = 2 * n;
+    let mut center = [0i64; 2 * MAX_CLUSTERS];
+    for (pos, i) in (0..n).rev().enumerate() {
+        center[pos] = cur_idx.cores(ClusterId(i));
+        center[n + pos] = cur_idx.level(ClusterId(i));
+    }
+    let mut offset = [0i64; 2 * MAX_CLUSTERS];
+    offset[..dims].fill(-params.m);
+    let mut cand_idx = cur_idx;
+    'sweep: loop {
+        // Materialize the candidate's index coordinates.
+        let manhattan: i64 = offset[..dims].iter().map(|o| o.abs()).sum();
+        let is_center = manhattan == 0;
+        if !is_center && manhattan <= params.d {
+            for (pos, i) in (0..n).rev().enumerate() {
+                cand_idx.set_cores(ClusterId(i), center[pos] + offset[pos]);
+                cand_idx.set_level(ClusterId(i), center[n + pos] + offset[n + pos]);
+            }
+            if let Some(cand) = space.state_at(&cand_idx) {
+                let allowed = space.cluster_ids().all(|c| {
+                    cand.cores(c) <= constraints.max_cores(c)
+                        && constraints
+                            .freq_change(c)
+                            .allows(cur_idx.level(c), cand_idx.level(c))
+                });
+                if allowed {
+                    let eval =
+                        evaluate_state(&cand, observed_rate, threads, current, target, perf, power);
                     explored += 1;
+                    let mut admit = true;
                     if tabu.contains(&cand) {
                         // Aspiration: only a strictly dominating,
                         // target-satisfying candidate overrides tabu.
                         let aspires = eval.satisfies
                             && best_eval.satisfies
                             && eval.perf_per_watt > best_eval.perf_per_watt * 1.05;
-                        if !aspires {
-                            continue;
-                        }
+                        admit = aspires;
                     }
-                    if better(&eval, &best_eval) {
+                    if admit && better(&eval, &best_eval) {
                         best_state = cand;
                         best_eval = eval;
                     }
                 }
             }
         }
+        // Odometer step: last dimension fastest.
+        for pos in (0..dims).rev() {
+            if offset[pos] < params.n {
+                offset[pos] += 1;
+                continue 'sweep;
+            }
+            offset[pos] = -params.m;
+        }
+        break;
     }
     SearchOutcome {
         state: best_state,
@@ -345,20 +389,10 @@ mod tests {
     }
 
     fn st(cb: usize, cl: usize, fb: u32, fl: u32) -> SystemState {
-        SystemState {
-            big_cores: cb,
-            little_cores: cl,
-            big_freq: FreqKhz::from_mhz(fb),
-            little_freq: FreqKhz::from_mhz(fl),
-        }
+        SystemState::big_little(cb, cl, FreqKhz::from_mhz(fb), FreqKhz::from_mhz(fl))
     }
 
-    fn run(
-        cur: SystemState,
-        rate: f64,
-        target: PerfTarget,
-        params: SearchParams,
-    ) -> SearchOutcome {
+    fn run(cur: SystemState, rate: f64, target: PerfTarget, params: SearchParams) -> SearchOutcome {
         let sp = space();
         let c = SearchConstraints::unrestricted(&sp);
         get_next_sys_state(&sp, &cur, rate, 8, &target, params, &c, &perf(), &power())
@@ -440,7 +474,7 @@ mod tests {
         let cur = st(1, 1, 1000, 1000);
         let target = PerfTarget::new(90.0, 110.0).unwrap(); // unreachable
         let mut c = SearchConstraints::unrestricted(&sp);
-        c.max_big_cores = 1; // no free big cores
+        c.set_max_cores(hmp_sim::ClusterId::BIG, 1); // no free big cores
         let out = get_next_sys_state(
             &sp,
             &cur,
@@ -452,7 +486,7 @@ mod tests {
             &perf(),
             &power(),
         );
-        assert!(out.state.big_cores <= 1, "grew past the free-core bound");
+        assert!(out.state.big_cores() <= 1, "grew past the free-core bound");
     }
 
     #[test]
@@ -468,8 +502,8 @@ mod tests {
         let cur = st(4, 4, 1600, 1300);
         let target = PerfTarget::new(9.0, 11.0).unwrap();
         let mut c = SearchConstraints::unrestricted(&sp);
-        c.big_freq = FreqChange::Fixed;
-        c.little_freq = FreqChange::Fixed;
+        c.set_freq_change(hmp_sim::ClusterId::BIG, FreqChange::Fixed);
+        c.set_freq_change(hmp_sim::ClusterId::LITTLE, FreqChange::Fixed);
         let out = get_next_sys_state(
             &sp,
             &cur,
@@ -481,8 +515,8 @@ mod tests {
             &perf(),
             &power(),
         );
-        assert_eq!(out.state.big_freq, cur.big_freq);
-        assert_eq!(out.state.little_freq, cur.little_freq);
+        assert_eq!(out.state.big_freq(), cur.big_freq());
+        assert_eq!(out.state.little_freq(), cur.little_freq());
     }
 
     #[test]
@@ -514,16 +548,31 @@ mod tests {
         let target = PerfTarget::new(9.0, 11.0).unwrap();
         let c = SearchConstraints::unrestricted(&sp);
         let free = get_next_sys_state(
-            &sp, &cur, 30.0, 8, &target,
-            SearchParams::exhaustive(), &c, &perf(), &power(),
+            &sp,
+            &cur,
+            30.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf(),
+            &power(),
         );
         assert_ne!(free.state, cur);
         // Forbid the free search's favourite: the tabu run must land
         // somewhere else (or stay put).
         let tabu = [free.state];
         let redirected = get_next_sys_state_tabu(
-            &sp, &cur, 30.0, 8, &target,
-            SearchParams::exhaustive(), &c, &perf(), &power(), &tabu,
+            &sp,
+            &cur,
+            30.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf(),
+            &power(),
+            &tabu,
         );
         assert_ne!(redirected.state, free.state, "tabu state must be avoided");
     }
@@ -535,14 +584,75 @@ mod tests {
         let target = PerfTarget::new(9.0, 11.0).unwrap();
         let c = SearchConstraints::unrestricted(&sp);
         let a = get_next_sys_state(
-            &sp, &cur, 14.0, 8, &target,
-            SearchParams::exhaustive(), &c, &perf(), &power(),
+            &sp,
+            &cur,
+            14.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf(),
+            &power(),
         );
         let b = get_next_sys_state_tabu(
-            &sp, &cur, 14.0, 8, &target,
-            SearchParams::exhaustive(), &c, &perf(), &power(), &[],
+            &sp,
+            &cur,
+            14.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf(),
+            &power(),
+            &[],
         );
         assert_eq!(a.state, b.state);
         assert_eq!(a.explored, b.explored);
+    }
+
+    #[test]
+    fn tri_cluster_search_stays_in_bounds() {
+        let board = BoardSpec::dynamiq_1p_3m_4l();
+        let sp = StateSpace::from_board(&board);
+        let c = SearchConstraints::unrestricted(&sp);
+        let perf = PerfEstimator::from_board(&board);
+        let power = {
+            let clusters = board
+                .cluster_ids()
+                .map(|cl| {
+                    let ladder = board.ladder(cl).clone();
+                    let table: Vec<LinearCoeff> = (0..ladder.len())
+                        .map(|i| LinearCoeff {
+                            alpha: 0.1 * (cl.index() + 1) as f64 + 0.02 * i as f64,
+                            beta: 0.1,
+                        })
+                        .collect();
+                    (ladder, table)
+                })
+                .collect();
+            PowerEstimator::from_clusters(clusters)
+        };
+        let cur = sp.max_state();
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let out = get_next_sys_state(
+            &sp,
+            &cur,
+            30.0,
+            8,
+            &target,
+            SearchParams::exhaustive(),
+            &c,
+            &perf,
+            &power,
+        );
+        // 6-dimensional sweep: the result stays on the board.
+        assert!(sp.contains(&out.state));
+        let d = sp
+            .index_of(&out.state)
+            .unwrap()
+            .manhattan(&sp.index_of(&cur).unwrap());
+        assert!(d <= 7);
+        assert_ne!(out.state, cur, "over-performance must shrink something");
+        assert!(out.explored > 100, "6-D neighborhood is large");
     }
 }

@@ -87,11 +87,7 @@ pub fn estimator_sweep(
 /// `satisfy_threshold` is the normalized-performance level treated as
 /// "achieves the target" (1.0 − tolerance; the paper's ±5% band maps to
 /// ~0.9 with `g = t.avg`).
-pub fn oracle_sweep<F>(
-    space: &StateSpace,
-    satisfy_threshold: f64,
-    mut measure: F,
-) -> StaticOptimal
+pub fn oracle_sweep<F>(space: &StateSpace, satisfy_threshold: f64, mut measure: F) -> StaticOptimal
 where
     F: FnMut(&SystemState) -> (f64, f64),
 {
@@ -163,15 +159,7 @@ mod tests {
     fn estimator_sweep_covers_whole_space_and_satisfies() {
         let sp = space();
         let target = PerfTarget::new(9.0, 11.0).unwrap();
-        let so = estimator_sweep(
-            &sp,
-            &target,
-            30.0,
-            &sp.max_state(),
-            8,
-            &perf(),
-            &power(),
-        );
+        let so = estimator_sweep(&sp, &target, 30.0, &sp.max_state(), 8, &perf(), &power());
         assert_eq!(so.considered, sp.len());
         assert!(so.eval.satisfies, "a reachable target must be satisfied");
         // The chosen state must be cheaper than the baseline max state.
@@ -182,15 +170,7 @@ mod tests {
     fn estimator_sweep_unreachable_target_maximizes_perf() {
         let sp = space();
         let target = PerfTarget::new(900.0, 1100.0).unwrap();
-        let so = estimator_sweep(
-            &sp,
-            &target,
-            30.0,
-            &sp.max_state(),
-            8,
-            &perf(),
-            &power(),
-        );
+        let so = estimator_sweep(&sp, &target, 30.0, &sp.max_state(), 8, &perf(), &power());
         assert!(!so.eval.satisfies);
         // Nothing satisfies, so SO maximizes estimated performance. Note
         // several states tie for the maximum rate (the barrier time is
@@ -212,12 +192,8 @@ mod tests {
     fn oracle_sweep_picks_measured_best() {
         let sp = space();
         // Fake oracle: pp is maximized by exactly one known state.
-        let favorite = SystemState {
-            big_cores: 1,
-            little_cores: 3,
-            big_freq: FreqKhz::from_mhz(1_000),
-            little_freq: FreqKhz::from_mhz(1_100),
-        };
+        let favorite =
+            SystemState::big_little(1, 3, FreqKhz::from_mhz(1_000), FreqKhz::from_mhz(1_100));
         let so = oracle_sweep(&sp, 0.9, |s| {
             if *s == favorite {
                 (1.0, 5.0)

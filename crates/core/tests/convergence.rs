@@ -153,8 +153,7 @@ fn retargeting_adapts_both_directions() {
         8,
         HarsConfig::from_variant(hars_e()),
     );
-    let out_low =
-        run_single_app(&mut engine, app, &mut manager, secs_to_ns(200.0), false).unwrap();
+    let out_low = run_single_app(&mut engine, app, &mut manager, secs_to_ns(200.0), false).unwrap();
     let low_watts = out_low.avg_watts;
     assert!(out_low.norm_perf > 0.85, "low target missed");
 

@@ -53,15 +53,15 @@ fn brute_force_tf(threads: usize, cb: usize, cl: usize, r: f64) -> f64 {
 
 /// `t_f` of a concrete assignment in the same units.
 fn tf_of(a: &hars_core::ThreadAssignment, threads: usize, r: f64) -> f64 {
-    let t_big = if a.big_threads == 0 {
+    let t_big = if a.big_threads() == 0 {
         0.0
     } else {
-        a.big_threads as f64 / (threads as f64 * a.used_big as f64 * r)
+        a.big_threads() as f64 / (threads as f64 * a.used_big() as f64 * r)
     };
-    let t_little = if a.little_threads == 0 {
+    let t_little = if a.little_threads() == 0 {
         0.0
     } else {
-        a.little_threads as f64 / (threads as f64 * a.used_little as f64)
+        a.little_threads() as f64 / (threads as f64 * a.used_little() as f64)
     };
     t_big.max(t_little)
 }
@@ -78,12 +78,12 @@ proptest! {
         prop_assume!(cb + cl > 0);
         let a = assign_threads(threads, cb, cl, r);
         prop_assert_eq!(a.total_threads(), threads);
-        prop_assert!(a.used_big <= cb);
-        prop_assert!(a.used_little <= cl);
-        prop_assert!(a.used_big <= a.big_threads);
-        prop_assert!(a.used_little <= a.little_threads);
-        prop_assert_eq!(a.used_big == 0, a.big_threads == 0);
-        prop_assert_eq!(a.used_little == 0, a.little_threads == 0);
+        prop_assert!(a.used_big() <= cb);
+        prop_assert!(a.used_little() <= cl);
+        prop_assert!(a.used_big() <= a.big_threads());
+        prop_assert!(a.used_little() <= a.little_threads());
+        prop_assert_eq!(a.used_big() == 0, a.big_threads() == 0);
+        prop_assert_eq!(a.used_little() == 0, a.little_threads() == 0);
     }
 
     /// Table 3.1 near-optimality. The paper's closed form rounds the
@@ -129,12 +129,12 @@ proptest! {
         prop_assume!(cb + cl > 0);
         let board = BoardSpec::odroid_xu3();
         let space = StateSpace::from_board(&board);
-        let cur = SystemState {
-            big_cores: cb,
-            little_cores: cl,
-            big_freq: board.big_ladder.level(kb).unwrap(),
-            little_freq: board.little_ladder.level(kl).unwrap(),
-        };
+        let cur = SystemState::big_little(
+            cb,
+            cl,
+            board.ladder(hmp_sim::ClusterId::BIG).level(kb).unwrap(),
+            board.ladder(hmp_sim::ClusterId::LITTLE).level(kl).unwrap(),
+        );
         let target = PerfTarget::from_center(target_center, 0.1).unwrap();
         let perf = PerfEstimator::paper_default(FreqKhz::from_mhz(1_000));
         let out = get_next_sys_state(
@@ -168,22 +168,12 @@ proptest! {
     ) {
         let board = BoardSpec::odroid_xu3();
         let perf = PerfEstimator::paper_default(board.base_freq);
-        let fb = board.big_ladder.level(kb).unwrap();
-        let fl = board.little_ladder.level(kl).unwrap();
-        let cur = SystemState {
-            big_cores: 1,
-            little_cores: 1,
-            big_freq: fb,
-            little_freq: fl,
-        };
+        let fb = board.ladder(hmp_sim::ClusterId::BIG).level(kb).unwrap();
+        let fl = board.ladder(hmp_sim::ClusterId::LITTLE).level(kl).unwrap();
+        let cur = SystemState::big_little(1, 1, fb, fl);
         let mut prev = 0.0;
         for cb in 1..=4usize {
-            let cand = SystemState {
-                big_cores: cb,
-                little_cores: 1,
-                big_freq: fb,
-                little_freq: fl,
-            };
+            let cand = SystemState::big_little(cb, 1, fb, fl);
             let est = perf.estimate_rate(rate, threads, &cur, &cand);
             prop_assert!(est >= prev - 1e-9, "rate dropped at cb={}", cb);
             prev = est;
@@ -204,11 +194,11 @@ proptest! {
         let board = BoardSpec::odroid_xu3();
         let power = test_power();
         let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
-        let fb = board.big_ladder.level(kb).unwrap();
-        let fl = board.little_ladder.level(kl).unwrap();
+        let fb = board.ladder(hmp_sim::ClusterId::BIG).level(kb).unwrap();
+        let fl = board.ladder(hmp_sim::ClusterId::LITTLE).level(kl).unwrap();
         let p = |u: f64| {
-            power.cluster_watts(hmp_sim::Cluster::Big, fb, cb, u)
-                + power.cluster_watts(hmp_sim::Cluster::Little, fl, cl, u)
+            power.cluster_watts(hmp_sim::ClusterId::BIG, fb, cb, u)
+                + power.cluster_watts(hmp_sim::ClusterId::LITTLE, fl, cl, u)
         };
         prop_assert!(p(lo) >= 0.0);
         prop_assert!(p(hi) >= p(lo) - 1e-12);

@@ -99,7 +99,9 @@ impl HeartbeatRegistry {
     ///
     /// Returns [`HeartbeatError::UnknownApp`] if `id` is not registered.
     pub fn monitor(&self, id: AppId) -> Result<&HeartbeatMonitor, HeartbeatError> {
-        self.monitors.get(&id).ok_or(HeartbeatError::UnknownApp(id.0))
+        self.monitors
+            .get(&id)
+            .ok_or(HeartbeatError::UnknownApp(id.0))
     }
 
     /// Mutable access to one application's monitor.

@@ -140,7 +140,10 @@ mod tests {
         let app = AppState::new(spec, AppId(0));
         assert!(matches!(
             app.model,
-            ModelState::DataParallel { in_startup: true, .. }
+            ModelState::DataParallel {
+                in_startup: true,
+                ..
+            }
         ));
     }
 

@@ -6,7 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::board::{BoardSpec, Cluster};
+use crate::board::{BoardSpec, ClusterId};
 use crate::clock::ns_to_secs;
 use crate::freq::FreqKhz;
 use crate::power::cluster_power;
@@ -14,10 +14,10 @@ use crate::power::cluster_power;
 /// Exact integrator of cluster energy over simulated time.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EnergyMeter {
-    /// Joules consumed by [little, big].
-    joules: [f64; 2],
-    /// Busy core-seconds by [little, big] (∫ busy_cores dt).
-    busy_core_secs: [f64; 2],
+    /// Joules consumed per cluster (indexed by cluster).
+    joules: Vec<f64>,
+    /// Busy core-seconds per cluster (∫ busy_cores dt).
+    busy_core_secs: Vec<f64>,
     /// Total integrated time in seconds.
     elapsed_secs: f64,
 }
@@ -28,22 +28,36 @@ impl EnergyMeter {
         Self::default()
     }
 
-    /// Integrates `dt_ns` of operation with `busy` cores busy per cluster
-    /// at the given frequencies.
-    pub fn accumulate(
-        &mut self,
-        board: &BoardSpec,
-        freqs: [FreqKhz; 2],
-        busy: [f64; 2],
-        dt_ns: u64,
-    ) {
+    fn ensure_clusters(&mut self, n: usize) {
+        if self.joules.len() < n {
+            self.joules.resize(n, 0.0);
+            self.busy_core_secs.resize(n, 0.0);
+        }
+    }
+
+    /// Integrates `dt_ns` of operation with `busy[c]` cores busy on
+    /// cluster `c` at frequency `freqs[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices do not cover every cluster of `board`.
+    pub fn accumulate(&mut self, board: &BoardSpec, freqs: &[FreqKhz], busy: &[f64], dt_ns: u64) {
+        let n = board.n_clusters();
+        assert!(freqs.len() >= n && busy.len() >= n, "per-cluster slices");
         let dt = ns_to_secs(dt_ns);
         if dt <= 0.0 {
             return;
         }
-        for cluster in Cluster::ALL {
+        self.ensure_clusters(n);
+        for cluster in board.cluster_ids() {
             let i = cluster.index();
-            let p = cluster_power(board, cluster, freqs[i], busy[i], board.cluster_size(cluster));
+            let p = cluster_power(
+                board,
+                cluster,
+                freqs[i],
+                busy[i],
+                board.cluster_size(cluster),
+            );
             self.joules[i] += p * dt;
             self.busy_core_secs[i] += busy[i] * dt;
         }
@@ -51,18 +65,21 @@ impl EnergyMeter {
     }
 
     /// Energy consumed by `cluster` so far (J).
-    pub fn cluster_joules(&self, cluster: Cluster) -> f64 {
-        self.joules[cluster.index()]
+    pub fn cluster_joules(&self, cluster: ClusterId) -> f64 {
+        self.joules.get(cluster.index()).copied().unwrap_or(0.0)
     }
 
     /// Total board energy so far (J).
     pub fn total_joules(&self) -> f64 {
-        self.joules[0] + self.joules[1]
+        self.joules.iter().sum()
     }
 
     /// Busy core-seconds accumulated on `cluster`.
-    pub fn busy_core_secs(&self, cluster: Cluster) -> f64 {
-        self.busy_core_secs[cluster.index()]
+    pub fn busy_core_secs(&self, cluster: ClusterId) -> f64 {
+        self.busy_core_secs
+            .get(cluster.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Time integrated so far (s).
@@ -81,7 +98,7 @@ impl EnergyMeter {
     }
 
     /// Average power of one cluster (W).
-    pub fn average_cluster_power(&self, cluster: Cluster) -> f64 {
+    pub fn average_cluster_power(&self, cluster: ClusterId) -> f64 {
         if self.elapsed_secs > 0.0 {
             self.cluster_joules(cluster) / self.elapsed_secs
         } else {
@@ -93,16 +110,16 @@ impl EnergyMeter {
     /// two snapshots gives the energy of the interval between them.
     pub fn snapshot(&self) -> EnergySnapshot {
         EnergySnapshot {
-            joules: self.joules,
+            joules: self.total_joules(),
             elapsed_secs: self.elapsed_secs,
         }
     }
 }
 
-/// A point-in-time copy of an [`EnergyMeter`]'s accumulators.
+/// A point-in-time copy of an [`EnergyMeter`]'s totals.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergySnapshot {
-    joules: [f64; 2],
+    joules: f64,
     elapsed_secs: f64,
 }
 
@@ -114,7 +131,7 @@ impl EnergySnapshot {
     ///
     /// Panics in debug builds if `earlier` is actually later.
     pub fn since(&self, earlier: &EnergySnapshot) -> (f64, f64) {
-        let j = (self.joules[0] + self.joules[1]) - (earlier.joules[0] + earlier.joules[1]);
+        let j = self.joules - earlier.joules;
         let t = self.elapsed_secs - earlier.elapsed_secs;
         debug_assert!(j >= -1e-9 && t >= -1e-12, "snapshots out of order");
         (j.max(0.0), t.max(0.0))
@@ -124,14 +141,15 @@ impl EnergySnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::board::ClusterId as C;
     use crate::clock::NS_PER_SEC;
 
     fn xu3() -> BoardSpec {
         BoardSpec::odroid_xu3()
     }
 
-    fn max_freqs(b: &BoardSpec) -> [FreqKhz; 2] {
-        [b.little_ladder.max(), b.big_ladder.max()]
+    fn max_freqs(b: &BoardSpec) -> Vec<FreqKhz> {
+        b.cluster_ids().map(|c| b.ladder(c).max()).collect()
     }
 
     #[test]
@@ -139,8 +157,8 @@ mod tests {
         let b = xu3();
         let mut m = EnergyMeter::new();
         let freqs = max_freqs(&b);
-        m.accumulate(&b, freqs, [4.0, 4.0], 2 * NS_PER_SEC);
-        let p = crate::power::board_power(&b, freqs[0], freqs[1], 4.0, 4.0);
+        m.accumulate(&b, &freqs, &[4.0, 4.0], 2 * NS_PER_SEC);
+        let p = crate::power::board_power(&b, &freqs, &[4.0, 4.0]);
         assert!((m.total_joules() - 2.0 * p).abs() < 1e-9);
         assert!((m.average_power() - p).abs() < 1e-9);
         assert!((m.elapsed_secs() - 2.0).abs() < 1e-12);
@@ -150,7 +168,7 @@ mod tests {
     fn zero_interval_is_noop() {
         let b = xu3();
         let mut m = EnergyMeter::new();
-        m.accumulate(&b, max_freqs(&b), [1.0, 1.0], 0);
+        m.accumulate(&b, &max_freqs(&b), &[1.0, 1.0], 0);
         assert_eq!(m.total_joules(), 0.0);
         assert_eq!(m.average_power(), 0.0);
     }
@@ -159,10 +177,10 @@ mod tests {
     fn busy_core_seconds_accumulate() {
         let b = xu3();
         let mut m = EnergyMeter::new();
-        m.accumulate(&b, max_freqs(&b), [2.0, 3.0], NS_PER_SEC);
-        m.accumulate(&b, max_freqs(&b), [1.0, 0.0], NS_PER_SEC);
-        assert!((m.busy_core_secs(Cluster::Little) - 3.0).abs() < 1e-9);
-        assert!((m.busy_core_secs(Cluster::Big) - 3.0).abs() < 1e-9);
+        m.accumulate(&b, &max_freqs(&b), &[2.0, 3.0], NS_PER_SEC);
+        m.accumulate(&b, &max_freqs(&b), &[1.0, 0.0], NS_PER_SEC);
+        assert!((m.busy_core_secs(C::LITTLE) - 3.0).abs() < 1e-9);
+        assert!((m.busy_core_secs(C::BIG) - 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -170,12 +188,12 @@ mod tests {
         let b = xu3();
         let mut m = EnergyMeter::new();
         let freqs = max_freqs(&b);
-        m.accumulate(&b, freqs, [4.0, 4.0], NS_PER_SEC);
+        m.accumulate(&b, &freqs, &[4.0, 4.0], NS_PER_SEC);
         let s1 = m.snapshot();
-        m.accumulate(&b, freqs, [0.0, 0.0], NS_PER_SEC);
+        m.accumulate(&b, &freqs, &[0.0, 0.0], NS_PER_SEC);
         let s2 = m.snapshot();
         let (j, t) = s2.since(&s1);
-        let p_idle = crate::power::board_power(&b, freqs[0], freqs[1], 0.0, 0.0);
+        let p_idle = crate::power::board_power(&b, &freqs, &[0.0, 0.0]);
         assert!((j - p_idle).abs() < 1e-9);
         assert!((t - 1.0).abs() < 1e-12);
     }
@@ -185,13 +203,22 @@ mod tests {
         let b = xu3();
         let mut hi = EnergyMeter::new();
         let mut lo = EnergyMeter::new();
-        hi.accumulate(&b, max_freqs(&b), [4.0, 4.0], NS_PER_SEC);
-        lo.accumulate(
-            &b,
-            [b.little_ladder.min(), b.big_ladder.min()],
-            [4.0, 4.0],
-            NS_PER_SEC,
-        );
+        let min_freqs: Vec<FreqKhz> = b.cluster_ids().map(|c| b.ladder(c).min()).collect();
+        hi.accumulate(&b, &max_freqs(&b), &[4.0, 4.0], NS_PER_SEC);
+        lo.accumulate(&b, &min_freqs, &[4.0, 4.0], NS_PER_SEC);
         assert!(lo.total_joules() < hi.total_joules());
+    }
+
+    #[test]
+    fn tri_cluster_meter_tracks_three_clusters() {
+        let b = BoardSpec::dynamiq_1p_3m_4l();
+        let mut m = EnergyMeter::new();
+        let freqs = max_freqs(&b);
+        m.accumulate(&b, &freqs, &[1.0, 2.0, 1.0], NS_PER_SEC);
+        assert!(m.cluster_joules(C(0)) > 0.0);
+        assert!(m.cluster_joules(C(2)) > 0.0);
+        assert!((m.busy_core_secs(C(1)) - 2.0).abs() < 1e-12);
+        let sum: f64 = b.cluster_ids().map(|c| m.cluster_joules(c)).sum();
+        assert!((sum - m.total_joules()).abs() < 1e-12);
     }
 }

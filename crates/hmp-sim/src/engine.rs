@@ -1,5 +1,5 @@
 //! The simulation engine: an exact discrete-event executor for
-//! multithreaded applications on a big.LITTLE board.
+//! multithreaded applications on an N-cluster heterogeneous board.
 //!
 //! Between events the set of runnable threads per core is constant, so
 //! CPU shares, power draw and completion times are all closed-form; the
@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, VecDeque};
 use heartbeats::{AppId, HeartbeatMonitor, HeartbeatRegistry, PerfTarget};
 
 use crate::app::{AppState, ModelState};
-use crate::board::{BoardSpec, Cluster};
+use crate::board::{BoardSpec, ClusterId, MAX_CLUSTERS};
 use crate::clock::ns_to_secs;
 use crate::cpuset::{CoreId, CpuSet};
 use crate::energy::EnergyMeter;
@@ -61,7 +61,7 @@ pub enum Action {
     /// Set a cluster's DVFS frequency.
     SetClusterFreq {
         /// Target cluster.
-        cluster: Cluster,
+        cluster: ClusterId,
         /// New operating point (must be on the cluster's ladder).
         freq: FreqKhz,
     },
@@ -87,14 +87,15 @@ pub struct HeartbeatEvent {
     pub time_ns: u64,
 }
 
-/// The big.LITTLE simulation engine (see the crate-level docs for
-/// the execution model).
+/// The heterogeneous-board simulation engine (see the crate-level docs
+/// for the execution model).
 #[derive(Debug)]
 pub struct Engine {
     board: BoardSpec,
     cfg: EngineConfig,
     now_ns: u64,
-    freqs: [FreqKhz; 2],
+    /// Per-cluster DVFS operating points, indexed by cluster.
+    freqs: Vec<FreqKhz>,
     cores: Vec<CoreState>,
     threads: Vec<ThreadState>,
     apps: Vec<AppState>,
@@ -117,10 +118,11 @@ impl Engine {
     /// performance governor state the paper's baseline runs under).
     pub fn new(board: BoardSpec, cfg: EngineConfig) -> Self {
         cfg.gts.assert_valid();
+        board.assert_valid();
         let cores = (0..board.n_cores())
             .map(|i| CoreState::new(CoreId(i), board.cluster_of(CoreId(i))))
             .collect();
-        let freqs = [board.little_ladder.max(), board.big_ladder.max()];
+        let freqs: Vec<FreqKhz> = board.cluster_ids().map(|c| board.ladder(c).max()).collect();
         let sensor = PowerSensor::new(board.sensor_period_ns, cfg.sensor_noise, cfg.seed);
         let next_tick_ns = cfg.gts.tick_ns;
         let registry = HeartbeatRegistry::new(cfg.hb_window);
@@ -166,8 +168,13 @@ impl Engine {
     }
 
     /// Current frequency of `cluster`.
-    pub fn cluster_freq(&self, cluster: Cluster) -> FreqKhz {
+    pub fn cluster_freq(&self, cluster: ClusterId) -> FreqKhz {
         self.freqs[cluster.index()]
+    }
+
+    /// Current frequencies of every cluster, indexed by cluster.
+    pub fn cluster_freqs(&self) -> &[FreqKhz] {
+        &self.freqs
     }
 
     /// The exact energy meter.
@@ -303,11 +310,11 @@ impl Engine {
     ///
     /// Returns [`SimError::InvalidFrequency`] when `freq` is not an
     /// operating point of the cluster's ladder.
-    pub fn set_cluster_freq(&mut self, cluster: Cluster, freq: FreqKhz) -> Result<(), SimError> {
+    pub fn set_cluster_freq(&mut self, cluster: ClusterId, freq: FreqKhz) -> Result<(), SimError> {
         if !self.board.ladder(cluster).contains(freq) {
             return Err(SimError::InvalidFrequency {
                 freq,
-                cluster: cluster.name(),
+                cluster: self.board.cluster_name(cluster).to_string(),
             });
         }
         let from = self.freqs[cluster.index()];
@@ -369,16 +376,23 @@ impl Engine {
                 if !self.board.ladder(*cluster).contains(*freq) {
                     return Err(SimError::InvalidFrequency {
                         freq: *freq,
-                        cluster: cluster.name(),
+                        cluster: self.board.cluster_name(*cluster).to_string(),
                     });
                 }
             }
-            Action::SetThreadAffinity { app, thread, affinity } => {
+            Action::SetThreadAffinity {
+                app,
+                thread,
+                affinity,
+            } => {
                 self.validate_cpuset(*affinity)?;
                 self.thread_id(*app, *thread)?;
             }
         }
-        self.actions.entry(at_ns.max(self.now_ns)).or_default().push(action);
+        self.actions
+            .entry(at_ns.max(self.now_ns))
+            .or_default()
+            .push(action);
         Ok(())
     }
 
@@ -412,7 +426,11 @@ impl Engine {
                 }
                 self.freqs[cluster.index()] = freq;
             }
-            Action::SetThreadAffinity { app, thread, affinity } => {
+            Action::SetThreadAffinity {
+                app,
+                thread,
+                affinity,
+            } => {
                 // Validated at schedule time; the thread cannot vanish.
                 let _ = self.set_thread_affinity(app, thread, affinity);
             }
@@ -480,6 +498,13 @@ impl Engine {
     /// True per-thread execution speed in work-units/sec on its current
     /// core at current frequencies (1.0 "seconds/sec" for time-based
     /// duty-cycle threads).
+    ///
+    /// The application's [`crate::SpeedProfile::big_little_ratio`] is
+    /// its true per-core ratio on the board's *fastest* cluster; a
+    /// middle cluster's ratio is interpolated between 1.0 and that
+    /// value in proportion to the board's nominal ratios, so on a
+    /// two-cluster board this reduces exactly to the paper's
+    /// `R(Little) = 1, R(Big) = big_little_ratio`.
     fn speed_of(&self, tid: usize) -> f64 {
         let t = &self.threads[tid];
         if t.time_based {
@@ -489,12 +514,17 @@ impl Engine {
         let cluster = self.board.cluster_of(core);
         let f = self.freqs[cluster.index()];
         let profile = self.apps[t.app].spec.speed;
-        let ratio = match cluster {
-            Cluster::Little => 1.0,
-            Cluster::Big => profile.big_little_ratio,
+        let nominal = self.board.perf_ratio(cluster);
+        let rmax = self.board.max_perf_ratio();
+        let ratio = if nominal <= 1.0 {
+            1.0
+        } else if nominal >= rmax {
+            profile.big_little_ratio
+        } else {
+            1.0 + (profile.big_little_ratio - 1.0) * (nominal - 1.0) / (rmax - 1.0)
         };
         let fr = f.ratio_to(self.board.base_freq);
-        self.board.little_units_per_sec
+        self.board.units_per_sec
             * ratio
             * (profile.mem_bound_frac + (1.0 - profile.mem_bound_frac) * fr)
     }
@@ -532,7 +562,8 @@ impl Engine {
     /// Advances the clock by `dt_ns`, integrating energy, busy time,
     /// load-tracking counters and work progress.
     fn advance(&mut self, dt_ns: u64) {
-        let mut busy = [0.0f64; 2];
+        let n = self.board.n_clusters();
+        let mut busy = [0.0f64; MAX_CLUSTERS];
         for core in &mut self.cores {
             if core.nr_running() > 0 {
                 busy[core.cluster.index()] += 1.0;
@@ -540,7 +571,7 @@ impl Engine {
             }
         }
         self.energy
-            .accumulate(&self.board, self.freqs, busy, dt_ns);
+            .accumulate(&self.board, &self.freqs, &busy[..n], dt_ns);
         let dt_secs = ns_to_secs(dt_ns);
         for ci in 0..self.cores.len() {
             let k = self.cores[ci].nr_running();
@@ -601,7 +632,12 @@ impl Engine {
                 } else {
                     Vec::new()
                 };
-                gts_tick(&self.cfg.gts, &self.board, &mut self.threads, &mut self.cores);
+                gts_tick(
+                    &self.cfg.gts,
+                    &self.board,
+                    &mut self.threads,
+                    &mut self.cores,
+                );
                 if self.trace.is_enabled() {
                     for (tid, prev) in before.iter().enumerate() {
                         let now_core = self.threads[tid].core;
@@ -629,8 +665,9 @@ impl Engine {
             }
             // Sensor sample.
             if self.sensor.next_sample_ns() <= self.now_ns {
-                let (pl, pb) = self.instant_power();
-                self.sensor.sample(self.now_ns, pl, pb);
+                let truth = self.instant_power();
+                self.sensor
+                    .sample(self.now_ns, &truth[..self.board.n_clusters()]);
                 progressed = true;
             }
             if !progressed {
@@ -639,29 +676,27 @@ impl Engine {
         }
     }
 
-    /// Instantaneous true per-cluster power (W) — what the sensor reads.
-    fn instant_power(&self) -> (f64, f64) {
-        let mut busy = [0.0f64; 2];
+    /// Instantaneous true per-cluster power (W) — what the sensor
+    /// reads, indexed by cluster.
+    fn instant_power(&self) -> [f64; MAX_CLUSTERS] {
+        let mut busy = [0.0f64; MAX_CLUSTERS];
         for core in &self.cores {
             if core.nr_running() > 0 {
                 busy[core.cluster.index()] += 1.0;
             }
         }
-        let pl = cluster_power(
-            &self.board,
-            Cluster::Little,
-            self.freqs[0],
-            busy[0],
-            self.board.n_little,
-        );
-        let pb = cluster_power(
-            &self.board,
-            Cluster::Big,
-            self.freqs[1],
-            busy[1],
-            self.board.n_big,
-        );
-        (pl, pb)
+        let mut watts = [0.0f64; MAX_CLUSTERS];
+        for cluster in self.board.cluster_ids() {
+            let i = cluster.index();
+            watts[i] = cluster_power(
+                &self.board,
+                cluster,
+                self.freqs[i],
+                busy[i],
+                self.board.cluster_size(cluster),
+            );
+        }
+        watts
     }
 
     // ------------------------------------------------------------------
@@ -906,7 +941,9 @@ impl Engine {
     fn pipeline_complete(&mut self, tid: usize, app_idx: usize) {
         let stage = self.threads[tid].stage;
         let last_stage = self.n_stages(app_idx) - 1;
-        let item = self.cur_items[tid].take().expect("pipeline thread had an item");
+        let item = self.cur_items[tid]
+            .take()
+            .expect("pipeline thread had an item");
         if stage == last_stage {
             let completed = {
                 let app = &mut self.apps[app_idx];
@@ -1019,7 +1056,10 @@ impl Engine {
             )
         });
         if let Some(tid) = waiter {
-            let item = self.threads[tid].held_item.take().expect("pusher holds an item");
+            let item = self.threads[tid]
+                .held_item
+                .take()
+                .expect("pusher holds an item");
             if let ModelState::Pipeline { queues, .. } = &mut self.apps[app_idx].model {
                 queues[queue].push_back(item);
             }

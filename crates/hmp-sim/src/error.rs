@@ -20,8 +20,8 @@ pub enum SimError {
     InvalidFrequency {
         /// Requested frequency.
         freq: FreqKhz,
-        /// Cluster whose ladder was consulted.
-        cluster: &'static str,
+        /// Name of the cluster whose ladder was consulted.
+        cluster: String,
     },
     /// An affinity mask with no core in it was supplied.
     EmptyCpuSet,
@@ -68,7 +68,7 @@ mod tests {
             SimError::UnknownThread { app: 0, thread: 9 },
             SimError::InvalidFrequency {
                 freq: FreqKhz::new(123),
-                cluster: "big",
+                cluster: "big".to_string(),
             },
             SimError::EmptyCpuSet,
             SimError::CoreOutOfRange {

@@ -221,7 +221,10 @@ mod tests {
         let f = FreqKhz::from_mhz(800);
         assert_eq!(l.step_from(f, -3), f);
         assert_eq!(l.step_from(f, 2), FreqKhz::from_mhz(1000));
-        assert_eq!(l.step_from(FreqKhz::from_mhz(1600), 5), FreqKhz::from_mhz(1600));
+        assert_eq!(
+            l.step_from(FreqKhz::from_mhz(1600), 5),
+            FreqKhz::from_mhz(1600)
+        );
     }
 
     #[test]

@@ -1,16 +1,22 @@
-//! # hmp-sim — a big.LITTLE (HMP) platform simulator
+//! # hmp-sim — an N-cluster heterogeneous platform simulator
 //!
 //! This crate is the hardware substrate for the HARS reproduction: a
-//! deterministic, event-exact simulator of an asymmetric multicore board
-//! in the mold of the ODROID-XU3 (Samsung Exynos 5422) the paper
-//! evaluates on:
+//! deterministic, event-exact simulator of heterogeneous multicore
+//! boards, from the paper's ODROID-XU3 (Samsung Exynos 5422) up to
+//! arbitrary N-cluster topologies:
 //!
-//! * two clusters (4×Cortex-A15 "big", 4×Cortex-A7 "little") with
-//!   independent per-cluster DVFS ladders ([`BoardSpec::odroid_xu3`]),
+//! * any number of clusters, each a [`ClusterSpec`] with its own core
+//!   count, DVFS ladder, power model and nominal per-core performance
+//!   ratio — presets cover the XU3 ([`BoardSpec::odroid_xu3`]), an
+//!   asymmetric phone SoC, a DynamIQ-style tri-cluster part
+//!   ([`BoardSpec::dynamiq_1p_3m_4l`]) and an x86 hybrid
+//!   ([`BoardSpec::x86_hybrid_6p_8e`]),
 //! * a ground-truth `V²f` power model measured by a sampling
-//!   [`PowerSensor`] (263,808 µs period, like the board's INA231 rails),
-//! * a Linux GTS-style HMP scheduler ([`GtsConfig`]) with up/down
-//!   migration thresholds and in-cluster balancing,
+//!   [`PowerSensor`] (one rail per cluster; 263,808 µs period on the
+//!   XU3, like the board's INA231 rails),
+//! * a Linux GTS-style HMP scheduler ([`GtsConfig`]) whose up/down
+//!   migrations climb and descend the board's performance order one
+//!   cluster at a time,
 //! * multithreaded application models (data-parallel barriers, bounded
 //!   -queue pipelines, duty-cycle calibration spinners) that emit
 //!   heartbeats through the `heartbeats` crate,
@@ -51,7 +57,7 @@ mod spec;
 mod thread;
 pub mod trace;
 
-pub use board::{BoardSpec, Cluster, ClusterPowerModel};
+pub use board::{BoardSpec, ClusterId, ClusterPowerModel, ClusterSpec, MAX_CLUSTERS};
 pub use cpuset::{CoreId, CpuSet, CpuSetIter};
 pub use energy::{EnergyMeter, EnergySnapshot};
 pub use engine::{Action, Engine, EngineConfig, HeartbeatEvent};

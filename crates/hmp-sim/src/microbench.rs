@@ -11,7 +11,7 @@
 //! `hars-core`'s calibration fits `P = α·(C·U) + β` per (cluster,
 //! frequency) to these points.
 
-use crate::board::{BoardSpec, Cluster};
+use crate::board::{BoardSpec, ClusterId};
 use crate::clock::secs_to_ns;
 use crate::cpuset::CpuSet;
 use crate::engine::{Engine, EngineConfig};
@@ -23,7 +23,7 @@ use crate::spec::{AppSpec, ParallelismModel, SpeedProfile, WorkSource};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationPoint {
     /// Cluster under test.
-    pub cluster: Cluster,
+    pub cluster: ClusterId,
     /// Frequency the cluster ran at.
     pub freq: FreqKhz,
     /// Number of cores running spinner threads.
@@ -62,7 +62,7 @@ impl Default for CalibrationConfig {
     }
 }
 
-/// Runs the full calibration sweep for both clusters of `board`.
+/// Runs the full calibration sweep for every cluster of `board`.
 ///
 /// Every point uses a fresh engine so points are independent, exactly
 /// like rebooting the microbenchmark per configuration.
@@ -77,7 +77,7 @@ pub fn run_calibration(
     cal: &CalibrationConfig,
 ) -> Result<Vec<CalibrationPoint>, SimError> {
     let mut points = Vec::new();
-    for cluster in Cluster::ALL {
+    for cluster in board.cluster_ids() {
         let ladder = board.ladder(cluster).clone();
         for freq in ladder.iter() {
             for cores_used in 1..=board.cluster_size(cluster) {
@@ -108,19 +108,25 @@ pub fn measure_point(
     board: &BoardSpec,
     engine_cfg: &EngineConfig,
     cal: &CalibrationConfig,
-    cluster: Cluster,
+    cluster: ClusterId,
     freq: FreqKhz,
     cores_used: usize,
     duty: f64,
 ) -> Result<f64, SimError> {
     let mut engine = Engine::new(board.clone(), engine_cfg.clone());
-    // Quiesce both clusters at the lowest operating point, then raise the
-    // cluster under test.
-    engine.set_cluster_freq(Cluster::Little, board.little_ladder.min())?;
-    engine.set_cluster_freq(Cluster::Big, board.big_ladder.min())?;
+    // Quiesce every cluster at the lowest operating point, then raise
+    // the cluster under test.
+    for c in board.cluster_ids() {
+        engine.set_cluster_freq(c, board.ladder(c).min())?;
+    }
     engine.set_cluster_freq(cluster, freq)?;
     let spec = AppSpec {
-        name: format!("spinner-{}-{}-{}x{duty}", cluster.name(), freq, cores_used),
+        name: format!(
+            "spinner-{}-{}-{}x{duty}",
+            board.cluster_name(cluster),
+            freq,
+            cores_used
+        ),
         threads: cores_used,
         model: ParallelismModel::DutyCycle {
             duty,
@@ -169,9 +175,17 @@ mod tests {
     fn full_load_point_matches_truth_model() {
         let board = BoardSpec::odroid_xu3();
         let f = FreqKhz::from_mhz(1_600);
-        let watts = measure_point(&board, &quiet_cfg(), &quick_cal(), Cluster::Big, f, 4, 1.0)
-            .unwrap();
-        let truth = crate::power::cluster_power(&board, Cluster::Big, f, 4.0, 4);
+        let watts = measure_point(
+            &board,
+            &quiet_cfg(),
+            &quick_cal(),
+            ClusterId::BIG,
+            f,
+            4,
+            1.0,
+        )
+        .unwrap();
+        let truth = crate::power::cluster_power(&board, ClusterId::BIG, f, 4.0, 4);
         assert!(
             (watts - truth).abs() < 0.05 * truth,
             "measured {watts} vs truth {truth}"
@@ -184,9 +198,9 @@ mod tests {
         let f = FreqKhz::from_mhz(1_200);
         let cfg = quiet_cfg();
         let cal = quick_cal();
-        let full = measure_point(&board, &cfg, &cal, Cluster::Big, f, 2, 1.0).unwrap();
-        let half = measure_point(&board, &cfg, &cal, Cluster::Big, f, 2, 0.5).unwrap();
-        let idle = crate::power::cluster_power(&board, Cluster::Big, f, 0.0, 4);
+        let full = measure_point(&board, &cfg, &cal, ClusterId::BIG, f, 2, 1.0).unwrap();
+        let half = measure_point(&board, &cfg, &cal, ClusterId::BIG, f, 2, 0.5).unwrap();
+        let idle = crate::power::cluster_power(&board, ClusterId::BIG, f, 0.0, 4);
         let dyn_full = full - idle;
         let dyn_half = half - idle;
         assert!(
@@ -212,7 +226,7 @@ mod tests {
     #[test]
     fn load_product() {
         let p = CalibrationPoint {
-            cluster: Cluster::Big,
+            cluster: ClusterId::BIG,
             freq: FreqKhz::from_mhz(1_000),
             cores_used: 3,
             duty: 0.5,

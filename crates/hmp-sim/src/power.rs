@@ -6,7 +6,7 @@
 //! (see `hars-core`), exactly as the paper fits linear regressions to
 //! INA231 samples.
 
-use crate::board::{BoardSpec, Cluster};
+use crate::board::{BoardSpec, ClusterId};
 use crate::freq::FreqKhz;
 
 /// Instantaneous power draw of one cluster.
@@ -21,7 +21,7 @@ use crate::freq::FreqKhz;
 /// Returns watts.
 pub fn cluster_power(
     board: &BoardSpec,
-    cluster: Cluster,
+    cluster: ClusterId,
     freq: FreqKhz,
     busy_cores: f64,
     online_cores: usize,
@@ -42,21 +42,34 @@ pub fn cluster_power(
     dynamic + leakage + uncore
 }
 
-/// Total board power: both clusters at their current frequencies.
-pub fn board_power(
-    board: &BoardSpec,
-    little_freq: FreqKhz,
-    big_freq: FreqKhz,
-    little_busy: f64,
-    big_busy: f64,
-) -> f64 {
-    cluster_power(board, Cluster::Little, little_freq, little_busy, board.n_little)
-        + cluster_power(board, Cluster::Big, big_freq, big_busy, board.n_big)
+/// Total board power: every cluster at its current frequency with the
+/// given per-cluster busy-core counts (`freqs` and `busy` are indexed by
+/// cluster).
+///
+/// # Panics
+///
+/// Panics when the slices do not cover every cluster.
+pub fn board_power(board: &BoardSpec, freqs: &[FreqKhz], busy: &[f64]) -> f64 {
+    assert_eq!(freqs.len(), board.n_clusters(), "one frequency per cluster");
+    assert_eq!(busy.len(), board.n_clusters(), "one busy count per cluster");
+    board
+        .cluster_ids()
+        .map(|c| {
+            cluster_power(
+                board,
+                c,
+                freqs[c.index()],
+                busy[c.index()],
+                board.cluster_size(c),
+            )
+        })
+        .sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::board::ClusterId as C;
 
     fn xu3() -> BoardSpec {
         BoardSpec::odroid_xu3()
@@ -66,8 +79,8 @@ mod tests {
     fn idle_cluster_draws_only_static_power() {
         let b = xu3();
         let f = FreqKhz::from_mhz(800);
-        let p_idle = cluster_power(&b, Cluster::Big, f, 0.0, 4);
-        let p_busy = cluster_power(&b, Cluster::Big, f, 4.0, 4);
+        let p_idle = cluster_power(&b, C::BIG, f, 0.0, 4);
+        let p_busy = cluster_power(&b, C::BIG, f, 4.0, 4);
         assert!(p_idle > 0.0, "leakage + uncore should be nonzero");
         assert!(p_busy > 2.0 * p_idle, "full load dwarfs idle");
     }
@@ -76,24 +89,27 @@ mod tests {
     fn power_is_monotone_in_frequency_and_load() {
         let b = xu3();
         let mut prev = 0.0;
-        for f in b.ladder(Cluster::Big).clone().iter() {
-            let p = cluster_power(&b, Cluster::Big, f, 4.0, 4);
+        for f in b.ladder(C::BIG).clone().iter() {
+            let p = cluster_power(&b, C::BIG, f, 4.0, 4);
             assert!(p > prev, "power must increase with frequency");
             prev = p;
         }
         let f = FreqKhz::from_mhz(1_200);
-        let p1 = cluster_power(&b, Cluster::Big, f, 1.0, 4);
-        let p3 = cluster_power(&b, Cluster::Big, f, 3.0, 4);
+        let p1 = cluster_power(&b, C::BIG, f, 1.0, 4);
+        let p3 = cluster_power(&b, C::BIG, f, 3.0, 4);
         assert!(p3 > p1);
     }
 
     #[test]
     fn big_cluster_is_much_hungrier_than_little() {
         let b = xu3();
-        let p_big = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(1_600), 4.0, 4);
-        let p_little = cluster_power(&b, Cluster::Little, FreqKhz::from_mhz(1_300), 4.0, 4);
+        let p_big = cluster_power(&b, C::BIG, FreqKhz::from_mhz(1_600), 4.0, 4);
+        let p_little = cluster_power(&b, C::LITTLE, FreqKhz::from_mhz(1_300), 4.0, 4);
         // Published XU3 envelopes: big ~5-7 W, little ~0.4-1 W.
-        assert!(p_big > 4.0 && p_big < 8.0, "big cluster {p_big} W out of envelope");
+        assert!(
+            p_big > 4.0 && p_big < 8.0,
+            "big cluster {p_big} W out of envelope"
+        );
         assert!(
             p_little > 0.3 && p_little < 1.2,
             "little cluster {p_little} W out of envelope"
@@ -104,19 +120,31 @@ mod tests {
     #[test]
     fn offline_cluster_draws_nothing() {
         let b = xu3();
-        let p = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(1_600), 0.0, 0);
+        let p = cluster_power(&b, C::BIG, FreqKhz::from_mhz(1_600), 0.0, 0);
         assert_eq!(p, 0.0);
     }
 
     #[test]
     fn board_power_sums_clusters() {
         let b = xu3();
-        let fl = FreqKhz::from_mhz(1_000);
-        let fb = FreqKhz::from_mhz(1_000);
-        let total = board_power(&b, fl, fb, 2.0, 2.0);
-        let parts = cluster_power(&b, Cluster::Little, fl, 2.0, 4)
-            + cluster_power(&b, Cluster::Big, fb, 2.0, 4);
+        let f = FreqKhz::from_mhz(1_000);
+        let total = board_power(&b, &[f, f], &[2.0, 2.0]);
+        let parts = cluster_power(&b, C::LITTLE, f, 2.0, 4) + cluster_power(&b, C::BIG, f, 2.0, 4);
         assert!((total - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tri_cluster_board_power_sums() {
+        let b = BoardSpec::dynamiq_1p_3m_4l();
+        let freqs: Vec<FreqKhz> = b.cluster_ids().map(|c| b.ladder(c).max()).collect();
+        let busy: Vec<f64> = b.cluster_ids().map(|c| b.cluster_size(c) as f64).collect();
+        let total = board_power(&b, &freqs, &busy);
+        let parts: f64 = b
+            .cluster_ids()
+            .map(|c| cluster_power(&b, c, freqs[c.index()], busy[c.index()], b.cluster_size(c)))
+            .sum();
+        assert!((total - parts).abs() < 1e-12);
+        assert!(total > 0.0);
     }
 
     #[test]
@@ -125,8 +153,11 @@ mod tests {
         // is what makes high-frequency states inefficient and the paper's
         // race-to-idle-vs-pace tradeoff interesting.
         let b = xu3();
-        let p_lo = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(800), 4.0, 4);
-        let p_hi = cluster_power(&b, Cluster::Big, FreqKhz::from_mhz(1_600), 4.0, 4);
-        assert!(p_hi > 2.0 * p_lo, "doubling f should more than double power");
+        let p_lo = cluster_power(&b, C::BIG, FreqKhz::from_mhz(800), 4.0, 4);
+        let p_hi = cluster_power(&b, C::BIG, FreqKhz::from_mhz(1_600), 4.0, 4);
+        assert!(
+            p_hi > 2.0 * p_lo,
+            "doubling f should more than double power"
+        );
     }
 }

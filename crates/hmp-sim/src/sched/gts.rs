@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::board::{BoardSpec, Cluster};
+use crate::board::{BoardSpec, ClusterId};
 use crate::cpuset::CoreId;
 use crate::sched::{migrate_thread, CoreState};
 use crate::thread::ThreadState;
@@ -76,15 +76,17 @@ impl GtsConfig {
     pub fn assert_valid(&self) {
         assert!(self.tick_ns > 0, "GTS tick must be positive");
         assert!(
-            (0.0..=1.0).contains(&self.up_threshold)
-                && (0.0..=1.0).contains(&self.down_threshold),
+            (0.0..=1.0).contains(&self.up_threshold) && (0.0..=1.0).contains(&self.down_threshold),
             "GTS thresholds must be fractions"
         );
         assert!(
             self.down_threshold <= self.up_threshold,
             "down threshold must not exceed up threshold"
         );
-        assert!((0.0..1.0).contains(&self.load_decay), "decay must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.load_decay),
+            "decay must be in [0,1)"
+        );
     }
 }
 
@@ -99,7 +101,7 @@ pub(crate) fn gts_tick(
 ) {
     update_loads(cfg, threads);
     migration_pass(cfg, board, threads, cores);
-    for cluster in Cluster::ALL {
+    for cluster in board.cluster_ids() {
         balance_cluster(cfg, cluster, threads, cores);
     }
     idle_pull(cfg, threads, cores);
@@ -115,8 +117,13 @@ pub(crate) fn update_loads(cfg: &GtsConfig, threads: &mut [ThreadState]) {
 }
 
 /// Up/down migration between clusters for threads whose affinity allows
-/// both (HARS-pinned threads have singleton masks and are never touched —
+/// it (HARS-pinned threads have singleton masks and are never touched —
 /// the paper notes HARS threads do not migrate between adaptations).
+///
+/// On an N-cluster board a hot thread climbs one step toward the
+/// next-faster cluster and a cold thread descends one step toward the
+/// next-slower one, so the 2-cluster big.LITTLE behaviour is the
+/// special case.
 fn migration_pass(
     cfg: &GtsConfig,
     board: &BoardSpec,
@@ -131,16 +138,22 @@ fn migration_pass(
             continue;
         }
         let cluster = board.cluster_of(core);
-        let target_cluster = match cluster {
-            Cluster::Little if threads[tid].load >= cfg.up_threshold => Cluster::Big,
-            Cluster::Big if threads[tid].load < cfg.down_threshold => Cluster::Little,
-            _ => continue,
+        let (target_cluster, upward) = if threads[tid].load >= cfg.up_threshold {
+            match board.faster_cluster(cluster) {
+                Some(c) => (c, true),
+                None => continue,
+            }
+        } else if threads[tid].load < cfg.down_threshold {
+            match board.slower_cluster(cluster) {
+                Some(c) => (c, false),
+                None => continue,
+            }
+        } else {
+            continue;
         };
         if let Some(dest) = least_loaded_core(target_cluster, &threads[tid], cores) {
-            // A saturated big cluster stops attracting up-migrations.
-            if target_cluster == Cluster::Big
-                && cores[dest.0].nr_running() > cfg.up_migration_max_busy
-            {
+            // A saturated faster cluster stops attracting up-migrations.
+            if upward && cores[dest.0].nr_running() > cfg.up_migration_max_busy {
                 continue;
             }
             migrate_thread(tid, dest, threads, cores);
@@ -150,7 +163,7 @@ fn migration_pass(
 
 /// The allowed core of `cluster` with the shortest run queue.
 fn least_loaded_core(
-    cluster: Cluster,
+    cluster: ClusterId,
     thread: &ThreadState,
     cores: &[CoreState],
 ) -> Option<CoreId> {
@@ -166,7 +179,7 @@ fn least_loaded_core(
 /// met. Bounded to the cluster's thread count so it always terminates.
 fn balance_cluster(
     cfg: &GtsConfig,
-    cluster: Cluster,
+    cluster: ClusterId,
     threads: &mut [ThreadState],
     cores: &mut [CoreState],
 ) {
@@ -226,7 +239,7 @@ fn idle_pull(cfg: &GtsConfig, threads: &mut [ThreadState], cores: &mut [CoreStat
     }
 }
 
-fn busiest_idlest(cluster: Cluster, cores: &[CoreState]) -> Option<(CoreId, CoreId)> {
+fn busiest_idlest(cluster: ClusterId, cores: &[CoreState]) -> Option<(CoreId, CoreId)> {
     let mut busiest: Option<&CoreState> = None;
     let mut idlest: Option<&CoreState> = None;
     for c in cores.iter().filter(|c| c.cluster == cluster) {
@@ -298,7 +311,7 @@ mod tests {
             gts_tick(&cfg, &board, &mut threads, &mut cores);
         }
         let dest = threads[0].core.unwrap();
-        assert_eq!(board.cluster_of(dest), Cluster::Big);
+        assert_eq!(board.cluster_of(dest), ClusterId::BIG);
     }
 
     #[test]
@@ -313,7 +326,7 @@ mod tests {
             gts_tick(&cfg, &board, &mut threads, &mut cores);
         }
         let dest = threads[0].core.unwrap();
-        assert_eq!(board.cluster_of(dest), Cluster::Little);
+        assert_eq!(board.cluster_of(dest), ClusterId::LITTLE);
     }
 
     #[test]
@@ -334,8 +347,8 @@ mod tests {
         // on the 4 big cores; little cores sit idle.
         let cfg = GtsConfig::default();
         let (board, mut threads, mut cores) = setup(8);
-        for tid in 0..8 {
-            threads[tid].core = Some(CoreId(tid % 4)); // start on little
+        for (tid, t) in threads.iter_mut().enumerate() {
+            t.core = Some(CoreId(tid % 4)); // start on little
             cores[tid % 4].runnable.push(tid);
         }
         for _ in 0..16 {
@@ -345,10 +358,10 @@ mod tests {
             gts_tick(&cfg, &board, &mut threads, &mut cores);
         }
         for t in &threads {
-            assert_eq!(board.cluster_of(t.core.unwrap()), Cluster::Big);
+            assert_eq!(board.cluster_of(t.core.unwrap()), ClusterId::BIG);
         }
         // And the big run queues are balanced: 2 threads per big core.
-        for c in cores.iter().filter(|c| c.cluster == Cluster::Big) {
+        for c in cores.iter().filter(|c| c.cluster == ClusterId::BIG) {
             assert_eq!(c.nr_running(), 2);
         }
     }
@@ -358,12 +371,12 @@ mod tests {
         let cfg = GtsConfig::default();
         let (_board, mut threads, mut cores) = setup(4);
         // All four threads dumped on big core 4.
-        for tid in 0..4 {
-            threads[tid].core = Some(CoreId(4));
+        for (tid, t) in threads.iter_mut().enumerate() {
+            t.core = Some(CoreId(4));
             cores[4].runnable.push(tid);
-            threads[tid].load = 0.9; // stay on big
+            t.load = 0.9; // stay on big
         }
-        balance_cluster(&cfg, Cluster::Big, &mut threads, &mut cores);
+        balance_cluster(&cfg, ClusterId::BIG, &mut threads, &mut cores);
         let counts: Vec<usize> = (4..8).map(|i| cores[i].nr_running()).collect();
         assert_eq!(counts.iter().sum::<usize>(), 4);
         assert!(counts.iter().all(|&c| c == 1), "unbalanced: {counts:?}");
@@ -373,12 +386,12 @@ mod tests {
     fn balance_respects_affinity() {
         let cfg = GtsConfig::default();
         let (_board, mut threads, mut cores) = setup(3);
-        for tid in 0..3 {
-            threads[tid].affinity = CpuSet::single(CoreId(4));
-            threads[tid].core = Some(CoreId(4));
+        for (tid, t) in threads.iter_mut().enumerate() {
+            t.affinity = CpuSet::single(CoreId(4));
+            t.core = Some(CoreId(4));
             cores[4].runnable.push(tid);
         }
-        balance_cluster(&cfg, Cluster::Big, &mut threads, &mut cores);
+        balance_cluster(&cfg, ClusterId::BIG, &mut threads, &mut cores);
         assert_eq!(cores[4].nr_running(), 3, "pinned threads must stay");
     }
 
@@ -389,8 +402,8 @@ mod tests {
         // multi-application baseline uses the whole board.
         let cfg = GtsConfig::default();
         let (board, mut threads, mut cores) = setup(16);
-        for tid in 0..16 {
-            threads[tid].core = Some(CoreId(tid % 8));
+        for (tid, t) in threads.iter_mut().enumerate() {
+            t.core = Some(CoreId(tid % 8));
             cores[tid % 8].runnable.push(tid);
         }
         for _ in 0..32 {
@@ -406,16 +419,19 @@ mod tests {
             little_threads >= 4,
             "little cluster must absorb spill ({little_threads} threads)"
         );
-        assert!(big_threads >= 8, "big cluster stays primary ({big_threads})");
+        assert!(
+            big_threads >= 8,
+            "big cluster stays primary ({big_threads})"
+        );
     }
 
     #[test]
     fn idle_pull_respects_affinity() {
         let cfg = GtsConfig::default();
         let (_board, mut threads, mut cores) = setup(3);
-        for tid in 0..3 {
-            threads[tid].affinity = CpuSet::single(CoreId(4));
-            threads[tid].core = Some(CoreId(4));
+        for (tid, t) in threads.iter_mut().enumerate() {
+            t.affinity = CpuSet::single(CoreId(4));
+            t.core = Some(CoreId(4));
             cores[4].runnable.push(tid);
         }
         idle_pull(&cfg, &mut threads, &mut cores);

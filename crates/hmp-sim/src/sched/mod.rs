@@ -5,7 +5,7 @@ pub(crate) mod gts;
 
 pub use gts::GtsConfig;
 
-use crate::board::Cluster;
+use crate::board::ClusterId;
 use crate::cpuset::CoreId;
 use crate::thread::ThreadState;
 
@@ -15,7 +15,7 @@ pub(crate) struct CoreState {
     /// The core's id.
     pub id: CoreId,
     /// Cluster membership (cached from the board).
-    pub cluster: Cluster,
+    pub cluster: ClusterId,
     /// Engine thread-table indices of runnable threads placed here.
     pub runnable: Vec<usize>,
     /// Total time this core has been busy (ns).
@@ -23,7 +23,7 @@ pub(crate) struct CoreState {
 }
 
 impl CoreState {
-    pub fn new(id: CoreId, cluster: Cluster) -> Self {
+    pub fn new(id: CoreId, cluster: ClusterId) -> Self {
         Self {
             id,
             cluster,
@@ -105,9 +105,9 @@ mod tests {
                 CoreState::new(
                     CoreId(i),
                     if i < n_little {
-                        Cluster::Little
+                        ClusterId::LITTLE
                     } else {
-                        Cluster::Big
+                        ClusterId::BIG
                     },
                 )
             })

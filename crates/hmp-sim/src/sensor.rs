@@ -4,36 +4,32 @@
 //! rail, sampled every 263,808 µs. HARS's power-model calibration reads
 //! *these samples*, not the ground truth — so the sensor adds optional
 //! Gaussian measurement noise to reproduce real calibration conditions.
+//! One rail per cluster, however many clusters the board has.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::board::Cluster;
+use crate::board::ClusterId;
 
 /// One sensor sample: per-cluster power at a sample instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerSample {
     /// Sample timestamp (ns).
     pub time_ns: u64,
-    /// Measured little-cluster power (W).
-    pub little_watts: f64,
-    /// Measured big-cluster power (W).
-    pub big_watts: f64,
+    /// Measured power per cluster rail (W), indexed by cluster.
+    pub watts: Vec<f64>,
 }
 
 impl PowerSample {
-    /// Measured power of `cluster`.
-    pub fn watts(&self, cluster: Cluster) -> f64 {
-        match cluster {
-            Cluster::Little => self.little_watts,
-            Cluster::Big => self.big_watts,
-        }
+    /// Measured power of `cluster` (0 for a rail the board lacks).
+    pub fn watts(&self, cluster: ClusterId) -> f64 {
+        self.watts.get(cluster.index()).copied().unwrap_or(0.0)
     }
 
     /// Total measured board power.
     pub fn total_watts(&self) -> f64 {
-        self.little_watts + self.big_watts
+        self.watts.iter().sum()
     }
 }
 
@@ -77,16 +73,13 @@ impl PowerSensor {
         self.next_sample_ns
     }
 
-    /// Records a sample at `time_ns` given the true per-cluster powers,
-    /// then schedules the next one. The engine calls this exactly when
-    /// the clock reaches [`PowerSensor::next_sample_ns`].
-    pub fn sample(&mut self, time_ns: u64, little_watts: f64, big_watts: f64) {
-        let s = PowerSample {
-            time_ns,
-            little_watts: self.noisy(little_watts),
-            big_watts: self.noisy(big_watts),
-        };
-        self.samples.push(s);
+    /// Records a sample at `time_ns` given the true per-cluster powers
+    /// (indexed by cluster), then schedules the next one. The engine
+    /// calls this exactly when the clock reaches
+    /// [`PowerSensor::next_sample_ns`].
+    pub fn sample(&mut self, time_ns: u64, truth: &[f64]) {
+        let watts = truth.iter().map(|&w| self.noisy(w)).collect();
+        self.samples.push(PowerSample { time_ns, watts });
         self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
     }
 
@@ -108,7 +101,7 @@ impl PowerSensor {
 
     /// Mean measured power of `cluster` over all samples (W), or `None`
     /// before the first sample.
-    pub fn mean_watts(&self, cluster: Cluster) -> Option<f64> {
+    pub fn mean_watts(&self, cluster: ClusterId) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
@@ -125,25 +118,26 @@ impl PowerSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::board::ClusterId as C;
 
     #[test]
     fn ideal_sensor_reports_truth() {
         let mut s = PowerSensor::new(1_000, 0.0, 42);
-        s.sample(1_000, 0.5, 3.0);
-        s.sample(2_000, 0.6, 3.5);
+        s.sample(1_000, &[0.5, 3.0]);
+        s.sample(2_000, &[0.6, 3.5]);
         assert_eq!(s.samples().len(), 2);
-        assert_eq!(s.samples()[0].little_watts, 0.5);
-        assert_eq!(s.samples()[1].big_watts, 3.5);
-        assert!((s.mean_watts(Cluster::Big).unwrap() - 3.25).abs() < 1e-12);
+        assert_eq!(s.samples()[0].watts(C::LITTLE), 0.5);
+        assert_eq!(s.samples()[1].watts(C::BIG), 3.5);
+        assert!((s.mean_watts(C::BIG).unwrap() - 3.25).abs() < 1e-12);
     }
 
     #[test]
     fn schedule_advances_by_period() {
         let mut s = PowerSensor::new(250, 0.0, 0);
         assert_eq!(s.next_sample_ns(), 250);
-        s.sample(250, 1.0, 1.0);
+        s.sample(250, &[1.0, 1.0]);
         assert_eq!(s.next_sample_ns(), 500);
-        s.sample(500, 1.0, 1.0);
+        s.sample(500, &[1.0, 1.0]);
         assert_eq!(s.next_sample_ns(), 750);
     }
 
@@ -152,16 +146,16 @@ mod tests {
         let mut s = PowerSensor::new(1, 0.02, 7);
         let truth = 4.0;
         for t in 1..=2_000u64 {
-            s.sample(t, truth, truth);
+            s.sample(t, &[truth, truth]);
         }
-        let mean = s.mean_watts(Cluster::Big).unwrap();
+        let mean = s.mean_watts(C::BIG).unwrap();
         assert!(
             (mean - truth).abs() < 0.01 * truth,
             "noisy mean {mean} too far from truth {truth}"
         );
         // 2% sigma: essentially all samples within 10%.
         for sample in s.samples() {
-            assert!((sample.big_watts - truth).abs() < 0.2 * truth);
+            assert!((sample.watts(C::BIG) - truth).abs() < 0.2 * truth);
         }
     }
 
@@ -170,8 +164,8 @@ mod tests {
         let mut a = PowerSensor::new(1, 0.05, 9);
         let mut b = PowerSensor::new(1, 0.05, 9);
         for t in 1..=100u64 {
-            a.sample(t, 2.0, 5.0);
-            b.sample(t, 2.0, 5.0);
+            a.sample(t, &[2.0, 5.0]);
+            b.sample(t, &[2.0, 5.0]);
         }
         assert_eq!(a.samples(), b.samples());
     }
@@ -180,18 +174,18 @@ mod tests {
     fn noise_never_goes_negative() {
         let mut s = PowerSensor::new(1, 2.0, 3); // absurd noise
         for t in 1..=500u64 {
-            s.sample(t, 0.01, 0.01);
+            s.sample(t, &[0.01, 0.01]);
         }
-        assert!(s.samples().iter().all(|x| x.little_watts >= 0.0));
+        assert!(s.samples().iter().all(|x| x.watts(C::LITTLE) >= 0.0));
     }
 
     #[test]
-    fn total_watts_sums() {
-        let s = PowerSample {
-            time_ns: 0,
-            little_watts: 0.25,
-            big_watts: 1.75,
-        };
-        assert!((s.total_watts() - 2.0).abs() < 1e-12);
+    fn three_rail_samples() {
+        let mut s = PowerSensor::new(10, 0.0, 1);
+        s.sample(10, &[0.25, 1.0, 0.75]);
+        let sample = &s.samples()[0];
+        assert!((sample.total_watts() - 2.0).abs() < 1e-12);
+        assert_eq!(sample.watts(C(2)), 0.75);
+        assert_eq!(sample.watts(C(5)), 0.0, "missing rail reads zero");
     }
 }

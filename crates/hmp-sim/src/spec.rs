@@ -103,9 +103,7 @@ impl WorkSource {
     pub fn validate(&self) -> Result<(), SimError> {
         let ok = match self {
             WorkSource::Constant(w) => w.is_finite() && *w > 0.0,
-            WorkSource::Schedule(s) => {
-                !s.is_empty() && s.iter().all(|w| w.is_finite() && *w > 0.0)
-            }
+            WorkSource::Schedule(s) => !s.is_empty() && s.iter().all(|w| w.is_finite() && *w > 0.0),
         };
         if ok {
             Ok(())
@@ -201,7 +199,9 @@ impl AppSpec {
     /// constraint.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.threads == 0 {
-            return Err(SimError::InvalidSpec("thread count must be positive".into()));
+            return Err(SimError::InvalidSpec(
+                "thread count must be positive".into(),
+            ));
         }
         if self.items_per_heartbeat == 0 {
             return Err(SimError::InvalidSpec(
@@ -401,7 +401,9 @@ mod tests {
         assert!(WorkSource::Constant(0.0).validate().is_err());
         assert!(WorkSource::Constant(-1.0).validate().is_err());
         assert!(WorkSource::Schedule(vec![]).validate().is_err());
-        assert!(WorkSource::Schedule(vec![1.0, f64::NAN]).validate().is_err());
+        assert!(WorkSource::Schedule(vec![1.0, f64::NAN])
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::board::Cluster;
+use crate::board::ClusterId;
 use crate::cpuset::CoreId;
 use crate::freq::FreqKhz;
 
@@ -18,7 +18,7 @@ pub enum TraceEvent {
         /// When (ns).
         time_ns: u64,
         /// Which cluster.
-        cluster: Cluster,
+        cluster: ClusterId,
         /// Previous operating point.
         from: FreqKhz,
         /// New operating point.
@@ -135,7 +135,7 @@ mod tests {
     fn freq_event(t: u64) -> TraceEvent {
         TraceEvent::FreqChange {
             time_ns: t,
-            cluster: Cluster::Big,
+            cluster: ClusterId::BIG,
             from: FreqKhz::from_mhz(1_600),
             to: FreqKhz::from_mhz(1_000),
         }

@@ -3,7 +3,7 @@
 
 use hmp_sim::clock::secs_to_ns;
 use hmp_sim::{
-    AppSpec, BoardSpec, Cluster, CoreId, CpuSet, Engine, EngineConfig, FreqKhz, ParallelismModel,
+    AppSpec, BoardSpec, ClusterId, CoreId, CpuSet, Engine, EngineConfig, FreqKhz, ParallelismModel,
     SpeedProfile, WorkSource,
 };
 
@@ -79,12 +79,12 @@ fn frequency_scales_throughput() {
             .unwrap();
     }
     engine
-        .set_cluster_freq(Cluster::Big, FreqKhz::from_mhz(1_600))
+        .set_cluster_freq(ClusterId::BIG, FreqKhz::from_mhz(1_600))
         .unwrap();
     engine.run_until(secs_to_ns(3.0));
     let hb_at_16 = engine.app_heartbeats(app);
     engine
-        .set_cluster_freq(Cluster::Big, FreqKhz::from_mhz(800))
+        .set_cluster_freq(ClusterId::BIG, FreqKhz::from_mhz(800))
         .unwrap();
     engine.run_until(secs_to_ns(6.0));
     let hb_at_08 = engine.app_heartbeats(app) - hb_at_16;
@@ -113,7 +113,7 @@ fn memory_bound_app_ignores_frequency() {
     engine.run_until(secs_to_ns(3.0));
     let first = engine.app_heartbeats(app);
     engine
-        .set_cluster_freq(Cluster::Big, FreqKhz::from_mhz(800))
+        .set_cluster_freq(ClusterId::BIG, FreqKhz::from_mhz(800))
         .unwrap();
     engine.run_until(secs_to_ns(6.0));
     let second = engine.app_heartbeats(app) - first;
@@ -245,15 +245,18 @@ fn deferred_actions_apply_on_time() {
         .schedule_action(
             secs_to_ns(2.0),
             hmp_sim::Action::SetClusterFreq {
-                cluster: Cluster::Big,
+                cluster: ClusterId::BIG,
                 freq: FreqKhz::from_mhz(800),
             },
         )
         .unwrap();
     engine.run_until(secs_to_ns(1.0));
-    assert_eq!(engine.cluster_freq(Cluster::Big), FreqKhz::from_mhz(1_600));
+    assert_eq!(
+        engine.cluster_freq(ClusterId::BIG),
+        FreqKhz::from_mhz(1_600)
+    );
     engine.run_until(secs_to_ns(3.0));
-    assert_eq!(engine.cluster_freq(Cluster::Big), FreqKhz::from_mhz(800));
+    assert_eq!(engine.cluster_freq(ClusterId::BIG), FreqKhz::from_mhz(800));
 }
 
 /// Energy accounting lands inside the board's physical envelope and
@@ -263,10 +266,10 @@ fn energy_envelope_and_dvfs_savings() {
     let run = |fb_mhz: u32, fl_mhz: u32| -> f64 {
         let mut engine = quiet_engine();
         engine
-            .set_cluster_freq(Cluster::Big, FreqKhz::from_mhz(fb_mhz))
+            .set_cluster_freq(ClusterId::BIG, FreqKhz::from_mhz(fb_mhz))
             .unwrap();
         engine
-            .set_cluster_freq(Cluster::Little, FreqKhz::from_mhz(fl_mhz))
+            .set_cluster_freq(ClusterId::LITTLE, FreqKhz::from_mhz(fl_mhz))
             .unwrap();
         let mut spec = AppSpec::data_parallel("dp", 8, 800.0);
         spec.speed = SpeedProfile::compute_bound(1.5);
@@ -282,7 +285,10 @@ fn energy_envelope_and_dvfs_savings() {
     let p_max = run(1_600, 1_300);
     let p_min = run(800, 800);
     assert!(p_max > 4.0 && p_max < 9.0, "full-tilt power {p_max} W");
-    assert!(p_min < 0.6 * p_max, "DVFS should cut power: {p_min} vs {p_max}");
+    assert!(
+        p_min < 0.6 * p_max,
+        "DVFS should cut power: {p_min} vs {p_max}"
+    );
 }
 
 /// Identical configurations and seeds give bit-identical traces.
@@ -397,7 +403,11 @@ fn serial_sections_limit_scaling() {
     // Fully parallel: 4 threads on 4 cores = 4x one thread.
     let one = run(1, 0.0);
     let four = run(4, 0.0);
-    assert!((four / one - 4.0).abs() < 0.2, "parallel speedup {}", four / one);
+    assert!(
+        (four / one - 4.0).abs() < 0.2,
+        "parallel speedup {}",
+        four / one
+    );
     // Half serial: Amdahl cap = 1/(0.5 + 0.5/4) = 1.6x.
     let one_s = run(1, 0.5);
     let four_s = run(4, 0.5);

@@ -4,7 +4,7 @@
 
 use hmp_sim::clock::secs_to_ns;
 use hmp_sim::{
-    AppSpec, BoardSpec, Cluster, CoreId, CpuSet, Engine, EngineConfig, ParallelismModel,
+    AppSpec, BoardSpec, ClusterId, CoreId, CpuSet, Engine, EngineConfig, ParallelismModel,
     SpeedProfile, WorkSource,
 };
 
@@ -77,21 +77,32 @@ fn partitioned_apps_do_not_interfere() {
         let mut e = engine();
         let b = e.add_app(AppSpec::data_parallel("b", 4, 400.0)).unwrap();
         for i in 0..4 {
-            e.set_thread_affinity(b, i, CpuSet::single(CoreId(i))).unwrap();
+            e.set_thread_affinity(b, i, CpuSet::single(CoreId(i)))
+                .unwrap();
         }
         e.run_until(secs_to_ns(4.0));
-        e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec()
+        e.monitor(b)
+            .unwrap()
+            .window_rate()
+            .unwrap()
+            .heartbeats_per_sec()
     };
     let shared = {
         let mut e = engine();
         let a = e.add_app(AppSpec::data_parallel("a", 4, 400.0)).unwrap();
         let b = e.add_app(AppSpec::data_parallel("b", 4, 400.0)).unwrap();
         for i in 0..4 {
-            e.set_thread_affinity(a, i, CpuSet::single(CoreId(4 + i))).unwrap();
-            e.set_thread_affinity(b, i, CpuSet::single(CoreId(i))).unwrap();
+            e.set_thread_affinity(a, i, CpuSet::single(CoreId(4 + i)))
+                .unwrap();
+            e.set_thread_affinity(b, i, CpuSet::single(CoreId(i)))
+                .unwrap();
         }
         e.run_until(secs_to_ns(4.0));
-        e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec()
+        e.monitor(b)
+            .unwrap()
+            .window_rate()
+            .unwrap()
+            .heartbeats_per_sec()
     };
     assert!(
         (solo - shared).abs() < 0.02 * solo,
@@ -105,16 +116,34 @@ fn cluster_freq_affects_only_that_cluster() {
     let a = e.add_app(AppSpec::data_parallel("a", 4, 400.0)).unwrap();
     let b = e.add_app(AppSpec::data_parallel("b", 4, 400.0)).unwrap();
     for i in 0..4 {
-        e.set_thread_affinity(a, i, CpuSet::single(CoreId(4 + i))).unwrap();
-        e.set_thread_affinity(b, i, CpuSet::single(CoreId(i))).unwrap();
+        e.set_thread_affinity(a, i, CpuSet::single(CoreId(4 + i)))
+            .unwrap();
+        e.set_thread_affinity(b, i, CpuSet::single(CoreId(i)))
+            .unwrap();
     }
     e.run_until(secs_to_ns(2.0));
-    let rate_b_before = e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec();
+    let rate_b_before = e
+        .monitor(b)
+        .unwrap()
+        .window_rate()
+        .unwrap()
+        .heartbeats_per_sec();
     // Throttle the big cluster: only app A may slow down.
-    e.set_cluster_freq(Cluster::Big, hmp_sim::FreqKhz::from_mhz(800)).unwrap();
+    e.set_cluster_freq(ClusterId::BIG, hmp_sim::FreqKhz::from_mhz(800))
+        .unwrap();
     e.run_until(secs_to_ns(4.0));
-    let rate_b_after = e.monitor(b).unwrap().window_rate().unwrap().heartbeats_per_sec();
-    let rate_a_after = e.monitor(a).unwrap().window_rate().unwrap().heartbeats_per_sec();
+    let rate_b_after = e
+        .monitor(b)
+        .unwrap()
+        .window_rate()
+        .unwrap()
+        .heartbeats_per_sec();
+    let rate_a_after = e
+        .monitor(a)
+        .unwrap()
+        .window_rate()
+        .unwrap()
+        .heartbeats_per_sec();
     assert!(
         (rate_b_after - rate_b_before).abs() < 0.02 * rate_b_before,
         "little app caught big-cluster throttle: {rate_b_before} -> {rate_b_after}"
@@ -128,7 +157,9 @@ fn startup_app_and_running_app_share_gracefully() {
     let mut e = engine();
     let mut late = AppSpec::data_parallel("late", 4, 400.0);
     late.startup_work = 2_400.0; // ~1s single-threaded
-    let early = e.add_app(AppSpec::data_parallel("early", 4, 400.0)).unwrap();
+    let early = e
+        .add_app(AppSpec::data_parallel("early", 4, 400.0))
+        .unwrap();
     let l = e.add_app(late).unwrap();
     e.run_until(secs_to_ns(3.0));
     assert!(e.app_heartbeats(early) > 0);

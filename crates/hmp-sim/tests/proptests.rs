@@ -71,8 +71,8 @@ proptest! {
         // Upper bound on producible work: all busy core-seconds at the
         // fastest per-core speed.
         let max_speed = 1_000.0 * ratio * 1.6;
-        let busy_secs = engine.energy().busy_core_secs(hmp_sim::Cluster::Big)
-            + engine.energy().busy_core_secs(hmp_sim::Cluster::Little);
+        let busy_secs = engine.energy().busy_core_secs(hmp_sim::ClusterId::BIG)
+            + engine.energy().busy_core_secs(hmp_sim::ClusterId::LITTLE);
         let produced = engine.app_units_done(app) as f64 * unit_work;
         prop_assert!(
             produced <= busy_secs * max_speed + unit_work,
@@ -84,10 +84,14 @@ proptest! {
         // Energy bounded by worst-case draw over the elapsed time.
         let max_power = hmp_sim::board_power(
             &board,
-            board.little_ladder.max(),
-            board.big_ladder.max(),
-            board.n_little as f64,
-            board.n_big as f64,
+            &board
+                .cluster_ids()
+                .map(|c| board.ladder(c).max())
+                .collect::<Vec<_>>(),
+            &board
+                .cluster_ids()
+                .map(|c| board.cluster_size(c) as f64)
+                .collect::<Vec<_>>(),
         );
         let joules = engine.energy().total_joules();
         prop_assert!(joules >= 0.0);

@@ -2,7 +2,7 @@
 
 use hmp_sim::clock::secs_to_ns;
 use hmp_sim::{
-    AppSpec, BoardSpec, Cluster, CoreId, CpuSet, Engine, EngineConfig, FreqKhz, TraceEvent,
+    AppSpec, BoardSpec, ClusterId, CoreId, CpuSet, Engine, EngineConfig, FreqKhz, TraceEvent,
 };
 
 fn engine() -> Engine {
@@ -18,7 +18,8 @@ fn trace_records_freq_changes_and_heartbeats() {
     let mut e = engine();
     e.enable_trace(10_000);
     let app = e.add_app(AppSpec::data_parallel("t", 4, 400.0)).unwrap();
-    e.set_cluster_freq(Cluster::Big, FreqKhz::from_mhz(1_000)).unwrap();
+    e.set_cluster_freq(ClusterId::BIG, FreqKhz::from_mhz(1_000))
+        .unwrap();
     e.run_until(secs_to_ns(1.0));
     let trace = e.trace();
     assert!(trace.is_enabled());
@@ -58,8 +59,8 @@ fn trace_counts_gts_migrations() {
 fn unchanged_frequency_is_not_an_event() {
     let mut e = engine();
     e.enable_trace(100);
-    let max = e.cluster_freq(Cluster::Big);
-    e.set_cluster_freq(Cluster::Big, max).unwrap();
+    let max = e.cluster_freq(ClusterId::BIG);
+    e.set_cluster_freq(ClusterId::BIG, max).unwrap();
     assert!(e.trace().events().is_empty());
 }
 
@@ -69,7 +70,8 @@ fn pinned_threads_produce_no_migrations() {
     e.enable_trace(10_000);
     let app = e.add_app(AppSpec::data_parallel("t", 4, 400.0)).unwrap();
     for i in 0..4 {
-        e.set_thread_affinity(app, i, CpuSet::single(CoreId(4 + i))).unwrap();
+        e.set_thread_affinity(app, i, CpuSet::single(CoreId(4 + i)))
+            .unwrap();
     }
     e.run_until(secs_to_ns(1.0));
     assert_eq!(e.trace().migration_count(), 0);

@@ -1,12 +1,13 @@
 //! Per-application data (the paper's Table 4.1).
 //!
-//! Every registered self-adaptive application carries its core-ownership
-//! bitmaps (`use_b_core[]` / `use_l_core[]`), its target, its latest
-//! observed heartbeat rate, and the two freezing counts of the
+//! Every registered self-adaptive application carries its per-cluster
+//! core-ownership bitmaps (the paper's `use_b_core[]` / `use_l_core[]`,
+//! one bitmap per cluster here), its target, its latest observed
+//! heartbeat rate, and the per-cluster freezing counts of the
 //! interference-aware adaptation.
 
 use heartbeats::{AppId, PerfTarget};
-use hmp_sim::Cluster;
+use hmp_sim::ClusterId;
 use serde::{Deserialize, Serialize};
 
 use hars_core::SystemState;
@@ -45,74 +46,74 @@ pub struct AppData {
     pub threads: usize,
     /// The application's own performance target.
     pub target: PerfTarget,
-    /// The app's view of its system state: owned core counts
-    /// (`nprocs_b` / `nprocs_l`) plus the shared cluster frequencies.
+    /// The app's view of its system state: owned core counts per
+    /// cluster plus the shared cluster frequencies.
     pub state: SystemState,
-    /// `use_b_core[i]`: does the app own big-cluster core `i`?
-    pub use_big: Vec<bool>,
-    /// `use_l_core[i]`: does the app own little-cluster core `i`?
-    pub use_little: Vec<bool>,
-    /// Pending core releases from the last shrink (`decBigCoreCnt`).
-    pub dec_big: usize,
-    /// Pending little-core releases (`decLittleCoreCnt`).
-    pub dec_little: usize,
+    /// `owned[c][i]`: does the app own core `i` of cluster `c`?
+    pub owned: Vec<Vec<bool>>,
+    /// Pending core releases from the last shrink (`decBigCoreCnt` et
+    /// al.), indexed by cluster.
+    pub dec: Vec<usize>,
     /// Latest observed heartbeat rate (`heartbeat_rate`).
     pub last_rate: Option<f64>,
-    /// Heartbeats to wait before the big frequency is controllable.
-    pub freezing_cnt_big: u32,
-    /// Heartbeats to wait before the little frequency is controllable.
-    pub freezing_cnt_little: u32,
+    /// Heartbeats to wait before each cluster's frequency is
+    /// controllable again, indexed by cluster.
+    pub freezing: Vec<u32>,
     /// `true` once the app has received its initial core allocation.
     pub allocated: bool,
 }
 
 impl AppData {
-    /// A fresh record: no cores owned, counts zeroed.
+    /// A fresh record: no cores owned, counts zeroed. `cluster_sizes`
+    /// gives the core count of each cluster, in cluster-index order.
     pub fn new(
         app: AppId,
         threads: usize,
         target: PerfTarget,
-        n_big: usize,
-        n_little: usize,
+        cluster_sizes: &[usize],
         initial: SystemState,
     ) -> Self {
+        assert_eq!(
+            cluster_sizes.len(),
+            initial.n_clusters(),
+            "one size per cluster of the initial state"
+        );
         Self {
             app,
             threads,
             target,
             state: initial,
-            use_big: vec![false; n_big],
-            use_little: vec![false; n_little],
-            dec_big: 0,
-            dec_little: 0,
+            owned: cluster_sizes.iter().map(|&n| vec![false; n]).collect(),
+            dec: vec![0; cluster_sizes.len()],
             last_rate: None,
-            freezing_cnt_big: 0,
-            freezing_cnt_little: 0,
+            freezing: vec![0; cluster_sizes.len()],
             allocated: false,
         }
     }
 
-    /// Number of big cores currently owned.
-    pub fn owned_big(&self) -> usize {
-        self.use_big.iter().filter(|&&u| u).count()
-    }
-
-    /// Number of little cores currently owned.
-    pub fn owned_little(&self) -> usize {
-        self.use_little.iter().filter(|&&u| u).count()
+    /// Number of clusters tracked.
+    pub fn n_clusters(&self) -> usize {
+        self.owned.len()
     }
 
     /// Cores owned in `cluster`.
-    pub fn owned(&self, cluster: Cluster) -> usize {
-        match cluster {
-            Cluster::Big => self.owned_big(),
-            Cluster::Little => self.owned_little(),
-        }
+    pub fn owned(&self, cluster: ClusterId) -> usize {
+        self.owned[cluster.index()].iter().filter(|&&u| u).count()
+    }
+
+    /// Number of big cores currently owned (two-cluster boards).
+    pub fn owned_big(&self) -> usize {
+        self.owned(ClusterId::BIG)
+    }
+
+    /// Number of little cores currently owned (two-cluster boards).
+    pub fn owned_little(&self) -> usize {
+        self.owned(ClusterId::LITTLE)
     }
 
     /// `true` when the app uses any core of `cluster` — i.e. shares that
     /// cluster's frequency with whoever else uses it.
-    pub fn uses_cluster(&self, cluster: Cluster) -> bool {
+    pub fn uses_cluster(&self, cluster: ClusterId) -> bool {
         self.owned(cluster) > 0
     }
 
@@ -122,26 +123,21 @@ impl AppData {
     }
 
     /// Freezing count for `cluster`.
-    pub fn freezing_cnt(&self, cluster: Cluster) -> u32 {
-        match cluster {
-            Cluster::Big => self.freezing_cnt_big,
-            Cluster::Little => self.freezing_cnt_little,
-        }
+    pub fn freezing_cnt(&self, cluster: ClusterId) -> u32 {
+        self.freezing[cluster.index()]
     }
 
     /// Sets the freezing count for `cluster` (after a frequency drop).
-    pub fn set_freezing_cnt(&mut self, cluster: Cluster, count: u32) {
-        match cluster {
-            Cluster::Big => self.freezing_cnt_big = count,
-            Cluster::Little => self.freezing_cnt_little = count,
-        }
+    pub fn set_freezing_cnt(&mut self, cluster: ClusterId, count: u32) {
+        self.freezing[cluster.index()] = count;
     }
 
-    /// Algorithm 3 lines 8–11: decrement both freezing counts on a new
+    /// Algorithm 3 lines 8–11: decrement every freezing count on a new
     /// heartbeat.
     pub fn tick_freezing_counts(&mut self) {
-        self.freezing_cnt_big = self.freezing_cnt_big.saturating_sub(1);
-        self.freezing_cnt_little = self.freezing_cnt_little.saturating_sub(1);
+        for f in &mut self.freezing {
+            *f = f.saturating_sub(1);
+        }
     }
 }
 
@@ -155,16 +151,11 @@ mod tests {
     }
 
     fn initial() -> SystemState {
-        SystemState {
-            big_cores: 0,
-            little_cores: 0,
-            big_freq: FreqKhz::from_mhz(1_600),
-            little_freq: FreqKhz::from_mhz(1_300),
-        }
+        SystemState::big_little(0, 0, FreqKhz::from_mhz(1_600), FreqKhz::from_mhz(1_300))
     }
 
     fn data() -> AppData {
-        AppData::new(AppId(0), 8, target(), 4, 4, initial())
+        AppData::new(AppId(0), 8, target(), &[4, 4], initial())
     }
 
     #[test]
@@ -181,7 +172,7 @@ mod tests {
         let d = data();
         assert_eq!(d.owned_big(), 0);
         assert_eq!(d.owned_little(), 0);
-        assert!(!d.uses_cluster(Cluster::Big));
+        assert!(!d.uses_cluster(ClusterId::BIG));
         assert!(d.perf_class().is_none());
         assert!(!d.allocated);
     }
@@ -189,25 +180,25 @@ mod tests {
     #[test]
     fn ownership_counting() {
         let mut d = data();
-        d.use_big[0] = true;
-        d.use_big[3] = true;
-        d.use_little[2] = true;
+        d.owned[ClusterId::BIG.index()][0] = true;
+        d.owned[ClusterId::BIG.index()][3] = true;
+        d.owned[ClusterId::LITTLE.index()][2] = true;
         assert_eq!(d.owned_big(), 2);
-        assert_eq!(d.owned(Cluster::Little), 1);
-        assert!(d.uses_cluster(Cluster::Big));
+        assert_eq!(d.owned(ClusterId::LITTLE), 1);
+        assert!(d.uses_cluster(ClusterId::BIG));
     }
 
     #[test]
     fn freezing_count_lifecycle() {
         let mut d = data();
-        d.set_freezing_cnt(Cluster::Big, 2);
-        assert_eq!(d.freezing_cnt(Cluster::Big), 2);
+        d.set_freezing_cnt(ClusterId::BIG, 2);
+        assert_eq!(d.freezing_cnt(ClusterId::BIG), 2);
         d.tick_freezing_counts();
-        assert_eq!(d.freezing_cnt(Cluster::Big), 1);
+        assert_eq!(d.freezing_cnt(ClusterId::BIG), 1);
         d.tick_freezing_counts();
         d.tick_freezing_counts(); // saturates at zero
-        assert_eq!(d.freezing_cnt(Cluster::Big), 0);
-        assert_eq!(d.freezing_cnt(Cluster::Little), 0);
+        assert_eq!(d.freezing_cnt(ClusterId::BIG), 0);
+        assert_eq!(d.freezing_cnt(ClusterId::LITTLE), 0);
     }
 
     #[test]
@@ -217,5 +208,22 @@ mod tests {
         assert_eq!(d.perf_class(), Some(PerfClass::Overperf));
         d.last_rate = Some(3.0);
         assert_eq!(d.perf_class(), Some(PerfClass::Underperf));
+    }
+
+    #[test]
+    fn tri_cluster_record() {
+        let state = SystemState::new(&[
+            (0, FreqKhz::from_mhz(1_400)),
+            (0, FreqKhz::from_mhz(2_000)),
+            (0, FreqKhz::from_mhz(2_600)),
+        ]);
+        let mut d = AppData::new(AppId(1), 8, target(), &[4, 3, 1], state);
+        assert_eq!(d.n_clusters(), 3);
+        d.owned[1][2] = true;
+        assert!(d.uses_cluster(ClusterId(1)));
+        assert_eq!(d.owned(ClusterId(1)), 1);
+        d.set_freezing_cnt(ClusterId(2), 5);
+        d.tick_freezing_counts();
+        assert_eq!(d.freezing_cnt(ClusterId(2)), 4);
     }
 }

@@ -1,17 +1,18 @@
 //! Per-cluster data (the paper's Table 4.2): the free-core bitmap, the
-//! frozen flag and the cluster's current frequency level.
+//! frozen flag and the cluster's current frequency level — one record
+//! per cluster of the board, however many there are.
 
-use hmp_sim::{Cluster, CoreId, FreqKhz};
+use hmp_sim::{BoardSpec, ClusterId, CoreId, FreqKhz};
 use serde::{Deserialize, Serialize};
 
 /// Table 4.2: shared cluster-level state of the resource partitioner.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterData {
     /// Which cluster this record describes.
-    pub cluster: Cluster,
+    pub cluster: ClusterId,
     /// First board core id of this cluster (`bigStartIndex` for big).
     pub start_core: usize,
-    /// `free_core[i]`: is core `i` of the cluster unowned?
+    /// `free[i]`: is core `i` of the cluster unowned?
     pub free: Vec<bool>,
     /// Frozen flag: a frozen cluster's frequency must not be decreased.
     pub frozen: bool,
@@ -21,7 +22,7 @@ pub struct ClusterData {
 
 impl ClusterData {
     /// A cluster with all `n` cores free at frequency `freq`.
-    pub fn new(cluster: Cluster, start_core: usize, n: usize, freq: FreqKhz) -> Self {
+    pub fn new(cluster: ClusterId, start_core: usize, n: usize, freq: FreqKhz) -> Self {
         Self {
             cluster,
             start_core,
@@ -29,6 +30,22 @@ impl ClusterData {
             frozen: false,
             freq,
         }
+    }
+
+    /// One record per cluster of `board`, every core free, frequencies
+    /// at their ladder maxima (the boot state).
+    pub fn for_board(board: &BoardSpec) -> Vec<ClusterData> {
+        board
+            .cluster_ids()
+            .map(|c| {
+                ClusterData::new(
+                    c,
+                    board.cluster_start(c).0,
+                    board.cluster_size(c),
+                    board.ladder(c).max(),
+                )
+            })
+            .collect()
     }
 
     /// Number of free cores.
@@ -55,10 +72,11 @@ impl ClusterData {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmp_sim::BoardSpec;
 
     #[test]
     fn fresh_cluster_is_all_free() {
-        let c = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
+        let c = ClusterData::new(ClusterId::BIG, 4, 4, FreqKhz::from_mhz(1_600));
         assert_eq!(c.free_count(), 4);
         assert_eq!(c.len(), 4);
         assert!(!c.frozen);
@@ -68,10 +86,21 @@ mod tests {
 
     #[test]
     fn free_count_tracks_bitmap() {
-        let mut c = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+        let mut c = ClusterData::new(ClusterId::LITTLE, 0, 4, FreqKhz::from_mhz(1_300));
         c.free[1] = false;
         c.free[2] = false;
         assert_eq!(c.free_count(), 2);
         assert_eq!(c.core_id(1), CoreId(1));
+    }
+
+    #[test]
+    fn for_board_covers_every_cluster() {
+        let board = BoardSpec::dynamiq_1p_3m_4l();
+        let clusters = ClusterData::for_board(&board);
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0].len(), 4);
+        assert_eq!(clusters[1].start_core, 4);
+        assert_eq!(clusters[2].start_core, 7);
+        assert_eq!(clusters[2].freq, board.ladder(ClusterId(2)).max());
     }
 }

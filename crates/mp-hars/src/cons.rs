@@ -21,7 +21,7 @@
 //! until all apps collect fresh data.
 
 use heartbeats::{AppId, PerfTarget};
-use hmp_sim::{BoardSpec, Cluster, CpuSet, FreqKhz};
+use hmp_sim::{BoardSpec, ClusterId, CpuSet, FreqKhz};
 use serde::{Deserialize, Serialize};
 
 use hars_core::{StateSpace, SystemState};
@@ -100,10 +100,15 @@ impl ConsIManager {
     pub fn new(board: &BoardSpec, cfg: ConsConfig) -> Self {
         let space = StateSpace::from_board(board);
         let base = board.base_freq;
-        // Frequency pairs only, at full core counts (see module docs).
+        // Frequency combinations only, at full core counts (see module
+        // docs).
         let mut ranked: Vec<SystemState> = space
             .iter_all()
-            .filter(|s| s.big_cores == board.n_big && s.little_cores == board.n_little)
+            .filter(|s| {
+                board
+                    .cluster_ids()
+                    .all(|c| s.cores(c) == board.cluster_size(c))
+            })
             .collect();
         ranked.sort_by(|a, b| {
             let sa = perf_score(a, cfg.r0, base);
@@ -111,12 +116,20 @@ impl ConsIManager {
             sa.partial_cmp(&sb)
                 .expect("scores are finite")
                 .then_with(|| {
-                    (a.big_cores, a.little_cores, a.big_freq, a.little_freq).cmp(&(
-                        b.big_cores,
-                        b.little_cores,
-                        b.big_freq,
-                        b.little_freq,
-                    ))
+                    // Deterministic tie-break: core counts then
+                    // frequencies, highest cluster index first (the
+                    // paper's big-before-little tuple order).
+                    let key = |s: &SystemState| {
+                        let mut k = Vec::with_capacity(2 * s.n_clusters());
+                        for i in (0..s.n_clusters()).rev() {
+                            k.push(s.cores(ClusterId(i)) as u64);
+                        }
+                        for i in (0..s.n_clusters()).rev() {
+                            k.push(s.freq(ClusterId(i)).khz() as u64);
+                        }
+                        k
+                    };
+                    key(a).cmp(&key(b))
                 })
         });
         let cursor = ranked.len() - 1;
@@ -260,23 +273,38 @@ impl ConsIManager {
     }
 }
 
-/// The performance score CONS-I ranks states by.
+/// The performance score CONS-I ranks states by:
+/// `Σ_c C_c · r_c · (f_c/f₀)` with `r_c` the assumed per-cluster ratio
+/// (only the big/little split of the original formula uses `r0`; for
+/// N-cluster states the fastest cluster gets `r0` and middle clusters
+/// interpolate linearly by index — CONS-I performs no estimation, so a
+/// coarse score is in keeping with the baseline).
 pub fn perf_score(state: &SystemState, r0: f64, base: FreqKhz) -> f64 {
-    state.big_cores as f64 * r0 * state.big_freq.ratio_to(base)
-        + state.little_cores as f64 * state.little_freq.ratio_to(base)
+    let n = state.n_clusters();
+    let mut score = 0.0;
+    for i in (0..n).rev() {
+        let c = ClusterId(i);
+        let ratio = if i == 0 {
+            1.0
+        } else if i == n - 1 {
+            r0
+        } else {
+            1.0 + (r0 - 1.0) * i as f64 / (n - 1) as f64
+        };
+        score += state.cores(c) as f64 * ratio * state.freq(c).ratio_to(base);
+    }
+    score
 }
 
-/// The global core set of a state: the first `C_L` little and first
-/// `C_B` big cores (the rest behave as hot-unplugged).
+/// The global core set of a state: the first `C_c` cores of every
+/// cluster (the rest behave as hot-unplugged).
 pub fn allowed_core_set(board: &BoardSpec, state: &SystemState) -> CpuSet {
     let mut set = CpuSet::empty();
-    let little_start = board.cluster_start(Cluster::Little).0;
-    for i in 0..state.little_cores.min(board.n_little) {
-        set.insert(hmp_sim::CoreId(little_start + i));
-    }
-    let start = board.cluster_start(Cluster::Big).0;
-    for i in 0..state.big_cores.min(board.n_big) {
-        set.insert(hmp_sim::CoreId(start + i));
+    for c in board.cluster_ids() {
+        let start = board.cluster_start(c).0;
+        for i in 0..state.cores(c).min(board.cluster_size(c)) {
+            set.insert(hmp_sim::CoreId(start + i));
+        }
     }
     set
 }
@@ -301,20 +329,15 @@ mod tests {
     fn starts_at_the_maximum_state() {
         let m = mk();
         let s = m.state();
-        assert_eq!(s.big_cores, 4);
-        assert_eq!(s.little_cores, 4);
-        assert_eq!(s.big_freq, board().big_ladder.max());
-        assert_eq!(s.little_freq, board().little_ladder.max());
+        assert_eq!(s.big_cores(), 4);
+        assert_eq!(s.little_cores(), 4);
+        assert_eq!(s.big_freq(), board().ladder(ClusterId::BIG).max());
+        assert_eq!(s.little_freq(), board().ladder(ClusterId::LITTLE).max());
     }
 
     #[test]
     fn perf_score_matches_paper_formula() {
-        let s = SystemState {
-            big_cores: 2,
-            little_cores: 3,
-            big_freq: FreqKhz::from_mhz(1_200),
-            little_freq: FreqKhz::from_mhz(1_000),
-        };
+        let s = SystemState::big_little(2, 3, FreqKhz::from_mhz(1_200), FreqKhz::from_mhz(1_000));
         // 2·1.5·1.2 + 3·1.0 = 6.6
         assert!((perf_score(&s, 1.5, FreqKhz::from_mhz(1_000)) - 6.6).abs() < 1e-12);
     }
@@ -340,7 +363,7 @@ mod tests {
         let after_score = perf_score(&m.state(), 1.5, board().base_freq);
         assert!(after_score < before_score, "score must strictly drop");
         assert!(m.frozen(), "decrease must freeze");
-        assert!(d.allowed_cores.len() >= 1);
+        assert!(!d.allowed_cores.is_empty());
         // While frozen, further decreases are refused.
         assert!(m.on_heartbeat(AppId(0), 20, Some(30.0)).is_none());
     }
@@ -411,12 +434,7 @@ mod tests {
     #[test]
     fn allowed_core_set_matches_state() {
         let b = board();
-        let s = SystemState {
-            big_cores: 2,
-            little_cores: 3,
-            big_freq: FreqKhz::from_mhz(800),
-            little_freq: FreqKhz::from_mhz(800),
-        };
+        let s = SystemState::big_little(2, 3, FreqKhz::from_mhz(800), FreqKhz::from_mhz(800));
         let set = allowed_core_set(&b, &s);
         assert_eq!(set.len(), 5);
         assert!(set.contains(hmp_sim::CoreId(0)));

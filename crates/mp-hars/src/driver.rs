@@ -2,7 +2,7 @@
 //! plus the per-case statistics the Figure 5.4 harness reports.
 
 use heartbeats::AppId;
-use hmp_sim::{Action, Cluster, CpuSet, Engine, SimError};
+use hmp_sim::{Action, ClusterId, CpuSet, Engine, SimError};
 use serde::{Deserialize, Serialize};
 
 use hars_core::driver::BehaviorSample;
@@ -84,7 +84,9 @@ pub fn run_multi_app(
             .window_rate()
             .map(|r| r.heartbeats_per_sec());
         if record_trace {
-            traces[pos].push(behavior_sample(engine, version, hb.app, hb.index, hb.time_ns, rate));
+            traces[pos].push(behavior_sample(
+                engine, version, hb.app, hb.index, hb.time_ns, rate,
+            ));
         }
         match version {
             MpVersion::Baseline => {}
@@ -120,20 +122,15 @@ pub fn apply_mp_decision(
     decision: &MpDecision,
     at_ns: u64,
 ) -> Result<(), SimError> {
-    engine.schedule_action(
-        at_ns,
-        Action::SetClusterFreq {
-            cluster: Cluster::Big,
-            freq: decision.big_freq,
-        },
-    )?;
-    engine.schedule_action(
-        at_ns,
-        Action::SetClusterFreq {
-            cluster: Cluster::Little,
-            freq: decision.little_freq,
-        },
-    )?;
+    for (ci, &freq) in decision.freqs.iter().enumerate().rev() {
+        engine.schedule_action(
+            at_ns,
+            Action::SetClusterFreq {
+                cluster: ClusterId(ci),
+                freq,
+            },
+        )?;
+    }
     for (thread, &affinity) in decision.affinities.iter().enumerate() {
         engine.schedule_action(
             at_ns,
@@ -155,20 +152,9 @@ pub fn apply_cons_decision(
     decision: &ConsDecision,
     at_ns: u64,
 ) -> Result<(), SimError> {
-    engine.schedule_action(
-        at_ns,
-        Action::SetClusterFreq {
-            cluster: Cluster::Big,
-            freq: decision.state.big_freq,
-        },
-    )?;
-    engine.schedule_action(
-        at_ns,
-        Action::SetClusterFreq {
-            cluster: Cluster::Little,
-            freq: decision.state.little_freq,
-        },
-    )?;
+    for (cluster, _, freq) in decision.state.iter().rev() {
+        engine.schedule_action(at_ns, Action::SetClusterFreq { cluster, freq })?;
+    }
     let mask: CpuSet = decision.allowed_cores;
     for &app in apps {
         if engine.app_done(app) {
@@ -196,25 +182,24 @@ fn behavior_sample(
     time_ns: u64,
     rate: Option<f64>,
 ) -> BehaviorSample {
-    let (big_cores, little_cores) = match version {
-        MpVersion::Baseline => (
-            engine.board().n_big,
-            engine.board().n_little,
-        ),
-        MpVersion::ConsI(m) => (m.state().big_cores, m.state().little_cores),
+    let board = engine.board();
+    let cores: Vec<usize> = match version {
+        MpVersion::Baseline => board.cluster_ids().map(|c| board.cluster_size(c)).collect(),
+        MpVersion::ConsI(m) => {
+            let s = m.state();
+            s.iter().map(|(_, cores, _)| cores).collect()
+        }
         MpVersion::MpHars(m) => m
             .app_state(app)
-            .map(|s| (s.big_cores, s.little_cores))
-            .unwrap_or((0, 0)),
+            .map(|s| s.iter().map(|(_, cores, _)| cores).collect())
+            .unwrap_or_else(|| vec![0; board.n_clusters()]),
     };
     BehaviorSample {
         hb_index,
         time_ns,
         rate,
-        big_cores,
-        little_cores,
-        big_freq: engine.cluster_freq(Cluster::Big),
-        little_freq: engine.cluster_freq(Cluster::Little),
+        cores,
+        freqs: engine.cluster_freqs().to_vec(),
     }
 }
 
@@ -260,7 +245,11 @@ fn summarize(
         apps: stats,
         elapsed_secs: engine.energy().elapsed_secs(),
         avg_watts,
-        perf_per_watt: if avg_watts > 0.0 { mean_norm / avg_watts } else { 0.0 },
+        perf_per_watt: if avg_watts > 0.0 {
+            mean_norm / avg_watts
+        } else {
+            0.0
+        },
         manager_busy_ns: busy,
         adaptations,
     }

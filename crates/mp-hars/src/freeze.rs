@@ -92,9 +92,7 @@ pub fn decide(
 /// under-performer dominates, then any achiever; only a unanimous
 /// over-performing set counts as `Overperf`. Apps without observations
 /// (e.g. still in a heartbeat-less startup phase) are skipped.
-pub fn combine_others<I: IntoIterator<Item = Option<PerfClass>>>(
-    others: I,
-) -> Option<PerfClass> {
+pub fn combine_others<I: IntoIterator<Item = Option<PerfClass>>>(others: I) -> Option<PerfClass> {
     let mut combined: Option<PerfClass> = None;
     for c in others.into_iter().flatten() {
         combined = Some(match (combined, c) {
@@ -162,7 +160,12 @@ mod tests {
     #[test]
     fn decreases_only_when_unanimous_and_unfrozen() {
         for app in [P::Underperf, P::Achieve, P::Overperf] {
-            for others in [None, Some(P::Underperf), Some(P::Achieve), Some(P::Overperf)] {
+            for others in [
+                None,
+                Some(P::Underperf),
+                Some(P::Achieve),
+                Some(P::Overperf),
+            ] {
                 for frozen in [true, false] {
                     let (s, f) = decide(app, others, frozen);
                     if s == S::Dec {
@@ -178,7 +181,12 @@ mod tests {
 
     #[test]
     fn underperformer_always_gets_inc() {
-        for others in [None, Some(P::Underperf), Some(P::Achieve), Some(P::Overperf)] {
+        for others in [
+            None,
+            Some(P::Underperf),
+            Some(P::Achieve),
+            Some(P::Overperf),
+        ] {
             for frozen in [true, false] {
                 let (s, _) = decide(P::Underperf, others, frozen);
                 assert_eq!(s, S::Inc);

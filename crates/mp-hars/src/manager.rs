@@ -1,10 +1,11 @@
-//! The MP-HARS runtime manager — Algorithm 3 (`IterateNodes`).
+//! The MP-HARS runtime manager — Algorithm 3 (`IterateNodes`),
+//! generalized to N clusters.
 //!
 //! One manager supervises every registered application. Each application
 //! keeps its own HARS-style adaptation loop (same estimators, same
 //! search), but:
 //!
-//! * candidate core counts are capped by the cluster **free-core**
+//! * candidate core counts are capped by the per-cluster **free-core**
 //!   counts (resource partitioning: apps never take each other's cores);
 //! * cluster **frequency decreases** are gated by the interference-aware
 //!   rules: only allowed when every co-located application over-performs
@@ -12,12 +13,12 @@
 //!   by arming freezing counts on the affected applications.
 
 use heartbeats::{AppId, PerfTarget};
-use hmp_sim::{BoardSpec, Cluster, CpuSet, FreqKhz};
+use hmp_sim::{BoardSpec, ClusterId, CpuSet, FreqKhz};
 use serde::{Deserialize, Serialize};
 
 use hars_core::policy::SearchPolicy;
-use hars_core::search::{get_next_sys_state, FreqChange, SearchConstraints};
 use hars_core::sched::plan_affinities;
+use hars_core::search::{get_next_sys_state, FreqChange, SearchConstraints};
 use hars_core::{PerfEstimator, PowerEstimator, SchedulerKind, StateSpace, SystemState};
 
 use crate::app_data::{AppData, PerfClass};
@@ -82,14 +83,24 @@ pub struct MpDecision {
     pub app: AppId,
     /// Per-thread affinity masks.
     pub affinities: Vec<CpuSet>,
-    /// Big-cluster frequency after this decision.
-    pub big_freq: FreqKhz,
-    /// Little-cluster frequency after this decision.
-    pub little_freq: FreqKhz,
+    /// Cluster frequencies after this decision, indexed by cluster.
+    pub freqs: Vec<FreqKhz>,
     /// Modeled decision latency (ns).
     pub overhead_ns: u64,
     /// Candidate states evaluated.
     pub explored: usize,
+}
+
+impl MpDecision {
+    /// The big-cluster frequency of a two-cluster decision.
+    pub fn big_freq(&self) -> FreqKhz {
+        self.freqs[ClusterId::BIG.index()]
+    }
+
+    /// The little-cluster frequency of a two-cluster decision.
+    pub fn little_freq(&self) -> FreqKhz {
+        self.freqs[ClusterId::LITTLE.index()]
+    }
 }
 
 /// The multi-application runtime manager.
@@ -101,8 +112,8 @@ pub struct MpHarsManager {
     perf: PerfEstimator,
     power: PowerEstimator,
     apps: Vec<AppData>,
-    little: ClusterData,
-    big: ClusterData,
+    /// Per-cluster partitioning state, indexed by cluster.
+    clusters: Vec<ClusterData>,
     busy_ns: u64,
     adaptations: u64,
 }
@@ -123,18 +134,7 @@ impl MpHarsManager {
             perf,
             power,
             apps: Vec::new(),
-            little: ClusterData::new(
-                Cluster::Little,
-                0,
-                board.n_little,
-                board.little_ladder.max(),
-            ),
-            big: ClusterData::new(
-                Cluster::Big,
-                board.n_little,
-                board.n_big,
-                board.big_ladder.max(),
-            ),
+            clusters: ClusterData::for_board(board),
             busy_ns: 0,
             adaptations: 0,
         }
@@ -143,34 +143,22 @@ impl MpHarsManager {
     /// Registers an application. It owns no cores until its first
     /// heartbeat triggers the initial allocation.
     pub fn register_app(&mut self, app: AppId, threads: usize, target: PerfTarget) {
-        let initial = SystemState {
-            big_cores: 0,
-            little_cores: 0,
-            big_freq: self.big.freq,
-            little_freq: self.little.freq,
-        };
-        self.apps.push(AppData::new(
-            app,
-            threads,
-            target,
-            self.board.n_big,
-            self.board.n_little,
-            initial,
-        ));
+        let per: Vec<(usize, FreqKhz)> = self.clusters.iter().map(|c| (0, c.freq)).collect();
+        let initial = SystemState::new(&per);
+        let sizes: Vec<usize> = self.clusters.iter().map(|c| c.len()).collect();
+        self.apps
+            .push(AppData::new(app, threads, target, &sizes, initial));
     }
 
     /// Removes an application, returning its cores to the free lists.
     pub fn unregister_app(&mut self, app: AppId) {
         if let Some(pos) = self.apps.iter().position(|a| a.app == app) {
             let data = self.apps.remove(pos);
-            for (i, used) in data.use_big.iter().enumerate() {
-                if *used {
-                    self.big.free[i] = true;
-                }
-            }
-            for (i, used) in data.use_little.iter().enumerate() {
-                if *used {
-                    self.little.free[i] = true;
+            for (ci, owned) in data.owned.iter().enumerate() {
+                for (i, used) in owned.iter().enumerate() {
+                    if *used {
+                        self.clusters[ci].free[i] = true;
+                    }
                 }
             }
         }
@@ -188,10 +176,12 @@ impl MpHarsManager {
 
     /// One application's current state view, if registered.
     pub fn app_state(&self, app: AppId) -> Option<SystemState> {
-        self.apps.iter().find(|a| a.app == app).map(|a| SystemState {
-            big_freq: self.big.freq,
-            little_freq: self.little.freq,
-            ..a.state
+        self.apps.iter().find(|a| a.app == app).map(|a| {
+            let mut s = a.state;
+            for c in self.board.cluster_ids() {
+                s.set_freq(c, self.clusters[c.index()].freq);
+            }
+            s
         })
     }
 
@@ -201,19 +191,25 @@ impl MpHarsManager {
     }
 
     /// The shared frequency of `cluster`.
-    pub fn cluster_freq(&self, cluster: Cluster) -> FreqKhz {
-        match cluster {
-            Cluster::Little => self.little.freq,
-            Cluster::Big => self.big.freq,
-        }
+    pub fn cluster_freq(&self, cluster: ClusterId) -> FreqKhz {
+        self.clusters[cluster.index()].freq
     }
 
     /// Whether `cluster` is currently frozen.
-    pub fn cluster_frozen(&self, cluster: Cluster) -> bool {
-        match cluster {
-            Cluster::Little => self.little.frozen,
-            Cluster::Big => self.big.frozen,
-        }
+    pub fn cluster_frozen(&self, cluster: ClusterId) -> bool {
+        self.clusters[cluster.index()].frozen
+    }
+
+    /// Read access to the per-cluster partitioning records (tests and
+    /// diagnostics).
+    pub fn clusters(&self) -> &[ClusterData] {
+        &self.clusters
+    }
+
+    /// Read access to the per-application records (tests and
+    /// diagnostics).
+    pub fn apps(&self) -> &[AppData] {
+        &self.apps
     }
 
     /// Algorithm 3 for one incoming heartbeat of `app`.
@@ -252,7 +248,7 @@ impl MpHarsManager {
         // frozen state can be unfreezed ... if the system performance
         // needs to be increased").
         if PerfClass::of(&self.apps[ai].target, rate) == PerfClass::Underperf {
-            for cluster in Cluster::ALL {
+            for cluster in self.board.cluster_ids() {
                 if self.apps[ai].uses_cluster(cluster) {
                     self.unfreeze(cluster);
                 }
@@ -261,8 +257,10 @@ impl MpHarsManager {
         // Lines 18–19: free cores and controllable clusters.
         let constraints = self.constraints_for(ai);
         // Refresh the app's view of the shared frequencies.
-        self.apps[ai].state.big_freq = self.big.freq;
-        self.apps[ai].state.little_freq = self.little.freq;
+        for c in self.board.cluster_ids() {
+            let freq = self.clusters[c.index()].freq;
+            self.apps[ai].state.set_freq(c, freq);
+        }
         let current = self.apps[ai].state;
         let overperforming = rate > self.apps[ai].target.avg();
         let params = self.cfg.policy.params_for(overperforming);
@@ -293,30 +291,29 @@ impl MpHarsManager {
     /// lists (at least one core somewhere).
     fn initial_allocation(&mut self, ai: usize) -> Option<MpDecision> {
         let napps = self.apps.len().max(1);
-        let want_big = (self.board.n_big / napps)
-            .min(self.big.free_count())
-            .min(self.apps[ai].threads);
-        let want_little = (self.board.n_little / napps)
-            .min(self.little.free_count())
-            .min(self.apps[ai].threads);
-        let (want_big, want_little) = if want_big + want_little == 0 {
-            // Everything is owned: fall back to one free core anywhere.
-            if self.big.free_count() > 0 {
-                (1, 0)
-            } else if self.little.free_count() > 0 {
-                (0, 1)
-            } else {
-                return None; // truly nothing free; stay GTS-scheduled
+        let threads = self.apps[ai].threads;
+        let mut wants: Vec<usize> = self
+            .clusters
+            .iter()
+            .map(|c| (c.len() / napps).min(c.free_count()).min(threads))
+            .collect();
+        if wants.iter().sum::<usize>() == 0 {
+            // Everything is owned: fall back to one free core anywhere,
+            // fastest cluster first (GTS would have packed there too).
+            match (0..self.clusters.len())
+                .rev()
+                .find(|&ci| self.clusters[ci].free_count() > 0)
+            {
+                Some(ci) => wants[ci] = 1,
+                None => return None, // truly nothing free; stay GTS-scheduled
             }
-        } else {
-            (want_big, want_little)
-        };
-        let state = SystemState {
-            big_cores: want_big,
-            little_cores: want_little,
-            big_freq: self.big.freq,
-            little_freq: self.little.freq,
-        };
+        }
+        let per: Vec<(usize, FreqKhz)> = wants
+            .iter()
+            .zip(&self.clusters)
+            .map(|(&w, c)| (w, c.freq))
+            .collect();
+        let state = SystemState::new(&per);
         self.apps[ai].allocated = true;
         Some(self.apply_state(ai, state, 0, 0))
     }
@@ -324,20 +321,22 @@ impl MpHarsManager {
     /// The search constraints for app `ai` (Algorithm 3 lines 18–19).
     fn constraints_for(&self, ai: usize) -> SearchConstraints {
         let app = &self.apps[ai];
-        SearchConstraints {
-            max_big_cores: app.state.big_cores + self.big.free_count(),
-            max_little_cores: app.state.little_cores + self.little.free_count(),
-            big_freq: self.freq_change_for(ai, Cluster::Big),
-            little_freq: self.freq_change_for(ai, Cluster::Little),
+        let mut constraints = SearchConstraints::unrestricted(&self.space);
+        for c in self.board.cluster_ids() {
+            constraints.set_max_cores(
+                c,
+                app.state.cores(c) + self.clusters[c.index()].free_count(),
+            );
+            constraints.set_freq_change(c, self.freq_change_for(ai, c));
         }
+        constraints
     }
 
     /// Interference-aware frequency gating for one cluster, derived from
     /// Table 4.3: a decrease needs a unanimous over-performing domain
     /// and an unfrozen cluster; increases are always allowed.
-    fn freq_change_for(&self, ai: usize, cluster: Cluster) -> FreqChange {
-        let frozen = self.cluster_frozen(cluster);
-        if frozen {
+    fn freq_change_for(&self, ai: usize, cluster: ClusterId) -> FreqChange {
+        if self.cluster_frozen(cluster) {
             return FreqChange::IncreaseOnly;
         }
         let sharers: Vec<Option<PerfClass>> = self
@@ -354,24 +353,16 @@ impl MpHarsManager {
     }
 
     fn refresh_frozen_flags(&mut self) {
-        self.big.frozen = self
-            .apps
-            .iter()
-            .any(|a| a.freezing_cnt(Cluster::Big) > 0);
-        self.little.frozen = self
-            .apps
-            .iter()
-            .any(|a| a.freezing_cnt(Cluster::Little) > 0);
+        for ci in 0..self.clusters.len() {
+            self.clusters[ci].frozen = self.apps.iter().any(|a| a.freezing_cnt(ClusterId(ci)) > 0);
+        }
     }
 
-    fn unfreeze(&mut self, cluster: Cluster) {
+    fn unfreeze(&mut self, cluster: ClusterId) {
         for a in &mut self.apps {
             a.set_freezing_cnt(cluster, 0);
         }
-        match cluster {
-            Cluster::Big => self.big.frozen = false,
-            Cluster::Little => self.little.frozen = false,
-        }
+        self.clusters[cluster.index()].frozen = false;
     }
 
     /// Applies a chosen state: partitions cores (Algorithm 4), updates
@@ -387,59 +378,50 @@ impl MpHarsManager {
         // Pending decrements for the allocator.
         {
             let app = &mut self.apps[ai];
-            let owned_b = app.owned_big();
-            let owned_l = app.owned_little();
-            if new_state.big_cores < owned_b {
-                app.dec_big = owned_b - new_state.big_cores;
-            }
-            if new_state.little_cores < owned_l {
-                app.dec_little = owned_l - new_state.little_cores;
+            for c in (0..app.n_clusters()).map(ClusterId) {
+                let owned = app.owned(c);
+                if new_state.cores(c) < owned {
+                    app.dec[c.index()] = owned - new_state.cores(c);
+                }
             }
             app.state = new_state;
         }
         let alloc: AllocatedCores =
-            get_allocatable_core_set(&mut self.apps[ai], &mut self.big, &mut self.little);
+            get_allocatable_core_set(&mut self.apps[ai], &mut self.clusters);
         // Clamp to what was actually granted (never differs when the
         // constraints were honored).
-        self.apps[ai].state.big_cores = alloc.big.len();
-        self.apps[ai].state.little_cores = alloc.little.len();
-        // Frequency changes are cluster-wide.
-        for (cluster, new_freq) in [
-            (Cluster::Big, new_state.big_freq),
-            (Cluster::Little, new_state.little_freq),
-        ] {
-            let cur = self.cluster_freq(cluster);
+        for c in self.board.cluster_ids() {
+            let granted = alloc.cores(c).len();
+            self.apps[ai].state.set_cores(c, granted);
+        }
+        // Frequency changes are cluster-wide; walk clusters highest
+        // index (fastest) first, like the paper's big-then-little order.
+        for c in self.board.cluster_ids().rev() {
+            let new_freq = new_state.freq(c);
+            let cur = self.cluster_freq(c);
             if new_freq == cur {
                 continue;
             }
             let decreased = new_freq < cur;
-            match cluster {
-                Cluster::Big => self.big.freq = new_freq,
-                Cluster::Little => self.little.freq = new_freq,
-            }
+            self.clusters[c.index()].freq = new_freq;
             if decreased {
                 // Arm freezing counts on every app using the cluster.
                 let freeze = self.cfg.freeze_heartbeats;
                 for a in &mut self.apps {
-                    if a.uses_cluster(cluster) {
-                        a.set_freezing_cnt(cluster, freeze);
+                    if a.uses_cluster(c) {
+                        a.set_freezing_cnt(c, freeze);
                     }
                 }
-                match cluster {
-                    Cluster::Big => self.big.frozen = true,
-                    Cluster::Little => self.little.frozen = true,
-                }
+                self.clusters[c.index()].frozen = true;
             }
         }
         let app = &self.apps[ai];
         let assignment = self.perf.assignment(app.threads, &app.state);
-        let affinities =
-            plan_affinities(self.cfg.scheduler, &assignment, &alloc.big, &alloc.little);
+        let affinities = plan_affinities(self.cfg.scheduler, &assignment, &alloc.per_cluster);
         MpDecision {
             app: app.app,
             affinities,
-            big_freq: self.big.freq,
-            little_freq: self.little.freq,
+            freqs: self.clusters.iter().map(|c| c.freq).collect(),
             overhead_ns,
             explored,
         }
@@ -488,11 +470,15 @@ mod tests {
         let d0 = m.on_heartbeat(AppId(0), 0, None).expect("initial alloc");
         assert_eq!(d0.affinities.len(), 8);
         let s0 = m.app_state(AppId(0)).unwrap();
-        assert_eq!((s0.big_cores, s0.little_cores), (2, 2), "fair half share");
+        assert_eq!(
+            (s0.big_cores(), s0.little_cores()),
+            (2, 2),
+            "fair half share"
+        );
         let d1 = m.on_heartbeat(AppId(1), 0, None).expect("initial alloc");
         assert_eq!(d1.affinities.len(), 8);
         let s1 = m.app_state(AppId(1)).unwrap();
-        assert_eq!((s1.big_cores, s1.little_cores), (2, 2));
+        assert_eq!((s1.big_cores(), s1.little_cores()), (2, 2));
     }
 
     #[test]
@@ -509,21 +495,12 @@ mod tests {
             let _ = m.on_heartbeat(AppId(0), step * 10, Some(r0));
             let _ = m.on_heartbeat(AppId(1), step * 10, Some(r1));
             // Invariant: core ownership disjoint, free lists consistent.
-            for i in 0..4 {
-                let owners: usize = m
-                    .apps
-                    .iter()
-                    .map(|a| usize::from(a.use_big[i]))
-                    .sum();
-                assert!(owners <= 1, "big core {i} shared at step {step}");
-                assert_eq!(owners == 0, m.big.free[i]);
-                let owners_l: usize = m
-                    .apps
-                    .iter()
-                    .map(|a| usize::from(a.use_little[i]))
-                    .sum();
-                assert!(owners_l <= 1);
-                assert_eq!(owners_l == 0, m.little.free[i]);
+            for ci in 0..2 {
+                for i in 0..4 {
+                    let owners: usize = m.apps.iter().map(|a| usize::from(a.owned[ci][i])).sum();
+                    assert!(owners <= 1, "cluster {ci} core {i} shared at step {step}");
+                    assert_eq!(owners == 0, m.clusters[ci].free[i]);
+                }
             }
         }
     }
@@ -545,13 +522,14 @@ mod tests {
             }
         }
         let d = decision.expect("over-performing app must adapt");
-        let dropped_big = d.big_freq < BoardSpec::odroid_xu3().big_ladder.max();
-        let dropped_little = d.little_freq < BoardSpec::odroid_xu3().little_ladder.max();
+        let board = BoardSpec::odroid_xu3();
+        let dropped_big = d.big_freq() < board.ladder(ClusterId::BIG).max();
+        let dropped_little = d.little_freq() < board.ladder(ClusterId::LITTLE).max();
         if dropped_big {
-            assert!(m.cluster_frozen(Cluster::Big));
+            assert!(m.cluster_frozen(ClusterId::BIG));
         }
         if dropped_little {
-            assert!(m.cluster_frozen(Cluster::Little));
+            assert!(m.cluster_frozen(ClusterId::LITTLE));
         }
         assert!(dropped_big || dropped_little || d.affinities.len() == 8);
     }
@@ -566,12 +544,15 @@ mod tests {
         // App 1 under-performs and both share both clusters (2B+2L each).
         let _ = m.on_heartbeat(AppId(1), 10, Some(2.0));
         // Now app 0 over-performs; it may not decrease shared freqs.
-        let fb_before = m.cluster_freq(Cluster::Big);
-        let fl_before = m.cluster_freq(Cluster::Little);
+        let fb_before = m.cluster_freq(ClusterId::BIG);
+        let fl_before = m.cluster_freq(ClusterId::LITTLE);
         if let Some(d) = m.on_heartbeat(AppId(0), 10, Some(40.0)) {
-            assert!(d.big_freq >= fb_before, "big freq decreased under interference");
             assert!(
-                d.little_freq >= fl_before,
+                d.big_freq() >= fb_before,
+                "big freq decreased under interference"
+            );
+            assert!(
+                d.little_freq() >= fl_before,
                 "little freq decreased under interference"
             );
         }
@@ -582,10 +563,10 @@ mod tests {
         let mut m = manager(mp_hars_e());
         m.register_app(AppId(0), 8, target(9.0, 11.0));
         let _ = m.on_heartbeat(AppId(0), 0, None);
-        assert!(m.big.free_count() < 4 || m.little.free_count() < 4);
+        assert!(m.clusters[0].free_count() < 4 || m.clusters[1].free_count() < 4);
         m.unregister_app(AppId(0));
-        assert_eq!(m.big.free_count(), 4);
-        assert_eq!(m.little.free_count(), 4);
+        assert_eq!(m.clusters[0].free_count(), 4);
+        assert_eq!(m.clusters[1].free_count(), 4);
         assert!(m.app_state(AppId(0)).is_none());
     }
 
@@ -606,6 +587,50 @@ mod tests {
         // available (none: 2+2 each, 0 free).
         let _ = m.on_heartbeat(AppId(0), 10, Some(1.0));
         let s0 = m.app_state(AppId(0)).unwrap();
-        assert!(s0.big_cores <= 2 && s0.little_cores <= 2, "stole cores: {s0}");
+        assert!(
+            s0.big_cores() <= 2 && s0.little_cores() <= 2,
+            "stole cores: {s0}"
+        );
+    }
+
+    #[test]
+    fn tri_cluster_manager_partitions_three_ways() {
+        let board = BoardSpec::dynamiq_1p_3m_4l();
+        let perf = PerfEstimator::from_board(&board);
+        let power = PowerEstimator::from_clusters(
+            board
+                .cluster_ids()
+                .map(|c| {
+                    let ladder = board.ladder(c).clone();
+                    let table: Vec<LinearCoeff> = (0..ladder.len())
+                        .map(|i| LinearCoeff {
+                            alpha: 0.1 * (c.index() + 1) as f64 + 0.02 * i as f64,
+                            beta: 0.1,
+                        })
+                        .collect();
+                    (ladder, table)
+                })
+                .collect(),
+        );
+        let mut m = MpHarsManager::new(&board, perf, power, mp_hars_e());
+        m.register_app(AppId(0), 4, target(9.0, 11.0));
+        m.register_app(AppId(1), 4, target(9.0, 11.0));
+        let d0 = m.on_heartbeat(AppId(0), 0, None).expect("initial alloc");
+        let d1 = m.on_heartbeat(AppId(1), 0, None).expect("initial alloc");
+        assert_eq!(d0.freqs.len(), 3);
+        assert_eq!(d1.freqs.len(), 3);
+        // Drive a few adaptations and keep the disjointness invariant.
+        for step in 1..30u64 {
+            let r0 = if step % 2 == 0 { 30.0 } else { 4.0 };
+            let _ = m.on_heartbeat(AppId(0), step * 10, Some(r0));
+            let _ = m.on_heartbeat(AppId(1), step * 10, Some(12.0 - r0 / 10.0));
+            for ci in 0..3 {
+                for i in 0..m.clusters[ci].len() {
+                    let owners: usize = m.apps.iter().map(|a| usize::from(a.owned[ci][i])).sum();
+                    assert!(owners <= 1);
+                    assert_eq!(owners == 0, m.clusters[ci].free[i]);
+                }
+            }
+        }
     }
 }

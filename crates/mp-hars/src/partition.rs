@@ -1,68 +1,82 @@
 //! Resource partitioning — the core-allocation function of MP-HARS
-//! (the paper's Algorithm 4, `GetAllocatableCoreSet`).
+//! (the paper's Algorithm 4, `GetAllocatableCoreSet`), generalized to
+//! any number of clusters.
 //!
 //! Applications own disjoint core sets. When an app's target core count
 //! changes, the allocator (1) releases just-decremented cores back to
 //! the cluster free lists, (2) reuses every core the app already owns —
 //! "it does not need to newly assign another core because it wants to
 //! minimize the thread migration" — and (3) claims free cores for any
-//! remaining need, lowest index first.
+//! remaining need, lowest index first. The same three passes run per
+//! cluster.
 
-use hmp_sim::CoreId;
+use hmp_sim::{ClusterId, CoreId};
 
 use crate::app_data::AppData;
 use crate::cluster_data::ClusterData;
 
-/// The cores handed to an application, in cluster-index order (what the
-/// chunk/interleaving schedulers consume).
+/// The cores handed to an application, per cluster in cluster-index
+/// order (what the chunk/interleaving schedulers consume).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AllocatedCores {
-    /// Big cores, ascending.
-    pub big: Vec<CoreId>,
-    /// Little cores, ascending.
-    pub little: Vec<CoreId>,
+    /// `per_cluster[c]`: the app's cores on cluster `c`, ascending.
+    pub per_cluster: Vec<Vec<CoreId>>,
 }
 
 impl AllocatedCores {
+    /// The cores granted on `cluster`.
+    pub fn cores(&self, cluster: ClusterId) -> &[CoreId] {
+        &self.per_cluster[cluster.index()]
+    }
+
+    /// Big-cluster cores of a two-cluster allocation.
+    pub fn big(&self) -> &[CoreId] {
+        self.cores(ClusterId::BIG)
+    }
+
+    /// Little-cluster cores of a two-cluster allocation.
+    pub fn little(&self) -> &[CoreId] {
+        self.cores(ClusterId::LITTLE)
+    }
+
     /// Total cores allocated.
     pub fn len(&self) -> usize {
-        self.big.len() + self.little.len()
+        self.per_cluster.iter().map(|c| c.len()).sum()
     }
 
     /// `true` when nothing is allocated.
     pub fn is_empty(&self) -> bool {
-        self.big.is_empty() && self.little.is_empty()
+        self.len() == 0
     }
 }
 
-/// Algorithm 4: computes the app's core set for its current
-/// `state.big_cores` / `state.little_cores` request, mutating the app's
-/// ownership bitmaps and the clusters' free lists.
+/// Algorithm 4: computes the app's core set for its current per-cluster
+/// `state` request, mutating the app's ownership bitmaps and the
+/// clusters' free lists. `clusters` is indexed by cluster id.
 ///
 /// The request is feasible when `requested ≤ owned + free` per cluster
 /// (the search's `freeCoreCnt` constraint guarantees this); an
-/// infeasible request is clamped to what is available, which is also
-/// asserted in debug builds.
-pub fn get_allocatable_core_set(
-    app: &mut AppData,
-    big: &mut ClusterData,
-    little: &mut ClusterData,
-) -> AllocatedCores {
-    // Lines 4–19: release pending decrements back to the free lists.
-    release_decrement(&mut app.use_big, &mut app.dec_big, big);
-    release_decrement(&mut app.use_little, &mut app.dec_little, little);
-    // Lines 20–45: reuse owned cores, then claim free ones.
-    let big_cores = allocate_cluster(&mut app.use_big, app.state.big_cores, big);
-    let little_cores = allocate_cluster(&mut app.use_little, app.state.little_cores, little);
-    debug_assert_eq!(
-        big_cores.len(),
-        app.state.big_cores.min(big_cores.len()),
-        "big allocation shortfall must only come from exhaustion"
+/// infeasible request is clamped to what is available.
+///
+/// # Panics
+///
+/// Panics when `clusters` does not match the app's cluster count.
+pub fn get_allocatable_core_set(app: &mut AppData, clusters: &mut [ClusterData]) -> AllocatedCores {
+    assert_eq!(
+        clusters.len(),
+        app.n_clusters(),
+        "one ClusterData per cluster of the app"
     );
-    AllocatedCores {
-        big: big_cores,
-        little: little_cores,
+    let mut per_cluster = Vec::with_capacity(clusters.len());
+    for (ci, cluster) in clusters.iter_mut().enumerate() {
+        let c = ClusterId(ci);
+        // Lines 4–19: release pending decrements back to the free list.
+        release_decrement(&mut app.owned[ci], &mut app.dec[ci], cluster);
+        // Lines 20–45: reuse owned cores, then claim free ones.
+        let want = app.state.cores(c);
+        per_cluster.push(allocate_cluster(&mut app.owned[ci], want, cluster));
     }
+    AllocatedCores { per_cluster }
 }
 
 /// Releases up to `dec` owned cores to the cluster free list (the
@@ -127,25 +141,27 @@ fn allocate_cluster(owned: &mut [bool], want: usize, cluster: &mut ClusterData) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heartbeats::{AppId, PerfTarget};
     use hars_core::SystemState;
-    use hmp_sim::{Cluster, FreqKhz};
+    use heartbeats::{AppId, PerfTarget};
+    use hmp_sim::FreqKhz;
 
-    fn clusters() -> (ClusterData, ClusterData) {
-        (
-            ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600)),
-            ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300)),
-        )
+    fn clusters() -> Vec<ClusterData> {
+        vec![
+            ClusterData::new(ClusterId::LITTLE, 0, 4, FreqKhz::from_mhz(1_300)),
+            ClusterData::new(ClusterId::BIG, 4, 4, FreqKhz::from_mhz(1_600)),
+        ]
     }
 
     fn app(id: u64, cb: usize, cl: usize) -> AppData {
-        let state = SystemState {
-            big_cores: cb,
-            little_cores: cl,
-            big_freq: FreqKhz::from_mhz(1_600),
-            little_freq: FreqKhz::from_mhz(1_300),
-        };
-        AppData::new(AppId(id), 8, PerfTarget::new(9.0, 11.0).unwrap(), 4, 4, state)
+        let state =
+            SystemState::big_little(cb, cl, FreqKhz::from_mhz(1_600), FreqKhz::from_mhz(1_300));
+        AppData::new(
+            AppId(id),
+            8,
+            PerfTarget::new(9.0, 11.0).unwrap(),
+            &[4, 4],
+            state,
+        )
     }
 
     fn ids(cores: &[CoreId]) -> Vec<usize> {
@@ -154,13 +170,13 @@ mod tests {
 
     #[test]
     fn first_allocation_claims_lowest_free_cores() {
-        let (mut big, mut little) = clusters();
+        let mut cl = clusters();
         let mut a = app(0, 2, 1);
-        let got = get_allocatable_core_set(&mut a, &mut big, &mut little);
-        assert_eq!(ids(&got.big), vec![4, 5]);
-        assert_eq!(ids(&got.little), vec![0]);
-        assert_eq!(big.free_count(), 2);
-        assert_eq!(little.free_count(), 3);
+        let got = get_allocatable_core_set(&mut a, &mut cl);
+        assert_eq!(ids(got.big()), vec![4, 5]);
+        assert_eq!(ids(got.little()), vec![0]);
+        assert_eq!(cl[ClusterId::BIG.index()].free_count(), 2);
+        assert_eq!(cl[ClusterId::LITTLE.index()].free_count(), 3);
         assert_eq!(a.owned_big(), 2);
     }
 
@@ -169,78 +185,103 @@ mod tests {
         // "ApplicationA was assigned to bigcore0-1 and ApplicationB to
         // littlecore0-1. If ApplicationB wants to use the big core, it
         // cannot get bigcore0-1; instead it can get bigcore2-3."
-        let (mut big, mut little) = clusters();
+        let mut cl = clusters();
         let mut a = app(0, 2, 0);
-        let got_a = get_allocatable_core_set(&mut a, &mut big, &mut little);
-        assert_eq!(ids(&got_a.big), vec![4, 5]);
+        let got_a = get_allocatable_core_set(&mut a, &mut cl);
+        assert_eq!(ids(got_a.big()), vec![4, 5]);
         let mut b = app(1, 0, 2);
-        let got_b = get_allocatable_core_set(&mut b, &mut big, &mut little);
-        assert_eq!(ids(&got_b.little), vec![0, 1]);
+        let got_b = get_allocatable_core_set(&mut b, &mut cl);
+        assert_eq!(ids(got_b.little()), vec![0, 1]);
         // B grows into the big cluster.
-        b.state.big_cores = 2;
-        let got_b2 = get_allocatable_core_set(&mut b, &mut big, &mut little);
-        assert_eq!(ids(&got_b2.big), vec![6, 7], "B gets the free big cores");
-        assert_eq!(ids(&got_b2.little), vec![0, 1], "B keeps its littles");
+        b.state.set_cores(ClusterId::BIG, 2);
+        let got_b2 = get_allocatable_core_set(&mut b, &mut cl);
+        assert_eq!(ids(got_b2.big()), vec![6, 7], "B gets the free big cores");
+        assert_eq!(ids(got_b2.little()), vec![0, 1], "B keeps its littles");
         // No core owned twice.
         assert_eq!(a.owned_big() + b.owned_big(), 4);
-        assert_eq!(big.free_count(), 0);
+        assert_eq!(cl[ClusterId::BIG.index()].free_count(), 0);
     }
 
     #[test]
     fn shrink_via_decrement_releases_lowest_owned() {
-        let (mut big, mut little) = clusters();
+        let mut cl = clusters();
         let mut a = app(0, 4, 0);
-        let _ = get_allocatable_core_set(&mut a, &mut big, &mut little);
+        let _ = get_allocatable_core_set(&mut a, &mut cl);
         assert_eq!(a.owned_big(), 4);
         // Shrink 4 -> 2: set the decrement like Algorithm 3 does.
-        a.state.big_cores = 2;
-        a.dec_big = 2;
-        let got = get_allocatable_core_set(&mut a, &mut big, &mut little);
-        assert_eq!(got.big.len(), 2);
+        a.state.set_cores(ClusterId::BIG, 2);
+        a.dec[ClusterId::BIG.index()] = 2;
+        let got = get_allocatable_core_set(&mut a, &mut cl);
+        assert_eq!(got.big().len(), 2);
         assert_eq!(a.owned_big(), 2);
-        assert_eq!(big.free_count(), 2);
+        assert_eq!(cl[ClusterId::BIG.index()].free_count(), 2);
         // Released cores are reusable by another app.
         let mut b = app(1, 2, 0);
-        let got_b = get_allocatable_core_set(&mut b, &mut big, &mut little);
-        assert_eq!(got_b.big.len(), 2);
-        assert_eq!(big.free_count(), 0);
+        let got_b = get_allocatable_core_set(&mut b, &mut cl);
+        assert_eq!(got_b.big().len(), 2);
+        assert_eq!(cl[ClusterId::BIG.index()].free_count(), 0);
     }
 
     #[test]
     fn regrow_reuses_kept_cores() {
-        let (mut big, mut little) = clusters();
+        let mut cl = clusters();
         let mut a = app(0, 3, 0);
-        let first = get_allocatable_core_set(&mut a, &mut big, &mut little);
-        a.state.big_cores = 1;
-        a.dec_big = 2;
-        let shrunk = get_allocatable_core_set(&mut a, &mut big, &mut little);
-        assert_eq!(shrunk.big.len(), 1);
+        let first = get_allocatable_core_set(&mut a, &mut cl);
+        a.state.set_cores(ClusterId::BIG, 1);
+        a.dec[ClusterId::BIG.index()] = 2;
+        let shrunk = get_allocatable_core_set(&mut a, &mut cl);
+        assert_eq!(shrunk.big().len(), 1);
         // The kept core was one of the original three.
-        assert!(first.big.contains(&shrunk.big[0]));
-        a.state.big_cores = 3;
-        let regrown = get_allocatable_core_set(&mut a, &mut big, &mut little);
+        assert!(first.big().contains(&shrunk.big()[0]));
+        a.state.set_cores(ClusterId::BIG, 3);
+        let regrown = get_allocatable_core_set(&mut a, &mut cl);
         assert!(
-            regrown.big.contains(&shrunk.big[0]),
+            regrown.big().contains(&shrunk.big()[0]),
             "still-owned core must be reused, not migrated"
         );
-        assert_eq!(regrown.big.len(), 3);
+        assert_eq!(regrown.big().len(), 3);
     }
 
     #[test]
     fn infeasible_request_clamps_to_available() {
-        let (mut big, mut little) = clusters();
+        let mut cl = clusters();
         let mut a = app(0, 4, 4);
-        let _ = get_allocatable_core_set(&mut a, &mut big, &mut little);
+        let _ = get_allocatable_core_set(&mut a, &mut cl);
         let mut b = app(1, 2, 2);
-        let got = get_allocatable_core_set(&mut b, &mut big, &mut little);
+        let got = get_allocatable_core_set(&mut b, &mut cl);
         assert!(got.is_empty(), "nothing free, nothing granted");
+    }
+
+    #[test]
+    fn tri_cluster_allocation_partitions_every_cluster() {
+        let board = hmp_sim::BoardSpec::dynamiq_1p_3m_4l();
+        let mut cl = ClusterData::for_board(&board);
+        let state = SystemState::new(&[
+            (2, board.ladder(ClusterId(0)).max()),
+            (1, board.ladder(ClusterId(1)).max()),
+            (1, board.ladder(ClusterId(2)).max()),
+        ]);
+        let mut a = AppData::new(
+            AppId(0),
+            8,
+            PerfTarget::new(9.0, 11.0).unwrap(),
+            &[4, 3, 1],
+            state,
+        );
+        let got = get_allocatable_core_set(&mut a, &mut cl);
+        assert_eq!(ids(got.cores(ClusterId(0))), vec![0, 1]);
+        assert_eq!(ids(got.cores(ClusterId(1))), vec![4]);
+        assert_eq!(ids(got.cores(ClusterId(2))), vec![7]);
+        assert_eq!(cl[0].free_count(), 2);
+        assert_eq!(cl[1].free_count(), 2);
+        assert_eq!(cl[2].free_count(), 0);
     }
 
     #[test]
     fn disjointness_under_random_like_churn() {
         // Deterministic churn of three apps growing and shrinking; the
         // invariant: no core ever owned by two apps, free list exact.
-        let (mut big, mut little) = clusters();
+        let mut cl = clusters();
         let mut apps: Vec<AppData> = (0..3).map(|i| app(i, 0, 0)).collect();
         let requests = [
             (0usize, 2usize, 1usize),
@@ -253,25 +294,24 @@ mod tests {
             (1, 1, 1),
             (2, 2, 1),
         ];
-        for &(idx, cb, cl) in &requests {
+        for &(idx, cb, cl_want) in &requests {
             let a = &mut apps[idx];
-            if cb < a.state.big_cores {
-                a.dec_big = a.state.big_cores - cb;
+            if cb < a.state.cores(ClusterId::BIG) {
+                a.dec[ClusterId::BIG.index()] = a.state.cores(ClusterId::BIG) - cb;
             }
-            if cl < a.state.little_cores {
-                a.dec_little = a.state.little_cores - cl;
+            if cl_want < a.state.cores(ClusterId::LITTLE) {
+                a.dec[ClusterId::LITTLE.index()] = a.state.cores(ClusterId::LITTLE) - cl_want;
             }
-            a.state.big_cores = cb;
-            a.state.little_cores = cl;
-            let _ = get_allocatable_core_set(a, &mut big, &mut little);
+            a.state.set_cores(ClusterId::BIG, cb);
+            a.state.set_cores(ClusterId::LITTLE, cl_want);
+            let _ = get_allocatable_core_set(a, &mut cl);
             // Global invariants.
-            for i in 0..4 {
-                let owners = apps.iter().filter(|x| x.use_big[i]).count();
-                assert!(owners <= 1, "big core {i} owned by {owners} apps");
-                assert_eq!(owners == 0, big.free[i], "big free list out of sync at {i}");
-                let owners_l = apps.iter().filter(|x| x.use_little[i]).count();
-                assert!(owners_l <= 1);
-                assert_eq!(owners_l == 0, little.free[i]);
+            for (ci, cluster) in cl.iter().enumerate() {
+                for i in 0..4 {
+                    let owners = apps.iter().filter(|x| x.owned[ci][i]).count();
+                    assert!(owners <= 1, "cluster {ci} core {i} owned by {owners} apps");
+                    assert_eq!(owners == 0, cluster.free[i], "free list out of sync");
+                }
             }
         }
     }

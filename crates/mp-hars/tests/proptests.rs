@@ -5,7 +5,7 @@ use heartbeats::{AppId, PerfTarget};
 use proptest::prelude::*;
 
 use hars_core::SystemState;
-use hmp_sim::{Cluster, FreqKhz};
+use hmp_sim::{ClusterId, FreqKhz};
 use mp_hars::app_data::{AppData, PerfClass};
 use mp_hars::cluster_data::ClusterData;
 use mp_hars::freeze::{combine_others, decide, FreezeDecision, StateDecision};
@@ -16,14 +16,8 @@ fn mk_app(id: u64) -> AppData {
         AppId(id),
         8,
         PerfTarget::new(9.0, 11.0).unwrap(),
-        4,
-        4,
-        SystemState {
-            big_cores: 0,
-            little_cores: 0,
-            big_freq: FreqKhz::from_mhz(1_600),
-            little_freq: FreqKhz::from_mhz(1_300),
-        },
+        &[4, 4],
+        SystemState::big_little(0, 0, FreqKhz::from_mhz(1_600), FreqKhz::from_mhz(1_300)),
     )
 }
 
@@ -38,35 +32,36 @@ proptest! {
             1..40,
         )
     ) {
-        let mut big = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
-        let mut little = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
-        let mut apps: Vec<AppData> = (0..3).map(|i| mk_app(i)).collect();
+        let mut clusters = vec![
+            ClusterData::new(ClusterId::LITTLE, 0, 4, FreqKhz::from_mhz(1_300)),
+            ClusterData::new(ClusterId::BIG, 4, 4, FreqKhz::from_mhz(1_600)),
+        ];
+        let mut apps: Vec<AppData> = (0..3).map(mk_app).collect();
         for (idx, want_b, want_l) in requests {
             {
                 let app = &mut apps[idx];
                 let owned_b = app.owned_big();
                 let owned_l = app.owned_little();
                 if want_b < owned_b {
-                    app.dec_big = owned_b - want_b;
+                    app.dec[ClusterId::BIG.index()] = owned_b - want_b;
                 }
                 if want_l < owned_l {
-                    app.dec_little = owned_l - want_l;
+                    app.dec[ClusterId::LITTLE.index()] = owned_l - want_l;
                 }
-                app.state.big_cores = want_b;
-                app.state.little_cores = want_l;
+                app.state.set_cores(ClusterId::BIG, want_b);
+                app.state.set_cores(ClusterId::LITTLE, want_l);
             }
-            let alloc = get_allocatable_core_set(&mut apps[idx], &mut big, &mut little);
+            let alloc = get_allocatable_core_set(&mut apps[idx], &mut clusters);
             // Grant matches ownership.
-            prop_assert_eq!(alloc.big.len(), apps[idx].owned_big());
-            prop_assert_eq!(alloc.little.len(), apps[idx].owned_little());
+            prop_assert_eq!(alloc.big().len(), apps[idx].owned_big());
+            prop_assert_eq!(alloc.little().len(), apps[idx].owned_little());
             // Global disjointness + free-list consistency.
-            for i in 0..4 {
-                let owners_b = apps.iter().filter(|a| a.use_big[i]).count();
-                prop_assert!(owners_b <= 1);
-                prop_assert_eq!(owners_b == 0, big.free[i]);
-                let owners_l = apps.iter().filter(|a| a.use_little[i]).count();
-                prop_assert!(owners_l <= 1);
-                prop_assert_eq!(owners_l == 0, little.free[i]);
+            for (ci, cluster) in clusters.iter().enumerate() {
+                for i in 0..4 {
+                    let owners = apps.iter().filter(|a| a.owned[ci][i]).count();
+                    prop_assert!(owners <= 1);
+                    prop_assert_eq!(owners == 0, cluster.free[i]);
+                }
             }
         }
     }
@@ -78,17 +73,19 @@ proptest! {
         dec in 1usize..=4,
     ) {
         prop_assume!(dec <= initial);
-        let mut big = ClusterData::new(Cluster::Big, 4, 4, FreqKhz::from_mhz(1_600));
-        let mut little = ClusterData::new(Cluster::Little, 0, 4, FreqKhz::from_mhz(1_300));
+        let mut clusters = vec![
+            ClusterData::new(ClusterId::LITTLE, 0, 4, FreqKhz::from_mhz(1_300)),
+            ClusterData::new(ClusterId::BIG, 4, 4, FreqKhz::from_mhz(1_600)),
+        ];
         let mut app = mk_app(0);
-        app.state.big_cores = initial;
-        let _ = get_allocatable_core_set(&mut app, &mut big, &mut little);
+        app.state.set_cores(ClusterId::BIG, initial);
+        let _ = get_allocatable_core_set(&mut app, &mut clusters);
         prop_assert_eq!(app.owned_big(), initial);
-        app.state.big_cores = initial - dec;
-        app.dec_big = dec;
-        let alloc = get_allocatable_core_set(&mut app, &mut big, &mut little);
-        prop_assert_eq!(alloc.big.len(), initial - dec);
-        prop_assert_eq!(big.free_count(), 4 - (initial - dec));
+        app.state.set_cores(ClusterId::BIG, initial - dec);
+        app.dec[ClusterId::BIG.index()] = dec;
+        let alloc = get_allocatable_core_set(&mut app, &mut clusters);
+        prop_assert_eq!(alloc.big().len(), initial - dec);
+        prop_assert_eq!(clusters[ClusterId::BIG.index()].free_count(), 4 - (initial - dec));
     }
 
     /// Decision-table safety invariants hold for every input, not just

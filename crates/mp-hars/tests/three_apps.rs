@@ -90,9 +90,13 @@ fn three_apps_partition_and_adapt() {
                 if s0.time_ns.abs_diff(s2.time_ns) > 1_000_000 {
                     continue;
                 }
-                assert!(s0.big_cores + s1.big_cores + s2.big_cores <= board.n_big);
                 assert!(
-                    s0.little_cores + s1.little_cores + s2.little_cores <= board.n_little
+                    s0.big_cores() + s1.big_cores() + s2.big_cores()
+                        <= board.cluster_size(hmp_sim::ClusterId::BIG)
+                );
+                assert!(
+                    s0.little_cores() + s1.little_cores() + s2.little_cores()
+                        <= board.cluster_size(hmp_sim::ClusterId::LITTLE)
                 );
             }
         }

@@ -1,0 +1,110 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the API surface the workspace's benches use. Each benchmark
+//! body runs exactly once and its wall-clock time is printed — enough to
+//! keep `cargo bench` meaningful offline without the statistics engine.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier (name or parameter label).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a group-parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id from a function name and parameter.
+    pub fn new<N: Display, P: Display>(name: N, p: P) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// Runs one measured closure.
+#[derive(Debug, Default)]
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs `f` once, timing it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let _ = f();
+        println!("      one iteration: {:?}", start.elapsed());
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{}", self.name, id.0);
+        f(&mut Bencher, input);
+        self
+    }
+
+    /// Runs one unparameterized benchmark of the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {}/{}", self.name, name);
+        f(&mut Bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("bench {name}");
+        f(&mut Bencher);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

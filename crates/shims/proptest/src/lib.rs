@@ -1,0 +1,302 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! `proptest!` macro, `prop_assert*` / `prop_assume!`, range and tuple
+//! strategies, `collection::vec` and `bool::ANY`. Cases are generated
+//! deterministically (seeded per test name) and there is no shrinking —
+//! a failure reports the case index and the assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each property runs.
+pub const CASES: usize = 64;
+
+/// The per-test deterministic generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Draws 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.0.random_range(lo..hi)
+    }
+}
+
+/// Builds the deterministic generator for one named property test.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng(StdRng::seed_from_u64(seed))
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// A source of random values for one input parameter.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64(self.start, self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Always produces a clone of the given value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `elem` values with a
+    /// length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The common imports property tests expect.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests (the shim's `proptest!`): each function runs
+/// [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match result {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {case}: {msg}")
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion for one case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion for one case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// `prop_assume!`: rejects the case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 5u64..=6, f in 0.5f64..1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y == 5 || y == 6);
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in crate::collection::vec(0u8..=255, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x >= 5);
+            prop_assert!(x >= 5);
+        }
+
+        #[test]
+        fn tuples_sample_elementwise(pair in (0usize..3, 10u32..20)) {
+            prop_assert!(pair.0 < 3);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = super::test_rng("x");
+        let mut b = super::test_rng("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! this shim provides the exact surface the workspace uses: the
+//! `Serialize` / `Deserialize` marker traits and their derive macros.
+//! Nothing in the workspace serializes at runtime (the derives exist so
+//! downstream users of the real serde could); the traits are therefore
+//! empty markers and the derives emit empty impls.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

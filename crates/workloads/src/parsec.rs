@@ -143,11 +143,7 @@ impl Benchmark {
         let (base, cv, phases) = match self {
             // Flat: "this benchmark workload variation is stable".
             Benchmark::Blackscholes => (400.0, 0.01, vec![]),
-            Benchmark::Bodytrack => (
-                600.0,
-                0.08,
-                vec![Phase::new(1.0, 40), Phase::new(1.35, 20)],
-            ),
+            Benchmark::Bodytrack => (600.0, 0.08, vec![Phase::new(1.0, 40), Phase::new(1.35, 20)]),
             Benchmark::Facesim => (
                 2_000.0,
                 0.05,

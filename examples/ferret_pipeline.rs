@@ -19,23 +19,23 @@ fn run_with(scheduler: SchedulerKind) -> Result<(f64, f64), Box<dyn std::error::
     let app = engine.add_app(spec)?;
 
     // A mixed state: 2 big cores at 1.0 GHz + 4 little at 1.3 GHz.
-    let state = SystemState {
-        big_cores: 2,
-        little_cores: 4,
-        big_freq: FreqKhz::from_mhz(1_000),
-        little_freq: FreqKhz::from_mhz(1_300),
-    };
+    let state = SystemState::big_little(2, 4, FreqKhz::from_mhz(1_000), FreqKhz::from_mhz(1_300));
     assert!(StateSpace::from_board(&board).contains(&state));
-    engine.set_cluster_freq(Cluster::Big, state.big_freq)?;
-    engine.set_cluster_freq(Cluster::Little, state.little_freq)?;
+    engine.set_cluster_freq(ClusterId::BIG, state.big_freq())?;
+    engine.set_cluster_freq(ClusterId::LITTLE, state.little_freq())?;
 
     // Pin threads the way HARS would: Table 3.1 assignment realized by
     // the chosen scheduler.
-    let r = 1.5 * state.big_freq.ghz() / state.little_freq.ghz();
-    let assignment = assign_threads(threads, state.big_cores, state.little_cores, r);
-    let big: Vec<CoreId> = (0..assignment.used_big).map(|i| CoreId(4 + i)).collect();
-    let little: Vec<CoreId> = (0..assignment.used_little).map(CoreId).collect();
-    let plan = plan_affinities(scheduler, &assignment, &big, &little);
+    let r = 1.5 * state.big_freq().ghz() / state.little_freq().ghz();
+    let assignment = assign_threads(threads, state.big_cores(), state.little_cores(), r);
+    let cores: Vec<Vec<CoreId>> = board
+        .cluster_ids()
+        .map(|c| {
+            let start = board.cluster_start(c).0;
+            (0..assignment.used(c)).map(|i| CoreId(start + i)).collect()
+        })
+        .collect();
+    let plan = plan_affinities(scheduler, &assignment, &cores);
     for (thread, mask) in plan.iter().enumerate() {
         engine.set_thread_affinity(app, thread, *mask)?;
     }

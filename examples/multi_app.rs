@@ -27,8 +27,11 @@ fn solo_max(board: &BoardSpec, bench: Benchmark, seed: u64) -> f64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let board = BoardSpec::odroid_xu3();
     println!("calibrating power model...");
-    let power =
-        run_power_calibration(&board, &EngineConfig::default(), &CalibrationConfig::default())?;
+    let power = run_power_calibration(
+        &board,
+        &EngineConfig::default(),
+        &CalibrationConfig::default(),
+    )?;
     let perf = PerfEstimator::paper_default(board.base_freq);
 
     let (bo, fl) = (Benchmark::Bodytrack, Benchmark::Fluidanimate);
@@ -48,13 +51,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     manager.register_app(app_fl, 8, t_fl);
     let mut version = MpVersion::MpHars(manager);
 
-    let out = run_multi_app(&mut engine, &[app_bo, app_fl], &mut version, 300_000_000_000, true)?;
+    let out = run_multi_app(
+        &mut engine,
+        &[app_bo, app_fl],
+        &mut version,
+        300_000_000_000,
+        true,
+    )?;
     println!(
         "\nboard: {:.2} W average over {:.1} s, {} adaptations",
         out.avg_watts, out.elapsed_secs, out.adaptations
     );
     for stats in &out.apps {
-        let name = if stats.app == app_bo { "bodytrack" } else { "fluidanimate" };
+        let name = if stats.app == app_bo {
+            "bodytrack"
+        } else {
+            "fluidanimate"
+        };
         println!(
             "{name:<13} {:>4} heartbeats, {:>6.2} hb/s, normalized perf {:.3}",
             stats.heartbeats, stats.avg_rate, stats.norm_perf
@@ -65,13 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  hb {:>4}: {} big + {} little @ B {:.1} GHz / L {:.1} GHz, rate {:>6.2}",
             s.hb_index,
-            s.big_cores,
-            s.little_cores,
-            s.big_freq.ghz(),
-            s.little_freq.ghz(),
+            s.big_cores(),
+            s.little_cores(),
+            s.big_freq().ghz(),
+            s.little_freq().ghz(),
             s.rate.unwrap_or(0.0)
         );
     }
-    println!("\ncase perf/watt: {:.4} (mean normalized perf / W)", out.perf_per_watt);
+    println!(
+        "\ncase perf/watt: {:.4} (mean normalized perf / W)",
+        out.perf_per_watt
+    );
     Ok(())
 }

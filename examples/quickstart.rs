@@ -31,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("baseline produced heartbeats")
         .heartbeats_per_sec();
     let base_watts = engine.energy().average_power();
-    println!(
-        "baseline: {max_rate:.2} hb/s at {base_watts:.2} W (all cores, max frequencies)"
-    );
+    println!("baseline: {max_rate:.2} hb/s at {base_watts:.2} W (all cores, max frequencies)");
 
     // 3. Declare the paper's default target: 50% ± 5% of the maximum.
     let target = PerfTarget::new(0.45 * max_rate, 0.55 * max_rate)?;
@@ -42,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Run the same application under the HARS-E runtime manager.
     let mut engine = Engine::new(board.clone(), EngineConfig::default());
     let app = engine.add_app(bench.spec_with_budget(8, 42, 400))?;
-    let mut manager =
-        RuntimeManager::new(&board, target, perf, power, 8, HarsConfig::from_variant(hars_e()));
+    let mut manager = RuntimeManager::new(
+        &board,
+        target,
+        perf,
+        power,
+        8,
+        HarsConfig::from_variant(hars_e()),
+    );
     let out = run_single_app(&mut engine, app, &mut manager, 240_000_000_000, false)?;
 
     println!(

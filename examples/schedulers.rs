@@ -11,15 +11,21 @@ use hars::hars_core::ThreadAssignment;
 use hars::prelude::*;
 
 fn show(kind: SchedulerKind, assignment: &ThreadAssignment, board: &BoardSpec) {
-    let big: Vec<CoreId> = (0..assignment.used_big).map(|i| CoreId(4 + i)).collect();
-    let little: Vec<CoreId> = (0..assignment.used_little).map(CoreId).collect();
-    let plan = plan_affinities(kind, assignment, &big, &little);
+    let cores: Vec<Vec<CoreId>> = board
+        .cluster_ids()
+        .map(|c| {
+            let start = board.cluster_start(c).0;
+            (0..assignment.used(c)).map(|i| CoreId(start + i)).collect()
+        })
+        .collect();
+    let plan = plan_affinities(kind, assignment, &cores);
     println!("\n{} scheduler:", kind.name());
     for (t, mask) in plan.iter().enumerate() {
         let core = mask.first().expect("singleton affinity");
-        let side = match board.cluster_of(core) {
-            Cluster::Big => "B",
-            Cluster::Little => "L",
+        let side = if board.cluster_of(core) == ClusterId::BIG {
+            "B"
+        } else {
+            "L"
         };
         let stage = if t < 4 { 0 } else { 1 };
         println!("  T{t} (stage {stage}) -> {core} ({side})");
@@ -30,12 +36,7 @@ fn main() {
     let board = BoardSpec::odroid_xu3();
     // Figure 3.2's setting: 8 threads, two pipeline stages of 4 threads,
     // 4 big + 4 little cores, T_B = T_L = 4.
-    let assignment = ThreadAssignment {
-        big_threads: 4,
-        little_threads: 4,
-        used_big: 4,
-        used_little: 4,
-    };
+    let assignment = ThreadAssignment::big_little(4, 4, 4, 4);
     println!("8 threads, two 4-thread pipeline stages, 4B + 4L cores");
     show(SchedulerKind::Chunk, &assignment, &board);
     println!("  -> stage 0 entirely on little cores: it bottlenecks the pipe.");

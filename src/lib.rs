@@ -6,9 +6,9 @@
 //! (DAC 2015 / Jaeyoung Yun's UNIST thesis) together with every
 //! substrate it needs:
 //!
-//! * [`hmp_sim`] — a deterministic big.LITTLE board simulator
-//!   (ODROID-XU3 topology, per-cluster DVFS, power sensors, Linux
-//!   GTS-style scheduling);
+//! * [`hmp_sim`] — a deterministic N-cluster heterogeneous board
+//!   simulator (ODROID-XU3, DynamIQ tri-cluster and x86 hybrid presets,
+//!   per-cluster DVFS, power sensors, Linux GTS-style scheduling);
 //! * [`heartbeats`] — the Application Heartbeats observation channel;
 //! * [`workloads`] — PARSEC-analog multithreaded benchmarks;
 //! * [`hars_core`] — the HARS runtime manager, estimators, search and
@@ -64,8 +64,8 @@ pub mod prelude {
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;
     pub use hmp_sim::{
-        AppSpec, BoardSpec, Cluster, CoreId, CpuSet, Engine, EngineConfig, FreqKhz, GtsConfig,
-        SpeedProfile,
+        AppSpec, BoardSpec, ClusterId, ClusterSpec, CoreId, CpuSet, Engine, EngineConfig, FreqKhz,
+        FreqLadder, GtsConfig, SpeedProfile,
     };
     pub use mp_hars::{ConsConfig, ConsIManager, MpHarsConfig, MpHarsManager, MpVersion};
     pub use workloads::Benchmark;

@@ -76,10 +76,10 @@ fn hars_works_on_a_2_plus_4_board() {
     );
     // The settled state must respect this board's bounds.
     let st = manager.state();
-    assert!(st.big_cores <= 2);
-    assert!(st.little_cores <= 4);
-    assert!(board.big_ladder.contains(st.big_freq));
-    assert!(board.little_ladder.contains(st.little_freq));
+    assert!(st.big_cores() <= 2);
+    assert!(st.little_cores() <= 4);
+    assert!(board.ladder(ClusterId::BIG).contains(st.big_freq()));
+    assert!(board.ladder(ClusterId::LITTLE).contains(st.little_freq()));
 }
 
 #[test]
@@ -98,18 +98,22 @@ fn mp_hars_partitions_the_asymmetric_board() {
     manager.register_app(a, 6, ta);
     manager.register_app(b, 6, tb);
     let mut version = MpVersion::MpHars(manager);
-    let out =
-        run_multi_app(&mut engine, &[a, b], &mut version, secs_to_ns(300.0), true).unwrap();
+    let out = run_multi_app(&mut engine, &[a, b], &mut version, secs_to_ns(300.0), true).unwrap();
     for stats in &out.apps {
         assert!(stats.heartbeats >= 120);
-        assert!(stats.norm_perf > 0.6, "{:?}: {}", stats.app, stats.norm_perf);
+        assert!(
+            stats.norm_perf > 0.6,
+            "{:?}: {}",
+            stats.app,
+            stats.norm_perf
+        );
     }
     // Allocations must fit 2 big + 4 little at every aligned instant.
     for s0 in &out.apps[0].trace {
         for s1 in &out.apps[1].trace {
             if s0.time_ns.abs_diff(s1.time_ns) < 1_000_000 {
-                assert!(s0.big_cores + s1.big_cores <= 2);
-                assert!(s0.little_cores + s1.little_cores <= 4);
+                assert!(s0.big_cores() + s1.big_cores() <= 2);
+                assert!(s0.little_cores() + s1.little_cores() <= 4);
             }
         }
     }

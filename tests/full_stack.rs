@@ -57,7 +57,7 @@ fn all_hars_variants_meet_target_and_beat_baseline() {
 
     // Baseline efficiency for reference.
     let mut engine = Engine::new(s.board.clone(), EngineConfig::default());
-    let app = engine.add_app(bench.spec_with_budget(8, 3, 150)).unwrap();
+    let _app = engine.add_app(bench.spec_with_budget(8, 3, 150)).unwrap();
     engine.run_while_active(secs_to_ns(90.0));
     let base_pp = 1.0 / engine.energy().average_power();
 
@@ -72,8 +72,7 @@ fn all_hars_variants_meet_target_and_beat_baseline() {
             8,
             HarsConfig::from_variant(variant),
         );
-        let out =
-            run_single_app(&mut engine, app, &mut manager, secs_to_ns(200.0), false).unwrap();
+        let out = run_single_app(&mut engine, app, &mut manager, secs_to_ns(200.0), false).unwrap();
         assert!(
             out.norm_perf > 0.85,
             "{} missed target: norm perf {}",
@@ -119,7 +118,7 @@ fn blackscholes_settles_suboptimally() {
     // higher power).
     let st = manager.state();
     assert!(
-        st.big_cores > 0 || out.avg_watts > 0.9,
+        st.big_cores() > 0 || out.avg_watts > 0.9,
         "unexpectedly found the all-little optimum: {st} at {} W",
         out.avg_watts
     );
@@ -143,9 +142,14 @@ fn mp_hars_partitions_and_satisfies() {
     manager.register_app(app_a, 8, ta);
     manager.register_app(app_b, 8, tb);
     let mut version = MpVersion::MpHars(manager);
-    let out =
-        run_multi_app(&mut engine, &[app_a, app_b], &mut version, secs_to_ns(200.0), true)
-            .unwrap();
+    let out = run_multi_app(
+        &mut engine,
+        &[app_a, app_b],
+        &mut version,
+        secs_to_ns(200.0),
+        true,
+    )
+    .unwrap();
     for stats in &out.apps {
         assert!(
             stats.norm_perf > 0.7,
@@ -162,8 +166,11 @@ fn mp_hars_partitions_and_satisfies() {
     for sa in trace_a {
         for sb in trace_b {
             if sa.time_ns.abs_diff(sb.time_ns) < 1_000_000 {
-                assert!(sa.big_cores + sb.big_cores <= s.board.n_big);
-                assert!(sa.little_cores + sb.little_cores <= s.board.n_little);
+                assert!(sa.big_cores() + sb.big_cores() <= s.board.cluster_size(ClusterId::BIG));
+                assert!(
+                    sa.little_cores() + sb.little_cores()
+                        <= s.board.cluster_size(ClusterId::LITTLE)
+                );
             }
         }
     }
@@ -194,7 +201,14 @@ fn cons_i_is_less_efficient_than_mp_hars() {
             m.register_app(app_a, 8, ta);
             m.register_app(app_b, 8, tb);
         }
-        run_multi_app(&mut engine, &[app_a, app_b], version, secs_to_ns(300.0), false).unwrap()
+        run_multi_app(
+            &mut engine,
+            &[app_a, app_b],
+            version,
+            secs_to_ns(300.0),
+            false,
+        )
+        .unwrap()
     };
 
     let cons = run(&mut MpVersion::ConsI(ConsIManager::new(
@@ -235,8 +249,7 @@ fn full_stack_is_deterministic() {
             8,
             HarsConfig::from_variant(hars_e()),
         );
-        let out =
-            run_single_app(&mut engine, app, &mut manager, secs_to_ns(120.0), false).unwrap();
+        let out = run_single_app(&mut engine, app, &mut manager, secs_to_ns(120.0), false).unwrap();
         (out.heartbeats, out.avg_rate, out.avg_watts, out.adaptations)
     };
     let x = run();
