@@ -12,7 +12,7 @@ use hars_bench::table::render_table;
 use hars_bench::{measure_max_rate, parse_args, seed_for, target_for, Lab, RunScale};
 use hars_core::driver::run_single_app;
 use hars_core::policy::{hars_e, hars_ei};
-use hars_core::{HarsConfig, Predictor, RuntimeManager};
+use hars_core::{HarsConfig, Predictor, RatioLearning, RuntimeManager};
 use heartbeats::PerfTarget;
 use hmp_sim::clock::secs_to_ns;
 use workloads::Benchmark;
@@ -67,7 +67,14 @@ fn main() {
         (
             "+ ratio learning",
             HarsConfig {
-                ratio_learning: true,
+                ratio_learning: RatioLearning::FastOnly,
+                ..base_cfg.clone()
+            },
+        ),
+        (
+            "+ per-cluster learning",
+            HarsConfig {
+                ratio_learning: RatioLearning::PerCluster,
                 ..base_cfg.clone()
             },
         ),
@@ -88,7 +95,7 @@ fn main() {
         (
             "+ all three",
             HarsConfig {
-                ratio_learning: true,
+                ratio_learning: RatioLearning::FastOnly,
                 tabu_len: 6,
                 predictor: Predictor::kalman(),
                 ..base_cfg.clone()

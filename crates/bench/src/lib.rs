@@ -14,6 +14,14 @@
 //! | `fig5_5_6_7` | Figures 5.5–5.7 (case-4 behavior graphs) |
 //! | `all_experiments` | everything above, in order |
 //!
+//! Beyond the paper, `sweep` runs the sensitivity study, `ablations`
+//! the Section 3.1.4 extension ablations (ratio learning, tabu,
+//! Kalman predictor, schedulers), `tri_cluster` the full stack on the
+//! DynamIQ 3-cluster preset, and `ratio_learning` the per-cluster
+//! online ratio-learning scenario (mid-cluster nominal ratio misstated
+//! by 25%; `RatioLearning::PerCluster` converges it onto the truth,
+//! the legacy fastest-only nudge cannot).
+//!
 //! Pass `--quick` to any binary for a reduced-scale run.
 
 #![warn(missing_docs)]
@@ -22,6 +30,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod multi;
+pub mod ratio_scenario;
 pub mod setup;
 pub mod single;
 pub mod table;

@@ -80,6 +80,12 @@ pub struct RunOutcome {
     pub manager_cpu_percent: f64,
     /// State changes applied.
     pub adaptations: u64,
+    /// The manager's final assumed per-cluster ratios, indexed by
+    /// cluster (equal to the nominal ratios unless ratio learning ran).
+    pub assumed_ratios: Vec<f64>,
+    /// Mean `|ln(observed/predicted)|` over the recently consumed rate
+    /// predictions (`None` with ratio learning off).
+    pub prediction_error: Option<f64>,
     /// Behavior trace (empty unless requested).
     pub trace: Vec<BehaviorSample>,
 }
@@ -190,6 +196,10 @@ pub(crate) fn summarize(
         manager_busy_ns: busy,
         manager_cpu_percent: cpu_percent,
         adaptations: manager.adaptations(),
+        assumed_ratios: (0..engine.board().n_clusters())
+            .map(|c| manager.assumed_ratio_of(hmp_sim::ClusterId(c)))
+            .collect(),
+        prediction_error: manager.recent_prediction_error(),
         trace,
     }
 }

@@ -77,6 +77,7 @@ pub mod perf_est;
 pub mod policy;
 pub mod power_est;
 pub mod predictor;
+pub mod ratio_learn;
 pub mod sched;
 pub mod search;
 pub mod state;
@@ -88,6 +89,7 @@ pub use manager::{Decision, HarsConfig, RuntimeManager};
 pub use perf_est::{PerfEstimator, UnitTimes};
 pub use power_est::PowerEstimator;
 pub use predictor::{Kalman1D, Predictor};
+pub use ratio_learn::{PendingPrediction, RatioLearner, RatioLearnerConfig, RatioLearning};
 pub use sched::SchedulerKind;
 pub use search::{FreqChange, SearchConstraints, SearchOutcome, SearchParams};
 pub use state::{StateSpace, SystemState};

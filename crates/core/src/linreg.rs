@@ -3,8 +3,11 @@
 
 /// Fits `y = slope·x + intercept` to `points` by ordinary least squares.
 ///
-/// Returns `None` when fewer than two points are given or all `x` values
-/// coincide (the slope would be undefined).
+/// Returns `None` when fewer than two points are given or the `x` values
+/// are (numerically) coincident: the degeneracy guard is *relative* to
+/// the magnitude of the `x` values, so near-identical abscissae of large
+/// magnitude — where the absolute spread is pure floating-point noise —
+/// are rejected instead of producing a wild slope.
 ///
 /// ```
 /// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
@@ -27,7 +30,17 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<(f64, f64)> {
         sxx += (x - mean_x) * (x - mean_x);
         sxy += (x - mean_x) * (y - mean_y);
     }
-    if sxx <= f64::EPSILON * n {
+    // Degenerate-x guard, relative to the x scale: for |x| up to
+    // `x_scale` the rounding noise in each `(x - mean_x)` term is of
+    // order `EPSILON · x_scale`, so any sxx at or below the squared
+    // noise floor carries no slope information. The `max(1.0)` keeps
+    // the old absolute threshold for small-magnitude abscissae.
+    let x_scale = points
+        .iter()
+        .map(|p| p.0.abs())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    if sxx <= f64::EPSILON * n * x_scale * x_scale {
         return None;
     }
     let slope = sxy / sxx;
@@ -90,6 +103,20 @@ mod tests {
         assert!(fit_line(&[]).is_none());
         assert!(fit_line(&[(1.0, 2.0)]).is_none());
         assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "vertical");
+    }
+
+    #[test]
+    fn large_magnitude_near_identical_x_rejected() {
+        // Regression: calibration `load_product` abscissae on big boards
+        // can be huge and nearly identical. The absolute guard
+        // (`sxx <= EPSILON * n`) let these through — sxx ≈ 5e-9 here —
+        // and the fit returned a slope of ~2e13 from pure noise.
+        let pts = [(1.0e9, 0.0), (1.0e9 + 1.0e-4, 1.0e9)];
+        assert!(fit_line(&pts).is_none(), "noise-level x spread must fail");
+        // Same magnitude with a *real* relative spread still fits.
+        let ok = [(1.0e9, 1.0), (2.0e9, 3.0), (3.0e9, 5.0)];
+        let (slope, _) = fit_line(&ok).unwrap();
+        assert!((slope - 2.0e-9).abs() < 1e-18, "slope {slope}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::perf_est::PerfEstimator;
 use crate::policy::{HarsVariant, SearchPolicy};
 use crate::power_est::PowerEstimator;
 use crate::predictor::Predictor;
+use crate::ratio_learn::{PendingPrediction, RatioLearner, RatioLearning};
 use crate::sched::{default_core_allocation, plan_affinities, SchedulerKind};
 use crate::search::{get_next_sys_state_tabu, SearchConstraints, SearchOutcome};
 use crate::state::{StateSpace, SystemState};
@@ -38,9 +39,14 @@ pub struct HarsConfig {
     /// Starting system state (`None` = the board's maximum state, i.e.
     /// the baseline configuration).
     pub initial_state: Option<SystemState>,
-    /// Online refinement of the fastest cluster's assumed ratio (the
-    /// paper's future-work fix for blackscholes; see Section 5.1.2).
-    pub ratio_learning: bool,
+    /// Online refinement of the assumed per-cluster ratios:
+    /// [`RatioLearning::Off`] (default) keeps the configured ratios,
+    /// [`RatioLearning::FastOnly`] reproduces the legacy scalar `r₀`
+    /// nudge (the paper's Section 5.1.2 future-work fix for
+    /// blackscholes), and [`RatioLearning::PerCluster`] runs the
+    /// per-cluster damped regression of
+    /// [`crate::ratio_learn::RatioLearner`].
+    pub ratio_learning: RatioLearning,
     /// Workload predictor: the paper's last-value default or the
     /// Section 3.1.4 Kalman-filter extension.
     pub predictor: Predictor,
@@ -58,7 +64,7 @@ impl Default for HarsConfig {
             cost_per_state_ns: 3_000,
             cost_per_heartbeat_ns: 500,
             initial_state: None,
-            ratio_learning: false,
+            ratio_learning: RatioLearning::Off,
             predictor: Predictor::LastValue,
             tabu_len: 0,
         }
@@ -105,10 +111,12 @@ pub struct RuntimeManager {
     adaptations: u64,
     searches: u64,
     /// Ratio-learning bookkeeping: the rate predicted for the current
-    /// state when it was chosen, plus the fast-cluster thread share it assumed
-    /// and the share of the state it replaced (the sign of the share
-    /// change decides the direction of the r₀ update).
-    pending_prediction: Option<(f64, f64, f64)>,
+    /// state when it was chosen, plus the per-cluster thread shares of
+    /// the new state and of the state it replaced. Consumed — or
+    /// dropped — at the first adaptation period after the change.
+    pending_prediction: Option<PendingPrediction>,
+    /// The per-cluster online ratio learner.
+    learner: RatioLearner,
     /// Workload predictor state.
     predictor: Predictor,
     /// Recently visited states (newest last), bounded by `cfg.tabu_len`.
@@ -138,6 +146,7 @@ impl RuntimeManager {
             "initial state {state} outside the board's space"
         );
         let predictor = cfg.predictor;
+        let learner = RatioLearner::new(cfg.ratio_learning, &perf);
         Self {
             cfg,
             board: board.clone(),
@@ -151,6 +160,7 @@ impl RuntimeManager {
             adaptations: 0,
             searches: 0,
             pending_prediction: None,
+            learner,
             predictor,
             tabu: VecDeque::new(),
         }
@@ -169,10 +179,15 @@ impl RuntimeManager {
     /// Replaces the target band at runtime — the Application Heartbeats
     /// framework lets applications change their goals mid-run; the
     /// manager reacts at its next adaptation period. The predictor is
-    /// reset so the next decision uses fresh observations.
+    /// reset so the next decision uses fresh observations, and any
+    /// pending ratio-learning prediction is dropped: it was made
+    /// against the pre-retarget workload regime, and matching it
+    /// against a post-retarget observation would corrupt the learned
+    /// ratios.
     pub fn set_target(&mut self, target: PerfTarget) {
         self.target = target;
         self.predictor.on_state_change();
+        self.pending_prediction = None;
     }
 
     /// Total modeled manager CPU time (ns).
@@ -190,10 +205,35 @@ impl RuntimeManager {
         self.searches
     }
 
-    /// The current assumed big/little ratio (changes only under
-    /// ratio-learning).
+    /// The assumed ratio of the *fastest* cluster (the paper's `r₀`;
+    /// the big/little ratio on two-cluster boards). Changes only under
+    /// ratio learning; see [`RuntimeManager::assumed_ratio_of`] for the
+    /// other clusters.
     pub fn assumed_ratio(&self) -> f64 {
         self.perf.r0()
+    }
+
+    /// The assumed per-core ratio of `cluster` relative to the
+    /// reference cluster (changes only under
+    /// [`RatioLearning::PerCluster`], except for the fastest cluster,
+    /// which [`RatioLearning::FastOnly`] also refines).
+    pub fn assumed_ratio_of(&self, cluster: hmp_sim::ClusterId) -> f64 {
+        self.perf.ratio_of(cluster)
+    }
+
+    /// Mean `|ln(observed/predicted)|` over the recently consumed rate
+    /// predictions — the steady-state prediction-error diagnostic.
+    /// `None` with learning off (no predictions are armed) or before
+    /// the first consumption.
+    pub fn recent_prediction_error(&self) -> Option<f64> {
+        self.learner.mean_recent_error()
+    }
+
+    /// [`RuntimeManager::recent_prediction_error`] restricted to
+    /// share-moving transitions — the ones whose predictions depend on
+    /// the assumed per-cluster ratios.
+    pub fn recent_informative_prediction_error(&self) -> Option<f64> {
+        self.learner.mean_recent_informative_error()
     }
 
     /// The decision that applies the initial state — the driver calls
@@ -213,11 +253,19 @@ impl RuntimeManager {
         if !self.is_adapt_period(hb_index) {
             return None;
         }
+        // A pending prediction is only comparable against the *first*
+        // adaptation-period observation after its state change. Take it
+        // unconditionally: if this period has no rate, the pair is
+        // dropped rather than left to be matched against an observation
+        // many periods (and workload phases) later.
+        let pending = self.pending_prediction.take();
         let rate = rate?;
         // Extension: the predictor (last-value by default) filters the
         // observation the manager acts on.
         let rate = self.predictor.observe(rate);
-        self.learn_ratio(rate);
+        if let Some(p) = &pending {
+            self.learner.observe(p, rate, &mut self.perf);
+        }
         // Line 7: |hb.rate − t.avg| > (t.max − t.min)/2.
         if !self.target.needs_adaptation(rate) {
             return None;
@@ -245,14 +293,13 @@ impl RuntimeManager {
             return None;
         }
         self.adaptations += 1;
-        if self.cfg.ratio_learning {
-            let fast = self.perf.fast_cluster();
+        if self.cfg.ratio_learning != RatioLearning::Off {
             let new_a = self.perf.assignment(self.threads, &outcome.state);
             let old_a = self.perf.assignment(self.threads, &self.state);
-            self.pending_prediction = Some((
+            self.pending_prediction = Some(PendingPrediction::from_assignments(
                 outcome.eval.est_rate,
-                new_a.threads(fast) as f64 / self.threads as f64,
-                old_a.threads(fast) as f64 / self.threads as f64,
+                &old_a,
+                &new_a,
             ));
         }
         if self.cfg.tabu_len > 0 {
@@ -264,36 +311,6 @@ impl RuntimeManager {
         self.predictor.on_state_change();
         self.state = outcome.state;
         Some(self.decision_for(outcome.state, overhead, outcome.explored))
-    }
-
-    /// Online r₀ refinement: when the last prediction for the current
-    /// state is off, nudge the assumed ratio in the direction the
-    /// observation implies. Only transitions that actually *changed*
-    /// the big-thread share carry ratio information, and the update's
-    /// sign follows the share change: adding big share and
-    /// under-delivering means r₀ is too high; removing big share and
-    /// over-delivering means the same.
-    fn learn_ratio(&mut self, observed_rate: f64) {
-        if !self.cfg.ratio_learning {
-            return;
-        }
-        let Some((predicted, new_share, old_share)) = self.pending_prediction.take() else {
-            return;
-        };
-        if predicted <= 0.0 || observed_rate <= 0.0 {
-            return;
-        }
-        let delta_share = new_share - old_share;
-        // No share movement -> the error says nothing about r₀
-        // (frequency sensitivity and workload drift dominate).
-        if delta_share.abs() < 0.05 {
-            return;
-        }
-        let error = (observed_rate / predicted).clamp(0.25, 4.0);
-        // Damped multiplicative update, signed by the share direction.
-        let gamma = 0.5 * delta_share.signum();
-        let new_r0 = (self.perf.r0() * error.powf(gamma)).clamp(0.5, 4.0);
-        self.perf.set_r0(new_r0);
     }
 
     /// `isAdaptPeriod(hb.index)`: every `adapt_every`-th heartbeat,
@@ -434,7 +451,7 @@ mod tests {
     #[test]
     fn ratio_learning_moves_r0_toward_truth() {
         let mut m = manager(HarsConfig {
-            ratio_learning: true,
+            ratio_learning: RatioLearning::FastOnly,
             adapt_every: 1,
             ..HarsConfig::default()
         });
@@ -455,6 +472,87 @@ mod tests {
             m.assumed_ratio() <= 1.5,
             "r0 {} should not grow when reality disappoints",
             m.assumed_ratio()
+        );
+    }
+
+    /// The paired driver of the two stale-state regression tests: a
+    /// decision at hb 1 arms a pending prediction; the *control* run
+    /// then observes a wildly disappointing rate and must move r₀.
+    /// Both regressions reuse the same sequence with an intervening
+    /// event that must *prevent* the move.
+    fn learning_manager() -> RuntimeManager {
+        manager(HarsConfig {
+            ratio_learning: RatioLearning::FastOnly,
+            adapt_every: 1,
+            ..HarsConfig::default()
+        })
+    }
+
+    #[test]
+    fn stale_prediction_control_does_move_r0() {
+        let mut m = learning_manager();
+        assert!(m.on_heartbeat(1, Some(30.0)).is_some(), "must adapt");
+        let _ = m.on_heartbeat(2, Some(1.0));
+        assert_ne!(
+            m.assumed_ratio(),
+            1.5,
+            "control: consuming the prediction must move r0"
+        );
+    }
+
+    #[test]
+    fn retarget_drops_pending_prediction() {
+        // Regression: set_target reset the predictor but left the
+        // pending prediction armed, so a pre-retarget prediction was
+        // consumed against a post-retarget observation.
+        let mut m = learning_manager();
+        assert!(m.on_heartbeat(1, Some(30.0)).is_some(), "must adapt");
+        m.set_target(PerfTarget::new(0.5, 1.5).unwrap());
+        let _ = m.on_heartbeat(2, Some(1.0));
+        assert_eq!(
+            m.assumed_ratio(),
+            1.5,
+            "the pre-retarget prediction must not be learned from"
+        );
+    }
+
+    #[test]
+    fn unconsumed_prediction_dropped_at_first_adapt_period() {
+        // Regression: an adaptation period with no rate returned early
+        // without consuming the pending prediction, so it could be
+        // matched against an observation many periods later.
+        let mut m = learning_manager();
+        assert!(m.on_heartbeat(1, Some(30.0)).is_some(), "must adapt");
+        assert!(m.on_heartbeat(2, None).is_none(), "no rate: no decision");
+        let _ = m.on_heartbeat(3, Some(1.0));
+        assert_eq!(
+            m.assumed_ratio(),
+            1.5,
+            "a prediction skipped at its first adaptation period is stale"
+        );
+    }
+
+    #[test]
+    fn off_mode_reports_no_prediction_error() {
+        let mut m = manager(HarsConfig {
+            adapt_every: 1,
+            ..HarsConfig::default()
+        });
+        let _ = m.on_heartbeat(1, Some(30.0));
+        let _ = m.on_heartbeat(2, Some(5.0));
+        assert_eq!(m.recent_prediction_error(), None);
+        assert_eq!(m.assumed_ratio_of(hmp_sim::ClusterId::BIG), 1.5);
+        assert_eq!(m.assumed_ratio_of(hmp_sim::ClusterId::LITTLE), 1.0);
+    }
+
+    #[test]
+    fn learning_manager_tracks_prediction_error() {
+        let mut m = learning_manager();
+        assert!(m.on_heartbeat(1, Some(30.0)).is_some());
+        let _ = m.on_heartbeat(2, Some(5.0));
+        assert!(
+            m.recent_prediction_error().is_some(),
+            "a consumed prediction must be reflected in the diagnostic"
         );
     }
 

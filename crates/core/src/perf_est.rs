@@ -183,8 +183,11 @@ impl PerfEstimator {
         self.n as usize
     }
 
-    /// The cluster whose assumed ratio [`PerfEstimator::set_r0`]
-    /// refines — the fastest cluster (big, on two-cluster boards).
+    /// The *nominally* fastest cluster (big, on two-cluster boards) —
+    /// the one the legacy scalar nudge ([`PerfEstimator::set_r0`])
+    /// refines. Fixed at construction: online learning may move other
+    /// ratios past it, but the designation (and the meaning of `r₀`)
+    /// does not change mid-run.
     pub fn fast_cluster(&self) -> ClusterId {
         ClusterId(self.fast as usize)
     }
@@ -199,12 +202,24 @@ impl PerfEstimator {
         self.ratios[cluster.index()]
     }
 
-    /// Replaces the fastest cluster's assumed ratio (used by the online
-    /// ratio-learning extension; intermediate clusters keep their
-    /// nominal ratios).
+    /// Replaces the fastest cluster's assumed ratio — the legacy
+    /// entry point of the scalar-nudge heuristic
+    /// ([`crate::ratio_learn::RatioLearning::FastOnly`]).
     pub fn set_r0(&mut self, r0: f64) {
-        assert!(r0.is_finite() && r0 > 0.0, "r0 must be positive");
-        self.ratios[self.fast as usize] = r0;
+        self.set_ratio(self.fast_cluster(), r0);
+    }
+
+    /// Replaces the assumed ratio of any single cluster — the
+    /// per-cluster online learning entry point
+    /// ([`crate::ratio_learn::RatioLearner`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the ratio is positive and finite.
+    pub fn set_ratio(&mut self, cluster: ClusterId, ratio: f64) {
+        assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive");
+        debug_assert!(cluster.index() < self.n as usize, "cluster in range");
+        self.ratios[cluster.index()] = ratio;
     }
 
     /// Per-core speeds per cluster in `S_ref,f₀ = 1` units, indexed by
@@ -442,6 +457,27 @@ mod tests {
         let ut = e.unit_times(8, &state);
         assert!(ut.t_finish > 0.0);
         assert!(ut.util(ClusterId(2)) > 0.0);
+    }
+
+    #[test]
+    fn set_ratio_updates_one_cluster_only() {
+        let board = BoardSpec::dynamiq_1p_3m_4l();
+        let mut e = PerfEstimator::from_board(&board);
+        e.set_ratio(ClusterId(1), 1.25);
+        assert_eq!(e.ratio_of(ClusterId(1)), 1.25);
+        assert_eq!(e.ratio_of(ClusterId(0)), 1.0);
+        assert_eq!(e.r0(), 2.0);
+        // The fast designation is fixed at construction, even if
+        // learning pushes another cluster past it.
+        e.set_ratio(ClusterId(1), 2.5);
+        assert_eq!(e.fast_cluster(), ClusterId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_set_ratio_panics() {
+        let mut e = est();
+        e.set_ratio(ClusterId(1), f64::NAN);
     }
 
     #[test]

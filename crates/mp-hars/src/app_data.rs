@@ -10,6 +10,7 @@ use heartbeats::{AppId, PerfTarget};
 use hmp_sim::ClusterId;
 use serde::{Deserialize, Serialize};
 
+use hars_core::ratio_learn::PendingPrediction;
 use hars_core::SystemState;
 
 /// Classification of an app's performance against its target band —
@@ -61,6 +62,10 @@ pub struct AppData {
     pub freezing: Vec<u32>,
     /// `true` once the app has received its initial core allocation.
     pub allocated: bool,
+    /// Ratio-learning bookkeeping: the rate prediction armed at this
+    /// app's last state change, consumed (or dropped) at its first
+    /// following adaptation period.
+    pub pending_prediction: Option<PendingPrediction>,
 }
 
 impl AppData {
@@ -88,6 +93,7 @@ impl AppData {
             last_rate: None,
             freezing: vec![0; cluster_sizes.len()],
             allocated: false,
+            pending_prediction: None,
         }
     }
 

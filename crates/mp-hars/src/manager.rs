@@ -17,6 +17,7 @@ use hmp_sim::{BoardSpec, ClusterId, CpuSet, FreqKhz};
 use serde::{Deserialize, Serialize};
 
 use hars_core::policy::SearchPolicy;
+use hars_core::ratio_learn::{PendingPrediction, RatioLearner, RatioLearning};
 use hars_core::sched::plan_affinities;
 use hars_core::search::{get_next_sys_state, FreqChange, SearchConstraints};
 use hars_core::{PerfEstimator, PowerEstimator, SchedulerKind, StateSpace, SystemState};
@@ -44,6 +45,9 @@ pub struct MpHarsConfig {
     pub cost_per_state_ns: u64,
     /// Modeled CPU cost per heartbeat observation (ns).
     pub cost_per_heartbeat_ns: u64,
+    /// Online refinement of the shared estimator's assumed per-cluster
+    /// ratios, fed by every app's consumed rate predictions.
+    pub ratio_learning: RatioLearning,
 }
 
 impl Default for MpHarsConfig {
@@ -55,6 +59,7 @@ impl Default for MpHarsConfig {
             freeze_heartbeats: 10,
             cost_per_state_ns: 3_000,
             cost_per_heartbeat_ns: 500,
+            ratio_learning: RatioLearning::Off,
         }
     }
 }
@@ -114,6 +119,9 @@ pub struct MpHarsManager {
     apps: Vec<AppData>,
     /// Per-cluster partitioning state, indexed by cluster.
     clusters: Vec<ClusterData>,
+    /// The per-cluster online ratio learner (shared estimator, shared
+    /// learner: every app's consumed predictions contribute evidence).
+    learner: RatioLearner,
     busy_ns: u64,
     adaptations: u64,
 }
@@ -127,6 +135,7 @@ impl MpHarsManager {
         power: PowerEstimator,
         cfg: MpHarsConfig,
     ) -> Self {
+        let learner = RatioLearner::new(cfg.ratio_learning, &perf);
         Self {
             cfg,
             board: board.clone(),
@@ -135,6 +144,7 @@ impl MpHarsManager {
             power,
             apps: Vec::new(),
             clusters: ClusterData::for_board(board),
+            learner,
             busy_ns: 0,
             adaptations: 0,
         }
@@ -212,6 +222,18 @@ impl MpHarsManager {
         &self.apps
     }
 
+    /// The shared estimator's assumed ratio of `cluster` (changes only
+    /// under ratio learning).
+    pub fn assumed_ratio_of(&self, cluster: ClusterId) -> f64 {
+        self.perf.ratio_of(cluster)
+    }
+
+    /// Mean `|ln(observed/predicted)|` over the recently consumed rate
+    /// predictions across all apps (`None` with learning off).
+    pub fn recent_prediction_error(&self) -> Option<f64> {
+        self.learner.mean_recent_error()
+    }
+
     /// Algorithm 3 for one incoming heartbeat of `app`.
     pub fn on_heartbeat(
         &mut self,
@@ -239,7 +261,15 @@ impl MpHarsManager {
         if !self.apps[ai].allocated {
             return self.initial_allocation(ai);
         }
+        // This app's pending prediction is only comparable against its
+        // first adaptation-period observation after the state change:
+        // take it now so a rate-less period drops it instead of leaving
+        // it to pair with a much later observation.
+        let pending = self.apps[ai].pending_prediction.take();
         let rate = rate?;
+        if let Some(p) = &pending {
+            self.learner.observe(p, rate, &mut self.perf);
+        }
         // Line 17: target check.
         if !self.apps[ai].target.needs_adaptation(rate) {
             return None;
@@ -282,6 +312,16 @@ impl MpHarsManager {
             return None;
         }
         self.adaptations += 1;
+        if self.cfg.ratio_learning != RatioLearning::Off {
+            let threads = self.apps[ai].threads;
+            let new_a = self.perf.assignment(threads, &outcome.state);
+            let old_a = self.perf.assignment(threads, &current);
+            self.apps[ai].pending_prediction = Some(PendingPrediction::from_assignments(
+                outcome.eval.est_rate,
+                &old_a,
+                &new_a,
+            ));
+        }
         // Lines 21–26: allocate cores, apply frequencies, arm freezes.
         Some(self.apply_state(ai, outcome.state, overhead, outcome.explored))
     }
@@ -404,6 +444,17 @@ impl MpHarsManager {
             }
             let decreased = new_freq < cur;
             self.clusters[c.index()].freq = new_freq;
+            // A cluster-wide frequency change invalidates every *other*
+            // app's pending rate prediction on that cluster: their
+            // predictions assumed the old shared frequency, and
+            // consuming them would misattribute the frequency effect
+            // to ratio error. The deciding app's own prediction is
+            // armed against the new frequencies and stays valid.
+            for (i, a) in self.apps.iter_mut().enumerate() {
+                if i != ai && a.uses_cluster(c) {
+                    a.pending_prediction = None;
+                }
+            }
             if decreased {
                 // Arm freezing counts on every app using the cluster.
                 let freeze = self.cfg.freeze_heartbeats;
@@ -591,6 +642,90 @@ mod tests {
             s0.big_cores() <= 2 && s0.little_cores() <= 2,
             "stole cores: {s0}"
         );
+    }
+
+    #[test]
+    fn ratio_learning_refines_shared_estimator_within_clamps() {
+        let mut off = manager(mp_hars_e());
+        let mut learning = manager(MpHarsConfig {
+            ratio_learning: RatioLearning::PerCluster,
+            adapt_every: 1,
+            ..mp_hars_e()
+        });
+        for m in [&mut off, &mut learning] {
+            m.register_app(AppId(0), 8, target(9.0, 11.0));
+            let _ = m.on_heartbeat(AppId(0), 0, None);
+            // Oscillating rates force repeated adaptations, so armed
+            // predictions get consumed against surprising observations.
+            for step in 1..120u64 {
+                let r = if step % 2 == 0 { 40.0 } else { 2.0 };
+                let _ = m.on_heartbeat(AppId(0), step, Some(r));
+            }
+        }
+        assert_eq!(
+            off.assumed_ratio_of(ClusterId::BIG),
+            1.5,
+            "Off never learns"
+        );
+        assert_eq!(off.recent_prediction_error(), None);
+        let big = learning.assumed_ratio_of(ClusterId::BIG);
+        assert!(big.is_finite() && big > 0.0);
+        // Default clamps around the nominal 1.5: [0.5, 4.5].
+        assert!((0.5..=4.5).contains(&big), "big ratio {big} escaped clamps");
+        assert_eq!(
+            learning.assumed_ratio_of(ClusterId::LITTLE),
+            1.0,
+            "the reference cluster is never learned"
+        );
+        assert!(learning.recent_prediction_error().is_some());
+    }
+
+    #[test]
+    fn cross_app_freq_change_drops_other_apps_pending_predictions() {
+        // Regression: app A arms a rate prediction at its adaptation;
+        // before A consumes it, app B's adaptation changes a shared
+        // cluster frequency. A's prediction assumed the old frequency —
+        // it must be dropped, or the frequency effect is learned as
+        // ratio error.
+        let mut m = manager(MpHarsConfig {
+            ratio_learning: RatioLearning::PerCluster,
+            // No freezing: A's own shrink must not block B's
+            // frequency decrease one heartbeat later.
+            freeze_heartbeats: 0,
+            ..mp_hars_e()
+        });
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let _ = m.on_heartbeat(AppId(1), 0, None);
+        // A over-performs mildly and adapts, arming its prediction
+        // while leaving the shared frequencies room to drop further.
+        let da = m.on_heartbeat(AppId(0), 10, Some(12.0));
+        assert!(da.is_some(), "A must adapt");
+        assert!(
+            m.apps()[0].pending_prediction.is_some(),
+            "A's adaptation must arm a prediction"
+        );
+        // B over-performs too (and A's last rate is over-performing, so
+        // Table 4.3 allows a shared-frequency decrease).
+        let freqs_before: Vec<FreqKhz> = m.clusters().iter().map(|c| c.freq).collect();
+        let db = m.on_heartbeat(AppId(1), 10, Some(40.0)).expect("B adapts");
+        let changed: Vec<usize> = (0..freqs_before.len())
+            .filter(|&ci| db.freqs[ci] != freqs_before[ci])
+            .collect();
+        assert!(
+            changed
+                .iter()
+                .any(|&ci| m.apps()[0].uses_cluster(ClusterId(ci))),
+            "scenario must change a frequency A depends on (got {changed:?})"
+        );
+        assert!(
+            m.apps()[0].pending_prediction.is_none(),
+            "A's stale prediction must be dropped by B's frequency change"
+        );
+        // B's own prediction was armed against the new frequencies and
+        // must survive its own apply_state.
+        assert!(m.apps()[1].pending_prediction.is_some());
     }
 
     #[test]
