@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::manager::{Decision, RuntimeManager};
 use crate::metrics::{normalized_performance, perf_per_watt};
+use crate::search::SearchStats;
 
 /// One behavior-graph sample (Figures 5.5–5.7): the state HARS holds at
 /// a heartbeat plus the observed rate.
@@ -80,6 +81,10 @@ pub struct RunOutcome {
     pub manager_cpu_percent: f64,
     /// State changes applied.
     pub adaptations: u64,
+    /// Cumulative search cost over the run: candidates considered,
+    /// distinct estimator evaluations (the modeled-overhead unit) and
+    /// incumbent rank changes, summed over every search.
+    pub search_stats: SearchStats,
     /// The manager's final assumed per-cluster ratios, indexed by
     /// cluster (equal to the nominal ratios unless ratio learning ran).
     pub assumed_ratios: Vec<f64>,
@@ -196,6 +201,7 @@ pub(crate) fn summarize(
         manager_busy_ns: busy,
         manager_cpu_percent: cpu_percent,
         adaptations: manager.adaptations(),
+        search_stats: manager.search_stats(),
         assumed_ratios: (0..engine.board().n_clusters())
             .map(|c| manager.assumed_ratio_of(hmp_sim::ClusterId(c)))
             .collect(),

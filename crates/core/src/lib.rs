@@ -9,10 +9,12 @@
 //! 2. **decides** by searching the neighborhood of the current system
 //!    state — per cluster, an allocated-core count and a DVFS frequency
 //!    ([`SystemState`]; the paper's big.LITTLE 4-tuple
-//!    `(C_B, C_L, f_B, f_L)` is the two-cluster case) — with
-//!    [`search::get_next_sys_state`] (Algorithm 2, swept over all `2N`
-//!    index dimensions) ranked by estimated
-//!    normalized-performance/power ([`PerfEstimator`],
+//!    `(C_B, C_L, f_B, f_L)` is the two-cluster case) — with a
+//!    pluggable [`search::SearchStrategy`]: Algorithm 2's
+//!    [`ExhaustiveSweep`] over all `2N` index dimensions, the
+//!    beam-limited [`BeamSearch`] or the coordinate-descent
+//!    [`GreedyFrontier`] for many-cluster boards, all ranked by
+//!    estimated normalized-performance/power ([`PerfEstimator`],
 //!    [`PowerEstimator`]),
 //! 3. **acts** by setting cluster frequencies and pinning threads with
 //!    the chunk-based or interleaving scheduler ([`sched`]).
@@ -91,5 +93,8 @@ pub use power_est::PowerEstimator;
 pub use predictor::{Kalman1D, Predictor};
 pub use ratio_learn::{PendingPrediction, RatioLearner, RatioLearnerConfig, RatioLearning};
 pub use sched::SchedulerKind;
-pub use search::{FreqChange, SearchConstraints, SearchOutcome, SearchParams};
+pub use search::{
+    AnyStrategy, BeamSearch, ExhaustiveSweep, FreqChange, GreedyFrontier, SearchConstraints,
+    SearchContext, SearchOutcome, SearchParams, SearchStats, SearchStrategy,
+};
 pub use state::{StateSpace, SystemState};

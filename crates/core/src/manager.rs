@@ -19,7 +19,9 @@ use crate::power_est::PowerEstimator;
 use crate::predictor::Predictor;
 use crate::ratio_learn::{PendingPrediction, RatioLearner, RatioLearning};
 use crate::sched::{default_core_allocation, plan_affinities, SchedulerKind};
-use crate::search::{get_next_sys_state_tabu, SearchConstraints, SearchOutcome};
+use crate::search::{
+    ExplorationBonus, SearchConstraints, SearchContext, SearchOutcome, SearchStats, SearchStrategy,
+};
 use crate::state::{StateSpace, SystemState};
 
 /// Tunables of one runtime-manager instance.
@@ -53,6 +55,16 @@ pub struct HarsConfig {
     /// Tabu-list length for the Section 3.1.4 local-optimum escape
     /// (0 disables tabu search).
     pub tabu_len: usize,
+    /// Ratio-learning exploration bonus weight (0 disables — the
+    /// default). With [`RatioLearning::PerCluster`], candidates whose
+    /// modeled thread assignment moves share onto a cluster that has
+    /// not yet filled its learning-evidence window get their ranking keys multiplied
+    /// by `1 + exploration_bonus`, so understated clusters win
+    /// near-ties and eventually produce the prediction evidence that
+    /// corrects their assumed ratios. Keep it tiny (a few percent): it
+    /// also bounds how much estimated quality a nudged decision may
+    /// give up.
+    pub exploration_bonus: f64,
 }
 
 impl Default for HarsConfig {
@@ -67,6 +79,7 @@ impl Default for HarsConfig {
             ratio_learning: RatioLearning::Off,
             predictor: Predictor::LastValue,
             tabu_len: 0,
+            exploration_bonus: 0.0,
         }
     }
 }
@@ -92,8 +105,9 @@ pub struct Decision {
     pub affinities: Vec<CpuSet>,
     /// Modeled CPU time this decision cost (apply after this latency).
     pub overhead_ns: u64,
-    /// Candidate states evaluated by the search.
-    pub explored: usize,
+    /// Search cost accounting (explored / evaluated / rank changes) of
+    /// the decision.
+    pub stats: SearchStats,
 }
 
 /// Algorithm 1's per-application runtime manager.
@@ -110,6 +124,8 @@ pub struct RuntimeManager {
     busy_ns: u64,
     adaptations: u64,
     searches: u64,
+    /// Cumulative search cost over the run.
+    search_stats: SearchStats,
     /// Ratio-learning bookkeeping: the rate predicted for the current
     /// state when it was chosen, plus the per-cluster thread shares of
     /// the new state and of the state it replaced. Consumed — or
@@ -159,6 +175,7 @@ impl RuntimeManager {
             busy_ns: 0,
             adaptations: 0,
             searches: 0,
+            search_stats: SearchStats::default(),
             pending_prediction: None,
             learner,
             predictor,
@@ -205,6 +222,11 @@ impl RuntimeManager {
         self.searches
     }
 
+    /// Cumulative search cost over all searches run so far.
+    pub fn search_stats(&self) -> SearchStats {
+        self.search_stats
+    }
+
     /// The assumed ratio of the *fastest* cluster (the paper's `r₀`;
     /// the big/little ratio on two-cluster boards). Changes only under
     /// ratio learning; see [`RuntimeManager::assumed_ratio_of`] for the
@@ -240,7 +262,7 @@ impl RuntimeManager {
     /// this once before the run (`setSysStateAndScheduleThreads(state)`
     /// ahead of Algorithm 1's loop).
     pub fn initial_decision(&mut self) -> Decision {
-        self.decision_for(self.state, 0, 0)
+        self.decision_for(self.state, 0, SearchStats::default())
     }
 
     /// Algorithm 1, lines 5–9: one heartbeat observation.
@@ -271,23 +293,29 @@ impl RuntimeManager {
             return None;
         }
         let overperforming = rate > self.target.avg();
-        let params = self.cfg.policy.params_for(overperforming);
         let constraints = SearchConstraints::unrestricted(&self.space);
         let tabu: Vec<SystemState> = self.tabu.iter().copied().collect();
-        let outcome: SearchOutcome = get_next_sys_state_tabu(
-            &self.space,
-            &self.state,
-            rate,
-            self.threads,
-            &self.target,
-            params,
-            &constraints,
-            &self.perf,
-            &self.power,
-            &tabu,
-        );
+        let strategy = self.cfg.policy.strategy_for(overperforming);
+        let strategy: &dyn SearchStrategy = &strategy;
+        let ctx = SearchContext {
+            space: &self.space,
+            current: &self.state,
+            observed_rate: rate,
+            threads: self.threads,
+            target: &self.target,
+            constraints: &constraints,
+            perf: &self.perf,
+            power: &self.power,
+            tabu: &tabu,
+            exploration: self.exploration(),
+        };
+        let outcome: SearchOutcome = strategy.next_state(&ctx);
         self.searches += 1;
-        let overhead = outcome.explored as u64 * self.cfg.cost_per_state_ns;
+        self.search_stats.merge(outcome.stats);
+        // The overhead model charges per estimator evaluation — cache
+        // hits are free (for the sweep, evaluated == explored, so the
+        // modeled cost is unchanged from the pre-cache runtime).
+        let overhead = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
         self.busy_ns += overhead;
         if outcome.state == self.state {
             return None;
@@ -310,7 +338,18 @@ impl RuntimeManager {
         }
         self.predictor.on_state_change();
         self.state = outcome.state;
-        Some(self.decision_for(outcome.state, overhead, outcome.explored))
+        Some(self.decision_for(outcome.state, overhead, outcome.stats))
+    }
+
+    /// The exploration bonus for the next search: active only when
+    /// configured and the per-cluster learner still has
+    /// evidence-starved clusters.
+    fn exploration(&self) -> ExplorationBonus {
+        ExplorationBonus::from_learner(
+            self.cfg.exploration_bonus,
+            &self.learner,
+            self.space.cluster_ids(),
+        )
     }
 
     /// `isAdaptPeriod(hb.index)`: every `adapt_every`-th heartbeat,
@@ -321,7 +360,7 @@ impl RuntimeManager {
 
     /// Builds the decision realizing `state` with the configured
     /// scheduler.
-    fn decision_for(&self, state: SystemState, overhead_ns: u64, explored: usize) -> Decision {
+    fn decision_for(&self, state: SystemState, overhead_ns: u64, stats: SearchStats) -> Decision {
         let assignment = self.perf.assignment(self.threads, &state);
         let cores = default_core_allocation(&self.board, &assignment);
         let affinities = plan_affinities(self.cfg.scheduler, &assignment, &cores);
@@ -329,7 +368,7 @@ impl RuntimeManager {
             state,
             affinities,
             overhead_ns,
-            explored,
+            stats,
         }
     }
 }
@@ -419,8 +458,11 @@ mod tests {
     fn overhead_accrues_with_exploration() {
         let mut m = manager(HarsConfig::default());
         let d = m.on_heartbeat(10, Some(30.0)).expect("must adapt");
-        assert!(d.explored > 1);
-        assert_eq!(d.overhead_ns, d.explored as u64 * m.cfg.cost_per_state_ns);
+        assert!(d.stats.explored > 1);
+        assert_eq!(
+            d.overhead_ns,
+            d.stats.evaluated as u64 * m.cfg.cost_per_state_ns
+        );
         assert!(m.busy_ns() >= d.overhead_ns);
     }
 

@@ -1,19 +1,37 @@
 //! Search-policy presets: HARS-I, HARS-E and HARS-EI as evaluated in the
-//! paper, plus the knobs the sensitivity study sweeps.
+//! paper, the scalable beam/frontier policies for many-cluster boards,
+//! and the knobs the sensitivity study sweeps.
 
 use serde::{Deserialize, Serialize};
 
 use crate::sched::SchedulerKind;
-use crate::search::SearchParams;
+use crate::search::{AnyStrategy, BeamSearch, ExhaustiveSweep, GreedyFrontier, SearchParams};
 
-/// How the runtime manager picks its `(m, n, d)` bounds per adaptation.
+/// How the runtime manager searches for the next state each adaptation
+/// period. The policy is resolved per adaptation into a
+/// [`crate::search::SearchStrategy`] via [`SearchPolicy::strategy_for`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SearchPolicy {
     /// HARS-I: one incremental step, direction chosen by whether the app
     /// over- or under-performs (`m=1,n=0,d=1` / `m=0,n=1,d=1`).
     Incremental,
-    /// HARS-E style: fixed symmetric bounds regardless of direction.
+    /// HARS-E style: the full sweep with fixed symmetric bounds
+    /// regardless of direction.
     Exhaustive(SearchParams),
+    /// Beam search: expand the best `width` frontier states per
+    /// Manhattan-distance ring, up to distance `d` — `O(width·d·N)`
+    /// evaluations instead of the sweep's `O((m+n+1)^(2N))`, the
+    /// policy of choice on 4+-cluster server boards.
+    Beam {
+        /// Frontier states kept per ring.
+        width: usize,
+        /// Manhattan-distance cap.
+        d: i64,
+    },
+    /// Greedy frontier: single-dimension coordinate descent until no
+    /// neighbor improves — HARS-I generalized to arbitrary walk length
+    /// and cluster counts.
+    Frontier,
 }
 
 impl SearchPolicy {
@@ -22,8 +40,17 @@ impl SearchPolicy {
         SearchPolicy::Exhaustive(SearchParams::exhaustive())
     }
 
-    /// The bounds to use for this adaptation, given the direction of the
-    /// target violation.
+    /// A beam matching the exhaustive default's distance cap with a
+    /// width that keeps 4+-cluster decisions in the hundreds of
+    /// evaluations (`width=8, d=7`).
+    pub fn beam_default() -> Self {
+        SearchPolicy::Beam { width: 8, d: 7 }
+    }
+
+    /// The sweep-equivalent `(m, n, d)` bounds of this policy for the
+    /// given violation direction — what the pre-trait managers passed
+    /// to the search function. [`SearchPolicy::Frontier`] reports its
+    /// single-step building block.
     pub fn params_for(&self, overperforming: bool) -> SearchParams {
         match self {
             SearchPolicy::Incremental => {
@@ -34,6 +61,20 @@ impl SearchPolicy {
                 }
             }
             SearchPolicy::Exhaustive(p) => *p,
+            SearchPolicy::Beam { d, .. } => SearchParams::new(*d, *d, *d),
+            SearchPolicy::Frontier => SearchParams::new(1, 1, 1),
+        }
+    }
+
+    /// Resolves the policy into the concrete strategy for one
+    /// adaptation, given the direction of the target violation.
+    pub fn strategy_for(&self, overperforming: bool) -> AnyStrategy {
+        match self {
+            SearchPolicy::Incremental | SearchPolicy::Exhaustive(_) => {
+                AnyStrategy::Exhaustive(ExhaustiveSweep::new(self.params_for(overperforming)))
+            }
+            SearchPolicy::Beam { width, d } => AnyStrategy::Beam(BeamSearch::new(*width, *d)),
+            SearchPolicy::Frontier => AnyStrategy::Frontier(GreedyFrontier::default()),
         }
     }
 }
@@ -86,9 +127,29 @@ pub fn hars_ei_with_distance(d: i64) -> HarsVariant {
     }
 }
 
+/// HARS-B: beam-limited search (`width=8, d=7`), chunk scheduler — the
+/// many-cluster variant the `search_scaling` bench evaluates.
+pub fn hars_beam() -> HarsVariant {
+    HarsVariant {
+        name: "HARS-B",
+        policy: SearchPolicy::beam_default(),
+        scheduler: SchedulerKind::Chunk,
+    }
+}
+
+/// HARS-F: greedy-frontier search, chunk scheduler.
+pub fn hars_frontier() -> HarsVariant {
+    HarsVariant {
+        name: "HARS-F",
+        policy: SearchPolicy::Frontier,
+        scheduler: SchedulerKind::Chunk,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::SearchStrategy;
 
     #[test]
     fn incremental_direction_switch() {
@@ -123,5 +184,27 @@ mod tests {
             SearchPolicy::Exhaustive(p) => assert_eq!(p.d, 5),
             _ => panic!("expected exhaustive"),
         }
+    }
+
+    #[test]
+    fn policies_resolve_to_their_strategies() {
+        assert_eq!(
+            SearchPolicy::exhaustive_default().strategy_for(true).name(),
+            "exhaustive"
+        );
+        assert_eq!(
+            SearchPolicy::Incremental.strategy_for(false).name(),
+            "exhaustive"
+        );
+        match SearchPolicy::beam_default().strategy_for(true) {
+            AnyStrategy::Beam(b) => {
+                assert_eq!(b.width, 8);
+                assert_eq!(b.params.d, 7);
+            }
+            other => panic!("expected beam, got {other:?}"),
+        }
+        assert_eq!(SearchPolicy::Frontier.strategy_for(true).name(), "frontier");
+        assert_eq!(hars_beam().policy, SearchPolicy::beam_default());
+        assert_eq!(hars_frontier().policy, SearchPolicy::Frontier);
     }
 }

@@ -241,6 +241,11 @@ pub struct RatioLearner {
     /// with `x_c` the saturating share feature derived from `Δs_c`
     /// (see [`RatioLearnerConfig::share_saturation`]).
     windows: Vec<VecDeque<(f64, f64)>>,
+    /// Cumulative informative samples ever recorded per cluster —
+    /// unlike the windows (cleared when an update spends them), this
+    /// only grows; it backs the search's exploration bonus
+    /// ([`RatioLearner::needs_evidence`]).
+    seen: [u32; MAX_CLUSTERS],
     /// Recent `|ln(observed/predicted)|` of consumed predictions — the
     /// steady-state prediction-error diagnostic.
     recent_errors: VecDeque<f64>,
@@ -291,6 +296,7 @@ impl RatioLearner {
             n,
             nominal,
             windows: vec![VecDeque::new(); n],
+            seen: [0; MAX_CLUSTERS],
             recent_errors: VecDeque::new(),
             recent_informative_errors: VecDeque::new(),
         }
@@ -318,6 +324,30 @@ impl RatioLearner {
     /// Samples currently held in `cluster`'s evidence window.
     pub fn evidence(&self, cluster: ClusterId) -> usize {
         self.windows[cluster.index()].len()
+    }
+
+    /// Informative samples ever recorded for `cluster` (never reset —
+    /// spent windows still count as collected evidence).
+    pub fn samples_seen(&self, cluster: ClusterId) -> usize {
+        self.seen[cluster.index()] as usize
+    }
+
+    /// `true` when `cluster` has not yet collected a *full window* of
+    /// informative samples under [`RatioLearning::PerCluster`] — the
+    /// clusters the search's exploration bonus nudges candidates
+    /// toward. The gate is the window capacity, not `min_evidence`: a
+    /// noisy minimum-size fit can decline to update
+    /// (`|slope| < min_slope`), and ending exploration there would
+    /// freeze a wrong ratio with no way to gather the evidence that
+    /// corrects it. After a full window the regression has had its
+    /// fair chance at the achievable signal-to-noise. The reference
+    /// cluster never needs evidence (its ratio is the unit of
+    /// measurement), and the other modes never collect any.
+    pub fn needs_evidence(&self, cluster: ClusterId) -> bool {
+        self.mode == RatioLearning::PerCluster
+            && cluster.index() != 0
+            && cluster.index() < self.n
+            && self.samples_seen(cluster) < self.cfg.window
     }
 
     /// Mean `|ln(observed/predicted)|` over the recent consumed
@@ -402,6 +432,7 @@ impl RatioLearner {
                 continue;
             }
             let x = (ds / self.cfg.share_saturation).clamp(-1.0, 1.0);
+            self.seen[c.index()] = self.seen[c.index()].saturating_add(1);
             let w = &mut self.windows[c.index()];
             w.push_back((x, e));
             while w.len() > self.cfg.window {

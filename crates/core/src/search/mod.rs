@@ -1,11 +1,23 @@
-//! The search function of HARS — Algorithm 2 (`GetNextSysState`),
-//! generalized to N clusters.
+//! The search subsystem of HARS — the decision layer that picks the
+//! next system state each adaptation period.
 //!
-//! The explorable neighborhood of the current state is bounded by three
-//! parameters: sweeps of `[x − m, x + n]` per dimension and a Manhattan-
-//! distance cap `d` in the `2N`-dimensional index space (per cluster,
-//! one core-count dimension and one ladder-level dimension). Candidates
-//! are ranked by a satisfaction-first ordering:
+//! What used to be a single hardcoded function (Algorithm 2,
+//! `GetNextSysState`) is now a family of pluggable
+//! [`SearchStrategy`] implementations sharing one evaluation and
+//! ranking core:
+//!
+//! * [`ExhaustiveSweep`] — the paper's `(m, n, d)`-bounded sweep over
+//!   all `2N` index dimensions, bit-identical to the pre-refactor code
+//!   (and, transitively, to the original 2-cluster implementation —
+//!   both equivalences are proptested);
+//! * [`BeamSearch`] — best-`k` Manhattan-ring expansion, bounding work
+//!   to `O(k·d·N)` evaluations on many-cluster boards where the sweep's
+//!   `O((m+n+1)^(2N))` explodes;
+//! * [`GreedyFrontier`] — single-step coordinate descent until no
+//!   neighbor improves, the large-N generalization of HARS-I.
+//!
+//! Candidates are ranked by a satisfaction-first ordering shared by all
+//! strategies:
 //!
 //! 1. a state whose *estimated* rate reaches `t.min` beats any state
 //!    that does not;
@@ -14,14 +26,31 @@
 //!    (get as close to the target as possible).
 //!
 //! The current state participates in the comparison
-//! (`getBetterState(cs, ns)`), so the search never moves to a state its
-//! own estimators consider worse.
+//! (`getBetterState(cs, ns)`), so no strategy ever moves to a state its
+//! own estimators consider worse. Tabu and aspiration (Section 3.1.4's
+//! local-optimum escape) are applied identically across strategies, as
+//! is the optional ratio-learning [`ExplorationBonus`]. Every strategy
+//! evaluates through a per-period [`EvalCache`] keyed by
+//! [`StateIndex`](crate::state::StateIndex) and reports its cost as
+//! [`SearchStats`].
 //!
-//! The sweep visits dimensions in the paper's order — core counts from
-//! the highest cluster index down, then ladder levels from the highest
-//! cluster index down — so on a big.LITTLE board it reproduces the
-//! original `(C_B, C_L, k_B, k_L)` nested loops candidate for
-//! candidate.
+//! The exhaustive sweep visits dimensions in the paper's order — core
+//! counts from the highest cluster index down, then ladder levels from
+//! the highest cluster index down — so on a big.LITTLE board it
+//! reproduces the original `(C_B, C_L, k_B, k_L)` nested loops
+//! candidate for candidate.
+
+mod beam;
+mod exhaustive;
+mod frontier;
+mod strategy;
+
+pub use beam::BeamSearch;
+pub use exhaustive::{count_sweep_candidates, ExhaustiveSweep};
+pub use frontier::GreedyFrontier;
+pub use strategy::{
+    AnyStrategy, EvalCache, ExplorationBonus, SearchContext, SearchStats, SearchStrategy,
+};
 
 use heartbeats::PerfTarget;
 use hmp_sim::{ClusterId, MAX_CLUSTERS};
@@ -173,9 +202,10 @@ pub struct SearchOutcome {
     pub state: SystemState,
     /// The estimators' evaluation of the chosen state.
     pub eval: CandidateEval,
-    /// Number of candidate states evaluated (drives the runtime-overhead
-    /// model and Figure 5.3(b)).
-    pub explored: usize,
+    /// Cost accounting: candidates considered, distinct evaluations
+    /// (drives the runtime-overhead model and Figure 5.3(b)) and
+    /// incumbent changes.
+    pub stats: SearchStats,
 }
 
 /// Evaluates one state with both estimators.
@@ -205,19 +235,11 @@ pub fn evaluate_state(
     }
 }
 
-/// `true` when `a` is preferable to `b` under Algorithm 2's ordering.
-fn better(a: &CandidateEval, b: &CandidateEval) -> bool {
-    match (a.satisfies, b.satisfies) {
-        (true, false) => true,
-        (false, true) => false,
-        (true, true) => a.perf_per_watt > b.perf_per_watt,
-        (false, false) => a.est_rate > b.est_rate,
-    }
-}
-
 /// Algorithm 2: sweeps the `(m, n, d)`-bounded neighborhood of
 /// `current`, ranks candidates, and returns the better of the best
-/// candidate and the current state.
+/// candidate and the current state. A thin wrapper over
+/// [`ExhaustiveSweep`]; kept for the callers (and equivalence tests)
+/// that predate the strategy trait.
 ///
 /// # Panics
 ///
@@ -272,87 +294,19 @@ pub fn get_next_sys_state_tabu(
     power: &PowerEstimator,
     tabu: &[SystemState],
 ) -> SearchOutcome {
-    let n = space.n_clusters();
-    debug_assert_eq!(constraints.n_clusters(), n);
-    let cur_idx = space
-        .index_of(current)
-        .expect("current state must be on the board's ladders");
-    let mut best_state = *current;
-    let mut best_eval = evaluate_state(
+    let ctx = SearchContext {
+        space,
         current,
         observed_rate,
         threads,
-        current,
         target,
+        constraints,
         perf,
         power,
-    );
-    let mut explored = 1usize; // the current state itself
-
-    // The 2N sweep dimensions, in the paper's nesting order: cores of
-    // cluster N-1..0, then ladder levels of cluster N-1..0. `center[d]`
-    // is the current state's coordinate; the sweep walks offsets
-    // `-m..=+n` per dimension with the last dimension varying fastest.
-    let dims = 2 * n;
-    let mut center = [0i64; 2 * MAX_CLUSTERS];
-    for (pos, i) in (0..n).rev().enumerate() {
-        center[pos] = cur_idx.cores(ClusterId(i));
-        center[n + pos] = cur_idx.level(ClusterId(i));
-    }
-    let mut offset = [0i64; 2 * MAX_CLUSTERS];
-    offset[..dims].fill(-params.m);
-    let mut cand_idx = cur_idx;
-    'sweep: loop {
-        // Materialize the candidate's index coordinates.
-        let manhattan: i64 = offset[..dims].iter().map(|o| o.abs()).sum();
-        let is_center = manhattan == 0;
-        if !is_center && manhattan <= params.d {
-            for (pos, i) in (0..n).rev().enumerate() {
-                cand_idx.set_cores(ClusterId(i), center[pos] + offset[pos]);
-                cand_idx.set_level(ClusterId(i), center[n + pos] + offset[n + pos]);
-            }
-            if let Some(cand) = space.state_at(&cand_idx) {
-                let allowed = space.cluster_ids().all(|c| {
-                    cand.cores(c) <= constraints.max_cores(c)
-                        && constraints
-                            .freq_change(c)
-                            .allows(cur_idx.level(c), cand_idx.level(c))
-                });
-                if allowed {
-                    let eval =
-                        evaluate_state(&cand, observed_rate, threads, current, target, perf, power);
-                    explored += 1;
-                    let mut admit = true;
-                    if tabu.contains(&cand) {
-                        // Aspiration: only a strictly dominating,
-                        // target-satisfying candidate overrides tabu.
-                        let aspires = eval.satisfies
-                            && best_eval.satisfies
-                            && eval.perf_per_watt > best_eval.perf_per_watt * 1.05;
-                        admit = aspires;
-                    }
-                    if admit && better(&eval, &best_eval) {
-                        best_state = cand;
-                        best_eval = eval;
-                    }
-                }
-            }
-        }
-        // Odometer step: last dimension fastest.
-        for pos in (0..dims).rev() {
-            if offset[pos] < params.n {
-                offset[pos] += 1;
-                continue 'sweep;
-            }
-            offset[pos] = -params.m;
-        }
-        break;
-    }
-    SearchOutcome {
-        state: best_state,
-        eval: best_eval,
-        explored,
-    }
+        tabu,
+        exploration: ExplorationBonus::none(),
+    };
+    ExhaustiveSweep::new(params).next_state(&ctx)
 }
 
 #[cfg(test)]
@@ -437,7 +391,7 @@ mod tests {
         assert!(d <= 7, "distance {d} exceeds cap");
         // Exhaustive explores far more states than incremental.
         let inc = run(cur, 30.0, target, SearchParams::incremental_shrink());
-        assert!(out.explored > 10 * inc.explored);
+        assert!(out.stats.explored > 10 * inc.stats.explored);
     }
 
     #[test]
@@ -527,12 +481,24 @@ mod tests {
         for d in [1, 3, 5, 7, 9] {
             let out = run(cur, 10.0, target, SearchParams::new(4, 4, d));
             assert!(
-                out.explored > prev,
+                out.stats.explored > prev,
                 "d={d} explored {} (prev {prev})",
-                out.explored
+                out.stats.explored
             );
-            prev = out.explored;
+            prev = out.stats.explored;
         }
+    }
+
+    #[test]
+    fn exhaustive_evaluates_each_candidate_once() {
+        // The sweep visits distinct states, so the cache never fires:
+        // evaluated == explored (the invariant the overhead model's
+        // backward compatibility rests on).
+        let cur = st(2, 2, 1200, 1000);
+        let target = PerfTarget::new(9.0, 11.0).unwrap();
+        let out = run(cur, 10.0, target, SearchParams::exhaustive());
+        assert_eq!(out.stats.evaluated, out.stats.explored);
+        assert!(out.stats.best_rank_changes >= 1);
     }
 
     #[test]
@@ -607,7 +573,7 @@ mod tests {
             &[],
         );
         assert_eq!(a.state, b.state);
-        assert_eq!(a.explored, b.explored);
+        assert_eq!(a.stats.explored, b.stats.explored);
     }
 
     #[test]
@@ -653,6 +619,6 @@ mod tests {
             .manhattan(&sp.index_of(&cur).unwrap());
         assert!(d <= 7);
         assert_ne!(out.state, cur, "over-performance must shrink something");
-        assert!(out.explored > 100, "6-D neighborhood is large");
+        assert!(out.stats.explored > 100, "6-D neighborhood is large");
     }
 }

@@ -521,7 +521,12 @@ proptest! {
             &board, 1.5, &power, &cur, rate, threads, &target, params,
         );
         prop_assert_eq!(new.state, legacy_state, "state diverged");
-        prop_assert_eq!(new.explored, legacy_explored, "explored diverged");
+        prop_assert_eq!(new.stats.explored, legacy_explored, "explored diverged");
+        prop_assert_eq!(
+            new.stats.evaluated,
+            legacy_explored,
+            "the sweep must evaluate each explored state exactly once"
+        );
         // Bit-exact float agreement, not approximate.
         prop_assert_eq!(new.eval.est_rate.to_bits(), legacy_eval.est_rate.to_bits());
         prop_assert_eq!(new.eval.est_watts.to_bits(), legacy_eval.est_watts.to_bits());

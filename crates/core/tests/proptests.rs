@@ -154,7 +154,7 @@ proptest! {
             .unwrap()
             .manhattan(&space.index_of(&cur).unwrap());
         prop_assert!(dist <= d, "distance {} > cap {}", dist, d);
-        prop_assert!(out.explored >= 1);
+        prop_assert!(out.stats.explored >= 1);
     }
 
     /// Estimated rates are monotone in capacity: adding big cores at

@@ -1,0 +1,528 @@
+//! Tests for the pluggable search subsystem.
+//!
+//! Four families:
+//!
+//! 1. **beam/exhaustive equivalence** — with unbounded width,
+//!    [`BeamSearch`] visits exactly the exhaustive sweep's candidate
+//!    set (candidate for candidate) on randomized 1–3-cluster boards,
+//!    and its chosen state is rank-equivalent;
+//! 2. **constraint safety** — every strategy respects
+//!    [`SearchConstraints`] (free-core caps, [`FreqChange`] gating) for
+//!    every candidate it evaluates, not just the final state;
+//! 3. **tabu** — every strategy avoids tabu states (the shared
+//!    aspiration rule is unit-tested in the strategy module);
+//! 4. **exploration bonus** — the ratio-learning tiebreak steers
+//!    near-ties toward evidence-starved clusters, at the search level
+//!    (all strategies) and end to end through the manager on
+//!    `dynamiq_1p_3m_4l()`.
+
+use std::collections::HashSet;
+
+use heartbeats::PerfTarget;
+use proptest::prelude::*;
+
+use hars_core::power_est::{LinearCoeff, PowerEstimator};
+use hars_core::ratio_learn::RatioLearning;
+use hars_core::search::{
+    BeamSearch, ExhaustiveSweep, ExplorationBonus, FreqChange, GreedyFrontier, SearchConstraints,
+    SearchContext, SearchParams, SearchStrategy,
+};
+use hars_core::{HarsConfig, PerfEstimator, RuntimeManager, StateSpace, SystemState};
+use hmp_sim::{
+    BoardSpec, ClusterId, ClusterPowerModel, ClusterSpec, FreqKhz, FreqLadder, MAX_CLUSTERS,
+};
+
+// ---------------------------------------------------------------------
+// Randomized board construction (same generator family as the
+// n_cluster proptests)
+// ---------------------------------------------------------------------
+
+fn power_model() -> ClusterPowerModel {
+    ClusterPowerModel {
+        kappa: 0.2,
+        sigma: 0.05,
+        upsilon: 0.02,
+        chi: 0.02,
+        volt_lo: 0.9,
+        volt_hi: 1.1,
+    }
+}
+
+fn board_from(shape: &[(usize, usize, u32, u32)]) -> BoardSpec {
+    let clusters: Vec<ClusterSpec> = shape
+        .iter()
+        .enumerate()
+        .map(|(i, &(cores, levels, step_mhz, ratio_tenths))| {
+            let lo = 400 + 100 * i as u32;
+            let hi = lo + (levels as u32 - 1) * step_mhz;
+            ClusterSpec::new(
+                format!("c{i}"),
+                cores,
+                FreqLadder::from_mhz_range(lo, hi, step_mhz),
+                power_model(),
+                1.0 + ratio_tenths as f64 / 10.0,
+            )
+        })
+        .collect();
+    BoardSpec {
+        name: "random".to_string(),
+        base_freq: FreqKhz::from_mhz(400),
+        units_per_sec: 1_000.0,
+        sensor_period_ns: 100_000_000,
+        clusters,
+    }
+}
+
+fn flat_power(board: &BoardSpec) -> PowerEstimator {
+    PowerEstimator::from_clusters(
+        board
+            .cluster_ids()
+            .map(|c| {
+                let ladder = board.ladder(c).clone();
+                let table: Vec<LinearCoeff> = (0..ladder.len())
+                    .map(|i| LinearCoeff {
+                        alpha: 0.1 * (c.index() + 1) as f64 + 0.03 * i as f64,
+                        beta: 0.1 + 0.05 * c.index() as f64,
+                    })
+                    .collect();
+                (ladder, table)
+            })
+            .collect(),
+    )
+}
+
+/// Builds a valid current state from per-cluster seeds.
+fn seed_state(board: &BoardSpec, seed_cores: &[usize], seed_levels: &[usize]) -> SystemState {
+    let mut per: Vec<(usize, FreqKhz)> = board
+        .cluster_ids()
+        .map(|c| {
+            let cores = seed_cores[c.index()].min(board.cluster_size(c));
+            let ladder = board.ladder(c);
+            let level = seed_levels[c.index()].min(ladder.len() - 1);
+            (cores, ladder.level(level).unwrap())
+        })
+        .collect();
+    if per.iter().map(|(c, _)| c).sum::<usize>() == 0 {
+        per[0].0 = 1;
+    }
+    SystemState::new(&per)
+}
+
+/// Runs `strategy` and returns `(outcome state, candidate set)`.
+fn observed_candidates(
+    strategy: &dyn SearchStrategy,
+    ctx: &SearchContext<'_>,
+) -> (SystemState, HashSet<SystemState>) {
+    let mut seen = HashSet::new();
+    let out = strategy.next_state_observed(ctx, &mut |s| {
+        seen.insert(s);
+    });
+    (out.state, seen)
+}
+
+proptest! {
+    /// With unbounded width and the same `(m, n, d)` bounds, beam
+    /// search explores exactly the exhaustive sweep's candidate set on
+    /// 1–3-cluster boards, and its chosen state ties or equals the
+    /// sweep's under Algorithm 2's ordering.
+    #[test]
+    fn unbounded_beam_matches_exhaustive_candidate_for_candidate(
+        shape in proptest::collection::vec((1usize..=4, 2usize..=5, 1u32..=3, 0u32..=12), 1..4),
+        seed_cores in proptest::collection::vec(0usize..=4, 3..4),
+        seed_levels in proptest::collection::vec(0usize..5, 3..4),
+        rate in 1.0f64..60.0,
+        center in 1.0f64..40.0,
+        m in 0i64..5,
+        n in 0i64..5,
+        d in 1i64..8,
+        threads in 1usize..10,
+    ) {
+        let shape: Vec<(usize, usize, u32, u32)> = shape
+            .into_iter()
+            .map(|(c, l, s, r)| (c, l, s * 100, r))
+            .collect();
+        let board = board_from(&shape);
+        let space = StateSpace::from_board(&board);
+        let cur = seed_state(&board, &seed_cores, &seed_levels);
+        prop_assert!(space.contains(&cur));
+        let perf = PerfEstimator::from_board(&board);
+        let power = flat_power(&board);
+        let target = PerfTarget::from_center(center, 0.1).unwrap();
+        let constraints = SearchConstraints::unrestricted(&space);
+        let params = SearchParams::new(m, n, d);
+        let ctx = SearchContext {
+            space: &space,
+            current: &cur,
+            observed_rate: rate,
+            threads,
+            target: &target,
+            constraints: &constraints,
+            perf: &perf,
+            power: &power,
+            tabu: &[],
+            exploration: ExplorationBonus::none(),
+        };
+        let (ex_state, ex_set) = observed_candidates(&ExhaustiveSweep::new(params), &ctx);
+        let beam = BeamSearch::with_params(1_000_000, params);
+        let (beam_state, beam_set) = observed_candidates(&beam, &ctx);
+        prop_assert_eq!(
+            &beam_set,
+            &ex_set,
+            "candidate sets diverged (beam {} vs sweep {})",
+            beam_set.len(),
+            ex_set.len()
+        );
+        // The chosen states are rank-equivalent (ties may resolve to a
+        // different member because the visit order differs).
+        let eval = |s: &SystemState| {
+            hars_core::search::evaluate_state(s, rate, threads, &cur, &target, &perf, &power)
+        };
+        let (be, ee) = (eval(&beam_state), eval(&ex_state));
+        prop_assert_eq!(be.satisfies, ee.satisfies, "{} vs {}", beam_state, ex_state);
+        if be.satisfies {
+            prop_assert_eq!(be.perf_per_watt.to_bits(), ee.perf_per_watt.to_bits());
+        } else {
+            prop_assert_eq!(be.est_rate.to_bits(), ee.est_rate.to_bits());
+        }
+    }
+
+    /// Every strategy honors the constraints for every candidate it
+    /// evaluates: core counts within the per-cluster caps, frequency
+    /// moves within the FreqChange gates (anchored at the search
+    /// start), and at least one core overall.
+    #[test]
+    fn all_strategies_respect_constraints(
+        shape in proptest::collection::vec((1usize..=4, 2usize..=5, 1u32..=3, 0u32..=10), 2..4),
+        seed_cores in proptest::collection::vec(1usize..=4, 3..4),
+        seed_levels in proptest::collection::vec(0usize..5, 3..4),
+        rate in 1.0f64..50.0,
+        center in 1.0f64..40.0,
+        capped in 0usize..4,
+        gated in 0usize..4,
+        gate_kind in 0u8..2,
+    ) {
+        let shape: Vec<(usize, usize, u32, u32)> = shape
+            .into_iter()
+            .map(|(c, l, s, r)| (c, l, s * 100, r))
+            .collect();
+        let board = board_from(&shape);
+        let space = StateSpace::from_board(&board);
+        let cur = seed_state(&board, &seed_cores, &seed_levels);
+        let perf = PerfEstimator::from_board(&board);
+        let power = flat_power(&board);
+        let target = PerfTarget::from_center(center, 0.1).unwrap();
+        let capped = ClusterId(capped.min(board.n_clusters() - 1));
+        let gated = ClusterId(gated.min(board.n_clusters() - 1));
+        let gate = if gate_kind == 0 {
+            FreqChange::IncreaseOnly
+        } else {
+            FreqChange::Fixed
+        };
+        let mut constraints = SearchConstraints::unrestricted(&space);
+        constraints.set_max_cores(capped, cur.cores(capped));
+        constraints.set_freq_change(gated, gate);
+        let ctx = SearchContext {
+            space: &space,
+            current: &cur,
+            observed_rate: rate,
+            threads: 8,
+            target: &target,
+            constraints: &constraints,
+            perf: &perf,
+            power: &power,
+            tabu: &[],
+            exploration: ExplorationBonus::none(),
+        };
+        let cur_idx = space.index_of(&cur).unwrap();
+        let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+            Box::new(ExhaustiveSweep::new(SearchParams::exhaustive())),
+            Box::new(BeamSearch::new(4, 5)),
+            Box::new(GreedyFrontier::default()),
+        ];
+        for strategy in &strategies {
+            let (state, set) = observed_candidates(strategy.as_ref(), &ctx);
+            for cand in set.iter().chain(std::iter::once(&state)) {
+                prop_assert!(space.contains(cand), "{}: invalid {}", strategy.name(), cand);
+                let idx = space.index_of(cand).unwrap();
+                for c in board.cluster_ids() {
+                    prop_assert!(
+                        cand.cores(c) <= constraints.max_cores(c),
+                        "{}: {} exceeds the core cap on {}",
+                        strategy.name(),
+                        cand,
+                        c
+                    );
+                    prop_assert!(
+                        constraints.freq_change(c).allows(cur_idx.level(c), idx.level(c)),
+                        "{}: {} violates {:?} on {}",
+                        strategy.name(),
+                        cand,
+                        constraints.freq_change(c),
+                        c
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tabu and cache behavior (deterministic)
+// ---------------------------------------------------------------------
+
+fn xu3_power() -> PowerEstimator {
+    let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);
+    let big_ladder = FreqLadder::from_mhz_range(800, 1_600, 100);
+    let little = (0..little_ladder.len())
+        .map(|i| LinearCoeff {
+            alpha: 0.10 + 0.015 * i as f64,
+            beta: 0.10,
+        })
+        .collect();
+    let big = (0..big_ladder.len())
+        .map(|i| LinearCoeff {
+            alpha: 0.45 + 0.11 * i as f64,
+            beta: 0.55,
+        })
+        .collect();
+    PowerEstimator::new(little_ladder, big_ladder, little, big)
+}
+
+#[test]
+fn every_strategy_avoids_tabu_states() {
+    // An under-performing app against an unreachable target: no
+    // candidate satisfies, so the aspiration escape (which requires a
+    // satisfying state) can never override the tabu list and each
+    // strategy must route around its favourite.
+    let board = BoardSpec::odroid_xu3();
+    let space = StateSpace::from_board(&board);
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = xu3_power();
+    let cur = SystemState::big_little(1, 1, FreqKhz::from_mhz(1_000), FreqKhz::from_mhz(1_000));
+    let target = PerfTarget::new(900.0, 1_100.0).unwrap(); // unreachable
+    let constraints = SearchConstraints::unrestricted(&space);
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(ExhaustiveSweep::new(SearchParams::exhaustive())),
+        Box::new(BeamSearch::new(8, 7)),
+        Box::new(GreedyFrontier::default()),
+    ];
+    for strategy in &strategies {
+        let mut ctx = SearchContext {
+            space: &space,
+            current: &cur,
+            observed_rate: 2.0,
+            threads: 8,
+            target: &target,
+            constraints: &constraints,
+            perf: &perf,
+            power: &power,
+            tabu: &[],
+            exploration: ExplorationBonus::none(),
+        };
+        let free = strategy.next_state(&ctx);
+        assert_ne!(
+            free.state,
+            cur,
+            "{}: under-performance must grow",
+            strategy.name()
+        );
+        assert!(!free.eval.satisfies, "target must stay unreachable");
+        let tabu = [free.state];
+        ctx.tabu = &tabu;
+        let redirected = strategy.next_state(&ctx);
+        assert_ne!(
+            redirected.state,
+            free.state,
+            "{}: tabu state must be avoided",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn frontier_cache_avoids_re_evaluating_revisited_neighbors() {
+    // A long descent from the max state revisits coordinate lines every
+    // round: the per-period cache must absorb the repeats.
+    let board = BoardSpec::odroid_xu3();
+    let space = StateSpace::from_board(&board);
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = xu3_power();
+    let cur = space.max_state();
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let constraints = SearchConstraints::unrestricted(&space);
+    let ctx = SearchContext {
+        space: &space,
+        current: &cur,
+        observed_rate: 40.0,
+        threads: 8,
+        target: &target,
+        constraints: &constraints,
+        perf: &perf,
+        power: &power,
+        tabu: &[],
+        exploration: ExplorationBonus::none(),
+    };
+    let out = GreedyFrontier::default().next_state(&ctx);
+    assert!(out.stats.best_rank_changes >= 1, "must walk at least once");
+    assert!(
+        out.stats.evaluated < out.stats.explored,
+        "revisits must hit the cache: evaluated {} vs explored {}",
+        out.stats.evaluated,
+        out.stats.explored
+    );
+}
+
+#[test]
+fn beam_width_bounds_exploration() {
+    let board = BoardSpec::server_5c_48core();
+    let space = StateSpace::from_board(&board);
+    let perf = PerfEstimator::from_board(&board);
+    let power = flat_power(&board);
+    let cur = space.max_state();
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let constraints = SearchConstraints::unrestricted(&space);
+    let ctx = SearchContext {
+        space: &space,
+        current: &cur,
+        observed_rate: 30.0,
+        threads: 16,
+        target: &target,
+        constraints: &constraints,
+        perf: &perf,
+        power: &power,
+        tabu: &[],
+        exploration: ExplorationBonus::none(),
+    };
+    let narrow = BeamSearch::new(2, 7).next_state(&ctx);
+    let wide = BeamSearch::new(8, 7).next_state(&ctx);
+    assert!(narrow.stats.explored <= wide.stats.explored);
+    // O(k·d·N): each ring adds at most width·4N candidates.
+    let bound = |k: usize| 1 + k * 7 * 4 * board.n_clusters() + 4 * board.n_clusters();
+    assert!(
+        narrow.stats.explored <= bound(2),
+        "narrow beam explored {} > bound {}",
+        narrow.stats.explored,
+        bound(2)
+    );
+    assert!(wide.stats.explored <= bound(8));
+    assert!(space.contains(&narrow.state));
+    assert!(space.contains(&wide.state));
+}
+
+// ---------------------------------------------------------------------
+// Exploration bonus
+// ---------------------------------------------------------------------
+
+/// On the DynamIQ board with the mid cluster's ratio understated
+/// (0.70 of the reference instead of the true 1.6): at that ratio mid's
+/// top-frequency speed exactly equals little's (0.70 · 2.0 GHz and
+/// 1.0 · 1.4 GHz are bit-identical doublings), so giving mid a core
+/// reshuffles a thread onto it without changing the modeled finish
+/// time — an exact rate tie. Without a bonus no strategy ever moves
+/// off the current state (ties lose to the incumbent), so mid never
+/// sees a thread; with a bonus, every strategy routes share there.
+#[test]
+fn exploration_bonus_moves_share_toward_needy_clusters() {
+    let board = BoardSpec::dynamiq_1p_3m_4l();
+    let space = StateSpace::from_board(&board);
+    let perf = PerfEstimator::from_ratios(&[1.0, 0.70, 2.0], board.base_freq);
+    let power = flat_power(&board);
+    // Little and prime are maxed out: the only way up is through mid.
+    let cur = SystemState::new(&[
+        (4, FreqKhz::from_mhz(1_400)),
+        (0, FreqKhz::from_mhz(2_000)),
+        (1, FreqKhz::from_mhz(2_600)),
+    ]);
+    let target = PerfTarget::new(45.0, 55.0).unwrap(); // unreachable
+    let constraints = SearchConstraints::unrestricted(&space);
+    let mut needy = [false; MAX_CLUSTERS];
+    needy[1] = true;
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(ExhaustiveSweep::new(SearchParams::exhaustive())),
+        Box::new(BeamSearch::new(8, 7)),
+        Box::new(GreedyFrontier::default()),
+    ];
+    for strategy in &strategies {
+        let mut ctx = SearchContext {
+            space: &space,
+            current: &cur,
+            observed_rate: 5.0,
+            threads: 6,
+            target: &target,
+            constraints: &constraints,
+            perf: &perf,
+            power: &power,
+            tabu: &[],
+            exploration: ExplorationBonus::none(),
+        };
+        let plain = strategy.next_state(&ctx);
+        let plain_assignment = perf.assignment(6, &plain.state);
+        assert_eq!(
+            plain_assignment.threads(ClusterId(1)),
+            0,
+            "{}: without a bonus no thread moves onto mid (chose {})",
+            strategy.name(),
+            plain.state
+        );
+        ctx.exploration = ExplorationBonus::new(0.05, needy);
+        let nudged = strategy.next_state(&ctx);
+        let nudged_assignment = perf.assignment(6, &nudged.state);
+        assert!(
+            nudged_assignment.threads(ClusterId(1)) > 0,
+            "{}: the bonus must route a thread onto the needy cluster (chose {})",
+            strategy.name(),
+            nudged.state
+        );
+    }
+}
+
+/// End to end through the manager (the ROADMAP caveat's regression
+/// test): with the mid ratio understated, the plain manager never
+/// moves threads onto mid and the learner never sees evidence; with
+/// the (off-by-default) bonus flag the tie flips, a thread share moves
+/// onto mid, and an informative prediction is consumed.
+#[test]
+fn exploration_bonus_feeds_evidence_to_understated_clusters() {
+    let board = BoardSpec::dynamiq_1p_3m_4l();
+    let initial = SystemState::new(&[
+        (4, FreqKhz::from_mhz(1_400)),
+        (0, FreqKhz::from_mhz(2_000)),
+        (1, FreqKhz::from_mhz(2_600)),
+    ]);
+    let run = |bonus: f64| {
+        let perf = PerfEstimator::from_ratios(&[1.0, 0.70, 2.0], board.base_freq);
+        let mut m = RuntimeManager::new(
+            &board,
+            PerfTarget::new(45.0, 55.0).unwrap(), // unreachable: always grows
+            perf,
+            flat_power(&board),
+            6,
+            HarsConfig {
+                ratio_learning: RatioLearning::PerCluster,
+                exploration_bonus: bonus,
+                adapt_every: 1,
+                initial_state: Some(initial),
+                ..HarsConfig::default()
+            },
+        );
+        let mut allocated_mid = false;
+        for hb in 1..=10u64 {
+            if let Some(d) = m.on_heartbeat(hb, Some(5.0)) {
+                allocated_mid |= d.state.cores(ClusterId(1)) > 0;
+            }
+        }
+        (allocated_mid, m.recent_informative_prediction_error())
+    };
+    let (plain_mid, plain_evidence) = run(0.0);
+    assert!(
+        !plain_mid,
+        "control: without the bonus the understated mid cluster is never allocated"
+    );
+    assert_eq!(plain_evidence, None, "control: no share move, no evidence");
+    let (nudged_mid, nudged_evidence) = run(0.05);
+    assert!(nudged_mid, "the bonus must win mid an allocation");
+    assert!(
+        nudged_evidence.is_some(),
+        "the share move onto mid must produce an informative consumed prediction"
+    );
+}

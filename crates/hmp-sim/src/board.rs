@@ -16,8 +16,11 @@ use crate::cpuset::{CoreId, CpuSet};
 use crate::freq::{FreqKhz, FreqLadder};
 
 /// Maximum clusters a board may have. Fixed so per-cluster state can
-/// live in inline arrays on the adaptation hot path.
-pub const MAX_CLUSTERS: usize = 8;
+/// live in inline arrays on the adaptation hot path. Raised from 8 to
+/// 16 for many-cluster server parts (NUMA-node-per-cluster boxes,
+/// chiplet designs); [`crate::CpuSet`]'s 64-core bitmask remains the
+/// core-count ceiling.
+pub const MAX_CLUSTERS: usize = 16;
 
 /// Identifier of one cluster of a board: its index in
 /// [`BoardSpec::clusters`].
@@ -347,6 +350,164 @@ impl BoardSpec {
         }
     }
 
+    /// A 4-cluster, 32-core heterogeneous server board: 8 low-power
+    /// cores, a 12-core efficiency tier, 8 performance cores and a
+    /// 4-core prime tier. The shape the beam/frontier search policies
+    /// exist for — the exhaustive sweep's `9^8` candidate neighborhood
+    /// is already intractable per adaptation period here.
+    pub fn server_4c_32core() -> Self {
+        Self {
+            name: "server 4-cluster 32-core".to_string(),
+            clusters: vec![
+                ClusterSpec::new(
+                    "lp",
+                    8,
+                    FreqLadder::from_mhz_range(600, 1_400, 200),
+                    ClusterPowerModel {
+                        kappa: 0.090,
+                        sigma: 0.020,
+                        upsilon: 0.012,
+                        chi: 0.015,
+                        volt_lo: 0.80,
+                        volt_hi: 1.00,
+                    },
+                    1.0,
+                ),
+                ClusterSpec::new(
+                    "eff",
+                    12,
+                    FreqLadder::from_mhz_range(800, 2_000, 200),
+                    ClusterPowerModel {
+                        kappa: 0.280,
+                        sigma: 0.080,
+                        upsilon: 0.040,
+                        chi: 0.060,
+                        volt_lo: 0.80,
+                        volt_hi: 1.05,
+                    },
+                    1.3,
+                ),
+                ClusterSpec::new(
+                    "perf",
+                    8,
+                    FreqLadder::from_mhz_range(1_000, 2_600, 200),
+                    ClusterPowerModel {
+                        kappa: 0.750,
+                        sigma: 0.200,
+                        upsilon: 0.100,
+                        chi: 0.120,
+                        volt_lo: 0.82,
+                        volt_hi: 1.18,
+                    },
+                    1.7,
+                ),
+                ClusterSpec::new(
+                    "prime",
+                    4,
+                    FreqLadder::from_mhz_range(1_000, 3_000, 250),
+                    ClusterPowerModel {
+                        kappa: 1.000,
+                        sigma: 0.260,
+                        upsilon: 0.130,
+                        chi: 0.150,
+                        volt_lo: 0.85,
+                        volt_hi: 1.25,
+                    },
+                    2.1,
+                ),
+            ],
+            base_freq: FreqKhz::from_mhz(1_000),
+            units_per_sec: 1_000.0,
+            sensor_period_ns: 50_000_000,
+        }
+    }
+
+    /// A 5-cluster, 48-core server board — the stress preset for
+    /// search scaling: `2N = 10` search dimensions, a state space in
+    /// the billions, `O(9^10)` exhaustive candidates per adaptation
+    /// period. Only the beam-limited and frontier policies are
+    /// practical here.
+    pub fn server_5c_48core() -> Self {
+        Self {
+            name: "server 5-cluster 48-core".to_string(),
+            clusters: vec![
+                ClusterSpec::new(
+                    "lp",
+                    8,
+                    FreqLadder::from_mhz_range(600, 1_400, 200),
+                    ClusterPowerModel {
+                        kappa: 0.090,
+                        sigma: 0.020,
+                        upsilon: 0.012,
+                        chi: 0.015,
+                        volt_lo: 0.80,
+                        volt_hi: 1.00,
+                    },
+                    1.0,
+                ),
+                ClusterSpec::new(
+                    "eff",
+                    16,
+                    FreqLadder::from_mhz_range(800, 2_000, 200),
+                    ClusterPowerModel {
+                        kappa: 0.260,
+                        sigma: 0.075,
+                        upsilon: 0.038,
+                        chi: 0.055,
+                        volt_lo: 0.80,
+                        volt_hi: 1.05,
+                    },
+                    1.25,
+                ),
+                ClusterSpec::new(
+                    "std",
+                    12,
+                    FreqLadder::from_mhz_range(1_000, 2_200, 200),
+                    ClusterPowerModel {
+                        kappa: 0.480,
+                        sigma: 0.130,
+                        upsilon: 0.065,
+                        chi: 0.080,
+                        volt_lo: 0.82,
+                        volt_hi: 1.10,
+                    },
+                    1.5,
+                ),
+                ClusterSpec::new(
+                    "perf",
+                    8,
+                    FreqLadder::from_mhz_range(1_000, 2_800, 200),
+                    ClusterPowerModel {
+                        kappa: 0.820,
+                        sigma: 0.210,
+                        upsilon: 0.105,
+                        chi: 0.130,
+                        volt_lo: 0.83,
+                        volt_hi: 1.20,
+                    },
+                    1.8,
+                ),
+                ClusterSpec::new(
+                    "prime",
+                    4,
+                    FreqLadder::from_mhz_range(1_200, 3_200, 250),
+                    ClusterPowerModel {
+                        kappa: 1.100,
+                        sigma: 0.280,
+                        upsilon: 0.140,
+                        chi: 0.160,
+                        volt_lo: 0.86,
+                        volt_hi: 1.28,
+                    },
+                    2.2,
+                ),
+            ],
+            base_freq: FreqKhz::from_mhz(1_000),
+            units_per_sec: 1_000.0,
+            sensor_period_ns: 50_000_000,
+        }
+    }
+
     /// Number of clusters.
     pub fn n_clusters(&self) -> usize {
         self.clusters.len()
@@ -512,6 +673,8 @@ mod tests {
             BoardSpec::phone_2big_4little(),
             BoardSpec::dynamiq_1p_3m_4l(),
             BoardSpec::x86_hybrid_6p_8e(),
+            BoardSpec::server_4c_32core(),
+            BoardSpec::server_5c_48core(),
         ] {
             b.assert_valid();
             let mut union = CpuSet::empty();
@@ -582,6 +745,57 @@ mod tests {
         assert_eq!(b.faster_cluster(ClusterId(0)), Some(ClusterId(1)));
         assert_eq!(b.faster_cluster(ClusterId(1)), Some(ClusterId(2)));
         assert_eq!(b.slower_cluster(ClusterId(2)), Some(ClusterId(1)));
+    }
+
+    #[test]
+    fn server_presets_shape() {
+        let b4 = BoardSpec::server_4c_32core();
+        assert_eq!(b4.n_clusters(), 4);
+        assert_eq!(b4.n_cores(), 32);
+        assert_eq!(b4.cluster_size(ClusterId(1)), 12);
+        assert_eq!(b4.cluster_start(ClusterId(3)), CoreId(28));
+        assert_eq!(b4.cluster_of(CoreId(31)), ClusterId(3));
+
+        let b5 = BoardSpec::server_5c_48core();
+        assert_eq!(b5.n_clusters(), 5);
+        assert_eq!(b5.n_cores(), 48);
+        assert_eq!(b5.cluster_start(ClusterId(4)), CoreId(44));
+        assert_eq!(b5.cluster_of(CoreId(47)), ClusterId(4));
+        // Nominal ratios strictly increase with the cluster index on
+        // both server presets (GTS migration order relies on it).
+        for b in [&b4, &b5] {
+            let mut prev = 0.0;
+            for c in b.cluster_ids() {
+                assert!(b.perf_ratio(c) > prev, "{}: {c} not increasing", b.name);
+                prev = b.perf_ratio(c);
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_cluster_boards_validate() {
+        // MAX_CLUSTERS is 16 now: a board with 16 single-core clusters
+        // must validate, one with 17 must not.
+        let mk = |n: usize| BoardSpec {
+            name: format!("{n}-cluster"),
+            clusters: (0..n)
+                .map(|i| {
+                    ClusterSpec::new(
+                        format!("c{i}"),
+                        1,
+                        FreqLadder::from_mhz_range(800, 1_200, 200),
+                        BoardSpec::odroid_xu3().power_model(ClusterId(0)).clone(),
+                        1.0 + 0.1 * i as f64,
+                    )
+                })
+                .collect(),
+            base_freq: FreqKhz::from_mhz(1_000),
+            units_per_sec: 1_000.0,
+            sensor_period_ns: 100_000_000,
+        };
+        mk(MAX_CLUSTERS).assert_valid();
+        let too_many = mk(MAX_CLUSTERS + 1);
+        assert!(std::panic::catch_unwind(move || too_many.assert_valid()).is_err());
     }
 
     #[test]

@@ -84,6 +84,9 @@ struct ConsApp {
 pub struct ConsIManager {
     cfg: ConsConfig,
     board: BoardSpec,
+    /// The board's nominal per-cluster ratios (the score's
+    /// interpolation anchors).
+    nominals: Vec<f64>,
     /// All states sorted ascending by `perfScore` (ties broken
     /// deterministically by the state tuple).
     ranked: Vec<SystemState>,
@@ -100,6 +103,7 @@ impl ConsIManager {
     pub fn new(board: &BoardSpec, cfg: ConsConfig) -> Self {
         let space = StateSpace::from_board(board);
         let base = board.base_freq;
+        let nominals: Vec<f64> = board.cluster_ids().map(|c| board.perf_ratio(c)).collect();
         // Frequency combinations only, at full core counts (see module
         // docs).
         let mut ranked: Vec<SystemState> = space
@@ -111,8 +115,8 @@ impl ConsIManager {
             })
             .collect();
         ranked.sort_by(|a, b| {
-            let sa = perf_score(a, cfg.r0, base);
-            let sb = perf_score(b, cfg.r0, base);
+            let sa = perf_score(a, cfg.r0, base, &nominals);
+            let sb = perf_score(b, cfg.r0, base, &nominals);
             sa.partial_cmp(&sb)
                 .expect("scores are finite")
                 .then_with(|| {
@@ -136,6 +140,7 @@ impl ConsIManager {
         Self {
             cfg,
             board: board.clone(),
+            nominals,
             ranked,
             cursor,
             apps: Vec::new(),
@@ -220,7 +225,7 @@ impl ConsIManager {
             FreezeDecision::Keep => {}
         }
         let base = self.board.base_freq;
-        let cur_score = perf_score(&self.ranked[self.cursor], self.cfg.r0, base);
+        let cur_score = perf_score(&self.ranked[self.cursor], self.cfg.r0, base, &self.nominals);
         // "The candidate system state that makes the smallest system
         // performance change": the nearest state with a strictly
         // different score (many states tie on score; a tie would be no
@@ -233,7 +238,9 @@ impl ConsIManager {
                         return None;
                     }
                     i += 1;
-                    if perf_score(&self.ranked[i], self.cfg.r0, base) > cur_score + 1e-9 {
+                    if perf_score(&self.ranked[i], self.cfg.r0, base, &self.nominals)
+                        > cur_score + 1e-9
+                    {
                         break i;
                     }
                 }
@@ -248,7 +255,9 @@ impl ConsIManager {
                         return None;
                     }
                     i -= 1;
-                    if perf_score(&self.ranked[i], self.cfg.r0, base) < cur_score - 1e-9 {
+                    if perf_score(&self.ranked[i], self.cfg.r0, base, &self.nominals)
+                        < cur_score - 1e-9
+                    {
                         break i;
                     }
                 }
@@ -275,12 +284,24 @@ impl ConsIManager {
 
 /// The performance score CONS-I ranks states by:
 /// `Σ_c C_c · r_c · (f_c/f₀)` with `r_c` the assumed per-cluster ratio
-/// (only the big/little split of the original formula uses `r0`; for
+/// (only the big/little split of the original formula uses `r0`). For
 /// N-cluster states the fastest cluster gets `r0` and middle clusters
-/// interpolate linearly by index — CONS-I performs no estimation, so a
-/// coarse score is in keeping with the baseline).
-pub fn perf_score(state: &SystemState, r0: f64, base: FreqKhz) -> f64 {
+/// interpolate linearly **by nominal ratio**: a mid cluster whose
+/// board-nominal ratio sits 60% of the way between the reference and
+/// the fastest cluster is scored at 60% of the `1 → r0` span. (The
+/// earlier index-based interpolation scored a near-prime mid cluster
+/// the same as a near-little one; CONS-I still performs no estimation,
+/// but its coarse score should at least respect the board's shape.)
+/// `nominals` are the board's per-cluster nominal ratios in cluster
+/// order; boards where all nominals coincide fall back to index
+/// interpolation.
+///
+/// # Panics
+///
+/// Panics when `nominals` does not cover the state's clusters.
+pub fn perf_score(state: &SystemState, r0: f64, base: FreqKhz, nominals: &[f64]) -> f64 {
     let n = state.n_clusters();
+    assert_eq!(nominals.len(), n, "one nominal ratio per cluster");
     let mut score = 0.0;
     for i in (0..n).rev() {
         let c = ClusterId(i);
@@ -289,7 +310,13 @@ pub fn perf_score(state: &SystemState, r0: f64, base: FreqKhz) -> f64 {
         } else if i == n - 1 {
             r0
         } else {
-            1.0 + (r0 - 1.0) * i as f64 / (n - 1) as f64
+            let span = nominals[n - 1] - nominals[0];
+            let w = if span > 0.0 {
+                (nominals[i] - nominals[0]) / span
+            } else {
+                i as f64 / (n - 1) as f64
+            };
+            1.0 + (r0 - 1.0) * w
         };
         score += state.cores(c) as f64 * ratio * state.freq(c).ratio_to(base);
     }
@@ -325,6 +352,11 @@ mod tests {
         PerfTarget::new(lo, hi).unwrap()
     }
 
+    /// The XU3's nominal ratios (little 1.0, big 1.5) — middle-cluster
+    /// interpolation never fires on two clusters, so the scores below
+    /// are unchanged from the index-based formula.
+    const XU3_NOMINALS: [f64; 2] = [1.0, 1.5];
+
     #[test]
     fn starts_at_the_maximum_state() {
         let m = mk();
@@ -339,7 +371,44 @@ mod tests {
     fn perf_score_matches_paper_formula() {
         let s = SystemState::big_little(2, 3, FreqKhz::from_mhz(1_200), FreqKhz::from_mhz(1_000));
         // 2·1.5·1.2 + 3·1.0 = 6.6
-        assert!((perf_score(&s, 1.5, FreqKhz::from_mhz(1_000)) - 6.6).abs() < 1e-12);
+        assert!((perf_score(&s, 1.5, FreqKhz::from_mhz(1_000), &XU3_NOMINALS) - 6.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_score_interpolates_middle_clusters_by_nominal_ratio() {
+        // DynamIQ nominals (1.0, 1.6, 2.0): the mid cluster sits 60% of
+        // the way from little to prime, so at r0 = 1.5 it scores
+        // 1 + 0.5·0.6 = 1.3 per core — not the index-interpolated 1.25.
+        let nominals = [1.0, 1.6, 2.0];
+        let f = FreqKhz::from_mhz(1_000);
+        let one_each = SystemState::new(&[(1, f), (1, f), (1, f)]);
+        let score = perf_score(&one_each, 1.5, f, &nominals);
+        assert!(
+            (score - (1.0 + 1.3 + 1.5)).abs() < 1e-12,
+            "score {score} != 3.8"
+        );
+        // Only the mid cluster contributes the interpolated ratio.
+        let mid_only = SystemState::new(&[(0, f), (2, f), (0, f)]);
+        let mid_score = perf_score(&mid_only, 1.5, f, &nominals);
+        assert!((mid_score - 2.0 * 1.3).abs() < 1e-12);
+        // Degenerate nominals (all equal) fall back to index weights.
+        let flat = perf_score(&one_each, 1.5, f, &[1.0, 1.0, 1.0]);
+        assert!((flat - (1.0 + 1.25 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tri_cluster_cons_manager_ranks_by_nominal_interpolation() {
+        // End to end: a DynamIQ CONS-I manager's ranked list must be
+        // monotone under the nominal-interpolated score.
+        let board = BoardSpec::dynamiq_1p_3m_4l();
+        let m = ConsIManager::new(&board, ConsConfig::default());
+        let nominals = [1.0, 1.6, 2.0];
+        let mut prev = f64::NEG_INFINITY;
+        for s in &m.ranked {
+            let score = perf_score(s, 1.5, board.base_freq, &nominals);
+            assert!(score >= prev - 1e-12);
+            prev = score;
+        }
     }
 
     #[test]
@@ -348,7 +417,7 @@ mod tests {
         let base = board().base_freq;
         let mut prev = f64::NEG_INFINITY;
         for s in &m.ranked {
-            let score = perf_score(s, 1.5, base);
+            let score = perf_score(s, 1.5, base, &XU3_NOMINALS);
             assert!(score >= prev - 1e-12);
             prev = score;
         }
@@ -358,9 +427,9 @@ mod tests {
     fn overperforming_solo_app_steps_down_and_freezes() {
         let mut m = mk();
         m.register_app(AppId(0), target(9.0, 11.0));
-        let before_score = perf_score(&m.state(), 1.5, board().base_freq);
+        let before_score = perf_score(&m.state(), 1.5, board().base_freq, &XU3_NOMINALS);
         let d = m.on_heartbeat(AppId(0), 10, Some(30.0)).expect("dec");
-        let after_score = perf_score(&m.state(), 1.5, board().base_freq);
+        let after_score = perf_score(&m.state(), 1.5, board().base_freq, &XU3_NOMINALS);
         assert!(after_score < before_score, "score must strictly drop");
         assert!(m.frozen(), "decrease must freeze");
         assert!(!d.allowed_cores.is_empty());
@@ -415,10 +484,10 @@ mod tests {
         for i in 11..=31 {
             let _ = m.on_heartbeat(AppId(0), i, Some(30.0));
         }
-        let at_score = perf_score(&m.state(), 1.5, board().base_freq);
+        let at_score = perf_score(&m.state(), 1.5, board().base_freq, &XU3_NOMINALS);
         // Now under-perform: INC even though frozen state may linger.
         let d = m.on_heartbeat(AppId(0), 40, Some(1.0)).expect("inc");
-        assert!(perf_score(&m.state(), 1.5, board().base_freq) > at_score);
+        assert!(perf_score(&m.state(), 1.5, board().base_freq, &XU3_NOMINALS) > at_score);
         assert!(!m.frozen(), "INC unfreezes");
         assert_eq!(d.state, m.state());
     }

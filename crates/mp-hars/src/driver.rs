@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use hars_core::driver::BehaviorSample;
 use hars_core::metrics::normalized_performance;
+use hars_core::search::SearchStats;
 
 use crate::cons::{ConsDecision, ConsIManager};
 use crate::manager::{MpDecision, MpHarsManager};
@@ -43,6 +44,9 @@ pub struct MpRunOutcome {
     pub manager_busy_ns: u64,
     /// State changes applied.
     pub adaptations: u64,
+    /// Cumulative search cost across all apps' searches (zero for the
+    /// baseline and CONS-I, which perform no search).
+    pub search_stats: SearchStats,
 }
 
 /// Which multi-app version drives the run (the Figure 5.4 versions).
@@ -236,10 +240,10 @@ fn summarize(
     } else {
         norm_sum / apps.len() as f64
     };
-    let (busy, adaptations) = match version {
-        MpVersion::Baseline => (0, 0),
-        MpVersion::ConsI(m) => (m.busy_ns(), m.adaptations()),
-        MpVersion::MpHars(m) => (m.busy_ns(), m.adaptations()),
+    let (busy, adaptations, search_stats) = match version {
+        MpVersion::Baseline => (0, 0, SearchStats::default()),
+        MpVersion::ConsI(m) => (m.busy_ns(), m.adaptations(), SearchStats::default()),
+        MpVersion::MpHars(m) => (m.busy_ns(), m.adaptations(), m.search_stats()),
     };
     MpRunOutcome {
         apps: stats,
@@ -252,5 +256,6 @@ fn summarize(
         },
         manager_busy_ns: busy,
         adaptations,
+        search_stats,
     }
 }

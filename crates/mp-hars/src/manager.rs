@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 use hars_core::policy::SearchPolicy;
 use hars_core::ratio_learn::{PendingPrediction, RatioLearner, RatioLearning};
 use hars_core::sched::plan_affinities;
-use hars_core::search::{get_next_sys_state, FreqChange, SearchConstraints};
+use hars_core::search::{
+    ExplorationBonus, FreqChange, SearchConstraints, SearchContext, SearchStats, SearchStrategy,
+};
 use hars_core::{PerfEstimator, PowerEstimator, SchedulerKind, StateSpace, SystemState};
 
 use crate::app_data::{AppData, PerfClass};
@@ -48,6 +50,12 @@ pub struct MpHarsConfig {
     /// Online refinement of the shared estimator's assumed per-cluster
     /// ratios, fed by every app's consumed rate predictions.
     pub ratio_learning: RatioLearning,
+    /// Ratio-learning exploration bonus weight (0 disables — the
+    /// default): with [`RatioLearning::PerCluster`], candidates whose
+    /// thread assignment moves share onto an evidence-starved cluster
+    /// win near-ties so the shared learner eventually sees every
+    /// cluster (see `hars_core::search::ExplorationBonus`).
+    pub exploration_bonus: f64,
 }
 
 impl Default for MpHarsConfig {
@@ -60,6 +68,7 @@ impl Default for MpHarsConfig {
             cost_per_state_ns: 3_000,
             cost_per_heartbeat_ns: 500,
             ratio_learning: RatioLearning::Off,
+            exploration_bonus: 0.0,
         }
     }
 }
@@ -92,8 +101,8 @@ pub struct MpDecision {
     pub freqs: Vec<FreqKhz>,
     /// Modeled decision latency (ns).
     pub overhead_ns: u64,
-    /// Candidate states evaluated.
-    pub explored: usize,
+    /// Search cost accounting of the decision.
+    pub stats: SearchStats,
 }
 
 impl MpDecision {
@@ -124,6 +133,8 @@ pub struct MpHarsManager {
     learner: RatioLearner,
     busy_ns: u64,
     adaptations: u64,
+    /// Cumulative search cost across all apps' searches.
+    search_stats: SearchStats,
 }
 
 impl MpHarsManager {
@@ -147,6 +158,7 @@ impl MpHarsManager {
             learner,
             busy_ns: 0,
             adaptations: 0,
+            search_stats: SearchStats::default(),
         }
     }
 
@@ -182,6 +194,11 @@ impl MpHarsManager {
     /// State changes applied across all applications.
     pub fn adaptations(&self) -> u64 {
         self.adaptations
+    }
+
+    /// Cumulative search cost across all applications' searches.
+    pub fn search_stats(&self) -> SearchStats {
+        self.search_stats
     }
 
     /// One application's current state view, if registered.
@@ -293,20 +310,25 @@ impl MpHarsManager {
         }
         let current = self.apps[ai].state;
         let overperforming = rate > self.apps[ai].target.avg();
-        let params = self.cfg.policy.params_for(overperforming);
-        // Line 20: the HARS search, bounded by the constraints.
-        let outcome = get_next_sys_state(
-            &self.space,
-            &current,
-            rate,
-            self.apps[ai].threads,
-            &self.apps[ai].target,
-            params,
-            &constraints,
-            &self.perf,
-            &self.power,
-        );
-        let overhead = outcome.explored as u64 * self.cfg.cost_per_state_ns;
+        // Line 20: the HARS search, bounded by the constraints, through
+        // the policy's strategy (sweep, beam or frontier).
+        let strategy = self.cfg.policy.strategy_for(overperforming);
+        let strategy: &dyn SearchStrategy = &strategy;
+        let ctx = SearchContext {
+            space: &self.space,
+            current: &current,
+            observed_rate: rate,
+            threads: self.apps[ai].threads,
+            target: &self.apps[ai].target,
+            constraints: &constraints,
+            perf: &self.perf,
+            power: &self.power,
+            tabu: &[],
+            exploration: self.exploration(),
+        };
+        let outcome = strategy.next_state(&ctx);
+        self.search_stats.merge(outcome.stats);
+        let overhead = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
         self.busy_ns += overhead;
         if outcome.state == current {
             return None;
@@ -323,7 +345,18 @@ impl MpHarsManager {
             ));
         }
         // Lines 21–26: allocate cores, apply frequencies, arm freezes.
-        Some(self.apply_state(ai, outcome.state, overhead, outcome.explored))
+        Some(self.apply_state(ai, outcome.state, overhead, outcome.stats))
+    }
+
+    /// The exploration bonus for the next search: active only when
+    /// configured and the shared learner still has evidence-starved
+    /// clusters.
+    fn exploration(&self) -> ExplorationBonus {
+        ExplorationBonus::from_learner(
+            self.cfg.exploration_bonus,
+            &self.learner,
+            self.board.cluster_ids(),
+        )
     }
 
     /// Initial fair-share allocation at an app's first heartbeat: claim
@@ -355,7 +388,7 @@ impl MpHarsManager {
             .collect();
         let state = SystemState::new(&per);
         self.apps[ai].allocated = true;
-        Some(self.apply_state(ai, state, 0, 0))
+        Some(self.apply_state(ai, state, 0, SearchStats::default()))
     }
 
     /// The search constraints for app `ai` (Algorithm 3 lines 18–19).
@@ -413,7 +446,7 @@ impl MpHarsManager {
         ai: usize,
         new_state: SystemState,
         overhead_ns: u64,
-        explored: usize,
+        stats: SearchStats,
     ) -> MpDecision {
         // Pending decrements for the allocator.
         {
@@ -474,7 +507,7 @@ impl MpHarsManager {
             affinities,
             freqs: self.clusters.iter().map(|c| c.freq).collect(),
             overhead_ns,
-            explored,
+            stats,
         }
     }
 }
