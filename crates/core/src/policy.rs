@@ -28,6 +28,17 @@ pub enum SearchPolicy {
         /// Manhattan-distance cap.
         d: i64,
     },
+    /// [`SearchPolicy::Beam`] with adaptive width-shrinking: each ring
+    /// that fails to improve the incumbent halves the frontier width
+    /// (floor 1) for the remaining rings, cutting evaluations on boards
+    /// where the best state stabilizes early. When every ring improves
+    /// the incumbent the walk is identical to the plain beam's.
+    AdaptiveBeam {
+        /// Initial frontier width.
+        width: usize,
+        /// Manhattan-distance cap.
+        d: i64,
+    },
     /// Greedy frontier: single-dimension coordinate descent until no
     /// neighbor improves — HARS-I generalized to arbitrary walk length
     /// and cluster counts.
@@ -47,6 +58,11 @@ impl SearchPolicy {
         SearchPolicy::Beam { width: 8, d: 7 }
     }
 
+    /// [`SearchPolicy::beam_default`] with adaptive width-shrinking.
+    pub fn adaptive_beam_default() -> Self {
+        SearchPolicy::AdaptiveBeam { width: 8, d: 7 }
+    }
+
     /// The sweep-equivalent `(m, n, d)` bounds of this policy for the
     /// given violation direction — what the pre-trait managers passed
     /// to the search function. [`SearchPolicy::Frontier`] reports its
@@ -61,7 +77,9 @@ impl SearchPolicy {
                 }
             }
             SearchPolicy::Exhaustive(p) => *p,
-            SearchPolicy::Beam { d, .. } => SearchParams::new(*d, *d, *d),
+            SearchPolicy::Beam { d, .. } | SearchPolicy::AdaptiveBeam { d, .. } => {
+                SearchParams::new(*d, *d, *d)
+            }
             SearchPolicy::Frontier => SearchParams::new(1, 1, 1),
         }
     }
@@ -74,6 +92,9 @@ impl SearchPolicy {
                 AnyStrategy::Exhaustive(ExhaustiveSweep::new(self.params_for(overperforming)))
             }
             SearchPolicy::Beam { width, d } => AnyStrategy::Beam(BeamSearch::new(*width, *d)),
+            SearchPolicy::AdaptiveBeam { width, d } => {
+                AnyStrategy::Beam(BeamSearch::adaptive(*width, *d))
+            }
             SearchPolicy::Frontier => AnyStrategy::Frontier(GreedyFrontier::default()),
         }
     }
@@ -206,5 +227,27 @@ mod tests {
         assert_eq!(SearchPolicy::Frontier.strategy_for(true).name(), "frontier");
         assert_eq!(hars_beam().policy, SearchPolicy::beam_default());
         assert_eq!(hars_frontier().policy, SearchPolicy::Frontier);
+    }
+
+    #[test]
+    fn adaptive_beam_resolves_to_adaptive_strategy() {
+        match SearchPolicy::adaptive_beam_default().strategy_for(true) {
+            AnyStrategy::Beam(b) => {
+                assert!(b.adaptive);
+                assert_eq!((b.width, b.params.d), (8, 7));
+            }
+            other => panic!("expected adaptive beam, got {other:?}"),
+        }
+        assert_eq!(
+            SearchPolicy::adaptive_beam_default()
+                .strategy_for(true)
+                .name(),
+            "adaptive-beam"
+        );
+        // Same sweep-equivalent bounds as the plain beam.
+        assert_eq!(
+            SearchPolicy::adaptive_beam_default().params_for(false),
+            SearchPolicy::beam_default().params_for(false)
+        );
     }
 }

@@ -95,6 +95,31 @@ impl PowerEstimator {
         Self { ladders, tables }
     }
 
+    /// A synthetic but monotone estimator for any board, with each
+    /// cluster's α scaled by its nominal performance ratio and growing
+    /// with the ladder level — enough to rank candidate states without
+    /// a calibration run. Used by the open-system scenario driver and
+    /// by board-generic tests; real experiments calibrate with
+    /// [`crate::calibrate::run_power_calibration`] instead.
+    pub fn synthetic_for_board(board: &hmp_sim::BoardSpec) -> Self {
+        Self::from_clusters(
+            board
+                .cluster_ids()
+                .map(|c| {
+                    let ladder = board.ladder(c).clone();
+                    let ratio = board.perf_ratio(c);
+                    let table: Vec<LinearCoeff> = (0..ladder.len())
+                        .map(|i| LinearCoeff {
+                            alpha: 0.12 * ratio + 0.03 * i as f64,
+                            beta: 0.08,
+                        })
+                        .collect();
+                    (ladder, table)
+                })
+                .collect(),
+        )
+    }
+
     /// Number of clusters modeled.
     pub fn n_clusters(&self) -> usize {
         self.ladders.len()

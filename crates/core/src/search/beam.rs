@@ -35,6 +35,15 @@ pub struct BeamSearch {
     /// The `(m, n, d)` bounds; [`BeamSearch::new`] sets `m = n = d` so
     /// the distance cap alone shapes the neighborhood.
     pub params: SearchParams,
+    /// Adaptive width: after each ring that leaves the incumbent best
+    /// unchanged (`SearchStats::best_rank_changes` stalls), the frontier
+    /// width for the following rings is halved (floor 1) — the stalled
+    /// incumbent is evidence the neighborhood's gradient has been
+    /// found, so the remaining rings only need a probe, not a sweep.
+    /// Off by default; a stalled search with adaptation on explores a
+    /// subset of the rings' candidates but can only keep or improve the
+    /// incumbent it already has.
+    pub adaptive: bool,
 }
 
 impl BeamSearch {
@@ -48,6 +57,19 @@ impl BeamSearch {
         Self {
             width,
             params: SearchParams::new(d, d, d),
+            adaptive: false,
+        }
+    }
+
+    /// [`BeamSearch::new`] with adaptive width-shrinking enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width == 0` or `d <= 0`.
+    pub fn adaptive(width: usize, d: i64) -> Self {
+        Self {
+            adaptive: true,
+            ..Self::new(width, d)
         }
     }
 
@@ -60,13 +82,21 @@ impl BeamSearch {
     /// Panics when `width == 0`.
     pub fn with_params(width: usize, params: SearchParams) -> Self {
         assert!(width > 0, "beam width must be positive");
-        Self { width, params }
+        Self {
+            width,
+            params,
+            adaptive: false,
+        }
     }
 }
 
 impl SearchStrategy for BeamSearch {
     fn name(&self) -> &'static str {
-        "beam"
+        if self.adaptive {
+            "adaptive-beam"
+        } else {
+            "beam"
+        }
     }
 
     fn next_state_observed(
@@ -88,7 +118,9 @@ impl SearchStrategy for BeamSearch {
         let mut visited: HashSet<StateIndex> = HashSet::new();
         visited.insert(cur_idx);
         let mut frontier: Vec<StateIndex> = vec![cur_idx];
+        let mut cur_width = self.width;
         for ring in 1..=self.params.d {
+            let mut ring_improved = false;
             let mut next: Vec<(StateIndex, RankedEval)> = Vec::new();
             for &idx in &frontier {
                 // Single index steps, dimensions in the sweep's order
@@ -135,7 +167,7 @@ impl SearchStrategy for BeamSearch {
                         let ranked = ctx.evaluate(&nidx, &cand, &mut cache);
                         explored += 1;
                         observer(cand);
-                        tracker.offer(cand, ranked);
+                        ring_improved |= tracker.offer(cand, ranked);
                         next.push((nidx, ranked));
                     }
                 }
@@ -143,10 +175,13 @@ impl SearchStrategy for BeamSearch {
             if next.is_empty() {
                 break;
             }
-            // Keep the best `width` ring states as the next frontier
+            if self.adaptive && !ring_improved {
+                cur_width = (cur_width / 2).max(1);
+            }
+            // Keep the best `cur_width` ring states as the next frontier
             // (stable: ties stay in visit order).
             next.sort_by(|a, b| a.1.cmp_better_first(&b.1));
-            next.truncate(self.width);
+            next.truncate(cur_width);
             frontier = next.into_iter().map(|(idx, _)| idx).collect();
         }
         tracker.finish(explored, cache.evaluated())

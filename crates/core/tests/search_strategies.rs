@@ -409,6 +409,86 @@ fn beam_width_bounds_exploration() {
     assert!(space.contains(&wide.state));
 }
 
+#[test]
+fn adaptive_beam_matches_plain_beam_when_the_incumbent_is_stable() {
+    // A state already sitting exactly on its band with every neighbor
+    // ranked worse: the incumbent never changes, so the adaptive beam
+    // halves its width ring after ring. The result must be identical to
+    // the plain beam's (the incumbent IS the result) at a fraction of
+    // the evaluations.
+    let board = BoardSpec::odroid_xu3();
+    let space = StateSpace::from_board(&board);
+    let perf = PerfEstimator::paper_default(board.base_freq);
+    let power = xu3_power();
+    let cur = SystemState::big_little(0, 1, FreqKhz::from_mhz(800), FreqKhz::from_mhz(800));
+    let target = PerfTarget::new(9.9, 10.1).unwrap();
+    let constraints = SearchConstraints::unrestricted(&space);
+    let ctx = SearchContext {
+        space: &space,
+        current: &cur,
+        observed_rate: 10.0,
+        threads: 8,
+        target: &target,
+        constraints: &constraints,
+        perf: &perf,
+        power: &power,
+        tabu: &[],
+        exploration: ExplorationBonus::none(),
+    };
+    let plain = BeamSearch::new(8, 7).next_state(&ctx);
+    let adaptive = BeamSearch::adaptive(8, 7).next_state(&ctx);
+    assert_eq!(plain.state, cur, "precondition: the incumbent is stable");
+    assert_eq!(plain.stats.best_rank_changes, 0);
+    assert_eq!(adaptive.state, plain.state);
+    assert_eq!(adaptive.eval, plain.eval);
+    assert_eq!(adaptive.stats.best_rank_changes, 0);
+    assert!(
+        adaptive.stats.evaluated < plain.stats.evaluated,
+        "stalled rings must shrink the frontier: adaptive {} vs plain {}",
+        adaptive.stats.evaluated,
+        plain.stats.evaluated
+    );
+}
+
+#[test]
+fn adaptive_beam_still_finds_a_satisfying_state_under_churn_of_rings() {
+    // From the max state with an over-performing rate the early rings
+    // keep improving the incumbent, so adaptation must not fire before
+    // the walk has found a satisfying shrink.
+    let board = BoardSpec::dynamiq_1p_3m_4l();
+    let space = StateSpace::from_board(&board);
+    let perf = PerfEstimator::from_board(&board);
+    let power = flat_power(&board);
+    let cur = space.max_state();
+    let target = PerfTarget::new(9.0, 11.0).unwrap();
+    let constraints = SearchConstraints::unrestricted(&space);
+    let ctx = SearchContext {
+        space: &space,
+        current: &cur,
+        observed_rate: 30.0,
+        threads: 8,
+        target: &target,
+        constraints: &constraints,
+        perf: &perf,
+        power: &power,
+        tabu: &[],
+        exploration: ExplorationBonus::none(),
+    };
+    let plain = BeamSearch::new(8, 7).next_state(&ctx);
+    let adaptive = BeamSearch::adaptive(8, 7).next_state(&ctx);
+    assert!(plain.eval.satisfies && adaptive.eval.satisfies);
+    assert_ne!(adaptive.state, cur, "over-performance must shrink");
+    assert!(adaptive.stats.evaluated <= plain.stats.evaluated);
+    // Improving rings walk identically, so quality cannot collapse: the
+    // adaptive pick stays within 10% of the plain beam's perf/watt.
+    assert!(
+        adaptive.eval.perf_per_watt >= 0.9 * plain.eval.perf_per_watt,
+        "adaptive {} vs plain {}",
+        adaptive.eval.perf_per_watt,
+        plain.eval.perf_per_watt
+    );
+}
+
 // ---------------------------------------------------------------------
 // Exploration bonus
 // ---------------------------------------------------------------------

@@ -56,6 +56,15 @@ pub struct MpHarsConfig {
     /// win near-ties so the shared learner eventually sees every
     /// cluster (see `hars_core::search::ExplorationBonus`).
     pub exploration_bonus: f64,
+    /// Open-system overflow handling: when a tenant registers with
+    /// every core owned, confine ("park") its threads to the slowest
+    /// cluster until a departure frees cores, instead of letting them
+    /// roam the whole board and time-share every owner's partition.
+    /// Parking preserves the partitions' isolation (protecting tenants
+    /// with tight targets) at the cost of aggregate throughput under
+    /// sustained overload — off by default, matching the paper's
+    /// closed-system behavior.
+    pub park_overflow: bool,
 }
 
 impl Default for MpHarsConfig {
@@ -69,6 +78,7 @@ impl Default for MpHarsConfig {
             cost_per_heartbeat_ns: 500,
             ratio_learning: RatioLearning::Off,
             exploration_bonus: 0.0,
+            park_overflow: false,
         }
     }
 }
@@ -173,6 +183,12 @@ impl MpHarsManager {
     }
 
     /// Removes an application, returning its cores to the free lists.
+    ///
+    /// Departure hygiene: the frozen flags are recomputed from the
+    /// remaining applications' freezing counts — if the departing app
+    /// was the only one holding a cluster frozen, the flag is released
+    /// immediately instead of leaking until the next heartbeat's
+    /// refresh (where it would wrongly gate another app's adaptation).
     pub fn unregister_app(&mut self, app: AppId) {
         if let Some(pos) = self.apps.iter().position(|a| a.app == app) {
             let data = self.apps.remove(pos);
@@ -183,6 +199,7 @@ impl MpHarsManager {
                     }
                 }
             }
+            self.refresh_frozen_flags();
         }
     }
 
@@ -361,7 +378,11 @@ impl MpHarsManager {
 
     /// Initial fair-share allocation at an app's first heartbeat: claim
     /// up to `cluster_size / live_apps` cores per cluster from the free
-    /// lists (at least one core somewhere).
+    /// lists (at least one core somewhere), never more cores in total
+    /// than the app has threads — surplus is trimmed slowest-cluster
+    /// first, so an 8-thread tenant on a 32-core board claims the 8
+    /// fastest free cores instead of hogging every free list (cores its
+    /// waterfill would leave idle anyway, starving later arrivals).
     fn initial_allocation(&mut self, ai: usize) -> Option<MpDecision> {
         let napps = self.apps.len().max(1);
         let threads = self.apps[ai].threads;
@@ -370,6 +391,12 @@ impl MpHarsManager {
             .iter()
             .map(|c| (c.len() / napps).min(c.free_count()).min(threads))
             .collect();
+        let mut surplus = wants.iter().sum::<usize>().saturating_sub(threads);
+        for w in wants.iter_mut() {
+            let cut = surplus.min(*w);
+            *w -= cut;
+            surplus -= cut;
+        }
         if wants.iter().sum::<usize>() == 0 {
             // Everything is owned: fall back to one free core anywhere,
             // fastest cluster first (GTS would have packed there too).
@@ -378,7 +405,16 @@ impl MpHarsManager {
                 .find(|&ci| self.clusters[ci].free_count() > 0)
             {
                 Some(ci) => wants[ci] = 1,
-                None => return None, // truly nothing free; stay GTS-scheduled
+                // Truly nothing free. With `park_overflow`, confine
+                // the app to the slowest cluster instead of leaving
+                // its threads spread over the whole board (an unpinned
+                // over-capacity tenant time-shares every owner's
+                // partition, silently breaking the isolation the
+                // partitioner promises). Either way the app stays
+                // unallocated, so every following adaptation period
+                // retries the claim and the next departure lets it in.
+                None if self.cfg.park_overflow => return Some(self.park_decision(ai)),
+                None => return None, // paper behavior: stay GTS-scheduled
             }
         }
         let per: Vec<(usize, FreqKhz)> = wants
@@ -389,6 +425,22 @@ impl MpHarsManager {
         let state = SystemState::new(&per);
         self.apps[ai].allocated = true;
         Some(self.apply_state(ai, state, 0, SearchStats::default()))
+    }
+
+    /// The holding pattern for a tenant that arrived with every core
+    /// owned: all threads confined to the slowest cluster, frequencies
+    /// untouched, no cores claimed.
+    fn park_decision(&self, ai: usize) -> MpDecision {
+        let slowest = ClusterId(0);
+        let start = self.clusters[slowest.index()].start_core;
+        let mask = CpuSet::from_range(start..start + self.clusters[slowest.index()].len());
+        MpDecision {
+            app: self.apps[ai].app,
+            affinities: vec![mask; self.apps[ai].threads],
+            freqs: self.clusters.iter().map(|c| c.freq).collect(),
+            overhead_ns: 0,
+            stats: SearchStats::default(),
+        }
     }
 
     /// The search constraints for app `ai` (Algorithm 3 lines 18–19).
@@ -489,14 +541,22 @@ impl MpHarsManager {
                 }
             }
             if decreased {
-                // Arm freezing counts on every app using the cluster.
+                // Arm freezing counts on every app using the cluster,
+                // and always on the deciding app — the freeze exists to
+                // wait for *its* post-change measurements, even when
+                // its new state vacated the cluster it slowed down.
+                // The frozen flag mirrors the armed counts exactly
+                // (`freeze_heartbeats == 0` means nobody waits), so a
+                // departure or drain can never leave a stale gate.
                 let freeze = self.cfg.freeze_heartbeats;
-                for a in &mut self.apps {
-                    if a.uses_cluster(c) {
+                let mut armed = false;
+                for (i, a) in self.apps.iter_mut().enumerate() {
+                    if i == ai || a.uses_cluster(c) {
                         a.set_freezing_cnt(c, freeze);
+                        armed |= freeze > 0;
                     }
                 }
-                self.clusters[c.index()].frozen = true;
+                self.clusters[c.index()].frozen = armed;
             }
         }
         let app = &self.apps[ai];
@@ -652,6 +712,87 @@ mod tests {
         assert_eq!(m.clusters[0].free_count(), 4);
         assert_eq!(m.clusters[1].free_count(), 4);
         assert!(m.app_state(AppId(0)).is_none());
+    }
+
+    #[test]
+    fn initial_allocation_never_exceeds_thread_count() {
+        // On a 4-cluster 32-core board an 8-thread sole tenant used to
+        // claim cluster_size/1 = 8 cores in EVERY cluster (32 total),
+        // hogging the free lists; the trim keeps the 8 fastest cores.
+        let board = BoardSpec::server_4c_32core();
+        let perf = PerfEstimator::from_board(&board);
+        let power = PowerEstimator::synthetic_for_board(&board);
+        let mut m = MpHarsManager::new(&board, perf, power, mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None).expect("initial alloc");
+        let s = m.app_state(AppId(0)).unwrap();
+        assert_eq!(s.total_cores(), 8, "claim is capped at the thread count");
+        // Fastest clusters keep their share; the trim eats the slowest:
+        // the full 4-core prime tier plus 4 perf cores survive.
+        assert_eq!(s.cores(ClusterId(3)), 4, "prime tier kept");
+        assert_eq!(s.cores(ClusterId(2)), 4, "perf tier keeps the rest");
+        assert_eq!(s.cores(ClusterId(0)), 0, "slowest cluster trimmed");
+        // A second tenant still finds free cores on every cluster.
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(1), 0, None).expect("initial alloc");
+        let s1 = m.app_state(AppId(1)).unwrap();
+        assert_eq!(s1.total_cores(), 8);
+    }
+
+    #[test]
+    fn over_capacity_tenant_is_parked_on_the_slowest_cluster_then_admitted() {
+        let mut m = manager(MpHarsConfig {
+            park_overflow: true,
+            ..mp_hars_e()
+        });
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None).expect("initial alloc");
+        let _ = m.on_heartbeat(AppId(1), 0, None).expect("initial alloc");
+        // Both clusters are fully owned (2+2 each): a third tenant is
+        // parked on the little cluster instead of roaming the board.
+        m.register_app(AppId(2), 8, target(9.0, 11.0));
+        let d = m.on_heartbeat(AppId(2), 0, None).expect("park decision");
+        assert_eq!(d.affinities.len(), 8);
+        let little = CpuSet::from_range(0..4);
+        assert!(
+            d.affinities.iter().all(|&a| a == little),
+            "parked on little"
+        );
+        assert!(!m.apps()[2].allocated, "parked, not allocated");
+        assert_eq!(m.apps()[2].owned(ClusterId::LITTLE), 0, "owns nothing");
+        // A departure frees cores; the parked tenant's next adaptation
+        // period claims them.
+        m.unregister_app(AppId(0));
+        let d = m
+            .on_heartbeat(AppId(2), 10, Some(5.0))
+            .expect("claims freed cores");
+        assert!(
+            m.apps()
+                .iter()
+                .find(|a| a.app == AppId(2))
+                .unwrap()
+                .allocated
+        );
+        assert!(
+            d.affinities.iter().any(|&a| a != little),
+            "allocation must re-pin off the parking lane"
+        );
+    }
+
+    #[test]
+    fn default_config_keeps_overflow_gts_scheduled() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        m.register_app(AppId(1), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let _ = m.on_heartbeat(AppId(1), 0, None);
+        m.register_app(AppId(2), 8, target(9.0, 11.0));
+        assert!(
+            m.on_heartbeat(AppId(2), 0, None).is_none(),
+            "paper behavior: no decision, threads roam under GTS"
+        );
+        assert!(!m.apps()[2].allocated);
     }
 
     #[test]

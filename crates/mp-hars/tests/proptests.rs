@@ -138,3 +138,163 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Open-system churn hygiene: arbitrary register / unregister /
+// heartbeat interleavings leave the manager's shared state consistent.
+// ---------------------------------------------------------------------
+
+mod churn {
+    use super::*;
+    use hars_core::ratio_learn::RatioLearning;
+    use hars_core::{PerfEstimator, PowerEstimator};
+    use hmp_sim::BoardSpec;
+    use mp_hars::{mp_hars_e, MpHarsConfig, MpHarsManager};
+
+    fn check_invariants(m: &MpHarsManager, board: &BoardSpec) -> Result<(), TestCaseError> {
+        // 1. Core ownership is disjoint and mirrors the free lists.
+        for (ci, cluster) in m.clusters().iter().enumerate() {
+            for i in 0..cluster.len() {
+                let owners = m.apps().iter().filter(|a| a.owned[ci][i]).count();
+                prop_assert!(
+                    owners <= 1,
+                    "cluster {} core {} has {} owners",
+                    ci,
+                    i,
+                    owners
+                );
+                prop_assert_eq!(
+                    owners == 0,
+                    cluster.free[i],
+                    "free list out of sync at cluster {} core {}",
+                    ci,
+                    i
+                );
+            }
+        }
+        // 2. An allocated app's state mirrors its ownership bitmap; an
+        //    unallocated app owns nothing.
+        for a in m.apps() {
+            for c in board.cluster_ids() {
+                if a.allocated {
+                    prop_assert_eq!(
+                        a.owned(c),
+                        a.state.cores(c),
+                        "app {:?} state/ownership mismatch on {}",
+                        a.app,
+                        c
+                    );
+                } else {
+                    prop_assert_eq!(a.owned(c), 0);
+                }
+            }
+        }
+        // 3. Frozen flags mirror the live freezing counts exactly — no
+        //    stale freeze survives a departure (or a decrease nobody
+        //    observes).
+        for c in board.cluster_ids() {
+            let any_armed = m.apps().iter().any(|a| a.freezing_cnt(c) > 0);
+            prop_assert_eq!(
+                m.cluster_frozen(c),
+                any_armed,
+                "frozen flag leaked on {}",
+                c
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// Any interleaving of register/unregister/heartbeats keeps
+        /// ownership, free lists, freeze state and per-app records
+        /// consistent, on the XU3 and on a tri-cluster board.
+        ///
+        /// Ops are encoded as tuples: `kind` 0 = register (threads,
+        /// park from the shared bits), 1 = unregister, 2.. = heartbeat
+        /// (rate decoded from `rate_bits`; 0 means a rate-less beat).
+        #[test]
+        fn any_churn_interleaving_keeps_manager_state_consistent(
+            ops in proptest::collection::vec(
+                (0usize..4, 0usize..6, 1usize..=8, 0u32..64),
+                1..60,
+            ),
+            tri in proptest::bool::ANY,
+            park in proptest::bool::ANY,
+            freeze_heartbeats in 0u32..4,
+        ) {
+            let board = if tri {
+                BoardSpec::dynamiq_1p_3m_4l()
+            } else {
+                BoardSpec::odroid_xu3()
+            };
+            let perf = PerfEstimator::from_board(&board);
+            let mut m = MpHarsManager::new(
+                &board,
+                perf,
+                PowerEstimator::synthetic_for_board(&board),
+                MpHarsConfig {
+                    adapt_every: 2,
+                    freeze_heartbeats,
+                    ratio_learning: RatioLearning::PerCluster,
+                    park_overflow: park,
+                    ..mp_hars_e()
+                },
+            );
+            // Slot -> (live id, per-app heartbeat counter); ids are
+            // fresh per registration, like the engine's registry.
+            let mut live: [Option<(AppId, u64)>; 6] = [None; 6];
+            let mut next_id = 0u64;
+            for (kind, slot, threads, rate_bits) in ops {
+                match kind {
+                    0 => {
+                        if live[slot].is_none() {
+                            let id = AppId(next_id);
+                            next_id += 1;
+                            m.register_app(id, threads, PerfTarget::new(9.0, 11.0).unwrap());
+                            live[slot] = Some((id, 0));
+                        }
+                    }
+                    1 => {
+                        if let Some((id, _)) = live[slot].take() {
+                            m.unregister_app(id);
+                            prop_assert!(
+                                m.apps().iter().all(|a| a.app != id),
+                                "departed app must leave no record"
+                            );
+                        }
+                    }
+                    _ => {
+                        if let Some((id, counter)) = live[slot].as_mut() {
+                            let rate = if rate_bits == 0 {
+                                None
+                            } else {
+                                Some(0.7 * rate_bits as f64) // 0.7 .. 44.1 hb/s
+                            };
+                            let _ = m.on_heartbeat(*id, *counter, rate);
+                            *counter += 1;
+                        }
+                    }
+                }
+                check_invariants(&m, &board)?;
+            }
+            // Drain everyone: the manager must return to a pristine
+            // free state with no frozen clusters.
+            for slot in live.iter_mut() {
+                if let Some((id, _)) = slot.take() {
+                    m.unregister_app(id);
+                }
+            }
+            check_invariants(&m, &board)?;
+            prop_assert!(m.apps().is_empty());
+            for (ci, cluster) in m.clusters().iter().enumerate() {
+                prop_assert_eq!(
+                    cluster.free_count(),
+                    cluster.len(),
+                    "cluster {} did not return to fully free",
+                    ci
+                );
+                prop_assert!(!cluster.frozen);
+            }
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The open-system scenario driver: interleaves stochastic tenant
+//! arrivals with the engine clock, drives admission control, registers
+//! admitted tenants with the runtime manager mid-run, releases
+//! departures, and aggregates a [`ScenarioOutcome`].
+
+use std::collections::{HashMap, VecDeque};
+
+use heartbeats::{AppId, PerfTarget};
+use hmp_sim::{BoardSpec, Engine, EngineConfig, SimError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use workloads::Benchmark;
+
+use hars_core::metrics::normalized_performance;
+use hars_core::power_est::PowerEstimator;
+use hars_core::search::SearchStats;
+use hars_core::PerfEstimator;
+use mp_hars::driver::apply_mp_decision;
+use mp_hars::{MpHarsConfig, MpHarsManager};
+
+use crate::admission::{AdmissionDecision, AdmissionPolicy, LoadEstimate};
+use crate::arrival::ArrivalProcess;
+use crate::outcome::{ScenarioOutcome, TenantOutcome};
+use crate::template::{TemplateSet, TenantSpec};
+
+/// A complete open-system scenario description: who arrives, when, for
+/// how long, under which seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// The tenant blueprints arrivals are drawn from.
+    pub templates: TemplateSet,
+    /// Scenario horizon (ns): arrivals beyond it never happen; tenants
+    /// still running at the horizon are cut off and reported
+    /// incomplete.
+    pub horizon_ns: u64,
+    /// Master seed: arrival instants, template draws and per-tenant
+    /// jitter all derive from it deterministically.
+    pub seed: u64,
+    /// Heartbeat budget of the isolated calibration run used to resolve
+    /// each benchmark's solo rate (targets are fractions of it).
+    pub solo_budget: u64,
+    /// SLO guard band: the runtime manager is registered with a target
+    /// scaled up by `1 + target_guard`, while satisfaction is still
+    /// scored against the tenant's unscaled band. The manager's
+    /// satisfaction-first ranking deliberately picks the *cheapest*
+    /// state whose estimated rate clears the minimum, which parks
+    /// tenants at `min + ε` — where estimator bias and rate-window
+    /// noise flip heartbeats across the line. A few percent of guard
+    /// converts those marginal misses into margin, at a small energy
+    /// cost. Zero (the default) hands the manager the tenant's own
+    /// band.
+    pub target_guard: f64,
+}
+
+impl ScenarioSpec {
+    /// A spec with the default 60-heartbeat solo calibration budget.
+    pub fn new(
+        arrivals: ArrivalProcess,
+        templates: TemplateSet,
+        horizon_ns: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            arrivals,
+            templates,
+            horizon_ns,
+            seed,
+            solo_budget: 60,
+            target_guard: 0.0,
+        }
+    }
+
+    /// Materializes the scenario's full tenant schedule: ascending
+    /// `(arrival_ns, tenant)` pairs, bit-reproducible for a given spec.
+    pub fn tenant_schedule(&self) -> Vec<(u64, TenantSpec)> {
+        let times = self.arrivals.schedule(self.horizon_ns, self.seed);
+        // Separate stream for template draws so adding a template never
+        // perturbs the arrival instants.
+        let mut draw_rng = StdRng::seed_from_u64(self.seed ^ 0x7465_6d70_6c61_7465); // "template"
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let template = self.templates.draw(&mut draw_rng);
+                let tenant_seed = self
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                (t, template.instantiate(tenant_seed))
+            })
+            .collect()
+    }
+}
+
+/// Which runtime serves the scenario.
+// One runtime per scenario run: the size difference between variants is
+// irrelevant (never stored in bulk) — same shape as `MpVersion`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ScenarioRuntime {
+    /// Stock GTS at the maximum state: no manager, no targets enforced.
+    Gts,
+    /// MP-HARS with the given configuration and estimators.
+    MpHars {
+        /// Manager configuration (use [`mp_hars::mp_hars_i`] /
+        /// [`mp_hars::mp_hars_e`] for the paper's variants).
+        cfg: MpHarsConfig,
+        /// Shared performance estimator.
+        perf: PerfEstimator,
+        /// Shared power estimator.
+        power: PowerEstimator,
+    },
+}
+
+impl ScenarioRuntime {
+    /// MP-HARS with board-nominal estimators and the synthetic monotone
+    /// power model from [`synthetic_power_estimator`] — the zero-setup
+    /// configuration the churn bench uses.
+    pub fn mp_hars(board: &BoardSpec, cfg: MpHarsConfig) -> Self {
+        ScenarioRuntime::MpHars {
+            cfg,
+            perf: PerfEstimator::from_board(board),
+            power: synthetic_power_estimator(board),
+        }
+    }
+
+    /// Display label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioRuntime::Gts => "GTS",
+            ScenarioRuntime::MpHars { cfg, .. } => match cfg.policy {
+                hars_core::policy::SearchPolicy::Incremental => "MP-HARS-I",
+                hars_core::policy::SearchPolicy::Exhaustive(_) => "MP-HARS-E",
+                hars_core::policy::SearchPolicy::Beam { .. }
+                | hars_core::policy::SearchPolicy::AdaptiveBeam { .. } => "MP-HARS-B",
+                hars_core::policy::SearchPolicy::Frontier => "MP-HARS-F",
+            },
+        }
+    }
+}
+
+/// A monotone linear power model scaled by each cluster's nominal
+/// ratio — good enough to rank candidate states without a per-board
+/// calibration run ([`PowerEstimator::synthetic_for_board`]).
+pub fn synthetic_power_estimator(board: &BoardSpec) -> PowerEstimator {
+    PowerEstimator::synthetic_for_board(board)
+}
+
+/// Runs one open-system scenario to completion (or the horizon) and
+/// returns the aggregated outcome.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine interaction (invalid tenant
+/// specs, malformed decisions).
+pub fn run_scenario(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    spec: &ScenarioSpec,
+    admission: &mut dyn AdmissionPolicy,
+    runtime: ScenarioRuntime,
+) -> Result<ScenarioOutcome, SimError> {
+    let schedule = spec.tenant_schedule();
+    let manager = match runtime {
+        ScenarioRuntime::Gts => None,
+        ScenarioRuntime::MpHars { cfg, perf, power } => {
+            Some(MpHarsManager::new(board, perf, power, cfg))
+        }
+    };
+    assert!(
+        spec.target_guard.is_finite() && spec.target_guard >= 0.0,
+        "target guard must be non-negative"
+    );
+    let sim = Sim {
+        engine: Engine::new(board.clone(), engine_cfg.clone()),
+        board,
+        engine_cfg,
+        manager,
+        admission,
+        horizon_ns: spec.horizon_ns,
+        solo_budget: spec.solo_budget.max(2),
+        target_guard: spec.target_guard,
+        tenants: schedule
+            .into_iter()
+            .map(|(arrival_ns, ts)| TenantState {
+                ts,
+                arrival_ns,
+                admitted_ns: None,
+                finished_ns: None,
+                was_queued: false,
+                rejected: false,
+                app: None,
+                target: None,
+                solo_rate: 0.0,
+                rated: 0,
+                satisfied: 0,
+            })
+            .collect(),
+        queue: VecDeque::new(),
+        by_app: HashMap::new(),
+        live: 0,
+        solo_cache: HashMap::new(),
+    };
+    sim.run()
+}
+
+/// Driver-internal per-tenant bookkeeping.
+struct TenantState {
+    ts: TenantSpec,
+    arrival_ns: u64,
+    admitted_ns: Option<u64>,
+    finished_ns: Option<u64>,
+    was_queued: bool,
+    rejected: bool,
+    app: Option<AppId>,
+    target: Option<PerfTarget>,
+    solo_rate: f64,
+    rated: u64,
+    satisfied: u64,
+}
+
+struct Sim<'a> {
+    engine: Engine,
+    board: &'a BoardSpec,
+    engine_cfg: &'a EngineConfig,
+    manager: Option<MpHarsManager>,
+    admission: &'a mut dyn AdmissionPolicy,
+    horizon_ns: u64,
+    solo_budget: u64,
+    target_guard: f64,
+    tenants: Vec<TenantState>,
+    queue: VecDeque<usize>,
+    by_app: HashMap<AppId, usize>,
+    live: usize,
+    solo_cache: HashMap<(Benchmark, usize), f64>,
+}
+
+impl Sim<'_> {
+    fn run(mut self) -> Result<ScenarioOutcome, SimError> {
+        let mut next_arrival = 0usize;
+        loop {
+            let next_t = self
+                .tenants
+                .get(next_arrival)
+                .map(|t| t.arrival_ns.min(self.horizon_ns));
+            let deadline = next_t.unwrap_or(self.horizon_ns);
+            if let Some(hb) = self.engine.next_heartbeat(deadline) {
+                self.on_heartbeat(hb.app, hb.index, hb.time_ns)?;
+                continue;
+            }
+            // No heartbeat before `deadline`: either the clock reached
+            // it, or every currently registered app is done (an idle
+            // gap between departures and the next arrival).
+            if let Some(t) = next_t {
+                if self.engine.now_ns() < t {
+                    self.engine.run_until(t);
+                }
+                self.on_arrival(next_arrival)?;
+                next_arrival += 1;
+                continue;
+            }
+            // Arrivals exhausted: run until the last tenant departs or
+            // the horizon cuts the scenario off. (`next_heartbeat`
+            // returning `None` here means one of those happened —
+            // all-done, or the clock hit the horizon.)
+            break;
+        }
+        Ok(self.finish())
+    }
+
+    fn on_heartbeat(&mut self, app: AppId, hb_index: u64, time_ns: u64) -> Result<(), SimError> {
+        let Some(&ti) = self.by_app.get(&app) else {
+            return Ok(());
+        };
+        let rate = self
+            .engine
+            .monitor(app)?
+            .window_rate()
+            .map(|r| r.heartbeats_per_sec());
+        if let (Some(r), Some(target)) = (rate, self.tenants[ti].target) {
+            self.tenants[ti].rated += 1;
+            if r >= target.min() {
+                self.tenants[ti].satisfied += 1;
+            }
+        }
+        if let Some(m) = self.manager.as_mut() {
+            if let Some(d) = m.on_heartbeat(app, hb_index, rate) {
+                apply_mp_decision(&mut self.engine, &d, time_ns + d.overhead_ns)?;
+            }
+        }
+        if self.engine.app_done(app) && self.tenants[ti].finished_ns.is_none() {
+            self.tenants[ti].finished_ns = Some(time_ns);
+            self.live -= 1;
+            if let Some(m) = self.manager.as_mut() {
+                m.unregister_app(app);
+            }
+            self.drain_queue()?;
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, ti: usize) -> Result<(), SimError> {
+        let load = self.load_estimate();
+        match self.admission.decide(&load, self.queue.len()) {
+            AdmissionDecision::Admit => self.admit(ti)?,
+            AdmissionDecision::Queue => {
+                self.tenants[ti].was_queued = true;
+                self.queue.push_back(ti);
+            }
+            AdmissionDecision::Reject => self.tenants[ti].rejected = true,
+        }
+        Ok(())
+    }
+
+    /// Admits queued tenants head-first while the policy approves.
+    fn drain_queue(&mut self) -> Result<(), SimError> {
+        while let Some(&head) = self.queue.front() {
+            let load = self.load_estimate();
+            // The head has no waiters ahead of it.
+            match self.admission.decide(&load, 0) {
+                AdmissionDecision::Admit => {
+                    self.queue.pop_front();
+                    self.admit(head)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn admit(&mut self, ti: usize) -> Result<(), SimError> {
+        let (bench, threads) = (self.tenants[ti].ts.bench, self.tenants[ti].ts.threads);
+        let solo = self.solo_rate(bench, threads);
+        let t = &mut self.tenants[ti];
+        let target = PerfTarget::from_center(t.target_frac_center(solo), t.ts.target_tolerance)
+            .expect("positive target center");
+        let app = self.engine.add_app(t.ts.spec.clone())?;
+        self.engine.set_perf_target(app, target)?;
+        if let Some(m) = self.manager.as_mut() {
+            // The manager aims at the guard-scaled band; satisfaction
+            // is scored against the tenant's own band.
+            m.register_app(app, threads, target.scaled(1.0 + self.target_guard));
+        }
+        let t = &mut self.tenants[ti];
+        t.app = Some(app);
+        t.target = Some(target);
+        t.solo_rate = solo;
+        t.admitted_ns = Some(self.engine.now_ns());
+        self.by_app.insert(app, ti);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// The benchmark's isolated rate on this board: a solo run at the
+    /// maximum state (GTS, performance governor), cached per
+    /// `(benchmark, threads)`.
+    fn solo_rate(&mut self, bench: Benchmark, threads: usize) -> f64 {
+        if let Some(&r) = self.solo_cache.get(&(bench, threads)) {
+            return r;
+        }
+        let mut engine = Engine::new(self.board.clone(), self.engine_cfg.clone());
+        // A fixed workload seed: the solo reference is per benchmark,
+        // not per tenant.
+        let app = engine
+            .add_app(bench.spec_with_budget(threads, 0xCAFE, self.solo_budget))
+            .expect("preset spec validates");
+        engine.run_while_active(u64::MAX);
+        let rate = engine
+            .monitor(app)
+            .ok()
+            .and_then(|m| m.global_rate())
+            .map(|r| r.heartbeats_per_sec())
+            .unwrap_or(1.0);
+        self.solo_cache.insert((bench, threads), rate);
+        rate
+    }
+
+    fn load_estimate(&self) -> LoadEstimate {
+        match &self.manager {
+            Some(m) => {
+                let per: Vec<f64> = m
+                    .clusters()
+                    .iter()
+                    .map(|c| 1.0 - c.free_count() as f64 / c.len() as f64)
+                    .collect();
+                let total_cores: usize = m.clusters().iter().map(|c| c.len()).sum();
+                let owned: usize = m.clusters().iter().map(|c| c.len() - c.free_count()).sum();
+                // Tenants admitted but not yet through their initial
+                // allocation (it happens at the first heartbeat) own
+                // nothing yet; count their thread demand as pending
+                // claim so a burst cannot slip through the load-0
+                // window between admission and allocation.
+                let pending: usize = m
+                    .apps()
+                    .iter()
+                    .filter(|a| !a.allocated)
+                    .map(|a| a.threads.min(total_cores))
+                    .sum();
+                LoadEstimate {
+                    per_cluster: per,
+                    total: (owned + pending) as f64 / total_cores.max(1) as f64,
+                    live_tenants: self.live,
+                }
+            }
+            None => {
+                let threads: usize = self
+                    .tenants
+                    .iter()
+                    .filter(|t| t.app.is_some() && t.finished_ns.is_none())
+                    .map(|t| t.ts.spec.threads)
+                    .sum();
+                let frac = threads as f64 / self.board.n_cores() as f64;
+                LoadEstimate {
+                    per_cluster: vec![frac; self.board.n_clusters()],
+                    total: frac,
+                    live_tenants: self.live,
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> ScenarioOutcome {
+        let horizon = self.horizon_ns;
+        let (adaptations, busy, stats) = match &self.manager {
+            Some(m) => (m.adaptations(), m.busy_ns(), m.search_stats()),
+            None => (0, 0, SearchStats::default()),
+        };
+        let energy = self.engine.energy().total_joules();
+        let watts = self.engine.energy().average_power();
+        let outcomes: Vec<TenantOutcome> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let heartbeats = t.app.map(|a| self.engine.app_heartbeats(a)).unwrap_or(0);
+                let avg_rate = t
+                    .app
+                    .and_then(|a| self.engine.monitor(a).ok())
+                    .and_then(|m| m.global_rate())
+                    .map(|r| r.heartbeats_per_sec())
+                    .unwrap_or(0.0);
+                let norm_perf = t
+                    .target
+                    .map(|tg| normalized_performance(&tg, avg_rate))
+                    .unwrap_or(0.0);
+                TenantOutcome {
+                    tenant: i,
+                    bench: t.ts.bench.name(),
+                    arrival_ns: t.arrival_ns,
+                    admitted_ns: t.admitted_ns,
+                    finished_ns: t.finished_ns,
+                    was_queued: t.was_queued,
+                    rejected: t.rejected,
+                    heartbeats,
+                    avg_rate,
+                    target_min: t.target.map(|tg| tg.min()).unwrap_or(0.0),
+                    satisfaction: if t.rated > 0 {
+                        t.satisfied as f64 / t.rated as f64
+                    } else {
+                        0.0
+                    },
+                    norm_perf,
+                    solo_rate: t.solo_rate,
+                    slowdown: if avg_rate > 0.0 {
+                        t.solo_rate / avg_rate
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        ScenarioOutcome::from_tenants(outcomes, horizon, energy, watts, adaptations, busy, stats)
+    }
+}
+
+impl TenantState {
+    /// The tenant's absolute target center given the solo rate.
+    fn target_frac_center(&self, solo_rate: f64) -> f64 {
+        (self.ts.target_frac * solo_rate).max(f64::MIN_POSITIVE)
+    }
+}

@@ -15,7 +15,9 @@
 //!   schedulers;
 //! * [`mp_hars`] — the multi-application extension (resource
 //!   partitioning + interference-aware adaptation) and the CONS-I
-//!   baseline.
+//!   baseline;
+//! * [`hars_scenario`] — the open-system scenario engine (stochastic
+//!   tenant arrivals, admission control, churn benchmarking).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub use hars_core;
+pub use hars_scenario;
 pub use heartbeats;
 pub use hmp_sim;
 pub use mp_hars;
@@ -60,6 +63,10 @@ pub mod prelude {
     pub use hars_core::{
         run_single_app, HarsConfig, PerfEstimator, PowerEstimator, RuntimeManager, SchedulerKind,
         SearchParams, StateSpace, SystemState,
+    };
+    pub use hars_scenario::{
+        run_scenario, AdmissionPolicy, AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue,
+        CapacityGate, ScenarioRuntime, ScenarioSpec, TemplateSet,
     };
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;
