@@ -34,8 +34,8 @@
 
 use hars_core::policy::SearchPolicy;
 use hars_scenario::{
-    run_scenario, AdmissionPolicy, AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue,
-    CapacityGate, ScenarioOutcome, ScenarioRuntime, ScenarioSpec, TemplateSet,
+    run_scenario_cached, AdmissionPolicy, AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue,
+    CapacityGate, ScenarioOutcome, ScenarioRuntime, ScenarioSpec, SoloRateCache, TemplateSet,
 };
 use hmp_sim::clock::NS_PER_SEC;
 use hmp_sim::{BoardSpec, EngineConfig};
@@ -197,6 +197,7 @@ fn run_one(
     spec: &ScenarioSpec,
     runtime: ScenarioRuntime,
     admission: &mut dyn AdmissionPolicy,
+    solo_cache: &mut SoloRateCache,
 ) -> ScenarioOutcome {
     // A 10-heartbeat rate window (the tri-cluster bench's setting):
     // the default 20 blends pre- and post-adaptation rates for so long
@@ -205,7 +206,11 @@ fn run_one(
         hb_window: 10,
         ..EngineConfig::default()
     };
-    run_scenario(board, &engine_cfg, spec, admission, runtime).expect("scenario runs")
+    // One cross-scenario calibration cache for the whole bench: the
+    // solo rate of a (board, benchmark, threads) triple is scenario-
+    // independent, and this bin runs dozens of scenarios per board.
+    run_scenario_cached(board, &engine_cfg, spec, admission, runtime, solo_cache)
+        .expect("scenario runs")
 }
 
 fn print_row(label: &str, out: &ScenarioOutcome) {
@@ -227,6 +232,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
     let boards = [BoardSpec::odroid_xu3(), BoardSpec::server_4c_32core()];
     let mut heavy_results: Vec<HeavyResult> = Vec::new();
+    // Shared across every scenario, runtime and board (keys carry the
+    // board/engine-config fingerprint): each (benchmark, threads) solo
+    // calibration runs once per board for the whole bench.
+    let mut solo_cache = SoloRateCache::new();
 
     for board in &boards {
         let per_core_scale = board.n_cores() as f64 / 8.0;
@@ -248,7 +257,7 @@ fn main() {
                 let is_gts = matches!(runtime, ScenarioRuntime::Gts);
                 let is_mp = !is_gts;
                 let rt_label = runtime.label().to_string();
-                let out = run_one(board, &def.spec, runtime, &mut AlwaysAdmit);
+                let out = run_one(board, &def.spec, runtime, &mut AlwaysAdmit, &mut solo_cache);
                 print_row(&label, &out);
                 assert_eq!(
                     out.admitted, out.arrivals,
@@ -303,6 +312,7 @@ fn main() {
             &heavy.spec,
             ScenarioRuntime::mp_hars(board, mp_hars_e()),
             policy.as_mut(),
+            &mut solo_cache,
         );
         println!(
             "{:<16} {:>4} {:>6} {:>4} {:>6} {:>7.1} s {:>6.1}%",
@@ -334,6 +344,7 @@ fn main() {
         &heavy.spec,
         ScenarioRuntime::mp_hars(board, mp_hars_e()),
         &mut AlwaysAdmit,
+        &mut solo_cache,
     )
     .fingerprint();
     assert_eq!(a, b, "same seed must reproduce the outcome bit for bit");
@@ -379,6 +390,11 @@ fn main() {
         wins >= 1,
         "on at least one board, heavy churn must show MP-HARS >= GTS \
          target satisfaction at no more energy"
+    );
+    println!(
+        "\nsolo calibrations: {} isolated runs served every scenario \
+         (previously one set per scenario run)",
+        solo_cache.len()
     );
     println!("\nall churn contracts hold");
 }

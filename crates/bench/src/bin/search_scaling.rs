@@ -30,7 +30,6 @@ use std::time::Instant;
 
 use hars_core::calibrate::run_power_calibration;
 use hars_core::policy::SearchPolicy;
-use hars_core::power_est::{LinearCoeff, PowerEstimator};
 use hars_core::search::{
     count_sweep_candidates, ExplorationBonus, SearchConstraints, SearchContext, SearchParams,
     SearchStrategy,
@@ -40,28 +39,6 @@ use heartbeats::PerfTarget;
 use hmp_sim::clock::secs_to_ns;
 use hmp_sim::microbench::CalibrationConfig;
 use hmp_sim::{AppSpec, BoardSpec, Engine, EngineConfig, SpeedProfile};
-
-/// A synthetic but monotone linear power model (per-cluster α scaled by
-/// the nominal ratio) — enough for ranking candidates in the cost
-/// section without a calibration run per board.
-fn synthetic_power(board: &BoardSpec) -> PowerEstimator {
-    PowerEstimator::from_clusters(
-        board
-            .cluster_ids()
-            .map(|c| {
-                let ladder = board.ladder(c).clone();
-                let ratio = board.perf_ratio(c);
-                let table: Vec<LinearCoeff> = (0..ladder.len())
-                    .map(|i| LinearCoeff {
-                        alpha: 0.12 * ratio + 0.03 * i as f64,
-                        beta: 0.08,
-                    })
-                    .collect();
-                (ladder, table)
-            })
-            .collect(),
-    )
-}
 
 /// The policies under comparison, in report order.
 fn policies() -> Vec<(&'static str, SearchPolicy)> {
@@ -99,7 +76,7 @@ fn cost_section(quick: bool) -> (u128, Vec<(String, Vec<CostRow>)>) {
         let n = board.n_clusters();
         let space = StateSpace::from_board(&board);
         let perf = PerfEstimator::from_board(&board);
-        let power = synthetic_power(&board);
+        let power = hars_bench::synthetic_power(&board);
         let constraints = SearchConstraints::unrestricted(&space);
         let target = PerfTarget::new(9.0, 11.0).expect("valid band");
         // An interior state (half the cores, mid ladder levels): the
@@ -130,6 +107,7 @@ fn cost_section(quick: bool) -> (u128, Vec<(String, Vec<CostRow>)>) {
             power: &power,
             tabu: &[],
             exploration: ExplorationBonus::none(),
+            eval_limit: None,
         };
         let exhaustive_count = count_sweep_candidates(&ctx, SearchParams::exhaustive());
         if n == 5 {
@@ -146,7 +124,7 @@ fn cost_section(quick: bool) -> (u128, Vec<(String, Vec<CostRow>)>) {
                 );
                 continue;
             }
-            let strategy = policy.strategy_for(true);
+            let strategy = policy.strategy_for(true, 3_000);
             let strategy: &dyn SearchStrategy = &strategy;
             let t0 = Instant::now();
             let mut out = strategy.next_state(&ctx);

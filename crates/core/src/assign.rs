@@ -155,10 +155,21 @@ pub fn assign_threads_n(threads: usize, clusters: &[ClusterCapacity]) -> ThreadA
     let mut out = ThreadAssignment::empty(clusters.len());
     // Clusters with cores, fastest first; speed ties break toward the
     // higher cluster index (the paper's `r = 1` case keeps the big
-    // cluster first).
-    let mut order: Vec<usize> = (0..clusters.len())
-        .filter(|&i| clusters[i].cores > 0)
-        .collect();
+    // cluster first). Kept in an inline array — the search hot path
+    // runs one waterfill per candidate and must not allocate.
+    let mut order_buf = [0usize; MAX_CLUSTERS];
+    let mut order_len = 0usize;
+    for (i, c) in clusters.iter().enumerate() {
+        if c.cores > 0 {
+            order_buf[order_len] = i;
+            order_len += 1;
+        }
+    }
+    let order = &mut order_buf[..order_len];
+    // ≤ MAX_CLUSTERS elements: std's slice sort is an allocation-free
+    // insertion sort at this size, and the comparator is a total order
+    // (distinct indices break speed ties), so the permutation is the
+    // unique sorted one regardless of algorithm.
     order.sort_by(|&a, &b| {
         clusters[b]
             .speed
@@ -166,11 +177,12 @@ pub fn assign_threads_n(threads: usize, clusters: &[ClusterCapacity]) -> ThreadA
             .expect("finite speeds")
             .then(b.cmp(&a))
     });
+    let order: &[usize] = order;
     // Saturation check: total capacity in slowest-used-core equivalents
     // (for two clusters: `r·C_B + C_L`, the Row-4 boundary).
     let s_last = clusters[*order.last().expect("at least one used cluster")].speed;
     let mut total_cap = 0.0f64;
-    for &i in &order {
+    for &i in order {
         total_cap += (clusters[i].speed / s_last) * clusters[i].cores as f64;
     }
     if threads as f64 > total_cap {

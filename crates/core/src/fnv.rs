@@ -1,0 +1,73 @@
+//! FNV-1a (64-bit): the workspace's one deterministic, dependency-free
+//! hash core. The search hot path uses it as a [`std::hash::Hasher`]
+//! for its per-period containers (the default SipHash costs more per
+//! probe than a candidate evaluation, and its keyed randomness buys
+//! nothing inside one decision); the scenario crate builds its outcome
+//! and calibration-environment fingerprints on the same implementation
+//! so the two can never silently diverge.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A 64-bit FNV-1a hasher (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`).
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl FnvHasher {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// A deterministic, zero-state build hasher for `HashMap`/`HashSet`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Classic FNV-1a test vectors.
+        let hash = |bytes: &[u8]| {
+            let mut h = FnvHasher::new();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_writes_match_one_shot() {
+        let mut a = FnvHasher::new();
+        a.write(b"hello ");
+        a.write(b"world");
+        let mut b = FnvHasher::new();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

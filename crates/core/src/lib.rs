@@ -72,6 +72,7 @@
 pub mod assign;
 pub mod calibrate;
 pub mod driver;
+pub mod fnv;
 pub mod linreg;
 pub mod manager;
 pub mod metrics;

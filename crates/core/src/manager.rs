@@ -295,7 +295,10 @@ impl RuntimeManager {
         let overperforming = rate > self.target.avg();
         let constraints = SearchConstraints::unrestricted(&self.space);
         let tabu: Vec<SystemState> = self.tabu.iter().copied().collect();
-        let strategy = self.cfg.policy.strategy_for(overperforming);
+        let strategy = self
+            .cfg
+            .policy
+            .strategy_for(overperforming, self.cfg.cost_per_state_ns);
         let strategy: &dyn SearchStrategy = &strategy;
         let ctx = SearchContext {
             space: &self.space,
@@ -308,15 +311,19 @@ impl RuntimeManager {
             power: &self.power,
             tabu: &tabu,
             exploration: self.exploration(),
+            eval_limit: None,
         };
-        let outcome: SearchOutcome = strategy.next_state(&ctx);
+        let mut outcome: SearchOutcome = strategy.next_state(&ctx);
         self.searches += 1;
-        self.search_stats.merge(outcome.stats);
         // The overhead model charges per estimator evaluation — cache
         // hits are free (for the sweep, evaluated == explored, so the
-        // modeled cost is unchanged from the pre-cache runtime).
-        let overhead = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
-        self.busy_ns += overhead;
+        // modeled cost is unchanged from the pre-cache runtime). The
+        // charge is stamped on the stats as `wall_ns` once, and every
+        // downstream consumer — `busy_ns`, the decision's apply
+        // latency, run-level totals — reads it from there.
+        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
+        self.search_stats.merge(outcome.stats);
+        self.busy_ns += outcome.stats.wall_ns;
         if outcome.state == self.state {
             return None;
         }
@@ -338,7 +345,7 @@ impl RuntimeManager {
         }
         self.predictor.on_state_change();
         self.state = outcome.state;
-        Some(self.decision_for(outcome.state, overhead, outcome.stats))
+        Some(self.decision_for(outcome.state, outcome.stats.wall_ns, outcome.stats))
     }
 
     /// The exploration bonus for the next search: active only when
@@ -463,6 +470,11 @@ mod tests {
             d.overhead_ns,
             d.stats.evaluated as u64 * m.cfg.cost_per_state_ns
         );
+        assert_eq!(
+            d.stats.wall_ns, d.overhead_ns,
+            "the decision latency is read from the stamped wall_ns"
+        );
+        assert_eq!(m.search_stats().wall_ns, d.overhead_ns);
         assert!(m.busy_ns() >= d.overhead_ns);
     }
 

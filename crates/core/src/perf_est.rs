@@ -183,6 +183,11 @@ impl PerfEstimator {
         self.n as usize
     }
 
+    /// The baseline frequency `f₀` the speed model normalizes to.
+    pub fn base_freq(&self) -> FreqKhz {
+        self.base_freq
+    }
+
     /// The *nominally* fastest cluster (big, on two-cluster boards) —
     /// the one the legacy scalar nudge ([`PerfEstimator::set_r0`])
     /// refines. Fixed at construction: online learning may move other
@@ -318,7 +323,14 @@ impl PerfEstimator {
 }
 
 /// `t_c` of one cluster: dedicated-core regime or time-shared regime.
-fn cluster_time(cluster_threads: usize, used_cores: usize, total_threads: f64, speed: f64) -> f64 {
+/// Crate-visible so the search's delta evaluator recombines the exact
+/// same per-cluster term.
+pub(crate) fn cluster_time(
+    cluster_threads: usize,
+    used_cores: usize,
+    total_threads: f64,
+    speed: f64,
+) -> f64 {
     if cluster_threads == 0 || used_cores == 0 {
         return 0.0;
     }

@@ -5,12 +5,14 @@
 use serde::{Deserialize, Serialize};
 
 use crate::sched::SchedulerKind;
-use crate::search::{AnyStrategy, BeamSearch, ExhaustiveSweep, GreedyFrontier, SearchParams};
+use crate::search::{
+    AnyStrategy, BeamSearch, BudgetedSearch, ExhaustiveSweep, GreedyFrontier, SearchParams,
+};
 
 /// How the runtime manager searches for the next state each adaptation
 /// period. The policy is resolved per adaptation into a
 /// [`crate::search::SearchStrategy`] via [`SearchPolicy::strategy_for`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SearchPolicy {
     /// HARS-I: one incremental step, direction chosen by whether the app
     /// over- or under-performs (`m=1,n=0,d=1` / `m=0,n=1,d=1`).
@@ -43,6 +45,20 @@ pub enum SearchPolicy {
     /// neighbor improves — HARS-I generalized to arbitrary walk length
     /// and cluster counts.
     Frontier,
+    /// Anytime wrapper: run `inner` until the modeled decision budget
+    /// `budget_ns` is exhausted (charged at the manager's
+    /// `cost_per_state_ns` per estimator evaluation), then yield the
+    /// best-so-far incumbent with
+    /// [`SearchStats::truncated`](crate::search::SearchStats) set. A
+    /// budgeted search never exceeds its allowance by more than the
+    /// mandatory current-state evaluation, so a manager can bound its
+    /// per-period overhead regardless of board size or inner policy.
+    Budgeted {
+        /// The wrapped policy (any non-budgeted variant).
+        inner: Box<SearchPolicy>,
+        /// Modeled decision-time allowance per adaptation (ns).
+        budget_ns: u64,
+    },
 }
 
 impl SearchPolicy {
@@ -63,10 +79,20 @@ impl SearchPolicy {
         SearchPolicy::AdaptiveBeam { width: 8, d: 7 }
     }
 
+    /// Wraps `inner` in an anytime decision budget of `budget_ns`
+    /// modeled nanoseconds per adaptation.
+    pub fn budgeted(inner: SearchPolicy, budget_ns: u64) -> Self {
+        SearchPolicy::Budgeted {
+            inner: Box::new(inner),
+            budget_ns,
+        }
+    }
+
     /// The sweep-equivalent `(m, n, d)` bounds of this policy for the
     /// given violation direction — what the pre-trait managers passed
     /// to the search function. [`SearchPolicy::Frontier`] reports its
-    /// single-step building block.
+    /// single-step building block; [`SearchPolicy::Budgeted`] its
+    /// inner policy's bounds (the budget shrinks work, not reach).
     pub fn params_for(&self, overperforming: bool) -> SearchParams {
         match self {
             SearchPolicy::Incremental => {
@@ -81,12 +107,16 @@ impl SearchPolicy {
                 SearchParams::new(*d, *d, *d)
             }
             SearchPolicy::Frontier => SearchParams::new(1, 1, 1),
+            SearchPolicy::Budgeted { inner, .. } => inner.params_for(overperforming),
         }
     }
 
     /// Resolves the policy into the concrete strategy for one
-    /// adaptation, given the direction of the target violation.
-    pub fn strategy_for(&self, overperforming: bool) -> AnyStrategy {
+    /// adaptation, given the direction of the target violation and the
+    /// manager's modeled per-evaluation cost (`cost_per_state_ns`,
+    /// which [`SearchPolicy::Budgeted`] converts into its evaluation
+    /// allowance; the other policies ignore it).
+    pub fn strategy_for(&self, overperforming: bool, cost_per_state_ns: u64) -> AnyStrategy {
         match self {
             SearchPolicy::Incremental | SearchPolicy::Exhaustive(_) => {
                 AnyStrategy::Exhaustive(ExhaustiveSweep::new(self.params_for(overperforming)))
@@ -96,13 +126,20 @@ impl SearchPolicy {
                 AnyStrategy::Beam(BeamSearch::adaptive(*width, *d))
             }
             SearchPolicy::Frontier => AnyStrategy::Frontier(GreedyFrontier::default()),
+            SearchPolicy::Budgeted { inner, budget_ns } => {
+                AnyStrategy::Budgeted(BudgetedSearch::new(
+                    inner.strategy_for(overperforming, cost_per_state_ns),
+                    *budget_ns,
+                    cost_per_state_ns,
+                ))
+            }
         }
     }
 }
 
 /// A named HARS variant: policy + scheduler, as compared in Figures
 /// 5.1/5.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HarsVariant {
     /// Display name ("HARS-I", "HARS-E", "HARS-EI").
     pub name: &'static str,
@@ -210,28 +247,33 @@ mod tests {
     #[test]
     fn policies_resolve_to_their_strategies() {
         assert_eq!(
-            SearchPolicy::exhaustive_default().strategy_for(true).name(),
+            SearchPolicy::exhaustive_default()
+                .strategy_for(true, 3_000)
+                .name(),
             "exhaustive"
         );
         assert_eq!(
-            SearchPolicy::Incremental.strategy_for(false).name(),
+            SearchPolicy::Incremental.strategy_for(false, 3_000).name(),
             "exhaustive"
         );
-        match SearchPolicy::beam_default().strategy_for(true) {
+        match SearchPolicy::beam_default().strategy_for(true, 3_000) {
             AnyStrategy::Beam(b) => {
                 assert_eq!(b.width, 8);
                 assert_eq!(b.params.d, 7);
             }
             other => panic!("expected beam, got {other:?}"),
         }
-        assert_eq!(SearchPolicy::Frontier.strategy_for(true).name(), "frontier");
+        assert_eq!(
+            SearchPolicy::Frontier.strategy_for(true, 3_000).name(),
+            "frontier"
+        );
         assert_eq!(hars_beam().policy, SearchPolicy::beam_default());
         assert_eq!(hars_frontier().policy, SearchPolicy::Frontier);
     }
 
     #[test]
     fn adaptive_beam_resolves_to_adaptive_strategy() {
-        match SearchPolicy::adaptive_beam_default().strategy_for(true) {
+        match SearchPolicy::adaptive_beam_default().strategy_for(true, 3_000) {
             AnyStrategy::Beam(b) => {
                 assert!(b.adaptive);
                 assert_eq!((b.width, b.params.d), (8, 7));
@@ -240,7 +282,7 @@ mod tests {
         }
         assert_eq!(
             SearchPolicy::adaptive_beam_default()
-                .strategy_for(true)
+                .strategy_for(true, 3_000)
                 .name(),
             "adaptive-beam"
         );
@@ -249,5 +291,28 @@ mod tests {
             SearchPolicy::adaptive_beam_default().params_for(false),
             SearchPolicy::beam_default().params_for(false)
         );
+    }
+
+    #[test]
+    fn budgeted_resolves_to_wrapped_strategy() {
+        let p = SearchPolicy::budgeted(SearchPolicy::exhaustive_default(), 300_000);
+        // Bounds delegate to the inner policy.
+        assert_eq!(
+            p.params_for(true),
+            SearchPolicy::exhaustive_default().params_for(true)
+        );
+        match p.strategy_for(true, 3_000) {
+            AnyStrategy::Budgeted(b) => {
+                assert_eq!(b.budget_ns, 300_000);
+                assert_eq!(b.cost_per_state_ns, 3_000);
+                assert_eq!(b.max_evaluations(), 100);
+                match *b.inner {
+                    AnyStrategy::Exhaustive(_) => {}
+                    ref other => panic!("expected exhaustive inner, got {other:?}"),
+                }
+            }
+            other => panic!("expected budgeted, got {other:?}"),
+        }
+        assert_eq!(p.strategy_for(true, 3_000).name(), "budgeted");
     }
 }

@@ -18,11 +18,12 @@
 
 use std::collections::HashSet;
 
-use hmp_sim::ClusterId;
-
 use crate::state::{StateIndex, SystemState};
 
-use super::strategy::{BestTracker, EvalCache, RankedEval, SearchContext, SearchStrategy};
+use super::ball::for_each_unit_step;
+use super::strategy::{
+    BestTracker, EvalCache, FnvBuild, RankedEval, SearchContext, SearchStrategy,
+};
 use super::{SearchOutcome, SearchParams};
 
 /// The beam strategy: expand the best `width` frontier states per
@@ -115,61 +116,66 @@ impl SearchStrategy for BeamSearch {
         let mut tracker = BestTracker::new(*ctx.current, current_ranked, ctx.tabu);
         let mut explored = 1usize;
 
-        let mut visited: HashSet<StateIndex> = HashSet::new();
+        let mut visited: HashSet<StateIndex, FnvBuild> = HashSet::default();
         visited.insert(cur_idx);
         let mut frontier: Vec<StateIndex> = vec![cur_idx];
         let mut cur_width = self.width;
-        for ring in 1..=self.params.d {
+        let mut truncated = false;
+        'rings: for ring in 1..=self.params.d {
             let mut ring_improved = false;
             let mut next: Vec<(StateIndex, RankedEval)> = Vec::new();
             for &idx in &frontier {
-                // Single index steps, dimensions in the sweep's order
-                // (cores of cluster N-1..0, then levels of N-1..0) for
-                // deterministic tie handling.
-                for i in (0..n).rev() {
-                    let c = ClusterId(i);
-                    for (is_level, step) in [(false, 1i64), (false, -1), (true, 1), (true, -1)] {
-                        let mut nidx = idx;
-                        if is_level {
-                            nidx.set_level(c, idx.level(c) + step);
-                        } else {
-                            nidx.set_cores(c, idx.cores(c) + step);
-                        }
-                        // Outward only: the neighbor must sit exactly on
-                        // this ring, within the per-dimension bounds.
-                        if nidx.manhattan(&cur_idx) != ring {
-                            continue;
-                        }
-                        let offset = if is_level {
-                            nidx.level(c) - cur_idx.level(c)
-                        } else {
-                            nidx.cores(c) - cur_idx.cores(c)
-                        };
-                        if offset < -self.params.m || offset > self.params.n {
-                            continue;
-                        }
-                        if !visited.insert(nidx) {
-                            continue;
-                        }
-                        let Some(cand) = space.state_at(&nidx) else {
-                            continue;
-                        };
-                        let allowed = space.cluster_ids().all(|cc| {
-                            cand.cores(cc) <= ctx.constraints.max_cores(cc)
-                                && ctx
-                                    .constraints
-                                    .freq_change(cc)
-                                    .allows(cur_idx.level(cc), nidx.level(cc))
-                        });
-                        if !allowed {
-                            continue;
-                        }
-                        let ranked = ctx.evaluate(&nidx, &cand, &mut cache);
-                        explored += 1;
-                        observer(cand);
-                        ring_improved |= tracker.offer(cand, ranked);
-                        next.push((nidx, ranked));
+                // Single index steps through the shared walk
+                // ([`for_each_unit_step`]): dimensions in the sweep's
+                // order (cores of cluster N-1..0, then levels of
+                // N-1..0) for deterministic tie handling. Once the
+                // budget trips, the remaining (≤ 4N) visits fall
+                // through without work.
+                for_each_unit_step(n, &idx, &mut |c, is_level, nidx| {
+                    if truncated {
+                        return;
                     }
+                    // Outward only: the neighbor must sit exactly on
+                    // this ring, within the per-dimension bounds.
+                    if nidx.manhattan(&cur_idx) != ring {
+                        return;
+                    }
+                    let offset = if is_level {
+                        nidx.level(c) - cur_idx.level(c)
+                    } else {
+                        nidx.cores(c) - cur_idx.cores(c)
+                    };
+                    if offset < -self.params.m || offset > self.params.n {
+                        return;
+                    }
+                    if !visited.insert(nidx) {
+                        return;
+                    }
+                    let Some(cand) = space.state_at(&nidx) else {
+                        return;
+                    };
+                    let allowed = space.cluster_ids().all(|cc| {
+                        cand.cores(cc) <= ctx.constraints.max_cores(cc)
+                            && ctx
+                                .constraints
+                                .freq_change(cc)
+                                .allows(cur_idx.level(cc), nidx.level(cc))
+                    });
+                    if !allowed {
+                        return;
+                    }
+                    if ctx.out_of_budget(&cache) {
+                        truncated = true;
+                        return;
+                    }
+                    let ranked = ctx.evaluate(&nidx, &cand, &mut cache);
+                    explored += 1;
+                    observer(cand);
+                    ring_improved |= tracker.offer(cand, ranked);
+                    next.push((nidx, ranked));
+                });
+                if truncated {
+                    break 'rings;
                 }
             }
             if next.is_empty() {
@@ -184,6 +190,8 @@ impl SearchStrategy for BeamSearch {
             next.truncate(cur_width);
             frontier = next.into_iter().map(|(idx, _)| idx).collect();
         }
-        tracker.finish(explored, cache.evaluated())
+        let mut out = tracker.finish(explored, cache.evaluated());
+        out.stats.truncated = truncated;
+        out
     }
 }

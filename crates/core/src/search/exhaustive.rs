@@ -1,18 +1,25 @@
-//! [`ExhaustiveSweep`] — Algorithm 2's `(m, n, d)`-bounded sweep over
-//! all `2N` index dimensions, unchanged from the pre-trait
-//! implementation and proptested bit-identical to it (and, through it,
-//! to the original 2-cluster code).
+//! [`ExhaustiveSweep`] — Algorithm 2's `(m, n, d)`-bounded search over
+//! all `2N` index dimensions, enumerated directly as a Manhattan
+//! distance ball ([`super::ball`]) instead of the legacy
+//! `(m+n+1)^(2N)` box odometer. The candidate set, visit order and
+//! therefore every decision are bit-identical to the pre-refactor
+//! sweep (and, through it, to the original 2-cluster code) — pinned by
+//! the legacy-odometer proptest in `tests/search_ball.rs` — but the
+//! per-decision work is proportional to the in-cap candidate count:
+//! on a 4-cluster board with the paper's `(4, 4, 7)` bounds, ~68k
+//! enumeration steps for ~94k candidates instead of ~43M odometer
+//! iterations — 633× fewer (see [`count_enumeration_nodes`]; the
+//! `decision_perf` bench asserts ≥ 50×).
 //!
 //! Also home of [`count_sweep_candidates`], the closed-form count of
 //! the states the sweep would explore — the yardstick the
-//! `search_scaling` bench compares the bounded strategies against on
-//! boards where actually running the sweep is intractable
-//! (`(m+n+1)^(2N)` odometer steps).
+//! `search_scaling` bench compares the bounded strategies against.
 
-use hmp_sim::{ClusterId, MAX_CLUSTERS};
+use hmp_sim::ClusterId;
 
-use crate::state::SystemState;
+use crate::state::StateIndex;
 
+use super::ball::BallDims;
 use super::strategy::{BestTracker, EvalCache, SearchContext, SearchStrategy};
 use super::{FreqChange, SearchOutcome, SearchParams};
 
@@ -33,6 +40,61 @@ impl ExhaustiveSweep {
     }
 }
 
+/// Builds the per-dimension offset bounds of the sweep's distance
+/// ball: each dimension's `[-m, +n]` window intersected with the
+/// board's valid coordinate interval, the free-core caps and the
+/// [`FreqChange`] gates — so the enumeration generates only offset
+/// vectors whose per-dimension coordinates are individually legal
+/// (the one remaining cross-dimension check is the all-clusters-
+/// zero-cores exclusion).
+fn sweep_ball_dims(
+    ctx: &SearchContext<'_>,
+    params: SearchParams,
+    cur_idx: &StateIndex,
+) -> BallDims {
+    let space = ctx.space;
+    let n = space.n_clusters();
+    let mut dims = BallDims::new(2 * n);
+    for (pos, i) in (0..n).rev().enumerate() {
+        let c = ClusterId(i);
+        let max_cores = space.max_cores(c).min(ctx.constraints.max_cores(c)) as i64;
+        let center = cur_idx.cores(c);
+        dims.set(
+            pos,
+            (-params.m).max(-center),
+            params.n.min(max_cores - center),
+        );
+        let level = cur_idx.level(c);
+        let top = space.ladder(c).len() as i64 - 1;
+        let (lo, hi) = match ctx.constraints.freq_change(c) {
+            FreqChange::Any => (0, top),
+            FreqChange::IncreaseOnly => (level, top),
+            FreqChange::Fixed => (level, level),
+        };
+        dims.set(
+            n + pos,
+            (-params.m).max(lo - level),
+            params.n.min(hi - level),
+        );
+    }
+    dims
+}
+
+/// The number of enumeration steps (walk nodes) the distance-ball
+/// sweep takes from `ctx.current` — the "iterations" the legacy box
+/// odometer spent `(m+n+1)^(2N)` on. Proportional to the candidate
+/// count (every node extends to at least one in-cap vector); the
+/// `decision_perf` bench reports the ratio against the box volume.
+pub fn count_enumeration_nodes(ctx: &SearchContext<'_>, params: SearchParams) -> u64 {
+    let cur_idx = ctx
+        .space
+        .index_of(ctx.current)
+        .expect("current state must be on the board's ladders");
+    let dims = sweep_ball_dims(ctx, params, &cur_idx);
+    let (nodes, _) = dims.enumerate(params.d, &mut |_| true);
+    nodes
+}
+
 impl SearchStrategy for ExhaustiveSweep {
     fn name(&self) -> &'static str {
         "exhaustive"
@@ -41,7 +103,7 @@ impl SearchStrategy for ExhaustiveSweep {
     fn next_state_observed(
         &self,
         ctx: &SearchContext<'_>,
-        observer: &mut dyn FnMut(SystemState),
+        observer: &mut dyn FnMut(crate::state::SystemState),
     ) -> SearchOutcome {
         let params = self.params;
         let space = ctx.space;
@@ -55,55 +117,47 @@ impl SearchStrategy for ExhaustiveSweep {
         let mut tracker = BestTracker::new(*ctx.current, current_ranked, ctx.tabu);
         let mut explored = 1usize; // the current state itself
 
-        // The 2N sweep dimensions, in the paper's nesting order:
-        // `center[d]` is the current state's coordinate; the sweep walks
-        // offsets `-m..=+n` per dimension with the last dimension
-        // varying fastest.
-        let dims = 2 * n;
-        let mut center = [0i64; 2 * MAX_CLUSTERS];
-        for (pos, i) in (0..n).rev().enumerate() {
-            center[pos] = cur_idx.cores(ClusterId(i));
-            center[n + pos] = cur_idx.level(ClusterId(i));
-        }
-        let mut offset = [0i64; 2 * MAX_CLUSTERS];
-        offset[..dims].fill(-params.m);
+        // Distance-ball enumeration over the 2N dimensions in the
+        // paper's nesting order (cores of cluster N-1..0, then levels
+        // of N-1..0, last dimension fastest): only in-cap, in-bounds
+        // offset vectors are generated, in the legacy odometer's exact
+        // order.
+        let dims = sweep_ball_dims(ctx, params, &cur_idx);
         let mut cand_idx = cur_idx;
-        'sweep: loop {
-            // Materialize the candidate's index coordinates.
-            let manhattan: i64 = offset[..dims].iter().map(|o| o.abs()).sum();
-            let is_center = manhattan == 0;
-            if !is_center && manhattan <= params.d {
-                for (pos, i) in (0..n).rev().enumerate() {
-                    cand_idx.set_cores(ClusterId(i), center[pos] + offset[pos]);
-                    cand_idx.set_level(ClusterId(i), center[n + pos] + offset[n + pos]);
-                }
-                if let Some(cand) = space.state_at(&cand_idx) {
-                    let allowed = space.cluster_ids().all(|c| {
-                        cand.cores(c) <= ctx.constraints.max_cores(c)
-                            && ctx
-                                .constraints
-                                .freq_change(c)
-                                .allows(cur_idx.level(c), cand_idx.level(c))
-                    });
-                    if allowed {
-                        let ranked = ctx.evaluate(&cand_idx, &cand, &mut cache);
-                        explored += 1;
-                        observer(cand);
-                        tracker.offer(cand, ranked);
-                    }
-                }
+        let mut truncated = false;
+        dims.enumerate(params.d, &mut |offset| {
+            if offset.iter().all(|&o| o == 0) {
+                return true; // the center: already the incumbent
             }
-            // Odometer step: last dimension fastest.
-            for pos in (0..dims).rev() {
-                if offset[pos] < params.n {
-                    offset[pos] += 1;
-                    continue 'sweep;
-                }
-                offset[pos] = -params.m;
+            let mut total_cores = 0i64;
+            for (pos, i) in (0..n).rev().enumerate() {
+                let c = ClusterId(i);
+                let cores = cur_idx.cores(c) + offset[pos];
+                cand_idx.set_cores(c, cores);
+                cand_idx.set_level(c, cur_idx.level(c) + offset[n + pos]);
+                total_cores += cores;
             }
-            break;
-        }
-        tracker.finish(explored, cache.evaluated())
+            if total_cores == 0 {
+                return true; // no cores anywhere: not a valid state
+            }
+            let cand = space
+                .state_at(&cand_idx)
+                .expect("ball dimensions are clamped to the valid intervals");
+            if ctx.out_of_budget(&cache) {
+                truncated = true;
+                return false;
+            }
+            // The ball visits each index exactly once: skip the
+            // memoization map (see `evaluate_uncached`).
+            let ranked = ctx.evaluate_uncached(&cand_idx, &cand, &mut cache);
+            explored += 1;
+            observer(cand);
+            tracker.offer(cand, ranked);
+            true
+        });
+        let mut out = tracker.finish(explored, cache.evaluated());
+        out.stats.truncated = truncated;
+        out
     }
 }
 
@@ -208,7 +262,7 @@ mod tests {
     use super::*;
     use crate::perf_est::PerfEstimator;
     use crate::power_est::{LinearCoeff, PowerEstimator};
-    use crate::state::StateSpace;
+    use crate::state::{StateSpace, SystemState};
     use heartbeats::PerfTarget;
     use hmp_sim::BoardSpec;
 
@@ -270,6 +324,7 @@ mod tests {
                             power: &power,
                             tabu: &[],
                             exploration: ExplorationBonus::none(),
+                            eval_limit: None,
                         };
                         let out = ExhaustiveSweep::new(params).next_state(&ctx);
                         let counted = count_sweep_candidates(&ctx, params);

@@ -68,7 +68,8 @@ impl SearchStrategy for GreedyFrontier {
 
         let mut pos_idx = cur_idx;
         let mut pos_ranked = current_ranked;
-        for _ in 0..self.max_steps {
+        let mut truncated = false;
+        'descent: for _ in 0..self.max_steps {
             let mut best_move: Option<(StateIndex, SystemState, RankedEval)> = None;
             for i in (0..n).rev() {
                 let c = ClusterId(i);
@@ -102,6 +103,13 @@ impl SearchStrategy for GreedyFrontier {
                         let Some(cand) = space.state_at(&nidx) else {
                             continue; // the all-zero-cores point
                         };
+                        // Revisited neighbors are free cache hits: an
+                        // exhausted budget only ends the descent when
+                        // the candidate would actually be evaluated.
+                        if ctx.out_of_budget_for(&nidx, &cache) {
+                            truncated = true;
+                            break 'descent;
+                        }
                         let first_visit = cache.evaluated();
                         let ranked = ctx.evaluate(&nidx, &cand, &mut cache);
                         explored += 1;
@@ -130,6 +138,8 @@ impl SearchStrategy for GreedyFrontier {
             pos_idx = nidx;
             pos_ranked = ranked;
         }
-        tracker.finish(explored, cache.evaluated())
+        let mut out = tracker.finish(explored, cache.evaluated());
+        out.stats.truncated = truncated;
+        out
     }
 }

@@ -6,15 +6,33 @@
 //! [`SearchStrategy`] implementations sharing one evaluation and
 //! ranking core:
 //!
-//! * [`ExhaustiveSweep`] — the paper's `(m, n, d)`-bounded sweep over
-//!   all `2N` index dimensions, bit-identical to the pre-refactor code
-//!   (and, transitively, to the original 2-cluster implementation —
-//!   both equivalences are proptested);
+//! * [`ExhaustiveSweep`] — the paper's `(m, n, d)`-bounded search over
+//!   all `2N` index dimensions, decision-for-decision identical to the
+//!   pre-refactor code (and, transitively, to the original 2-cluster
+//!   implementation — both equivalences are proptested). Since the
+//!   decision-loop performance overhaul it enumerates the Manhattan
+//!   distance ball *directly* (see the `ball` module) instead of
+//!   sweeping the `(m+n+1)^(2N)` bounding box and discarding ~99% of
+//!   the odometer steps: work is proportional to the in-cap candidate
+//!   count, which makes the exhaustive policy tractable on 4- and even
+//!   5-cluster boards;
 //! * [`BeamSearch`] — best-`k` Manhattan-ring expansion, bounding work
-//!   to `O(k·d·N)` evaluations on many-cluster boards where the sweep's
-//!   `O((m+n+1)^(2N))` explodes;
+//!   to `O(k·d·N)` evaluations on many-cluster boards where even the
+//!   candidate count explodes;
 //! * [`GreedyFrontier`] — single-step coordinate descent until no
-//!   neighbor improves, the large-N generalization of HARS-I.
+//!   neighbor improves, the large-N generalization of HARS-I;
+//! * [`BudgetedSearch`] — the anytime wrapper
+//!   ([`SearchPolicy::Budgeted`](crate::policy::SearchPolicy::Budgeted)):
+//!   any inner strategy under a modeled decision-time budget, yielding
+//!   the best-so-far incumbent (with [`SearchStats::truncated`] set)
+//!   once `budget_ns / cost_per_state_ns` evaluations are spent.
+//!
+//! Candidate evaluation itself is factored: the per-period
+//! [`EvalCache`] owns a delta evaluator (the `delta` module) that
+//! hoists the search-invariant current-state barrier time and memoizes
+//! the per-cluster, per-ladder-level speed and power partial terms,
+//! recombining them per candidate — bit-for-bit equal to
+//! [`evaluate_state`] (proptested) at a fraction of its cost.
 //!
 //! Candidates are ranked by a satisfaction-first ordering shared by all
 //! strategies:
@@ -40,13 +58,17 @@
 //! reproduces the original `(C_B, C_L, k_B, k_L)` nested loops
 //! candidate for candidate.
 
+mod ball;
 mod beam;
+mod budget;
+mod delta;
 mod exhaustive;
 mod frontier;
 mod strategy;
 
 pub use beam::BeamSearch;
-pub use exhaustive::{count_sweep_candidates, ExhaustiveSweep};
+pub use budget::BudgetedSearch;
+pub use exhaustive::{count_enumeration_nodes, count_sweep_candidates, ExhaustiveSweep};
 pub use frontier::GreedyFrontier;
 pub use strategy::{
     AnyStrategy, EvalCache, ExplorationBonus, SearchContext, SearchStats, SearchStrategy,
@@ -305,6 +327,7 @@ pub fn get_next_sys_state_tabu(
         power,
         tabu,
         exploration: ExplorationBonus::none(),
+        eval_limit: None,
     };
     ExhaustiveSweep::new(params).next_state(&ctx)
 }

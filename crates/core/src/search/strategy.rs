@@ -24,14 +24,16 @@ use crate::perf_est::PerfEstimator;
 use crate::power_est::PowerEstimator;
 use crate::state::{StateIndex, StateSpace, SystemState};
 
-use super::{evaluate_state, CandidateEval, SearchConstraints, SearchOutcome};
+use super::delta::PartialEvaluator;
+use super::{CandidateEval, SearchConstraints, SearchOutcome};
 
 /// Cost accounting of one search (or, summed, of a whole run): how many
 /// candidates the strategy *considered*, how many distinct states the
 /// estimators actually *evaluated* (cache misses — the unit the
-/// runtime-overhead model charges), and how often the incumbent best
+/// runtime-overhead model charges), how often the incumbent best
 /// changed (a convergence diagnostic: a beam whose best never changes
-/// after ring 1 is over-provisioned).
+/// after ring 1 is over-provisioned), the modeled decision time, and
+/// whether an anytime budget cut the search short.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Candidate states considered, including the current state and
@@ -41,6 +43,22 @@ pub struct SearchStats {
     pub evaluated: usize,
     /// Times the incumbent best candidate was replaced.
     pub best_rank_changes: usize,
+    /// Modeled decision time (ns), charged on the sim clock as
+    /// `evaluated × cost_per_state_ns` by the managers — monotonic and
+    /// deterministic, so overhead reporting reads it directly instead
+    /// of re-deriving it from `evaluated` and a config knob.
+    /// (`serde(default)`: stats serialized before this field existed
+    /// deserialize with 0.)
+    #[serde(default)]
+    pub wall_ns: u64,
+    /// `true` when an anytime budget ([`SearchPolicy::Budgeted`])
+    /// stopped the search before it ran to completion and the outcome
+    /// is the best-so-far incumbent. ORs across merges: a run-level
+    /// total reports whether *any* decision was truncated.
+    ///
+    /// [`SearchPolicy::Budgeted`]: crate::policy::SearchPolicy::Budgeted
+    #[serde(default)]
+    pub truncated: bool,
 }
 
 impl SearchStats {
@@ -49,6 +67,8 @@ impl SearchStats {
         self.explored += other.explored;
         self.evaluated += other.evaluated;
         self.best_rank_changes += other.best_rank_changes;
+        self.wall_ns += other.wall_ns;
+        self.truncated |= other.truncated;
     }
 }
 
@@ -168,13 +188,22 @@ pub struct SearchContext<'a> {
     /// The ratio-learning exploration tiebreak
     /// ([`ExplorationBonus::none`] outside learning runs).
     pub exploration: ExplorationBonus,
+    /// Anytime evaluation limit (`None` = unlimited): strategies check
+    /// it *before* each estimator evaluation and stop with
+    /// [`SearchStats::truncated`] set once `evaluated` reaches it. Set
+    /// by [`BudgetedSearch`](super::BudgetedSearch); leave `None`
+    /// elsewhere.
+    pub eval_limit: Option<usize>,
 }
 
 impl SearchContext<'_> {
     /// Evaluates `state` through the per-period cache and wraps it with
     /// its ranking keys. Both the estimator verdict and the exploration
     /// factor are pure functions of the state, so cache hits pay for
-    /// neither.
+    /// neither. Cache misses go through the period's
+    /// [`PartialEvaluator`] — the factored, table-driven equivalent of
+    /// [`evaluate_state`], bit-identical by construction (and by
+    /// proptest).
     pub(crate) fn evaluate(
         &self,
         idx: &StateIndex,
@@ -185,18 +214,53 @@ impl SearchContext<'_> {
             cache.hits += 1;
             return RankedEval::new(eval, factor);
         }
-        let eval = evaluate_state(
-            state,
-            self.observed_rate,
-            self.threads,
-            self.current,
-            self.target,
-            self.perf,
-            self.power,
-        );
+        if cache.partial.is_none() {
+            cache.partial = Some(PartialEvaluator::new(self));
+        }
+        let eval = cache.partial.as_ref().expect("just built").evaluate(idx);
         let factor = self.bonus_factor(state, cache);
         cache.map.insert(*idx, (eval, factor));
         RankedEval::new(eval, factor)
+    }
+
+    /// [`SearchContext::evaluate`] without the memoization map — for
+    /// strategies that visit every state exactly once (the exhaustive
+    /// sweep's ball enumeration), where probing and populating the map
+    /// is pure overhead. The evaluation still counts toward
+    /// [`EvalCache::evaluated`] and still goes through the shared
+    /// [`PartialEvaluator`], so stats and results are identical.
+    pub(crate) fn evaluate_uncached(
+        &self,
+        idx: &StateIndex,
+        state: &SystemState,
+        cache: &mut EvalCache,
+    ) -> RankedEval {
+        if cache.partial.is_none() {
+            cache.partial = Some(PartialEvaluator::new(self));
+        }
+        let eval = cache.partial.as_ref().expect("just built").evaluate(idx);
+        let factor = self.bonus_factor(state, cache);
+        cache.uncached += 1;
+        RankedEval::new(eval, factor)
+    }
+
+    /// `true` once the anytime evaluation limit is exhausted — checked
+    /// by every strategy before it evaluates another candidate, so a
+    /// budgeted search never exceeds its allowance by more than the
+    /// mandatory current-state evaluation.
+    pub(crate) fn out_of_budget(&self, cache: &EvalCache) -> bool {
+        self.eval_limit
+            .is_some_and(|limit| cache.evaluated() >= limit)
+    }
+
+    /// [`SearchContext::out_of_budget`] for a *specific* next
+    /// candidate: a state already in the cache is a free hit under the
+    /// overhead model (no charge), so an exhausted budget only stops
+    /// the search when the candidate would actually be evaluated.
+    /// Used by the frontier, whose descent deliberately revisits
+    /// coordinate lines.
+    pub(crate) fn out_of_budget_for(&self, idx: &StateIndex, cache: &EvalCache) -> bool {
+        self.out_of_budget(cache) && !cache.map.contains_key(idx)
     }
 
     /// The exploration ranking factor of `cand`: `1 + weight` when its
@@ -222,19 +286,32 @@ impl SearchContext<'_> {
     }
 }
 
+/// The search containers' build hasher ([`crate::fnv`]: deterministic,
+/// zero-state, far cheaper per probe than the default SipHash for the
+/// small integer keys of the per-period containers).
+pub(crate) type FnvBuild = crate::fnv::FnvBuildHasher;
+
 /// A per-adaptation-period memoization cache for candidate
 /// evaluations, keyed by [`StateIndex`]. Beam rings and greedy-frontier
 /// walks re-derive the same neighbors along different paths; the
 /// estimator verdict and the exploration factor are identical, so only
-/// the first visit pays for them.
+/// the first visit pays for them. The cache also owns the period's
+/// [`PartialEvaluator`] — the hoisted current-state barrier time and
+/// the per-cluster speed/power partial-term tables delta evaluation
+/// recombines per candidate.
 #[derive(Debug, Default)]
 pub struct EvalCache {
     /// `(estimator verdict, exploration factor)` per visited state.
-    map: HashMap<StateIndex, (CandidateEval, f64)>,
+    map: HashMap<StateIndex, (CandidateEval, f64), FnvBuild>,
     hits: usize,
+    /// Evaluations taken through the map-free path
+    /// ([`SearchContext::evaluate_uncached`]).
+    uncached: usize,
     /// The current state's thread assignment, computed once on demand
     /// for the exploration bonus (see `SearchContext::bonus_factor`).
     current_assignment: Option<crate::assign::ThreadAssignment>,
+    /// The period's factored evaluator, built lazily at the first miss.
+    partial: Option<PartialEvaluator>,
 }
 
 impl EvalCache {
@@ -243,9 +320,10 @@ impl EvalCache {
         Self::default()
     }
 
-    /// Distinct states evaluated so far (cache misses).
+    /// Distinct states evaluated so far (cache misses plus map-free
+    /// evaluations).
     pub fn evaluated(&self) -> usize {
-        self.map.len()
+        self.map.len() + self.uncached
     }
 
     /// Lookups served from the cache.
@@ -356,6 +434,7 @@ impl<'a> BestTracker<'a> {
                 explored,
                 evaluated,
                 best_rank_changes: self.rank_changes,
+                ..SearchStats::default()
             },
         }
     }
@@ -397,7 +476,7 @@ pub trait SearchStrategy {
 /// A concrete, clonable carrier for any shipped strategy — what
 /// [`crate::policy::SearchPolicy::strategy_for`] hands the managers,
 /// which then call through `&dyn SearchStrategy`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AnyStrategy {
     /// Algorithm 2's bounded exhaustive sweep.
     Exhaustive(super::ExhaustiveSweep),
@@ -405,6 +484,8 @@ pub enum AnyStrategy {
     Beam(super::BeamSearch),
     /// Greedy single-dimension coordinate descent.
     Frontier(super::GreedyFrontier),
+    /// Any of the above under an anytime decision budget.
+    Budgeted(super::BudgetedSearch),
 }
 
 impl SearchStrategy for AnyStrategy {
@@ -413,6 +494,7 @@ impl SearchStrategy for AnyStrategy {
             AnyStrategy::Exhaustive(s) => s.name(),
             AnyStrategy::Beam(s) => s.name(),
             AnyStrategy::Frontier(s) => s.name(),
+            AnyStrategy::Budgeted(s) => s.name(),
         }
     }
 
@@ -425,6 +507,7 @@ impl SearchStrategy for AnyStrategy {
             AnyStrategy::Exhaustive(s) => s.next_state_observed(ctx, observer),
             AnyStrategy::Beam(s) => s.next_state_observed(ctx, observer),
             AnyStrategy::Frontier(s) => s.next_state_observed(ctx, observer),
+            AnyStrategy::Budgeted(s) => s.next_state_observed(ctx, observer),
         }
     }
 }
@@ -508,19 +591,28 @@ mod tests {
             explored: 3,
             evaluated: 2,
             best_rank_changes: 1,
+            wall_ns: 6_000,
+            truncated: false,
         };
         a.merge(SearchStats {
             explored: 10,
             evaluated: 5,
             best_rank_changes: 0,
+            wall_ns: 15_000,
+            truncated: true,
         });
         assert_eq!(
             a,
             SearchStats {
                 explored: 13,
                 evaluated: 7,
-                best_rank_changes: 1
+                best_rank_changes: 1,
+                wall_ns: 21_000,
+                truncated: true,
             }
         );
+        // A later untruncated decision must not clear the run-level flag.
+        a.merge(SearchStats::default());
+        assert!(a.truncated);
     }
 }

@@ -165,13 +165,27 @@ impl std::fmt::Display for SystemState {
 /// A state in index coordinates: per cluster, the core count (already an
 /// index) and the ladder-level index — the `2N`-dimensional space
 /// Algorithm 2's sweep walks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StateIndex {
     n: u8,
     /// Core counts, indexed by cluster.
     cores: [i32; MAX_CLUSTERS],
     /// Ladder-level indices, indexed by cluster.
     levels: [i32; MAX_CLUSTERS],
+}
+
+/// Hashes only the live clusters: trailing slots are always zero (the
+/// constructor zeroes them and the setters only touch live indices),
+/// so equal values still hash equally, and the search hot path — one
+/// cache probe per candidate — does not churn through
+/// `2 × MAX_CLUSTERS` dead words per lookup.
+impl std::hash::Hash for StateIndex {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let n = self.n as usize;
+        self.n.hash(state);
+        self.cores[..n].hash(state);
+        self.levels[..n].hash(state);
+    }
 }
 
 impl StateIndex {

@@ -161,6 +161,7 @@ proptest! {
             power: &power,
             tabu: &[],
             exploration: ExplorationBonus::none(),
+            eval_limit: None,
         };
         let (ex_state, ex_set) = observed_candidates(&ExhaustiveSweep::new(params), &ctx);
         let beam = BeamSearch::with_params(1_000_000, params);
@@ -232,6 +233,7 @@ proptest! {
             power: &power,
             tabu: &[],
             exploration: ExplorationBonus::none(),
+            eval_limit: None,
         };
         let cur_idx = space.index_of(&cur).unwrap();
         let strategies: Vec<Box<dyn SearchStrategy>> = vec![
@@ -318,6 +320,7 @@ fn every_strategy_avoids_tabu_states() {
             power: &power,
             tabu: &[],
             exploration: ExplorationBonus::none(),
+            eval_limit: None,
         };
         let free = strategy.next_state(&ctx);
         assert_ne!(
@@ -361,6 +364,7 @@ fn frontier_cache_avoids_re_evaluating_revisited_neighbors() {
         power: &power,
         tabu: &[],
         exploration: ExplorationBonus::none(),
+        eval_limit: None,
     };
     let out = GreedyFrontier::default().next_state(&ctx);
     assert!(out.stats.best_rank_changes >= 1, "must walk at least once");
@@ -392,6 +396,7 @@ fn beam_width_bounds_exploration() {
         power: &power,
         tabu: &[],
         exploration: ExplorationBonus::none(),
+        eval_limit: None,
     };
     let narrow = BeamSearch::new(2, 7).next_state(&ctx);
     let wide = BeamSearch::new(8, 7).next_state(&ctx);
@@ -434,6 +439,7 @@ fn adaptive_beam_matches_plain_beam_when_the_incumbent_is_stable() {
         power: &power,
         tabu: &[],
         exploration: ExplorationBonus::none(),
+        eval_limit: None,
     };
     let plain = BeamSearch::new(8, 7).next_state(&ctx);
     let adaptive = BeamSearch::adaptive(8, 7).next_state(&ctx);
@@ -473,6 +479,7 @@ fn adaptive_beam_still_finds_a_satisfying_state_under_churn_of_rings() {
         power: &power,
         tabu: &[],
         exploration: ExplorationBonus::none(),
+        eval_limit: None,
     };
     let plain = BeamSearch::new(8, 7).next_state(&ctx);
     let adaptive = BeamSearch::adaptive(8, 7).next_state(&ctx);
@@ -534,6 +541,7 @@ fn exploration_bonus_moves_share_toward_needy_clusters() {
             power: &power,
             tabu: &[],
             exploration: ExplorationBonus::none(),
+            eval_limit: None,
         };
         let plain = strategy.next_state(&ctx);
         let plain_assignment = perf.assignment(6, &plain.state);

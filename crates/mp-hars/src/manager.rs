@@ -328,8 +328,12 @@ impl MpHarsManager {
         let current = self.apps[ai].state;
         let overperforming = rate > self.apps[ai].target.avg();
         // Line 20: the HARS search, bounded by the constraints, through
-        // the policy's strategy (sweep, beam or frontier).
-        let strategy = self.cfg.policy.strategy_for(overperforming);
+        // the policy's strategy (sweep, beam, frontier or a budgeted
+        // wrapper around any of them).
+        let strategy = self
+            .cfg
+            .policy
+            .strategy_for(overperforming, self.cfg.cost_per_state_ns);
         let strategy: &dyn SearchStrategy = &strategy;
         let ctx = SearchContext {
             space: &self.space,
@@ -342,11 +346,15 @@ impl MpHarsManager {
             power: &self.power,
             tabu: &[],
             exploration: self.exploration(),
+            eval_limit: None,
         };
-        let outcome = strategy.next_state(&ctx);
+        let mut outcome = strategy.next_state(&ctx);
+        // The modeled decision time is stamped on the stats once;
+        // `busy_ns`, the decision's apply latency and run totals all
+        // read `wall_ns` from there.
+        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
         self.search_stats.merge(outcome.stats);
-        let overhead = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
-        self.busy_ns += overhead;
+        self.busy_ns += outcome.stats.wall_ns;
         if outcome.state == current {
             return None;
         }
@@ -362,7 +370,7 @@ impl MpHarsManager {
             ));
         }
         // Lines 21–26: allocate cores, apply frequencies, arm freezes.
-        Some(self.apply_state(ai, outcome.state, overhead, outcome.stats))
+        Some(self.apply_state(ai, outcome.state, outcome.stats.wall_ns, outcome.stats))
     }
 
     /// The exploration bonus for the next search: active only when

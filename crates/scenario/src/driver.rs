@@ -130,13 +130,20 @@ impl ScenarioRuntime {
     pub fn label(&self) -> &'static str {
         match self {
             ScenarioRuntime::Gts => "GTS",
-            ScenarioRuntime::MpHars { cfg, .. } => match cfg.policy {
-                hars_core::policy::SearchPolicy::Incremental => "MP-HARS-I",
-                hars_core::policy::SearchPolicy::Exhaustive(_) => "MP-HARS-E",
-                hars_core::policy::SearchPolicy::Beam { .. }
-                | hars_core::policy::SearchPolicy::AdaptiveBeam { .. } => "MP-HARS-B",
-                hars_core::policy::SearchPolicy::Frontier => "MP-HARS-F",
-            },
+            ScenarioRuntime::MpHars { cfg, .. } => {
+                fn label_of(p: &hars_core::policy::SearchPolicy) -> &'static str {
+                    match p {
+                        hars_core::policy::SearchPolicy::Incremental => "MP-HARS-I",
+                        hars_core::policy::SearchPolicy::Exhaustive(_) => "MP-HARS-E",
+                        hars_core::policy::SearchPolicy::Beam { .. }
+                        | hars_core::policy::SearchPolicy::AdaptiveBeam { .. } => "MP-HARS-B",
+                        hars_core::policy::SearchPolicy::Frontier => "MP-HARS-F",
+                        // A budget keeps the inner policy's identity.
+                        hars_core::policy::SearchPolicy::Budgeted { inner, .. } => label_of(inner),
+                    }
+                }
+                label_of(&cfg.policy)
+            }
         }
     }
 }
@@ -146,6 +153,53 @@ impl ScenarioRuntime {
 /// calibration run ([`PowerEstimator::synthetic_for_board`]).
 pub fn synthetic_power_estimator(board: &BoardSpec) -> PowerEstimator {
     PowerEstimator::synthetic_for_board(board)
+}
+
+/// A cross-scenario solo-rate calibration cache.
+///
+/// Resolving a tenant's target requires its benchmark's *solo* rate —
+/// an isolated simulation at the maximum state — and the driver used
+/// to run one per `(benchmark, threads)` pair *per scenario*. The solo
+/// rate is a pure function of the calibration environment (board +
+/// engine config), the benchmark, its thread count and the heartbeat
+/// budget, so a bench sweeping many scenarios over the same board
+/// (`churn`: 3 arrival patterns × 4 runtimes × 2 boards, plus the
+/// admission table and a determinism re-run) can share one cache and
+/// pay for each calibration exactly once. Keys are
+/// `(environment fingerprint, benchmark, threads, solo budget)` where
+/// the environment fingerprint is an FNV-1a hash of the board's and
+/// engine config's full debug representations — any board or config
+/// difference changes the key, so sharing a cache across boards is
+/// safe. Outcomes are bit-identical with or without a shared cache
+/// (the cached value *is* the value the isolated run would produce).
+#[derive(Debug, Default)]
+pub struct SoloRateCache {
+    map: HashMap<(u64, Benchmark, usize, u64), f64>,
+}
+
+impl SoloRateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Calibration runs already cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The FNV-1a fingerprint of one calibration environment.
+    fn environment_fingerprint(board: &BoardSpec, engine_cfg: &EngineConfig) -> u64 {
+        let mut h = crate::outcome::Fnv1a::new();
+        h.write_bytes(format!("{board:?}").as_bytes());
+        h.write_bytes(format!("{engine_cfg:?}").as_bytes());
+        h.finish()
+    }
 }
 
 /// Runs one open-system scenario to completion (or the horizon) and
@@ -161,6 +215,33 @@ pub fn run_scenario(
     spec: &ScenarioSpec,
     admission: &mut dyn AdmissionPolicy,
     runtime: ScenarioRuntime,
+) -> Result<ScenarioOutcome, SimError> {
+    run_scenario_cached(
+        board,
+        engine_cfg,
+        spec,
+        admission,
+        runtime,
+        &mut SoloRateCache::new(),
+    )
+}
+
+/// [`run_scenario`] with a caller-owned [`SoloRateCache`], so a bench
+/// sweeping many scenarios over the same board pays for each
+/// `(benchmark, threads)` solo calibration once instead of once per
+/// scenario. Outcome-identical to the uncached entry point.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine interaction (invalid tenant
+/// specs, malformed decisions).
+pub fn run_scenario_cached(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    spec: &ScenarioSpec,
+    admission: &mut dyn AdmissionPolicy,
+    runtime: ScenarioRuntime,
+    solo_cache: &mut SoloRateCache,
 ) -> Result<ScenarioOutcome, SimError> {
     let schedule = spec.tenant_schedule();
     let manager = match runtime {
@@ -201,7 +282,8 @@ pub fn run_scenario(
         queue: VecDeque::new(),
         by_app: HashMap::new(),
         live: 0,
-        solo_cache: HashMap::new(),
+        env_fp: SoloRateCache::environment_fingerprint(board, engine_cfg),
+        solo_cache,
     };
     sim.run()
 }
@@ -234,7 +316,10 @@ struct Sim<'a> {
     queue: VecDeque<usize>,
     by_app: HashMap<AppId, usize>,
     live: usize,
-    solo_cache: HashMap<(Benchmark, usize), f64>,
+    /// This run's calibration-environment fingerprint (cache key part).
+    env_fp: u64,
+    /// The (possibly cross-scenario) solo-rate calibration cache.
+    solo_cache: &'a mut SoloRateCache,
 }
 
 impl Sim<'_> {
@@ -355,9 +440,11 @@ impl Sim<'_> {
 
     /// The benchmark's isolated rate on this board: a solo run at the
     /// maximum state (GTS, performance governor), cached per
-    /// `(benchmark, threads)`.
+    /// `(environment, benchmark, threads, budget)` — across scenarios
+    /// when the caller shares a [`SoloRateCache`].
     fn solo_rate(&mut self, bench: Benchmark, threads: usize) -> f64 {
-        if let Some(&r) = self.solo_cache.get(&(bench, threads)) {
+        let key = (self.env_fp, bench, threads, self.solo_budget);
+        if let Some(&r) = self.solo_cache.map.get(&key) {
             return r;
         }
         let mut engine = Engine::new(self.board.clone(), self.engine_cfg.clone());
@@ -373,7 +460,7 @@ impl Sim<'_> {
             .and_then(|m| m.global_rate())
             .map(|r| r.heartbeats_per_sec())
             .unwrap_or(1.0);
-        self.solo_cache.insert((bench, threads), rate);
+        self.solo_cache.map.insert(key, rate);
         rate
     }
 

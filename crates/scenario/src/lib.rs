@@ -70,6 +70,9 @@ pub use admission::{
     AdmissionDecision, AdmissionPolicy, AlwaysAdmit, BoundedQueue, CapacityGate, LoadEstimate,
 };
 pub use arrival::ArrivalProcess;
-pub use driver::{run_scenario, synthetic_power_estimator, ScenarioRuntime, ScenarioSpec};
+pub use driver::{
+    run_scenario, run_scenario_cached, synthetic_power_estimator, ScenarioRuntime, ScenarioSpec,
+    SoloRateCache,
+};
 pub use outcome::{ScenarioOutcome, TenantOutcome};
 pub use template::{AppTemplate, TemplateSet, TenantSpec};

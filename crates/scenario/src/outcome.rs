@@ -217,20 +217,24 @@ impl ScenarioOutcome {
     }
 }
 
-/// Minimal FNV-1a (64-bit) so the fingerprint does not depend on
-/// `std::hash`'s unspecified-per-release internals.
-struct Fnv1a(u64);
+/// Fingerprint writer over the workspace's shared FNV-1a core
+/// ([`hars_core::fnv::FnvHasher`]) so it does not depend on
+/// `std::hash`'s unspecified-per-release internals. Also used by the
+/// driver's cross-scenario solo-rate cache to fingerprint the
+/// (board, engine-config) calibration environment.
+pub(crate) struct Fnv1a(hars_core::fnv::FnvHasher);
 
 impl Fnv1a {
-    fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
+    pub(crate) fn new() -> Self {
+        Self(hars_core::fnv::FnvHasher::new())
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+    pub(crate) fn finish(&self) -> u64 {
+        std::hash::Hasher::finish(&self.0)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        std::hash::Hasher::write(&mut self.0, bytes);
     }
 
     fn write_u64(&mut self, v: u64) {
@@ -239,10 +243,6 @@ impl Fnv1a {
 
     fn write_f64(&mut self, v: f64) {
         self.write_u64(v.to_bits());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

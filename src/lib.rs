@@ -65,8 +65,9 @@ pub mod prelude {
         SearchParams, StateSpace, SystemState,
     };
     pub use hars_scenario::{
-        run_scenario, AdmissionPolicy, AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue,
-        CapacityGate, ScenarioRuntime, ScenarioSpec, TemplateSet,
+        run_scenario, run_scenario_cached, AdmissionPolicy, AlwaysAdmit, AppTemplate,
+        ArrivalProcess, BoundedQueue, CapacityGate, ScenarioRuntime, ScenarioSpec, SoloRateCache,
+        TemplateSet,
     };
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;

@@ -70,7 +70,7 @@ fn all_hars_variants_meet_target_and_beat_baseline() {
             s.perf,
             s.power.clone(),
             8,
-            HarsConfig::from_variant(variant),
+            HarsConfig::from_variant(variant.clone()),
         );
         let out = run_single_app(&mut engine, app, &mut manager, secs_to_ns(200.0), false).unwrap();
         assert!(
