@@ -36,6 +36,14 @@ pub struct HarsConfig {
     /// Modeled CPU cost per candidate state evaluated (ns) — drives the
     /// runtime-overhead results of Figure 5.3(b).
     pub cost_per_state_ns: u64,
+    /// Modeled CPU cost per enumeration node walked (ns) — the
+    /// micro-cost of generating a candidate before any estimator runs
+    /// (ball-walk bookkeeping, index arithmetic). Default 0: the
+    /// historical overhead model charged evaluations only, and the
+    /// bit-identity goldens pin that behaviour. Decision time is
+    /// `evaluated × cost_per_state_ns + nodes × cost_per_node_ns`.
+    #[serde(default)]
+    pub cost_per_node_ns: u64,
     /// Fixed CPU cost per heartbeat observation (ns).
     pub cost_per_heartbeat_ns: u64,
     /// Starting system state (`None` = the board's maximum state, i.e.
@@ -74,6 +82,7 @@ impl Default for HarsConfig {
             scheduler: SchedulerKind::Chunk,
             adapt_every: 10,
             cost_per_state_ns: 3_000,
+            cost_per_node_ns: 0,
             cost_per_heartbeat_ns: 500,
             initial_state: None,
             ratio_learning: RatioLearning::Off,
@@ -317,11 +326,14 @@ impl RuntimeManager {
         self.searches += 1;
         // The overhead model charges per estimator evaluation — cache
         // hits are free (for the sweep, evaluated == explored, so the
-        // modeled cost is unchanged from the pre-cache runtime). The
-        // charge is stamped on the stats as `wall_ns` once, and every
-        // downstream consumer — `busy_ns`, the decision's apply
+        // modeled cost is unchanged from the pre-cache runtime) — plus
+        // a per-node micro-cost for the enumeration walk that produced
+        // the candidates (default 0, keeping the historical model).
+        // The charge is stamped on the stats as `wall_ns` once, and
+        // every downstream consumer — `busy_ns`, the decision's apply
         // latency, run-level totals — reads it from there.
-        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
+        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns
+            + outcome.stats.nodes * self.cfg.cost_per_node_ns;
         self.search_stats.merge(outcome.stats);
         self.busy_ns += outcome.stats.wall_ns;
         if outcome.state == self.state {
@@ -468,7 +480,8 @@ mod tests {
         assert!(d.stats.explored > 1);
         assert_eq!(
             d.overhead_ns,
-            d.stats.evaluated as u64 * m.cfg.cost_per_state_ns
+            d.stats.evaluated as u64 * m.cfg.cost_per_state_ns,
+            "default cost_per_node_ns = 0 keeps the historical charge"
         );
         assert_eq!(
             d.stats.wall_ns, d.overhead_ns,
@@ -476,6 +489,22 @@ mod tests {
         );
         assert_eq!(m.search_stats().wall_ns, d.overhead_ns);
         assert!(m.busy_ns() >= d.overhead_ns);
+    }
+
+    #[test]
+    fn node_micro_cost_adds_enumeration_overhead() {
+        let mut m = manager(HarsConfig {
+            cost_per_node_ns: 10,
+            ..HarsConfig::default()
+        });
+        let d = m.on_heartbeat(10, Some(30.0)).expect("must adapt");
+        assert!(d.stats.nodes > 0, "the sweep must report its walk nodes");
+        assert_eq!(
+            d.overhead_ns,
+            d.stats.evaluated as u64 * m.cfg.cost_per_state_ns + d.stats.nodes * 10,
+            "wall_ns must charge evaluations plus enumeration nodes"
+        );
+        assert_eq!(m.search_stats().nodes, d.stats.nodes);
     }
 
     #[test]

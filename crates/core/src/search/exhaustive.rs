@@ -125,7 +125,7 @@ impl SearchStrategy for ExhaustiveSweep {
         let dims = sweep_ball_dims(ctx, params, &cur_idx);
         let mut cand_idx = cur_idx;
         let mut truncated = false;
-        dims.enumerate(params.d, &mut |offset| {
+        let (nodes, _) = dims.enumerate(params.d, &mut |offset| {
             if offset.iter().all(|&o| o == 0) {
                 return true; // the center: already the incumbent
             }
@@ -157,6 +157,7 @@ impl SearchStrategy for ExhaustiveSweep {
         });
         let mut out = tracker.finish(explored, cache.evaluated());
         out.stats.truncated = truncated;
+        out.stats.nodes = nodes;
         out
     }
 }
@@ -330,6 +331,15 @@ mod tests {
                         let counted = count_sweep_candidates(&ctx, params);
                         assert_eq!(
                             counted, out.stats.explored as u128,
+                            "{} m={m} n={n} d={d} variant={variant} cur={cur}",
+                            board.name
+                        );
+                        // The walk-node count stamped on the stats (the
+                        // per-node overhead unit) must agree with the
+                        // standalone counter.
+                        assert_eq!(
+                            out.stats.nodes,
+                            count_enumeration_nodes(&ctx, params),
                             "{} m={m} n={n} d={d} variant={variant} cur={cur}",
                             board.name
                         );

@@ -51,6 +51,16 @@ pub struct SearchStats {
     /// deserialize with 0.)
     #[serde(default)]
     pub wall_ns: u64,
+    /// Enumeration nodes walked to *produce* the candidates — the
+    /// distance-ball tree nodes (or sweep lattice points) visited,
+    /// including interior nodes that never became candidates. This is
+    /// the per-node micro-cost unit of the overhead model: `wall_ns`
+    /// charges `evaluated × cost_per_state_ns + nodes ×
+    /// cost_per_node_ns`, so enumeration work the evaluation cache
+    /// absorbs still costs decision time. (`serde(default)` for stats
+    /// serialized before this field existed.)
+    #[serde(default)]
+    pub nodes: u64,
     /// `true` when an anytime budget ([`SearchPolicy::Budgeted`])
     /// stopped the search before it ran to completion and the outcome
     /// is the best-so-far incumbent. ORs across merges: a run-level
@@ -68,6 +78,7 @@ impl SearchStats {
         self.evaluated += other.evaluated;
         self.best_rank_changes += other.best_rank_changes;
         self.wall_ns += other.wall_ns;
+        self.nodes += other.nodes;
         self.truncated |= other.truncated;
     }
 }
@@ -592,6 +603,7 @@ mod tests {
             evaluated: 2,
             best_rank_changes: 1,
             wall_ns: 6_000,
+            nodes: 4,
             truncated: false,
         };
         a.merge(SearchStats {
@@ -599,6 +611,7 @@ mod tests {
             evaluated: 5,
             best_rank_changes: 0,
             wall_ns: 15_000,
+            nodes: 11,
             truncated: true,
         });
         assert_eq!(
@@ -608,6 +621,7 @@ mod tests {
                 evaluated: 7,
                 best_rank_changes: 1,
                 wall_ns: 21_000,
+                nodes: 15,
                 truncated: true,
             }
         );

@@ -36,6 +36,19 @@ pub fn secs_to_ns(secs: f64) -> u64 {
     }
 }
 
+/// The engine's canonical completion-time rounding: converts the
+/// closed-form seconds-until-completion of a work item into a
+/// nanosecond delta, rounding *up* (an item is never complete early)
+/// with a 1 ns floor (time always advances).
+///
+/// Both the fixed-step reference stepper and the event-heap fast path
+/// must call this one function: the ceil-and-floor is part of the
+/// engine's bit-exact event timeline, and two copies of the expression
+/// would be an invitation for them to drift apart.
+pub fn completion_ns(secs: f64) -> u64 {
+    ((secs * 1e9).ceil()).max(1.0) as u64
+}
+
 /// Converts milliseconds to nanoseconds.
 pub fn ms_to_ns(ms: u64) -> u64 {
     ms.saturating_mul(NS_PER_MS)
@@ -68,5 +81,13 @@ mod tests {
     fn small_unit_helpers() {
         assert_eq!(ms_to_ns(3), 3_000_000);
         assert_eq!(us_to_ns(7), 7_000);
+    }
+
+    #[test]
+    fn completion_rounds_up_with_a_floor() {
+        assert_eq!(completion_ns(0.0), 1, "time always advances");
+        assert_eq!(completion_ns(1e-12), 1, "sub-ns work still costs 1 ns");
+        assert_eq!(completion_ns(1.0), NS_PER_SEC);
+        assert_eq!(completion_ns(1.5e-9), 2, "fractional ns round up");
     }
 }

@@ -64,6 +64,31 @@ impl EnergyMeter {
         self.elapsed_secs += dt;
     }
 
+    /// Integrates `dt_ns` of fully-idle operation with the per-cluster
+    /// powers already computed (the engine precomputes them once per
+    /// idle span — frequencies are frozen and no core is busy, so they
+    /// are constant across the span's boundaries).
+    ///
+    /// Bit-compatibility contract: this performs exactly the floating-
+    /// point operations [`EnergyMeter::accumulate`] would for
+    /// `busy = [0.0; n]` — same `dt` conversion and guard, one
+    /// `joules[i] += p·dt` per cluster in cluster order, then
+    /// `elapsed_secs += dt`. The `busy_core_secs[i] += 0.0 · dt` adds
+    /// are skipped: the accumulators are never `-0.0` (they start at
+    /// `+0.0` and only ever gain non-negative terms), so adding
+    /// `+0.0` is an exact no-op.
+    pub(crate) fn accumulate_idle(&mut self, powers: &[f64], dt_ns: u64) {
+        let dt = ns_to_secs(dt_ns);
+        if dt <= 0.0 {
+            return;
+        }
+        self.ensure_clusters(powers.len());
+        for (i, &p) in powers.iter().enumerate() {
+            self.joules[i] += p * dt;
+        }
+        self.elapsed_secs += dt;
+    }
+
     /// Energy consumed by `cluster` so far (J).
     pub fn cluster_joules(&self, cluster: ClusterId) -> f64 {
         self.joules.get(cluster.index()).copied().unwrap_or(0.0)
@@ -196,6 +221,41 @@ mod tests {
         let p_idle = crate::power::board_power(&b, &freqs, &[0.0, 0.0]);
         assert!((j - p_idle).abs() < 1e-9);
         assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_accumulate_is_bit_equal_to_the_general_path() {
+        let b = xu3();
+        let freqs = max_freqs(&b);
+        let powers: Vec<f64> = b
+            .cluster_ids()
+            .map(|c| crate::power::cluster_power(&b, c, freqs[c.index()], 0.0, b.cluster_size(c)))
+            .collect();
+        let mut general = EnergyMeter::new();
+        let mut idle = EnergyMeter::new();
+        // Mixed busy/idle prefix so the accumulators are mid-stream.
+        general.accumulate(&b, &freqs, &[3.0, 1.0], 7_123_456);
+        idle.accumulate(&b, &freqs, &[3.0, 1.0], 7_123_456);
+        for dt in [1_u64, 4_000_000, 263_808_000, 999] {
+            general.accumulate(&b, &freqs, &[0.0, 0.0], dt);
+            idle.accumulate_idle(&powers, dt);
+        }
+        for c in b.cluster_ids() {
+            assert_eq!(
+                general.cluster_joules(c).to_bits(),
+                idle.cluster_joules(c).to_bits(),
+                "idle path must replay the exact fp ops"
+            );
+            assert_eq!(
+                general.busy_core_secs(c).to_bits(),
+                idle.busy_core_secs(c).to_bits(),
+                "skipping the += 0.0 adds must be an exact no-op"
+            );
+        }
+        assert_eq!(
+            general.elapsed_secs().to_bits(),
+            idle.elapsed_secs().to_bits()
+        );
     }
 
     #[test]

@@ -13,13 +13,14 @@ use heartbeats::{AppId, HeartbeatMonitor, HeartbeatRegistry, PerfTarget};
 
 use crate::app::{AppState, ModelState};
 use crate::board::{BoardSpec, ClusterId, MAX_CLUSTERS};
-use crate::clock::ns_to_secs;
+use crate::clock::{completion_ns, ns_to_secs};
 use crate::cpuset::{CoreId, CpuSet};
 use crate::energy::EnergyMeter;
 use crate::error::SimError;
+use crate::events::{EventHeap, EventKey};
 use crate::freq::FreqKhz;
 use crate::power::cluster_power;
-use crate::sched::gts::gts_tick;
+use crate::sched::gts::{gts_tick, update_loads};
 use crate::sched::{dequeue_thread, place_thread, CoreState, GtsConfig};
 use crate::sensor::PowerSensor;
 use crate::spec::{AppSpec, ParallelismModel};
@@ -28,6 +29,25 @@ use crate::trace::{TraceEvent, TraceLog};
 
 /// Work remaining below this many units counts as complete.
 const WORK_EPS: f64 = 1e-9;
+
+/// How the engine finds its next event (see [`Engine`]'s time-
+/// advancement methods). Both modes produce bit-identical simulation
+/// timelines — the equivalence proptests in
+/// `tests/event_equivalence.rs` pin it — so `FixedStep` exists as the
+/// reference stepper the event-heap hot path is verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Discrete-event scheduling (the default): control events
+    /// (actions, ticks, sensor samples, sleep wake-ups) come from a
+    /// lazily-invalidated min-heap, per-core thread speeds are
+    /// memoized under run-queue/frequency epochs, and fully-idle spans
+    /// are fast-forwarded boundary-by-boundary at O(1) cost per
+    /// boundary instead of O(threads × cores) per step.
+    EventHeap,
+    /// The pre-heap reference stepper: every step rescans the action
+    /// map, every thread and every run queue for the next event.
+    FixedStep,
+}
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +60,16 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Heartbeat rate-window length (heartbeats).
     pub hb_window: usize,
+    /// Event-loop implementation (default [`ExecMode::EventHeap`]).
+    pub exec: ExecMode,
+    /// In [`ExecMode::EventHeap`], count power-sensor samples that
+    /// fall inside fully-idle spans instead of materializing them
+    /// (default `true`). Energy accounting is unaffected (the meter is
+    /// exact and independent of the sensor); only the stored noisy
+    /// sample stream thins out — [`crate::PowerSensor::total_samples`]
+    /// still reports every scheduled instant. Disable when the sample
+    /// *values* matter, as the calibration microbenchmark does.
+    pub coalesce_idle_sensor: bool,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +79,8 @@ impl Default for EngineConfig {
             sensor_noise: 0.01,
             seed: 0x4841_5253, // "HARS"
             hb_window: 20,
+            exec: ExecMode::EventHeap,
+            coalesce_idle_sensor: true,
         }
     }
 }
@@ -109,6 +141,23 @@ pub struct Engine {
     cur_items: Vec<Option<u64>>,
     /// Optional event trace (disabled by default).
     trace: TraceLog,
+    /// Control-event wake-up heap ([`ExecMode::EventHeap`] only; see
+    /// `crate::events` for the lazy-deletion protocol).
+    event_heap: EventHeap,
+    /// Per-cluster frequency-change epochs (stamp for `speed_cache`).
+    freq_epochs: Vec<u64>,
+    /// Per-core memoized thread speeds, parallel to each core's run
+    /// queue; valid while the `(rq_epoch, freq_epoch)` stamps match.
+    speed_cache: Vec<SpeedCache>,
+}
+
+/// Memoized per-core thread speeds (parallel to the core's run queue),
+/// stamped with the epochs they were computed under.
+#[derive(Debug, Clone, Default)]
+struct SpeedCache {
+    rq_epoch: u64,
+    freq_epoch: u64,
+    speeds: Vec<f64>,
 }
 
 impl Engine {
@@ -126,7 +175,9 @@ impl Engine {
         let sensor = PowerSensor::new(board.sensor_period_ns, cfg.sensor_noise, cfg.seed);
         let next_tick_ns = cfg.gts.tick_ns;
         let registry = HeartbeatRegistry::new(cfg.hb_window);
-        Self {
+        let n_clusters = board.n_clusters();
+        let n_cores = board.n_cores();
+        let mut engine = Self {
             board,
             cfg,
             now_ns: 0,
@@ -142,6 +193,23 @@ impl Engine {
             events: VecDeque::new(),
             cur_items: Vec::new(),
             trace: TraceLog::disabled(),
+            event_heap: EventHeap::new(),
+            freq_epochs: vec![0; n_clusters],
+            speed_cache: vec![SpeedCache::default(); n_cores],
+        };
+        let first_tick = engine.next_tick_ns;
+        let first_sample = engine.sensor.next_sample_ns();
+        engine.push_event(first_tick, EventKey::Tick);
+        engine.push_event(first_sample, EventKey::Sensor);
+        engine
+    }
+
+    /// Queues a control-event wake-up hint (event-heap mode only; the
+    /// fixed-step reference never consults the heap, so feeding it
+    /// would only grow memory).
+    fn push_event(&mut self, due_ns: u64, key: EventKey) {
+        if self.cfg.exec == ExecMode::EventHeap {
+            self.event_heap.push(due_ns, key);
         }
     }
 
@@ -325,6 +393,7 @@ impl Engine {
                 from,
                 to: freq,
             });
+            self.freq_epochs[cluster.index()] += 1;
         }
         self.freqs[cluster.index()] = freq;
         Ok(())
@@ -389,10 +458,9 @@ impl Engine {
                 self.thread_id(*app, *thread)?;
             }
         }
-        self.actions
-            .entry(at_ns.max(self.now_ns))
-            .or_default()
-            .push(action);
+        let due = at_ns.max(self.now_ns);
+        self.actions.entry(due).or_default().push(action);
+        self.push_event(due, EventKey::Action);
         Ok(())
     }
 
@@ -423,6 +491,7 @@ impl Engine {
                         from,
                         to: freq,
                     });
+                    self.freq_epochs[cluster.index()] += 1;
                 }
                 self.freqs[cluster.index()] = freq;
             }
@@ -488,9 +557,24 @@ impl Engine {
         if self.now_ns >= deadline_ns {
             return;
         }
-        let dt = self.next_event_dt(deadline_ns);
-        if dt > 0 {
-            self.advance(dt);
+        match self.cfg.exec {
+            ExecMode::FixedStep => {
+                let dt = self.next_event_dt(deadline_ns);
+                if dt > 0 {
+                    self.advance(dt);
+                }
+            }
+            ExecMode::EventHeap => {
+                if self.cores.iter().all(|c| c.runnable.is_empty()) {
+                    // Zero runnable threads: jump the whole lull.
+                    self.idle_fast_forward(deadline_ns);
+                } else {
+                    let dt = self.next_event_dt_heap(deadline_ns);
+                    if dt > 0 {
+                        self.advance(dt);
+                    }
+                }
+            }
         }
         self.process_due();
     }
@@ -531,6 +615,11 @@ impl Engine {
 
     /// Time (ns) until the earliest next event, all future event times
     /// being strictly after `now` (guaranteed by `process_due`).
+    ///
+    /// This is the [`ExecMode::FixedStep`] reference: a full rescan of
+    /// the action map, every thread's sleep state and every run queue
+    /// on every step. [`Engine::next_event_dt_heap`] must return the
+    /// identical value from the heap + speed caches.
     fn next_event_dt(&self, deadline_ns: u64) -> u64 {
         let mut next = deadline_ns
             .min(self.next_tick_ns)
@@ -552,11 +641,162 @@ impl Engine {
             for &tid in &core.runnable {
                 let speed = self.speed_of(tid);
                 let secs = self.threads[tid].work_left * k as f64 / speed;
-                let fin_ns = ((secs * 1e9).ceil()).max(1.0) as u64;
-                dt = dt.min(fin_ns);
+                dt = dt.min(completion_ns(secs));
             }
         }
         dt
+    }
+
+    /// Event-heap variant of [`Engine::next_event_dt`]: the earliest
+    /// control event comes from one validated heap peek, and per-core
+    /// completion deltas reuse the epoch-stamped speed caches instead
+    /// of recomputing `speed_of` per thread per step. The completion
+    /// arithmetic is the reference expression verbatim (same memoized
+    /// speed bits, same [`completion_ns`] rounding), so both modes
+    /// step to identical instants.
+    fn next_event_dt_heap(&mut self, deadline_ns: u64) -> u64 {
+        let mut next = deadline_ns;
+        if let Some(due) = self.peek_control_due() {
+            next = next.min(due);
+        }
+        let mut dt = next.saturating_sub(self.now_ns);
+        for ci in 0..self.cores.len() {
+            let k = self.cores[ci].nr_running();
+            if k == 0 {
+                continue;
+            }
+            self.refresh_speed_cache(ci);
+            for i in 0..k {
+                let tid = self.cores[ci].runnable[i];
+                let speed = self.speed_cache[ci].speeds[i];
+                let secs = self.threads[tid].work_left * k as f64 / speed;
+                dt = dt.min(completion_ns(secs));
+            }
+        }
+        dt
+    }
+
+    /// The due time of the earliest still-valid control event, lazily
+    /// dropping stale heap entries (superseded tick/sensor schedules,
+    /// fired actions, woken or finished sleepers).
+    fn peek_control_due(&mut self) -> Option<u64> {
+        loop {
+            let (due, key) = self.event_heap.peek()?;
+            let valid = match key {
+                EventKey::Action => self.actions.contains_key(&due),
+                EventKey::Tick => due == self.next_tick_ns,
+                EventKey::Sensor => due == self.sensor.next_sample_ns(),
+                EventKey::Sleep { tid } => matches!(
+                    self.threads.get(tid).map(|t| t.run),
+                    Some(RunState::Blocked(BlockReason::Sleep { until_ns })) if until_ns == due
+                ),
+            };
+            if valid {
+                return Some(due);
+            }
+            self.event_heap.pop();
+        }
+    }
+
+    /// Rebuilds one core's memoized speed vector iff its run queue or
+    /// its cluster's frequency changed since the last computation.
+    fn refresh_speed_cache(&mut self, ci: usize) {
+        let rq_epoch = self.cores[ci].rq_epoch;
+        let freq_epoch = self.freq_epochs[self.cores[ci].cluster.index()];
+        let cache = &self.speed_cache[ci];
+        if cache.rq_epoch == rq_epoch && cache.freq_epoch == freq_epoch {
+            return;
+        }
+        let mut speeds = std::mem::take(&mut self.speed_cache[ci].speeds);
+        speeds.clear();
+        for i in 0..self.cores[ci].runnable.len() {
+            let tid = self.cores[ci].runnable[i];
+            speeds.push(self.speed_of(tid));
+        }
+        let cache = &mut self.speed_cache[ci];
+        cache.speeds = speeds;
+        cache.rq_epoch = rq_epoch;
+        cache.freq_epoch = freq_epoch;
+    }
+
+    /// Fast-forwards a fully-idle span: with zero runnable threads the
+    /// only state that evolves is the tick/sensor schedules and the
+    /// energy clock, so the engine jumps boundary-to-boundary at a few
+    /// arithmetic ops each — no run-queue scans, no allocations — until
+    /// the first instant thread state can change again (a deferred
+    /// action, a sleep wake-up, or the caller's deadline).
+    ///
+    /// Bit-identity: the boundary sequence (every tick and sensor
+    /// instant) and its energy-integration op sequence are exactly the
+    /// reference stepper's; the span's constant idle powers are
+    /// hoisted ([`EnergyMeter::accumulate_idle`]). The span stops *at*
+    /// the stopper instant without processing it, so `process_due`
+    /// handles that instant in the engine's canonical event order.
+    fn idle_fast_forward(&mut self, deadline_ns: u64) {
+        let mut stop = deadline_ns;
+        if let Some((&t, _)) = self.actions.first_key_value() {
+            stop = stop.min(t);
+        }
+        for t in &self.threads {
+            if let RunState::Blocked(BlockReason::Sleep { until_ns }) = t.run {
+                stop = stop.min(until_ns);
+            }
+        }
+        let n = self.board.n_clusters();
+        let mut powers = [0.0f64; MAX_CLUSTERS];
+        for cluster in self.board.cluster_ids() {
+            let i = cluster.index();
+            powers[i] = cluster_power(
+                &self.board,
+                cluster,
+                self.freqs[i],
+                0.0,
+                self.board.cluster_size(cluster),
+            );
+        }
+        // A quiescent GTS tick reduces to `update_loads` (nothing to
+        // migrate, balance or pull with every run queue empty), and
+        // once every load EWMA has decayed to exactly 0.0 with no
+        // runnable time pending, `update_loads` itself is a no-op —
+        // from then on a tick is a pure schedule advance.
+        let mut loads_live = !self
+            .threads
+            .iter()
+            .all(|t| t.load == 0.0 && t.runnable_ns_since_tick == 0);
+        loop {
+            let next = stop
+                .min(self.next_tick_ns)
+                .min(self.sensor.next_sample_ns());
+            self.energy
+                .accumulate_idle(&powers[..n], next - self.now_ns);
+            self.now_ns = next;
+            if next == stop {
+                break;
+            }
+            if self.next_tick_ns <= self.now_ns {
+                if loads_live {
+                    update_loads(&self.cfg.gts, &mut self.threads);
+                    loads_live = !self.threads.iter().all(|t| t.load == 0.0);
+                }
+                self.next_tick_ns += self.cfg.gts.tick_ns;
+            }
+            if self.sensor.next_sample_ns() <= self.now_ns {
+                if self.cfg.coalesce_idle_sensor {
+                    self.sensor.skip_sample();
+                } else {
+                    // Idle truth equals the hoisted powers bit-for-bit
+                    // (same `cluster_power` arguments), so the sample
+                    // stream matches the reference stepper's exactly.
+                    let now = self.now_ns;
+                    self.sensor.sample(now, &powers[..n]);
+                }
+            }
+        }
+        // Re-arm heap hints for the schedules the span advanced past.
+        let tick = self.next_tick_ns;
+        let sample = self.sensor.next_sample_ns();
+        self.push_event(tick, EventKey::Tick);
+        self.push_event(sample, EventKey::Sensor);
     }
 
     /// Advances the clock by `dt_ns`, integrating energy, busy time,
@@ -573,17 +813,26 @@ impl Engine {
         self.energy
             .accumulate(&self.board, &self.freqs, &busy[..n], dt_ns);
         let dt_secs = ns_to_secs(dt_ns);
+        let use_cache = self.cfg.exec == ExecMode::EventHeap;
         for ci in 0..self.cores.len() {
             let k = self.cores[ci].nr_running();
             if k == 0 {
                 continue;
             }
             let share = 1.0 / k as f64;
-            // Clone the (tiny) run queue to sidestep aliasing with the
-            // per-thread updates below.
-            let rq = self.cores[ci].runnable.clone();
-            for tid in rq {
-                let speed = self.speed_of(tid);
+            if use_cache {
+                self.refresh_speed_cache(ci);
+            }
+            // Indexed iteration: the body only touches thread state
+            // (never the run queues), so no clone is needed to satisfy
+            // aliasing — this loop allocates nothing.
+            for i in 0..k {
+                let tid = self.cores[ci].runnable[i];
+                let speed = if use_cache {
+                    self.speed_cache[ci].speeds[i]
+                } else {
+                    self.speed_of(tid)
+                };
                 let done = dt_secs * share * speed;
                 let t = &mut self.threads[tid];
                 t.work_left = (t.work_left - done).max(0.0);
@@ -661,6 +910,8 @@ impl Engine {
                     }
                 }
                 self.next_tick_ns += self.cfg.gts.tick_ns;
+                let tick = self.next_tick_ns;
+                self.push_event(tick, EventKey::Tick);
                 progressed = true;
             }
             // Sensor sample.
@@ -668,6 +919,8 @@ impl Engine {
                 let truth = self.instant_power();
                 self.sensor
                     .sample(self.now_ns, &truth[..self.board.n_clusters()]);
+                let sample = self.sensor.next_sample_ns();
+                self.push_event(sample, EventKey::Sensor);
                 progressed = true;
             }
             if !progressed {
@@ -731,9 +984,9 @@ impl Engine {
                         self.threads[tid].work_left = duty * ns_to_secs(period_ns);
                         self.make_runnable(tid);
                     } else {
-                        self.threads[tid].run = RunState::Blocked(BlockReason::Sleep {
-                            until_ns: self.now_ns + period_ns,
-                        });
+                        let until_ns = self.now_ns + period_ns;
+                        self.threads[tid].run = RunState::Blocked(BlockReason::Sleep { until_ns });
+                        self.push_event(until_ns, EventKey::Sleep { tid });
                     }
                 }
             }
@@ -839,12 +1092,9 @@ impl Engine {
                     self.threads[tid].work_left = ns_to_secs(period_ns);
                 } else {
                     let idle = ((1.0 - duty) * period_ns as f64) as u64;
-                    self.block_thread(
-                        tid,
-                        BlockReason::Sleep {
-                            until_ns: self.now_ns + idle.max(1),
-                        },
-                    );
+                    let until_ns = self.now_ns + idle.max(1);
+                    self.block_thread(tid, BlockReason::Sleep { until_ns });
+                    self.push_event(until_ns, EventKey::Sleep { tid });
                 }
             }
         }
@@ -857,9 +1107,9 @@ impl Engine {
                 self.threads[tid].work_left = duty * ns_to_secs(period_ns);
                 self.make_runnable(tid);
             } else {
-                self.threads[tid].run = RunState::Blocked(BlockReason::Sleep {
-                    until_ns: self.now_ns + period_ns,
-                });
+                let until_ns = self.now_ns + period_ns;
+                self.threads[tid].run = RunState::Blocked(BlockReason::Sleep { until_ns });
+                self.push_event(until_ns, EventKey::Sleep { tid });
             }
         }
     }

@@ -48,6 +48,7 @@ mod cpuset;
 mod energy;
 mod engine;
 mod error;
+mod events;
 mod freq;
 pub mod microbench;
 mod power;
@@ -60,7 +61,7 @@ pub mod trace;
 pub use board::{BoardSpec, ClusterId, ClusterPowerModel, ClusterSpec, MAX_CLUSTERS};
 pub use cpuset::{CoreId, CpuSet, CpuSetIter};
 pub use energy::{EnergyMeter, EnergySnapshot};
-pub use engine::{Action, Engine, EngineConfig, HeartbeatEvent};
+pub use engine::{Action, Engine, EngineConfig, ExecMode, HeartbeatEvent};
 pub use error::SimError;
 pub use freq::{FreqKhz, FreqLadder};
 pub use power::{board_power, cluster_power};

@@ -113,7 +113,13 @@ pub fn measure_point(
     cores_used: usize,
     duty: f64,
 ) -> Result<f64, SimError> {
-    let mut engine = Engine::new(board.clone(), engine_cfg.clone());
+    // Calibration reads the sensor's *noisy sample stream* itself, so
+    // idle-span sample coalescing must stay off here: a skipped sample
+    // draws no noise, which would shift the RNG stream of every later
+    // sample and perturb the fitted model.
+    let mut cfg = engine_cfg.clone();
+    cfg.coalesce_idle_sensor = false;
+    let mut engine = Engine::new(board.clone(), cfg);
     // Quiesce every cluster at the lowest operating point, then raise
     // the cluster under test.
     for c in board.cluster_ids() {

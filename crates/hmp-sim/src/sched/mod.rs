@@ -20,6 +20,10 @@ pub(crate) struct CoreState {
     pub runnable: Vec<usize>,
     /// Total time this core has been busy (ns).
     pub busy_ns: u64,
+    /// Bumped on every mutation of `runnable` (membership or order).
+    /// The engine's per-core speed caches are stamped with this epoch
+    /// so they invalidate lazily, exactly when the queue changed.
+    pub rq_epoch: u64,
 }
 
 impl CoreState {
@@ -29,6 +33,7 @@ impl CoreState {
             cluster,
             runnable: Vec::new(),
             busy_ns: 0,
+            rq_epoch: 0,
         }
     }
 
@@ -66,6 +71,7 @@ pub(crate) fn place_thread(tid: usize, threads: &mut [ThreadState], cores: &mut 
     let target = best.expect("thread affinity mask has no core on this board");
     threads[tid].core = Some(target);
     cores[target.0].runnable.push(tid);
+    cores[target.0].rq_epoch += 1;
 }
 
 /// Removes a thread from its core's run queue (e.g. when it blocks).
@@ -75,6 +81,7 @@ pub(crate) fn dequeue_thread(tid: usize, threads: &[ThreadState], cores: &mut [C
         let rq = &mut cores[core.0].runnable;
         if let Some(pos) = rq.iter().position(|&t| t == tid) {
             rq.swap_remove(pos);
+            cores[core.0].rq_epoch += 1;
         }
     }
 }
@@ -90,6 +97,7 @@ pub(crate) fn migrate_thread(
     threads[tid].core = Some(to);
     if threads[tid].is_runnable() {
         cores[to.0].runnable.push(tid);
+        cores[to.0].rq_epoch += 1;
     }
 }
 

@@ -42,6 +42,8 @@ pub struct PowerSensor {
     noise_sigma: f64,
     rng: StdRng,
     samples: Vec<PowerSample>,
+    /// Samples elided across idle spans (counted, never materialized).
+    coalesced: u64,
 }
 
 impl PowerSensor {
@@ -60,6 +62,7 @@ impl PowerSensor {
             noise_sigma,
             rng: StdRng::seed_from_u64(seed),
             samples: Vec::new(),
+            coalesced: 0,
         }
     }
 
@@ -81,6 +84,32 @@ impl PowerSensor {
         let watts = truth.iter().map(|&w| self.noisy(w)).collect();
         self.samples.push(PowerSample { time_ns, watts });
         self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
+    }
+
+    /// Skips one scheduled sample across an idle span: the schedule
+    /// advances by a period and the sample is *counted* but not
+    /// materialized — no storage, and (deliberately) no noise draws, so
+    /// a skipped sample costs nothing. Callers that need the noisy
+    /// sample stream itself (the calibration microbenchmark) must run
+    /// with coalescing disabled; skipping shifts the RNG stream of any
+    /// later materialized samples.
+    pub(crate) fn skip_sample(&mut self) {
+        self.coalesced += 1;
+        self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
+    }
+
+    /// Samples elided across idle spans (scheduled instants that were
+    /// counted but never materialized).
+    pub fn coalesced_samples(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Total scheduled sample instants reached so far: materialized
+    /// plus coalesced. Invariant under idle-span coalescing — the
+    /// engine's equivalence proptests pin it against the fixed-step
+    /// reference.
+    pub fn total_samples(&self) -> u64 {
+        self.samples.len() as u64 + self.coalesced
     }
 
     fn noisy(&mut self, truth: f64) -> f64 {
@@ -109,7 +138,8 @@ impl PowerSensor {
         Some(sum / self.samples.len() as f64)
     }
 
-    /// Discards recorded samples (the schedule continues).
+    /// Discards recorded samples (the schedule continues; the
+    /// coalesced-sample counter is a lifetime total and is kept).
     pub fn clear(&mut self) {
         self.samples.clear();
     }
@@ -177,6 +207,21 @@ mod tests {
             s.sample(t, &[0.01, 0.01]);
         }
         assert!(s.samples().iter().all(|x| x.watts(C::LITTLE) >= 0.0));
+    }
+
+    #[test]
+    fn skipped_samples_are_counted_not_stored() {
+        let mut s = PowerSensor::new(100, 0.05, 11);
+        s.sample(100, &[1.0, 1.0]);
+        s.skip_sample();
+        s.skip_sample();
+        s.sample(400, &[1.0, 1.0]);
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.coalesced_samples(), 2);
+        assert_eq!(s.total_samples(), 4);
+        assert_eq!(s.next_sample_ns(), 500, "schedule advanced per skip");
+        s.clear();
+        assert_eq!(s.coalesced_samples(), 2, "lifetime counter survives clear");
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Bit-identity of the event-heap engine against the fixed-step
+//! reference stepper.
+//!
+//! The event-heap mode ([`ExecMode::EventHeap`], the default) must be
+//! an *optimization*, not a semantic change: for any workload mix —
+//! barrier apps that drain to full idle, low-duty spinners that sleep
+//! most of every period, deferred frequency actions landing in idle
+//! spans — the heartbeat timeline, final clock, energy integrals and
+//! sensor schedule must match the fixed-step stepper bit for bit.
+//! With sample coalescing disabled the stored sample stream (values
+//! included) matches too; with coalescing on (the default) the stream
+//! thins out but the *count* of scheduled sample instants is conserved.
+
+use proptest::prelude::*;
+
+use hmp_sim::clock::NS_PER_SEC;
+use hmp_sim::{
+    Action, AppSpec, BoardSpec, ClusterId, Engine, EngineConfig, ExecMode, ParallelismModel,
+};
+
+/// One run: heartbeat timeline, final clock, per-cluster energy bits,
+/// and the sensor's sample accounting.
+struct RunDigest {
+    beats: Vec<(u64, u64, u64)>,
+    now_ns: u64,
+    joules_bits: Vec<u64>,
+    elapsed_bits: u64,
+    busy_bits: Vec<u64>,
+    total_samples: u64,
+    stored_samples: Vec<(u64, Vec<u64>)>,
+}
+
+/// Drives one engine over the workload in driver fashion (pump
+/// heartbeats, then run out the horizon) and digests everything the
+/// equivalence contract covers.
+#[allow(clippy::too_many_arguments)]
+fn run_digest(
+    board: &BoardSpec,
+    mode: ExecMode,
+    coalesce: bool,
+    barrier_threads: usize,
+    unit_work: f64,
+    budget: u64,
+    duty: f64,
+    period_ms: u64,
+    freq_action_at: u64,
+    horizon_ns: u64,
+) -> RunDigest {
+    let cfg = EngineConfig {
+        sensor_noise: 0.02,
+        exec: mode,
+        coalesce_idle_sensor: coalesce,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(board.clone(), cfg);
+    let mut barrier = AppSpec::data_parallel("barrier", barrier_threads, unit_work);
+    barrier.max_heartbeats = Some(budget);
+    engine.add_app(barrier).expect("valid spec");
+    let spinner = AppSpec {
+        model: ParallelismModel::DutyCycle {
+            duty,
+            period_ns: period_ms * 1_000_000,
+        },
+        max_heartbeats: None,
+        ..AppSpec::data_parallel("spinner", 1, 1.0)
+    };
+    engine.add_app(spinner).expect("valid spec");
+    // A deferred DVFS action lands mid-run (often inside an idle span)
+    // so the Action event source is exercised in both modes.
+    let little = ClusterId(0);
+    engine
+        .schedule_action(
+            freq_action_at,
+            Action::SetClusterFreq {
+                cluster: little,
+                freq: board.ladder(little).min(),
+            },
+        )
+        .expect("on-ladder frequency");
+    let mut beats = Vec::new();
+    while let Some(hb) = engine.next_heartbeat(horizon_ns) {
+        beats.push((hb.app.0, hb.index, hb.time_ns));
+    }
+    engine.run_until(horizon_ns);
+    RunDigest {
+        beats,
+        now_ns: engine.now_ns(),
+        joules_bits: board
+            .cluster_ids()
+            .map(|c| engine.energy().cluster_joules(c).to_bits())
+            .collect(),
+        elapsed_bits: engine.energy().elapsed_secs().to_bits(),
+        busy_bits: board
+            .cluster_ids()
+            .map(|c| engine.energy().busy_core_secs(c).to_bits())
+            .collect(),
+        total_samples: engine.sensor().total_samples(),
+        stored_samples: engine
+            .sensor()
+            .samples()
+            .iter()
+            .map(|s| {
+                (
+                    s.time_ns,
+                    s.watts.iter().map(|w| w.to_bits()).collect::<Vec<u64>>(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn boards() -> Vec<BoardSpec> {
+    vec![BoardSpec::odroid_xu3(), BoardSpec::dynamiq_1p_3m_4l()]
+}
+
+proptest! {
+    /// With coalescing off, the two modes are indistinguishable: same
+    /// heartbeats, same clock, same energy bits, same stored samples
+    /// (noise values included — the RNG streams stay aligned).
+    #[test]
+    fn heap_mode_matches_fixed_step_exactly(
+        board_idx in 0usize..2,
+        barrier_threads in 1usize..5,
+        unit_work in 50.0f64..400.0,
+        budget in 3u64..40,
+        duty in 0.01f64..0.3,
+        period_ms in 20u64..200,
+        action_frac in 0.1f64..0.9,
+        horizon_secs in 2u64..6,
+    ) {
+        let board = &boards()[board_idx];
+        let horizon_ns = horizon_secs * NS_PER_SEC;
+        let action_at = (action_frac * horizon_ns as f64) as u64;
+        let run = |mode| run_digest(
+            board, mode, false, barrier_threads, unit_work, budget,
+            duty, period_ms, action_at, horizon_ns,
+        );
+        let fixed = run(ExecMode::FixedStep);
+        let heap = run(ExecMode::EventHeap);
+        prop_assert_eq!(&fixed.beats, &heap.beats, "heartbeat timelines diverged");
+        prop_assert_eq!(fixed.now_ns, heap.now_ns);
+        prop_assert_eq!(&fixed.joules_bits, &heap.joules_bits, "energy must be bit-equal");
+        prop_assert_eq!(fixed.elapsed_bits, heap.elapsed_bits);
+        prop_assert_eq!(&fixed.busy_bits, &heap.busy_bits);
+        prop_assert_eq!(fixed.total_samples, heap.total_samples);
+        prop_assert_eq!(
+            &fixed.stored_samples, &heap.stored_samples,
+            "with coalescing off the stored sample stream matches bitwise"
+        );
+    }
+
+    /// With coalescing on (the default), everything fingerprinted still
+    /// matches bitwise, and the sample *count* is conserved: stored +
+    /// coalesced equals the fixed-step total.
+    #[test]
+    fn coalescing_conserves_counts_and_energy(
+        board_idx in 0usize..2,
+        barrier_threads in 1usize..5,
+        unit_work in 50.0f64..400.0,
+        budget in 3u64..40,
+        duty in 0.01f64..0.3,
+        period_ms in 20u64..200,
+        horizon_secs in 2u64..6,
+    ) {
+        let board = &boards()[board_idx];
+        let horizon_ns = horizon_secs * NS_PER_SEC;
+        let fixed = run_digest(
+            board, ExecMode::FixedStep, false, barrier_threads, unit_work,
+            budget, duty, period_ms, horizon_ns / 2, horizon_ns,
+        );
+        let heap = run_digest(
+            board, ExecMode::EventHeap, true, barrier_threads, unit_work,
+            budget, duty, period_ms, horizon_ns / 2, horizon_ns,
+        );
+        prop_assert_eq!(&fixed.beats, &heap.beats);
+        prop_assert_eq!(fixed.now_ns, heap.now_ns);
+        prop_assert_eq!(&fixed.joules_bits, &heap.joules_bits);
+        prop_assert_eq!(&fixed.busy_bits, &heap.busy_bits);
+        prop_assert_eq!(
+            fixed.total_samples, heap.total_samples,
+            "coalescing must count every scheduled sample instant"
+        );
+        prop_assert!(
+            heap.stored_samples.len() as u64 <= heap.total_samples,
+            "stored samples are a subset of scheduled instants"
+        );
+    }
+}

@@ -45,6 +45,12 @@ pub struct MpHarsConfig {
     pub freeze_heartbeats: u32,
     /// Modeled CPU cost per candidate state evaluated (ns).
     pub cost_per_state_ns: u64,
+    /// Modeled CPU cost per enumeration node walked (ns) — charged on
+    /// top of the per-evaluation cost for the ball-walk bookkeeping
+    /// that generates candidates. Default 0 (the historical model; the
+    /// bit-identity goldens pin it).
+    #[serde(default)]
+    pub cost_per_node_ns: u64,
     /// Modeled CPU cost per heartbeat observation (ns).
     pub cost_per_heartbeat_ns: u64,
     /// Online refinement of the shared estimator's assumed per-cluster
@@ -75,6 +81,7 @@ impl Default for MpHarsConfig {
             adapt_every: 10,
             freeze_heartbeats: 10,
             cost_per_state_ns: 3_000,
+            cost_per_node_ns: 0,
             cost_per_heartbeat_ns: 500,
             ratio_learning: RatioLearning::Off,
             exploration_bonus: 0.0,
@@ -351,8 +358,10 @@ impl MpHarsManager {
         let mut outcome = strategy.next_state(&ctx);
         // The modeled decision time is stamped on the stats once;
         // `busy_ns`, the decision's apply latency and run totals all
-        // read `wall_ns` from there.
-        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns;
+        // read `wall_ns` from there. Evaluations pay the estimator
+        // cost, enumeration nodes the (default-0) walk micro-cost.
+        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns
+            + outcome.stats.nodes * self.cfg.cost_per_node_ns;
         self.search_stats.merge(outcome.stats);
         self.busy_ns += outcome.stats.wall_ns;
         if outcome.state == current {

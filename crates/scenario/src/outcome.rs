@@ -95,6 +95,17 @@ pub struct ScenarioOutcome {
     pub adaptations: u64,
     /// Modeled manager CPU time (ns; 0 for GTS).
     pub manager_busy_ns: u64,
+    /// Power-sensor sample instants reached over the run, materialized
+    /// plus coalesced — invariant under idle-span sample coalescing, so
+    /// the engine's event-heap and fixed-step modes must report the
+    /// same number. Deliberately *not* part of [`Self::fingerprint`]:
+    /// it is reporting, like `wall_ns`, not a decision input.
+    #[serde(default)]
+    pub sensor_samples: u64,
+    /// Of [`Self::sensor_samples`], how many were coalesced across idle
+    /// spans (counted, never materialized or charged a noise draw).
+    #[serde(default)]
+    pub sensor_samples_coalesced: u64,
     /// Cumulative search cost across all tenants' adaptations.
     pub search_stats: SearchStats,
 }
@@ -211,6 +222,8 @@ impl ScenarioOutcome {
             avg_watts,
             adaptations,
             manager_busy_ns,
+            sensor_samples: 0,
+            sensor_samples_coalesced: 0,
             search_stats,
             tenants,
         }
