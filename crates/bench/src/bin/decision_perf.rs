@@ -23,6 +23,16 @@
 //! 3. every strategy's decision agrees with its unbudgeted self across
 //!    repeats (pure determinism).
 //!
+//! The bench also *calibrates* the search-overhead model: every
+//! `(policy, center, board)` decision contributes one
+//! `(evaluated, nodes, wall_ns)` point, and a non-negative
+//! least-squares fit of `wall_ns ≈ evaluated·c_state + nodes·c_node`
+//! recovers the measured per-evaluation and per-node costs. The fit is
+//! printed and written to the JSON report; its rounded values back the
+//! `hars_core::config::CALIBRATED_COST_PER_STATE_NS` /
+//! `CALIBRATED_COST_PER_NODE_NS` constants (and
+//! `RuntimeConfig::with_calibrated_costs`).
+//!
 //! ```sh
 //! cargo run --release -p hars-bench --bin decision_perf [-- --quick] [--out BENCH_search.json]
 //! ```
@@ -104,6 +114,13 @@ struct Row {
     decisions_per_sec: f64,
 }
 
+/// One measured decision, for the overhead-model fit.
+struct FitPoint {
+    evaluated: f64,
+    nodes: f64,
+    wall_ns: f64,
+}
+
 struct BoardReport {
     name: String,
     clusters: usize,
@@ -111,6 +128,39 @@ struct BoardReport {
     box_iterations: f64,
     ball_nodes: u64,
     rows: Vec<Row>,
+    fit_points: Vec<FitPoint>,
+}
+
+/// Non-negative least squares of `wall ≈ evaluated·c_state +
+/// nodes·c_node` via the 2×2 normal equations, falling back to the
+/// single-variable fit when the full solution goes negative (the
+/// per-node share can be indistinguishable from zero on fast builds).
+fn fit_costs(points: &[FitPoint]) -> (f64, f64) {
+    let (mut see, mut sen, mut snn, mut sew, mut snw) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for p in points {
+        see += p.evaluated * p.evaluated;
+        sen += p.evaluated * p.nodes;
+        snn += p.nodes * p.nodes;
+        sew += p.evaluated * p.wall_ns;
+        snw += p.nodes * p.wall_ns;
+    }
+    let det = see * snn - sen * sen;
+    if det.abs() > 1e-9 {
+        let c_state = (sew * snn - snw * sen) / det;
+        let c_node = (snw * see - sew * sen) / det;
+        if c_state >= 0.0 && c_node >= 0.0 {
+            return (c_state, c_node);
+        }
+    }
+    // Degenerate or sign-violating: attribute everything to the
+    // dominant regressor.
+    if see > 0.0 && (snn == 0.0 || sew / see >= snw / snn.max(1e-12)) {
+        ((sew / see).max(0.0), 0.0)
+    } else if snn > 0.0 {
+        (0.0, (snw / snn).max(0.0))
+    } else {
+        (0.0, 0.0)
+    }
 }
 
 fn measure_board(board: &BoardSpec, quick: bool) -> BoardReport {
@@ -143,6 +193,7 @@ fn measure_board(board: &BoardSpec, quick: bool) -> BoardReport {
     let box_iterations = ((params.m + params.n + 1) as f64).powi(2 * space.n_clusters() as i32);
 
     let mut rows = Vec::new();
+    let mut fit_points = Vec::new();
     for (name, policy) in policies() {
         let mut explored = 0usize;
         let mut evaluated = 0usize;
@@ -197,6 +248,11 @@ fn measure_board(board: &BoardSpec, quick: bool) -> BoardReport {
             truncated += usize::from(out.stats.truncated);
             decisions += 1;
             best_secs_total += best;
+            fit_points.push(FitPoint {
+                evaluated: out.stats.evaluated as f64,
+                nodes: out.stats.nodes as f64,
+                wall_ns: best * 1e9,
+            });
         }
         let micros = 1e6 * best_secs_total / decisions as f64;
         rows.push(Row {
@@ -216,10 +272,11 @@ fn measure_board(board: &BoardSpec, quick: bool) -> BoardReport {
         box_iterations,
         ball_nodes,
         rows,
+        fit_points,
     }
 }
 
-fn render_json(reports: &[BoardReport], quick: bool) -> String {
+fn render_json(reports: &[BoardReport], quick: bool, calibration: (f64, f64, usize)) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"decision_perf\",");
@@ -230,6 +287,12 @@ fn render_json(reports: &[BoardReport], quick: bool) -> String {
     );
     let _ = writeln!(s, "  \"cost_per_state_ns\": {COST_PER_STATE_NS},");
     let _ = writeln!(s, "  \"budget_ns\": {BUDGET_NS},");
+    let (cal_state, cal_node, cal_points) = calibration;
+    let _ = writeln!(
+        s,
+        "  \"calibration\": {{ \"cost_per_state_ns\": {cal_state:.1}, \
+         \"cost_per_node_ns\": {cal_node:.2}, \"points\": {cal_points} }},"
+    );
     let _ = writeln!(s, "  \"boards\": [");
     for (bi, r) in reports.iter().enumerate() {
         let _ = writeln!(s, "    {{");
@@ -377,7 +440,19 @@ fn main() {
         BUDGET_NS / COST_PER_STATE_NS
     );
 
-    let json = render_json(&reports, quick);
+    // --- overhead-model calibration: fit the measured wall times.
+    let points: Vec<FitPoint> = reports
+        .iter_mut()
+        .flat_map(|r| std::mem::take(&mut r.fit_points))
+        .collect();
+    let (cal_state, cal_node) = fit_costs(&points);
+    println!(
+        "\ncalibration: wall_ns ~= evaluated x {cal_state:.1} + nodes x {cal_node:.2} \
+         (fit over {} decisions; see hars_core::config::CALIBRATED_COST_PER_STATE_NS)",
+        points.len()
+    );
+
+    let json = render_json(&reports, quick, (cal_state, cal_node, points.len()));
     std::fs::write(&out_path, &json).expect("write BENCH_search.json");
     println!("\nwrote {out_path}");
 }

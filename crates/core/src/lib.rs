@@ -71,6 +71,7 @@
 
 pub mod assign;
 pub mod calibrate;
+pub mod config;
 pub mod driver;
 pub mod fnv;
 pub mod linreg;
@@ -85,8 +86,10 @@ pub mod sched;
 pub mod search;
 pub mod state;
 pub mod static_optimal;
+pub mod telemetry;
 
 pub use assign::{assign_threads, ThreadAssignment};
+pub use config::{BudgetChange, ConfigDelta, ConfigVersion, RejectReason, RuntimeConfig};
 pub use driver::{run_single_app, BehaviorSample, RunOutcome};
 pub use manager::{Decision, HarsConfig, RuntimeManager};
 pub use perf_est::{PerfEstimator, UnitTimes};
@@ -95,7 +98,9 @@ pub use predictor::{Kalman1D, Predictor};
 pub use ratio_learn::{PendingPrediction, RatioLearner, RatioLearnerConfig, RatioLearning};
 pub use sched::SchedulerKind;
 pub use search::{
-    AnyStrategy, BeamSearch, ExhaustiveSweep, FreqChange, GreedyFrontier, SearchConstraints,
-    SearchContext, SearchOutcome, SearchParams, SearchStats, SearchStrategy,
+    AnyStrategy, BeamSearch, BestTracker, ExhaustiveSweep, FreqChange, GreedyFrontier, RankedEval,
+    SearchConstraints, SearchContext, SearchOutcome, SearchParams, SearchStats, SearchStrategy,
+    SearchStrategyFactory,
 };
 pub use state::{StateSpace, SystemState};
+pub use telemetry::{NullSink, TelemetryEvent, TelemetrySink, VecSink};

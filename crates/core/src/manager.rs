@@ -12,7 +12,9 @@ use hmp_sim::{BoardSpec, CpuSet};
 use serde::{Deserialize, Serialize};
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use crate::config::{ConfigDelta, ConfigVersion, RejectReason, RuntimeConfig};
 use crate::perf_est::PerfEstimator;
 use crate::policy::{HarsVariant, SearchPolicy};
 use crate::power_est::PowerEstimator;
@@ -21,6 +23,7 @@ use crate::ratio_learn::{PendingPrediction, RatioLearner, RatioLearning};
 use crate::sched::{default_core_allocation, plan_affinities, SchedulerKind};
 use crate::search::{
     ExplorationBonus, SearchConstraints, SearchContext, SearchOutcome, SearchStats, SearchStrategy,
+    SearchStrategyFactory,
 };
 use crate::state::{StateSpace, SystemState};
 
@@ -102,6 +105,21 @@ impl HarsConfig {
             ..Self::default()
         }
     }
+
+    /// The hot-reloadable half of this config — the manager's version-0
+    /// [`RuntimeConfig`] snapshot. The rest (scheduler, adaptation
+    /// period, initial state, predictor) is construction-time identity
+    /// and stays fixed for the manager's lifetime.
+    pub fn runtime(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            policy: self.policy.clone(),
+            cost_per_state_ns: self.cost_per_state_ns,
+            cost_per_node_ns: self.cost_per_node_ns,
+            ratio_learning: self.ratio_learning,
+            exploration_bonus: self.exploration_bonus,
+            tabu_len: self.tabu_len,
+        }
+    }
 }
 
 /// A state change the driver must apply: cluster frequencies (inside
@@ -122,7 +140,20 @@ pub struct Decision {
 /// Algorithm 1's per-application runtime manager.
 #[derive(Debug, Clone)]
 pub struct RuntimeManager {
-    cfg: HarsConfig,
+    /// Construction-time identity: the thread scheduler.
+    scheduler: SchedulerKind,
+    /// Construction-time identity: the adaptation period (heartbeats).
+    adapt_every: u64,
+    /// Construction-time identity: fixed cost per heartbeat (ns).
+    cost_per_heartbeat_ns: u64,
+    /// The hot-reloadable config snapshot (see
+    /// [`RuntimeManager::apply_config`]).
+    runtime: RuntimeConfig,
+    /// The snapshot's version: 0 at construction, +1 per accepted delta.
+    version: ConfigVersion,
+    /// Out-of-crate strategy override (code-level hook; `None` resolves
+    /// through `runtime.policy` as usual).
+    strategy_factory: Option<Arc<dyn SearchStrategyFactory>>,
     board: BoardSpec,
     space: StateSpace,
     target: PerfTarget,
@@ -144,7 +175,8 @@ pub struct RuntimeManager {
     learner: RatioLearner,
     /// Workload predictor state.
     predictor: Predictor,
-    /// Recently visited states (newest last), bounded by `cfg.tabu_len`.
+    /// Recently visited states (newest last), bounded by
+    /// `runtime.tabu_len`.
     tabu: VecDeque<SystemState>,
 }
 
@@ -173,7 +205,12 @@ impl RuntimeManager {
         let predictor = cfg.predictor;
         let learner = RatioLearner::new(cfg.ratio_learning, &perf);
         Self {
-            cfg,
+            scheduler: cfg.scheduler,
+            adapt_every: cfg.adapt_every,
+            cost_per_heartbeat_ns: cfg.cost_per_heartbeat_ns,
+            runtime: cfg.runtime(),
+            version: ConfigVersion::default(),
+            strategy_factory: None,
             board: board.clone(),
             space,
             target,
@@ -195,6 +232,72 @@ impl RuntimeManager {
     /// The current system state the manager believes is applied.
     pub fn state(&self) -> SystemState {
         self.state
+    }
+
+    /// The current hot-reloadable config snapshot.
+    pub fn runtime_config(&self) -> &RuntimeConfig {
+        &self.runtime
+    }
+
+    /// The current config version (0 until the first accepted delta).
+    pub fn config_version(&self) -> ConfigVersion {
+        self.version
+    }
+
+    /// Applies a validated config delta to the *running* manager — the
+    /// hot-reload hook. All-or-nothing: the delta is validated in full
+    /// against the current snapshot first, and on any rejection the
+    /// manager is left bit-identical (no version bump, no state
+    /// perturbation — the reconfigure-determinism proptests pin this).
+    /// On acceptance the snapshot is swapped, the version bumps, and
+    /// dependent state is reconciled: a ratio-learning mode change
+    /// rebuilds the learner from the estimator's current ratios and
+    /// drops any pending prediction (it was armed under the old
+    /// regime); a shrunken tabu length drops the oldest entries.
+    ///
+    /// # Errors
+    ///
+    /// Reason-coded — see [`RejectReason`]. `freeze_heartbeats` and
+    /// `park_overflow` are multi-app knobs and rejected here as
+    /// [`RejectReason::Unsupported`].
+    pub fn apply_config(&mut self, delta: &ConfigDelta) -> Result<ConfigVersion, RejectReason> {
+        if delta.freeze_heartbeats.is_some() {
+            return Err(RejectReason::Unsupported {
+                field: "freeze_heartbeats",
+            });
+        }
+        if delta.park_overflow.is_some() {
+            return Err(RejectReason::Unsupported {
+                field: "park_overflow",
+            });
+        }
+        let next = self.runtime.apply(delta)?;
+        if next.ratio_learning != self.runtime.ratio_learning {
+            self.learner = RatioLearner::new(next.ratio_learning, &self.perf);
+            self.pending_prediction = None;
+        }
+        self.runtime = next;
+        while self.tabu.len() > self.runtime.tabu_len {
+            self.tabu.pop_front();
+        }
+        self.version = self.version.next();
+        Ok(self.version)
+    }
+
+    /// Installs an out-of-crate [`SearchStrategy`] source: every
+    /// subsequent decision consults `factory` instead of resolving
+    /// `runtime_config().policy` through the shipped strategies. A
+    /// code-level hook (not part of the versioned config surface — the
+    /// version does not bump), so determinism is the factory's
+    /// responsibility.
+    pub fn set_search_strategy_factory(&mut self, factory: Arc<dyn SearchStrategyFactory>) {
+        self.strategy_factory = Some(factory);
+    }
+
+    /// Removes the strategy factory, returning decisions to the
+    /// configured [`SearchPolicy`].
+    pub fn clear_search_strategy_factory(&mut self) {
+        self.strategy_factory = None;
     }
 
     /// The target band.
@@ -280,7 +383,7 @@ impl RuntimeManager {
     /// manager's modeled CPU time accrues even when no change results;
     /// read it via [`RuntimeManager::busy_ns`].
     pub fn on_heartbeat(&mut self, hb_index: u64, rate: Option<f64>) -> Option<Decision> {
-        self.busy_ns += self.cfg.cost_per_heartbeat_ns;
+        self.busy_ns += self.cost_per_heartbeat_ns;
         if !self.is_adapt_period(hb_index) {
             return None;
         }
@@ -304,11 +407,23 @@ impl RuntimeManager {
         let overperforming = rate > self.target.avg();
         let constraints = SearchConstraints::unrestricted(&self.space);
         let tabu: Vec<SystemState> = self.tabu.iter().copied().collect();
-        let strategy = self
-            .cfg
-            .policy
-            .strategy_for(overperforming, self.cfg.cost_per_state_ns);
-        let strategy: &dyn SearchStrategy = &strategy;
+        // Resolve the decision strategy: the installed factory wins,
+        // otherwise the configured policy maps onto a shipped strategy.
+        let external;
+        let resolved;
+        let strategy: &dyn SearchStrategy = match &self.strategy_factory {
+            Some(f) => {
+                external = f.strategy_for(overperforming, self.runtime.cost_per_state_ns);
+                &*external
+            }
+            None => {
+                resolved = self
+                    .runtime
+                    .policy
+                    .strategy_for(overperforming, self.runtime.cost_per_state_ns);
+                &resolved
+            }
+        };
         let ctx = SearchContext {
             space: &self.space,
             current: &self.state,
@@ -332,15 +447,15 @@ impl RuntimeManager {
         // The charge is stamped on the stats as `wall_ns` once, and
         // every downstream consumer — `busy_ns`, the decision's apply
         // latency, run-level totals — reads it from there.
-        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns
-            + outcome.stats.nodes * self.cfg.cost_per_node_ns;
+        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.runtime.cost_per_state_ns
+            + outcome.stats.nodes * self.runtime.cost_per_node_ns;
         self.search_stats.merge(outcome.stats);
         self.busy_ns += outcome.stats.wall_ns;
         if outcome.state == self.state {
             return None;
         }
         self.adaptations += 1;
-        if self.cfg.ratio_learning != RatioLearning::Off {
+        if self.runtime.ratio_learning != RatioLearning::Off {
             let new_a = self.perf.assignment(self.threads, &outcome.state);
             let old_a = self.perf.assignment(self.threads, &self.state);
             self.pending_prediction = Some(PendingPrediction::from_assignments(
@@ -349,9 +464,9 @@ impl RuntimeManager {
                 &new_a,
             ));
         }
-        if self.cfg.tabu_len > 0 {
+        if self.runtime.tabu_len > 0 {
             self.tabu.push_back(self.state);
-            while self.tabu.len() > self.cfg.tabu_len {
+            while self.tabu.len() > self.runtime.tabu_len {
                 self.tabu.pop_front();
             }
         }
@@ -365,7 +480,7 @@ impl RuntimeManager {
     /// evidence-starved clusters.
     fn exploration(&self) -> ExplorationBonus {
         ExplorationBonus::from_learner(
-            self.cfg.exploration_bonus,
+            self.runtime.exploration_bonus,
             &self.learner,
             self.space.cluster_ids(),
         )
@@ -374,7 +489,7 @@ impl RuntimeManager {
     /// `isAdaptPeriod(hb.index)`: every `adapt_every`-th heartbeat,
     /// skipping index 0 (no rate window exists yet).
     fn is_adapt_period(&self, hb_index: u64) -> bool {
-        hb_index > 0 && hb_index.is_multiple_of(self.cfg.adapt_every)
+        hb_index > 0 && hb_index.is_multiple_of(self.adapt_every)
     }
 
     /// Builds the decision realizing `state` with the configured
@@ -382,7 +497,7 @@ impl RuntimeManager {
     fn decision_for(&self, state: SystemState, overhead_ns: u64, stats: SearchStats) -> Decision {
         let assignment = self.perf.assignment(self.threads, &state);
         let cores = default_core_allocation(&self.board, &assignment);
-        let affinities = plan_affinities(self.cfg.scheduler, &assignment, &cores);
+        let affinities = plan_affinities(self.scheduler, &assignment, &cores);
         Decision {
             state,
             affinities,
@@ -480,7 +595,7 @@ mod tests {
         assert!(d.stats.explored > 1);
         assert_eq!(
             d.overhead_ns,
-            d.stats.evaluated as u64 * m.cfg.cost_per_state_ns,
+            d.stats.evaluated as u64 * m.runtime_config().cost_per_state_ns,
             "default cost_per_node_ns = 0 keeps the historical charge"
         );
         assert_eq!(
@@ -501,7 +616,7 @@ mod tests {
         assert!(d.stats.nodes > 0, "the sweep must report its walk nodes");
         assert_eq!(
             d.overhead_ns,
-            d.stats.evaluated as u64 * m.cfg.cost_per_state_ns + d.stats.nodes * 10,
+            d.stats.evaluated as u64 * m.runtime_config().cost_per_state_ns + d.stats.nodes * 10,
             "wall_ns must charge evaluations plus enumeration nodes"
         );
         assert_eq!(m.search_stats().nodes, d.stats.nodes);
@@ -693,6 +808,131 @@ mod tests {
         let filtered_reacts = filtered.on_heartbeat(10, Some(14.0)).is_some();
         assert!(plain_reacts, "last-value manager chases the outlier");
         assert!(!filtered_reacts, "kalman manager smooths the outlier away");
+    }
+
+    #[test]
+    fn apply_config_bumps_version_and_retunes_the_hot_path() {
+        use crate::config::ConfigDelta;
+        let mut m = manager(HarsConfig::default());
+        assert_eq!(m.config_version(), ConfigVersion(0));
+        let v = m
+            .apply_config(
+                &ConfigDelta::none()
+                    .with_policy(SearchPolicy::Incremental)
+                    .with_cost_per_state_ns(10),
+            )
+            .expect("valid delta");
+        assert_eq!(v, ConfigVersion(1));
+        assert_eq!(m.runtime_config().cost_per_state_ns, 10);
+        // The next decision runs under the new snapshot: incremental
+        // shrink explores a distance-1 neighborhood at 10 ns/state.
+        let d = m.on_heartbeat(10, Some(30.0)).expect("adapts");
+        assert!(d.stats.explored < 20, "incremental, not exhaustive");
+        assert_eq!(d.overhead_ns, d.stats.evaluated as u64 * 10);
+    }
+
+    #[test]
+    fn rejected_delta_leaves_the_manager_bit_identical() {
+        use crate::config::{ConfigDelta, RejectReason};
+        let mut m = manager(HarsConfig::default());
+        let before = m.clone();
+        assert_eq!(
+            m.apply_config(&ConfigDelta::none()),
+            Err(RejectReason::EmptyDelta)
+        );
+        assert_eq!(
+            m.apply_config(&ConfigDelta::none().with_freeze_heartbeats(3)),
+            Err(RejectReason::Unsupported {
+                field: "freeze_heartbeats"
+            })
+        );
+        assert_eq!(
+            m.apply_config(&ConfigDelta::none().with_park_overflow(true)),
+            Err(RejectReason::Unsupported {
+                field: "park_overflow"
+            })
+        );
+        assert_eq!(m.config_version(), ConfigVersion(0));
+        assert_eq!(m.runtime_config(), before.runtime_config());
+        // Decisions after the rejections match the untouched clone's.
+        let mut before = before;
+        assert_eq!(
+            m.on_heartbeat(10, Some(30.0)),
+            before.on_heartbeat(10, Some(30.0))
+        );
+    }
+
+    #[test]
+    fn ratio_learning_switch_drops_pending_predictions() {
+        use crate::config::ConfigDelta;
+        // Same shape as retarget_drops_pending_prediction: arm a
+        // prediction, reconfigure, and check r0 is not corrupted.
+        let mut m = learning_manager();
+        assert!(m.on_heartbeat(1, Some(30.0)).is_some(), "must adapt");
+        m.apply_config(&ConfigDelta::none().with_ratio_learning(RatioLearning::PerCluster))
+            .expect("valid delta");
+        let _ = m.on_heartbeat(2, Some(1.0));
+        assert_eq!(
+            m.assumed_ratio(),
+            1.5,
+            "a prediction armed under the old learning regime must be dropped"
+        );
+    }
+
+    #[test]
+    fn shrinking_tabu_len_drops_oldest_entries() {
+        use crate::config::ConfigDelta;
+        let mut m = manager(HarsConfig {
+            tabu_len: 4,
+            adapt_every: 1,
+            ..HarsConfig::default()
+        });
+        // Bounce the manager around to fill the tabu list.
+        for (hb, rate) in (1..).zip([30.0, 1.0, 30.0, 1.0, 30.0, 1.0]) {
+            let _ = m.on_heartbeat(hb, Some(rate));
+        }
+        m.apply_config(&ConfigDelta::none().with_tabu_len(1))
+            .expect("valid delta");
+        assert!(m.tabu.len() <= 1, "tabu must shrink with the new length");
+    }
+
+    #[test]
+    fn strategy_factory_overrides_the_configured_policy() {
+        use crate::search::{BestTracker, EvalCache, SearchStrategyFactory};
+
+        /// A degenerate external strategy: never moves.
+        #[derive(Debug)]
+        struct StayPut;
+        impl SearchStrategy for StayPut {
+            fn name(&self) -> &'static str {
+                "stay-put"
+            }
+            fn next_state_observed(
+                &self,
+                ctx: &SearchContext<'_>,
+                _observer: &mut dyn FnMut(SystemState),
+            ) -> SearchOutcome {
+                let mut cache = EvalCache::new();
+                let idx = ctx.space.index_of(ctx.current).expect("valid state");
+                let ranked = ctx.evaluate(&idx, ctx.current, &mut cache);
+                BestTracker::new(*ctx.current, ranked, ctx.tabu).finish(1, cache.evaluated())
+            }
+        }
+        #[derive(Debug)]
+        struct StayPutFactory;
+        impl SearchStrategyFactory for StayPutFactory {
+            fn strategy_for(&self, _over: bool, _cps: u64) -> Box<dyn SearchStrategy> {
+                Box::new(StayPut)
+            }
+        }
+
+        let mut m = manager(HarsConfig::default());
+        m.set_search_strategy_factory(Arc::new(StayPutFactory));
+        // Grossly over-performing, but the external strategy holds.
+        assert!(m.on_heartbeat(10, Some(30.0)).is_none());
+        assert_eq!(m.searches(), 1, "the external strategy did run");
+        m.clear_search_strategy_factory();
+        assert!(m.on_heartbeat(20, Some(30.0)).is_some(), "policy restored");
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub use budget::BudgetedSearch;
 pub use exhaustive::{count_enumeration_nodes, count_sweep_candidates, ExhaustiveSweep};
 pub use frontier::GreedyFrontier;
 pub use strategy::{
-    AnyStrategy, EvalCache, ExplorationBonus, SearchContext, SearchStats, SearchStrategy,
+    AnyStrategy, BestTracker, EvalCache, ExplorationBonus, RankedEval, SearchContext, SearchStats,
+    SearchStrategy, SearchStrategyFactory,
 };
 
 use heartbeats::PerfTarget;

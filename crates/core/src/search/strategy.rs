@@ -215,7 +215,9 @@ impl SearchContext<'_> {
     /// [`PartialEvaluator`] — the factored, table-driven equivalent of
     /// [`evaluate_state`], bit-identical by construction (and by
     /// proptest).
-    pub(crate) fn evaluate(
+    ///
+    /// [`evaluate_state`]: super::evaluate_state
+    pub fn evaluate(
         &self,
         idx: &StateIndex,
         state: &SystemState,
@@ -239,8 +241,8 @@ impl SearchContext<'_> {
     /// sweep's ball enumeration), where probing and populating the map
     /// is pure overhead. The evaluation still counts toward
     /// [`EvalCache::evaluated`] and still goes through the shared
-    /// [`PartialEvaluator`], so stats and results are identical.
-    pub(crate) fn evaluate_uncached(
+    /// `PartialEvaluator`, so stats and results are identical.
+    pub fn evaluate_uncached(
         &self,
         idx: &StateIndex,
         state: &SystemState,
@@ -259,7 +261,7 @@ impl SearchContext<'_> {
     /// by every strategy before it evaluates another candidate, so a
     /// budgeted search never exceeds its allowance by more than the
     /// mandatory current-state evaluation.
-    pub(crate) fn out_of_budget(&self, cache: &EvalCache) -> bool {
+    pub fn out_of_budget(&self, cache: &EvalCache) -> bool {
         self.eval_limit
             .is_some_and(|limit| cache.evaluated() >= limit)
     }
@@ -270,7 +272,7 @@ impl SearchContext<'_> {
     /// the search when the candidate would actually be evaluated.
     /// Used by the frontier, whose descent deliberately revisits
     /// coordinate lines.
-    pub(crate) fn out_of_budget_for(&self, idx: &StateIndex, cache: &EvalCache) -> bool {
+    pub fn out_of_budget_for(&self, idx: &StateIndex, cache: &EvalCache) -> bool {
         self.out_of_budget(cache) && !cache.map.contains_key(idx)
     }
 
@@ -346,14 +348,18 @@ impl EvalCache {
 /// A candidate evaluation paired with its (bonus-adjusted) ranking
 /// keys. With no bonus the keys equal the raw evaluation exactly.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct RankedEval {
+pub struct RankedEval {
+    /// The estimators' raw verdict about the state.
     pub eval: CandidateEval,
     key_pp: f64,
     key_rate: f64,
 }
 
 impl RankedEval {
-    pub(crate) fn new(eval: CandidateEval, factor: f64) -> Self {
+    /// Wraps an evaluation with its ranking keys scaled by the
+    /// exploration `factor` (`1.0` outside learning runs —
+    /// [`SearchContext::evaluate`] computes the right factor for you).
+    pub fn new(eval: CandidateEval, factor: f64) -> Self {
         Self {
             eval,
             key_pp: eval.perf_per_watt * factor,
@@ -364,7 +370,7 @@ impl RankedEval {
     /// Algorithm 2's ordering on the ranking keys: satisfying beats
     /// non-satisfying; among satisfying, higher perf/watt; among
     /// non-satisfying, higher estimated rate.
-    pub(crate) fn better_than(&self, other: &RankedEval) -> bool {
+    pub fn better_than(&self, other: &RankedEval) -> bool {
         match (self.eval.satisfies, other.eval.satisfies) {
             (true, false) => true,
             (false, true) => false,
@@ -375,7 +381,7 @@ impl RankedEval {
 
     /// Total order for beam-frontier sorting: better states first, ties
     /// kept in visit order by the caller's stable sort.
-    pub(crate) fn cmp_better_first(&self, other: &RankedEval) -> std::cmp::Ordering {
+    pub fn cmp_better_first(&self, other: &RankedEval) -> std::cmp::Ordering {
         use std::cmp::Ordering;
         if self.better_than(other) {
             Ordering::Less
@@ -389,9 +395,10 @@ impl RankedEval {
 
 /// The shared incumbent tracker: holds the best admitted state, applies
 /// the tabu/aspiration rules identically across strategies, and counts
-/// rank changes.
+/// rank changes. Public so out-of-crate [`SearchStrategy`] impls rank,
+/// tabu-gate and aspire exactly like the shipped ones.
 #[derive(Debug)]
-pub(crate) struct BestTracker<'a> {
+pub struct BestTracker<'a> {
     tabu: &'a [SystemState],
     best_state: SystemState,
     best: RankedEval,
@@ -401,11 +408,7 @@ pub(crate) struct BestTracker<'a> {
 impl<'a> BestTracker<'a> {
     /// Starts with the current state as incumbent (`getBetterState`:
     /// the search never moves to a state its estimators rank worse).
-    pub(crate) fn new(
-        current: SystemState,
-        current_ranked: RankedEval,
-        tabu: &'a [SystemState],
-    ) -> Self {
+    pub fn new(current: SystemState, current_ranked: RankedEval, tabu: &'a [SystemState]) -> Self {
         Self {
             tabu,
             best_state: current,
@@ -418,7 +421,7 @@ impl<'a> BestTracker<'a> {
     /// it is not tabu, or it aspires — a target-satisfying candidate
     /// strictly dominating the best seen so far (the classic aspiration
     /// criterion, >5% better perf/watt).
-    pub(crate) fn admits(&self, cand: &SystemState, ranked: &RankedEval) -> bool {
+    pub fn admits(&self, cand: &SystemState, ranked: &RankedEval) -> bool {
         if !self.tabu.contains(cand) {
             return true;
         }
@@ -426,7 +429,7 @@ impl<'a> BestTracker<'a> {
     }
 
     /// Offers a candidate; returns `true` when it became the new best.
-    pub(crate) fn offer(&mut self, cand: SystemState, ranked: RankedEval) -> bool {
+    pub fn offer(&mut self, cand: SystemState, ranked: RankedEval) -> bool {
         if self.admits(&cand, &ranked) && ranked.better_than(&self.best) {
             self.best_state = cand;
             self.best = ranked;
@@ -437,7 +440,7 @@ impl<'a> BestTracker<'a> {
     }
 
     /// Finalizes into a [`SearchOutcome`].
-    pub(crate) fn finish(self, explored: usize, evaluated: usize) -> SearchOutcome {
+    pub fn finish(self, explored: usize, evaluated: usize) -> SearchOutcome {
         SearchOutcome {
             state: self.best_state,
             eval: self.best.eval,
@@ -459,12 +462,14 @@ impl<'a> BestTracker<'a> {
 /// sweep), [`BeamSearch`](super::BeamSearch) (best-k ring expansion)
 /// and [`GreedyFrontier`](super::GreedyFrontier) (coordinate descent).
 ///
-/// Note: the managers currently resolve strategies through
-/// [`AnyStrategy`] via `SearchPolicy::strategy_for`, and the shared
-/// ranking/tabu helpers are crate-private — so new policies are added
-/// *in-crate* (new `AnyStrategy` variant + `SearchPolicy` arm); a
-/// manager-level hook for out-of-crate strategies is a recorded
-/// ROADMAP follow-on.
+/// Out-of-crate implementations get the full ranking core: evaluate
+/// candidates through [`SearchContext::evaluate`] (or
+/// [`SearchContext::evaluate_uncached`]) and track the incumbent with
+/// [`BestTracker`] so tabu, aspiration and the satisfaction-first
+/// ordering behave exactly like the shipped strategies. Plug one into a
+/// running manager with a [`SearchStrategyFactory`]
+/// (`RuntimeManager::set_search_strategy_factory` /
+/// `MpHarsManager::set_search_strategy_factory`).
 pub trait SearchStrategy {
     /// Short display name ("exhaustive", "beam(8,7)", ...).
     fn name(&self) -> &'static str;
@@ -482,6 +487,25 @@ pub trait SearchStrategy {
     fn next_state(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
         self.next_state_observed(ctx, &mut |_| {})
     }
+}
+
+/// The manager-level hook for out-of-crate search policies: installed
+/// with `set_search_strategy_factory`, it is consulted *instead of*
+/// [`SearchPolicy::strategy_for`](crate::policy::SearchPolicy::strategy_for)
+/// at every decision, with the manager's current over/under-performance
+/// verdict and the live
+/// [`RuntimeConfig`](crate::config::RuntimeConfig)'s
+/// `cost_per_state_ns` so anytime budgets price evaluations the same
+/// way the shipped strategies do.
+///
+/// `Send + Sync` because managers are `Send`-shareable across scenario
+/// shards; `Debug` because the managers derive it. The factory itself
+/// must be deterministic (same inputs → same strategy) or scenario
+/// fingerprint stability is forfeit.
+pub trait SearchStrategyFactory: std::fmt::Debug + Send + Sync {
+    /// Builds the strategy for one decision.
+    fn strategy_for(&self, overperforming: bool, cost_per_state_ns: u64)
+        -> Box<dyn SearchStrategy>;
 }
 
 /// A concrete, clonable carrier for any shipped strategy — what

@@ -1,0 +1,396 @@
+//! Streaming telemetry: the serializable event vocabulary the runtime
+//! emits and the [`TelemetrySink`] trait consumers implement.
+//!
+//! The runtime's observability surface is a flat stream of
+//! [`TelemetryEvent`]s — per-decision search cost stamped with the
+//! [`ConfigVersion`](crate::config::ConfigVersion) that made the
+//! decision, per-tenant satisfaction transitions, per-cluster power,
+//! admission verdicts and config accept/reject diagnostics. Producers
+//! (the scenario driver, benches) push events into a `&mut dyn
+//! TelemetrySink`; the [`NullSink`] default makes telemetry free and
+//! keeps every golden output bit-identical, [`VecSink`] captures
+//! streams for tests, and the scenario crate's `JsonlSink` writes one
+//! JSON object per line for dashboards and replay.
+//!
+//! Serialization is hand-written ([`TelemetryEvent::to_json`]): the
+//! workspace's offline serde shim has no-op derives, and a hand-rolled
+//! line format is also what keeps the schema hash
+//! ([`schema_text`]) honest — CI recomputes it and fails when the
+//! vocabulary drifts without the golden being updated.
+
+use crate::search::SearchStats;
+use crate::state::SystemState;
+
+/// One telemetry event. Every variant carries the emission instant
+/// `t_ns` (engine clock); [`TelemetryEvent::kind`] is the stable
+/// discriminator the JSON lines lead with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// A runtime-manager decision: which app re-pinned, under which
+    /// config version, at what modeled search cost.
+    Decision {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The deciding application's id.
+        app: u64,
+        /// The manager's config version at decision time.
+        config_version: u64,
+        /// The decision's search-cost accounting.
+        stats: SearchStats,
+    },
+    /// A [`ConfigDelta`](crate::config::ConfigDelta) was accepted.
+    ConfigApplied {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The version the manager moved to.
+        version: u64,
+    },
+    /// A [`ConfigDelta`](crate::config::ConfigDelta) was rejected.
+    ConfigRejected {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The stable [`RejectReason::code`](crate::config::RejectReason::code).
+        reason: &'static str,
+    },
+    /// An admission verdict for one arriving (or queue-drained) tenant.
+    AdmissionVerdict {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in arrival order.
+        tenant: u64,
+        /// `"admit"`, `"queue"` or `"reject"`.
+        verdict: &'static str,
+    },
+    /// The admission policy was swapped mid-run.
+    AdmissionSwapped {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The new policy's display name.
+        policy: &'static str,
+    },
+    /// The scenario's SLO guard band changed mid-run (applies to
+    /// tenants registered from now on).
+    GuardChanged {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The new guard fraction.
+        target_guard: f64,
+    },
+    /// A tenant's windowed rate crossed its target minimum (either
+    /// direction). Emitted on transitions only, not per heartbeat.
+    SatisfactionFlip {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in arrival order.
+        tenant: u64,
+        /// `true`: now meeting the target minimum.
+        satisfied: bool,
+    },
+    /// One cluster's average power so far (reported at reconfigure
+    /// instants and at scenario end).
+    ClusterPower {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Cluster index.
+        cluster: usize,
+        /// Average power over [0, `t_ns`] (W).
+        watts: f64,
+    },
+    /// The initial system state a single-app manager applied (emitted
+    /// by drivers that wire a sink through `initial_decision`).
+    InitialState {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The applied state.
+        state: SystemState,
+    },
+}
+
+/// The stable event vocabulary: `(kind, field names)` per variant, in
+/// emission-format order. This is what the schema hash covers — adding
+/// an event or a field changes it, value changes do not.
+pub const SCHEMA: &[(&str, &[&str])] = &[
+    (
+        "decision",
+        &[
+            "t_ns",
+            "app",
+            "config_version",
+            "explored",
+            "evaluated",
+            "best_rank_changes",
+            "wall_ns",
+            "nodes",
+            "truncated",
+        ],
+    ),
+    ("config_applied", &["t_ns", "version"]),
+    ("config_rejected", &["t_ns", "reason"]),
+    ("admission", &["t_ns", "tenant", "verdict"]),
+    ("admission_swapped", &["t_ns", "policy"]),
+    ("guard_changed", &["t_ns", "target_guard"]),
+    ("satisfaction", &["t_ns", "tenant", "satisfied"]),
+    ("cluster_power", &["t_ns", "cluster", "watts"]),
+    ("initial_state", &["t_ns", "state"]),
+];
+
+/// The canonical schema text (one `kind: field,field,...` line per
+/// event) whose SHA-256 is the CI schema golden
+/// (`ci/telemetry_schema.sha256`).
+pub fn schema_text() -> String {
+    let mut s = String::from("hars telemetry schema v1\n");
+    for (kind, fields) in SCHEMA {
+        s.push_str(kind);
+        s.push_str(": ");
+        s.push_str(&fields.join(","));
+        s.push('\n');
+    }
+    s
+}
+
+impl TelemetryEvent {
+    /// The stable discriminator (`"decision"`, `"config_applied"`, ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::Decision { .. } => "decision",
+            TelemetryEvent::ConfigApplied { .. } => "config_applied",
+            TelemetryEvent::ConfigRejected { .. } => "config_rejected",
+            TelemetryEvent::AdmissionVerdict { .. } => "admission",
+            TelemetryEvent::AdmissionSwapped { .. } => "admission_swapped",
+            TelemetryEvent::GuardChanged { .. } => "guard_changed",
+            TelemetryEvent::SatisfactionFlip { .. } => "satisfaction",
+            TelemetryEvent::ClusterPower { .. } => "cluster_power",
+            TelemetryEvent::InitialState { .. } => "initial_state",
+        }
+    }
+
+    /// The emission instant (engine ns).
+    pub fn t_ns(&self) -> u64 {
+        match self {
+            TelemetryEvent::Decision { t_ns, .. }
+            | TelemetryEvent::ConfigApplied { t_ns, .. }
+            | TelemetryEvent::ConfigRejected { t_ns, .. }
+            | TelemetryEvent::AdmissionVerdict { t_ns, .. }
+            | TelemetryEvent::AdmissionSwapped { t_ns, .. }
+            | TelemetryEvent::GuardChanged { t_ns, .. }
+            | TelemetryEvent::SatisfactionFlip { t_ns, .. }
+            | TelemetryEvent::ClusterPower { t_ns, .. }
+            | TelemetryEvent::InitialState { t_ns, .. } => *t_ns,
+        }
+    }
+
+    /// One JSON object (no trailing newline), field order as in
+    /// [`SCHEMA`]. Floats are formatted with Rust's shortest
+    /// round-trip representation (`{:?}`), which is valid JSON for
+    /// every finite value.
+    pub fn to_json(&self) -> String {
+        match self {
+            TelemetryEvent::Decision {
+                t_ns,
+                app,
+                config_version,
+                stats,
+            } => format!(
+                concat!(
+                    "{{\"event\":\"decision\",\"t_ns\":{},\"app\":{},",
+                    "\"config_version\":{},\"explored\":{},\"evaluated\":{},",
+                    "\"best_rank_changes\":{},\"wall_ns\":{},\"nodes\":{},",
+                    "\"truncated\":{}}}"
+                ),
+                t_ns,
+                app,
+                config_version,
+                stats.explored,
+                stats.evaluated,
+                stats.best_rank_changes,
+                stats.wall_ns,
+                stats.nodes,
+                stats.truncated
+            ),
+            TelemetryEvent::ConfigApplied { t_ns, version } => {
+                format!("{{\"event\":\"config_applied\",\"t_ns\":{t_ns},\"version\":{version}}}")
+            }
+            TelemetryEvent::ConfigRejected { t_ns, reason } => {
+                format!("{{\"event\":\"config_rejected\",\"t_ns\":{t_ns},\"reason\":\"{reason}\"}}")
+            }
+            TelemetryEvent::AdmissionVerdict {
+                t_ns,
+                tenant,
+                verdict,
+            } => format!(
+                "{{\"event\":\"admission\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"verdict\":\"{verdict}\"}}"
+            ),
+            TelemetryEvent::AdmissionSwapped { t_ns, policy } => {
+                format!("{{\"event\":\"admission_swapped\",\"t_ns\":{t_ns},\"policy\":\"{policy}\"}}")
+            }
+            TelemetryEvent::GuardChanged { t_ns, target_guard } => format!(
+                "{{\"event\":\"guard_changed\",\"t_ns\":{t_ns},\"target_guard\":{target_guard:?}}}"
+            ),
+            TelemetryEvent::SatisfactionFlip {
+                t_ns,
+                tenant,
+                satisfied,
+            } => format!(
+                "{{\"event\":\"satisfaction\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"satisfied\":{satisfied}}}"
+            ),
+            TelemetryEvent::ClusterPower {
+                t_ns,
+                cluster,
+                watts,
+            } => format!(
+                "{{\"event\":\"cluster_power\",\"t_ns\":{t_ns},\"cluster\":{cluster},\"watts\":{watts:?}}}"
+            ),
+            TelemetryEvent::InitialState { t_ns, state } => {
+                format!("{{\"event\":\"initial_state\",\"t_ns\":{t_ns},\"state\":\"{state}\"}}")
+            }
+        }
+    }
+}
+
+/// A telemetry consumer. Sinks must be cheap when idle — the driver
+/// calls [`TelemetrySink::emit`] on the hot path — and must never
+/// influence the simulation (events are read-only borrows).
+pub trait TelemetrySink: std::fmt::Debug {
+    /// Consumes one event.
+    fn emit(&mut self, event: &TelemetryEvent);
+}
+
+/// The default sink: drops everything. With it, a telemetry-threaded
+/// run is bit-identical to a pre-telemetry run — the golden contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn emit(&mut self, _event: &TelemetryEvent) {}
+}
+
+/// An in-memory sink for tests and replay checks.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// Every event emitted, in order.
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TelemetrySink for VecSink {
+    fn emit(&mut self, event: &TelemetryEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_schema() {
+        let events = [
+            TelemetryEvent::Decision {
+                t_ns: 1,
+                app: 2,
+                config_version: 0,
+                stats: SearchStats::default(),
+            },
+            TelemetryEvent::ConfigApplied {
+                t_ns: 1,
+                version: 1,
+            },
+            TelemetryEvent::ConfigRejected {
+                t_ns: 1,
+                reason: "zero-budget",
+            },
+            TelemetryEvent::AdmissionVerdict {
+                t_ns: 1,
+                tenant: 0,
+                verdict: "admit",
+            },
+            TelemetryEvent::AdmissionSwapped {
+                t_ns: 1,
+                policy: "capacity-gate",
+            },
+            TelemetryEvent::GuardChanged {
+                t_ns: 1,
+                target_guard: 0.1,
+            },
+            TelemetryEvent::SatisfactionFlip {
+                t_ns: 1,
+                tenant: 0,
+                satisfied: true,
+            },
+            TelemetryEvent::ClusterPower {
+                t_ns: 1,
+                cluster: 0,
+                watts: 1.5,
+            },
+            TelemetryEvent::InitialState {
+                t_ns: 0,
+                state: SystemState::new(&[(1, hmp_sim::FreqKhz::from_mhz(1_000))]),
+            },
+        ];
+        assert_eq!(events.len(), SCHEMA.len(), "every variant has a schema row");
+        for (ev, (kind, fields)) in events.iter().zip(SCHEMA) {
+            assert_eq!(ev.kind(), *kind);
+            let json = ev.to_json();
+            assert!(
+                json.starts_with(&format!("{{\"event\":\"{kind}\"")),
+                "{json}"
+            );
+            assert!(json.ends_with('}'), "{json}");
+            for f in *fields {
+                assert!(
+                    json.contains(&format!("\"{f}\":")),
+                    "{kind} json missing field {f}: {json}"
+                );
+            }
+            assert_eq!(ev.t_ns(), if *kind == "initial_state" { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn float_fields_are_valid_json_numbers() {
+        let ev = TelemetryEvent::ClusterPower {
+            t_ns: 7,
+            cluster: 2,
+            watts: 1.0,
+        };
+        // `{:?}` keeps the decimal point: "1.0", not "1".
+        assert_eq!(
+            ev.to_json(),
+            "{\"event\":\"cluster_power\",\"t_ns\":7,\"cluster\":2,\"watts\":1.0}"
+        );
+    }
+
+    #[test]
+    fn vec_sink_captures_in_order_and_null_sink_drops() {
+        let a = TelemetryEvent::ConfigApplied {
+            t_ns: 1,
+            version: 1,
+        };
+        let b = TelemetryEvent::ConfigApplied {
+            t_ns: 2,
+            version: 2,
+        };
+        let mut vec = VecSink::new();
+        vec.emit(&a);
+        vec.emit(&b);
+        assert_eq!(vec.events, vec![a.clone(), b]);
+        let mut null = NullSink;
+        null.emit(&a); // no observable effect, and no panic
+    }
+
+    #[test]
+    fn schema_text_is_deterministic_and_covers_every_kind() {
+        let text = schema_text();
+        assert_eq!(text, schema_text());
+        for (kind, _) in SCHEMA {
+            assert!(text.contains(kind));
+        }
+        assert_eq!(text.lines().count(), SCHEMA.len() + 1);
+    }
+}

@@ -16,11 +16,15 @@ use heartbeats::{AppId, PerfTarget};
 use hmp_sim::{BoardSpec, ClusterId, CpuSet, FreqKhz};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
+use hars_core::config::{ConfigDelta, ConfigVersion, RejectReason, RuntimeConfig};
 use hars_core::policy::SearchPolicy;
 use hars_core::ratio_learn::{PendingPrediction, RatioLearner, RatioLearning};
 use hars_core::sched::plan_affinities;
 use hars_core::search::{
     ExplorationBonus, FreqChange, SearchConstraints, SearchContext, SearchStats, SearchStrategy,
+    SearchStrategyFactory,
 };
 use hars_core::{PerfEstimator, PowerEstimator, SchedulerKind, StateSpace, SystemState};
 
@@ -90,6 +94,25 @@ impl Default for MpHarsConfig {
     }
 }
 
+impl MpHarsConfig {
+    /// The hot-reloadable half of this config — the manager's version-0
+    /// [`RuntimeConfig`] snapshot. MP-HARS runs without tabu
+    /// (`tabu_len` is 0 and deltas setting it are rejected); the
+    /// manager-level hot knobs `freeze_heartbeats` and `park_overflow`
+    /// ride the same [`ConfigDelta`] but live outside the core
+    /// snapshot.
+    pub fn runtime(&self) -> RuntimeConfig {
+        RuntimeConfig {
+            policy: self.policy.clone(),
+            cost_per_state_ns: self.cost_per_state_ns,
+            cost_per_node_ns: self.cost_per_node_ns,
+            ratio_learning: self.ratio_learning,
+            exploration_bonus: self.exploration_bonus,
+            tabu_len: 0,
+        }
+    }
+}
+
 /// The paper's MP-HARS-I: incremental search with distance 1.
 pub fn mp_hars_i() -> MpHarsConfig {
     MpHarsConfig {
@@ -137,7 +160,24 @@ impl MpDecision {
 /// The multi-application runtime manager.
 #[derive(Debug, Clone)]
 pub struct MpHarsManager {
-    cfg: MpHarsConfig,
+    /// Construction-time identity: the thread scheduler.
+    scheduler: SchedulerKind,
+    /// Construction-time identity: the adaptation period (heartbeats).
+    adapt_every: u64,
+    /// Construction-time identity: fixed cost per heartbeat (ns).
+    cost_per_heartbeat_ns: u64,
+    /// Hot manager knob: freezing-count value armed on decreases.
+    freeze_heartbeats: u32,
+    /// Hot manager knob: overflow parking.
+    park_overflow: bool,
+    /// The hot-reloadable config snapshot (see
+    /// [`MpHarsManager::apply_config`]).
+    runtime: RuntimeConfig,
+    /// The snapshot's version: 0 at construction, +1 per accepted delta.
+    version: ConfigVersion,
+    /// Out-of-crate strategy override (code-level hook; `None` resolves
+    /// through `runtime.policy` as usual).
+    strategy_factory: Option<Arc<dyn SearchStrategyFactory>>,
     board: BoardSpec,
     space: StateSpace,
     perf: PerfEstimator,
@@ -165,7 +205,14 @@ impl MpHarsManager {
     ) -> Self {
         let learner = RatioLearner::new(cfg.ratio_learning, &perf);
         Self {
-            cfg,
+            scheduler: cfg.scheduler,
+            adapt_every: cfg.adapt_every,
+            cost_per_heartbeat_ns: cfg.cost_per_heartbeat_ns,
+            freeze_heartbeats: cfg.freeze_heartbeats,
+            park_overflow: cfg.park_overflow,
+            runtime: cfg.runtime(),
+            version: ConfigVersion::default(),
+            strategy_factory: None,
             board: board.clone(),
             space: StateSpace::from_board(board),
             perf,
@@ -208,6 +255,78 @@ impl MpHarsManager {
             }
             self.refresh_frozen_flags();
         }
+    }
+
+    /// The current hot-reloadable config snapshot.
+    pub fn runtime_config(&self) -> &RuntimeConfig {
+        &self.runtime
+    }
+
+    /// The current config version (0 until the first accepted delta).
+    pub fn config_version(&self) -> ConfigVersion {
+        self.version
+    }
+
+    /// The freezing-count value armed on frequency decreases (hot —
+    /// [`ConfigDelta::freeze_heartbeats`]).
+    pub fn freeze_heartbeats(&self) -> u32 {
+        self.freeze_heartbeats
+    }
+
+    /// Whether over-capacity arrivals are parked on the slowest cluster
+    /// (hot — [`ConfigDelta::park_overflow`]).
+    pub fn park_overflow(&self) -> bool {
+        self.park_overflow
+    }
+
+    /// Applies a validated config delta to the *running* manager — the
+    /// hot-reload hook, identical in contract to the single-app
+    /// `RuntimeManager::apply_config`: all-or-nothing validation, a
+    /// rejection leaves the manager bit-identical, an acceptance swaps
+    /// the snapshot and bumps the version. MP-specific semantics: a
+    /// ratio-learning mode change rebuilds the *shared* learner and
+    /// drops every app's pending prediction; `freeze_heartbeats` /
+    /// `park_overflow` apply from the next decision (armed freezing
+    /// counts keep draining at their armed values); `tabu_len` is
+    /// rejected — the multi-app manager runs without tabu.
+    ///
+    /// # Errors
+    ///
+    /// Reason-coded — see [`RejectReason`].
+    pub fn apply_config(&mut self, delta: &ConfigDelta) -> Result<ConfigVersion, RejectReason> {
+        if delta.tabu_len.is_some() {
+            return Err(RejectReason::Unsupported { field: "tabu_len" });
+        }
+        let next = self.runtime.apply(delta)?;
+        if next.ratio_learning != self.runtime.ratio_learning {
+            self.learner = RatioLearner::new(next.ratio_learning, &self.perf);
+            for a in &mut self.apps {
+                a.pending_prediction = None;
+            }
+        }
+        self.runtime = next;
+        if let Some(fh) = delta.freeze_heartbeats {
+            self.freeze_heartbeats = fh;
+        }
+        if let Some(park) = delta.park_overflow {
+            self.park_overflow = park;
+        }
+        self.version = self.version.next();
+        Ok(self.version)
+    }
+
+    /// Installs an out-of-crate [`SearchStrategy`] source consulted for
+    /// every app's decisions instead of the configured policy. A
+    /// code-level hook (no version bump); determinism is the factory's
+    /// responsibility.
+    pub fn set_search_strategy_factory(&mut self, factory: Arc<dyn SearchStrategyFactory>) {
+        self.strategy_factory = Some(factory);
+    }
+
+    /// Removes the strategy factory, returning decisions to the
+    /// configured [`SearchPolicy`].
+    pub fn clear_search_strategy_factory(&mut self) {
+        self.strategy_factory = None;
     }
 
     /// Total modeled manager CPU time (ns).
@@ -282,7 +401,7 @@ impl MpHarsManager {
         hb_index: u64,
         rate: Option<f64>,
     ) -> Option<MpDecision> {
-        self.busy_ns += self.cfg.cost_per_heartbeat_ns;
+        self.busy_ns += self.cost_per_heartbeat_ns;
         let ai = self.apps.iter().position(|a| a.app == app)?;
         // Lines 7–11: tick this app's freezing counts.
         self.apps[ai].tick_freezing_counts();
@@ -292,7 +411,7 @@ impl MpHarsManager {
         // Lines 12–15: refresh the per-cluster frozen flags.
         self.refresh_frozen_flags();
         // Line 16: adaptation period?
-        if !(hb_index > 0 && hb_index.is_multiple_of(self.cfg.adapt_every)) {
+        if !(hb_index > 0 && hb_index.is_multiple_of(self.adapt_every)) {
             // The initial allocation happens at the very first heartbeat.
             if hb_index == 0 && !self.apps[ai].allocated {
                 return self.initial_allocation(ai);
@@ -337,11 +456,23 @@ impl MpHarsManager {
         // Line 20: the HARS search, bounded by the constraints, through
         // the policy's strategy (sweep, beam, frontier or a budgeted
         // wrapper around any of them).
-        let strategy = self
-            .cfg
-            .policy
-            .strategy_for(overperforming, self.cfg.cost_per_state_ns);
-        let strategy: &dyn SearchStrategy = &strategy;
+        // Resolve the decision strategy: the installed factory wins,
+        // otherwise the configured policy maps onto a shipped strategy.
+        let external;
+        let resolved;
+        let strategy: &dyn SearchStrategy = match &self.strategy_factory {
+            Some(f) => {
+                external = f.strategy_for(overperforming, self.runtime.cost_per_state_ns);
+                &*external
+            }
+            None => {
+                resolved = self
+                    .runtime
+                    .policy
+                    .strategy_for(overperforming, self.runtime.cost_per_state_ns);
+                &resolved
+            }
+        };
         let ctx = SearchContext {
             space: &self.space,
             current: &current,
@@ -360,15 +491,15 @@ impl MpHarsManager {
         // `busy_ns`, the decision's apply latency and run totals all
         // read `wall_ns` from there. Evaluations pay the estimator
         // cost, enumeration nodes the (default-0) walk micro-cost.
-        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.cfg.cost_per_state_ns
-            + outcome.stats.nodes * self.cfg.cost_per_node_ns;
+        outcome.stats.wall_ns = outcome.stats.evaluated as u64 * self.runtime.cost_per_state_ns
+            + outcome.stats.nodes * self.runtime.cost_per_node_ns;
         self.search_stats.merge(outcome.stats);
         self.busy_ns += outcome.stats.wall_ns;
         if outcome.state == current {
             return None;
         }
         self.adaptations += 1;
-        if self.cfg.ratio_learning != RatioLearning::Off {
+        if self.runtime.ratio_learning != RatioLearning::Off {
             let threads = self.apps[ai].threads;
             let new_a = self.perf.assignment(threads, &outcome.state);
             let old_a = self.perf.assignment(threads, &current);
@@ -387,7 +518,7 @@ impl MpHarsManager {
     /// clusters.
     fn exploration(&self) -> ExplorationBonus {
         ExplorationBonus::from_learner(
-            self.cfg.exploration_bonus,
+            self.runtime.exploration_bonus,
             &self.learner,
             self.board.cluster_ids(),
         )
@@ -430,7 +561,7 @@ impl MpHarsManager {
                 // partitioner promises). Either way the app stays
                 // unallocated, so every following adaptation period
                 // retries the claim and the next departure lets it in.
-                None if self.cfg.park_overflow => return Some(self.park_decision(ai)),
+                None if self.park_overflow => return Some(self.park_decision(ai)),
                 None => return None, // paper behavior: stay GTS-scheduled
             }
         }
@@ -565,7 +696,7 @@ impl MpHarsManager {
                 // The frozen flag mirrors the armed counts exactly
                 // (`freeze_heartbeats == 0` means nobody waits), so a
                 // departure or drain can never leave a stale gate.
-                let freeze = self.cfg.freeze_heartbeats;
+                let freeze = self.freeze_heartbeats;
                 let mut armed = false;
                 for (i, a) in self.apps.iter_mut().enumerate() {
                     if i == ai || a.uses_cluster(c) {
@@ -578,7 +709,7 @@ impl MpHarsManager {
         }
         let app = &self.apps[ai];
         let assignment = self.perf.assignment(app.threads, &app.state);
-        let affinities = plan_affinities(self.cfg.scheduler, &assignment, &alloc.per_cluster);
+        let affinities = plan_affinities(self.scheduler, &assignment, &alloc.per_cluster);
         MpDecision {
             app: app.app,
             affinities,
@@ -810,6 +941,64 @@ mod tests {
             "paper behavior: no decision, threads roam under GTS"
         );
         assert!(!m.apps()[2].allocated);
+    }
+
+    #[test]
+    fn apply_config_retunes_a_live_mp_manager() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        assert_eq!(m.config_version(), ConfigVersion(0));
+        let v = m
+            .apply_config(
+                &ConfigDelta::none()
+                    .with_policy(SearchPolicy::Incremental)
+                    .with_freeze_heartbeats(2)
+                    .with_park_overflow(true),
+            )
+            .expect("valid delta");
+        assert_eq!(v, ConfigVersion(1));
+        assert_eq!(m.freeze_heartbeats(), 2);
+        assert!(m.park_overflow());
+        let d = m.on_heartbeat(AppId(0), 10, Some(40.0)).expect("adapts");
+        assert!(d.stats.explored < 20, "incremental after the hot swap");
+    }
+
+    #[test]
+    fn mp_manager_rejects_tabu_and_stays_bit_identical() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let before = m.clone();
+        assert_eq!(
+            m.apply_config(&ConfigDelta::none().with_tabu_len(4)),
+            Err(RejectReason::Unsupported { field: "tabu_len" })
+        );
+        assert_eq!(m.config_version(), ConfigVersion(0));
+        assert_eq!(m.runtime_config(), before.runtime_config());
+        let mut before = before;
+        assert_eq!(
+            m.on_heartbeat(AppId(0), 10, Some(40.0)),
+            before.on_heartbeat(AppId(0), 10, Some(40.0))
+        );
+    }
+
+    #[test]
+    fn learning_switch_drops_every_apps_pending_prediction() {
+        let mut m = manager(MpHarsConfig {
+            ratio_learning: RatioLearning::PerCluster,
+            ..mp_hars_e()
+        });
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let _ = m.on_heartbeat(AppId(0), 10, Some(12.0));
+        assert!(m.apps()[0].pending_prediction.is_some(), "armed");
+        m.apply_config(&ConfigDelta::none().with_ratio_learning(RatioLearning::Off))
+            .expect("valid delta");
+        assert!(
+            m.apps()[0].pending_prediction.is_none(),
+            "regime change must drop armed predictions"
+        );
     }
 
     #[test]

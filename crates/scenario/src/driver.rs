@@ -22,12 +22,13 @@ use workloads::Benchmark;
 use hars_core::metrics::normalized_performance;
 use hars_core::power_est::PowerEstimator;
 use hars_core::search::SearchStats;
-use hars_core::PerfEstimator;
+use hars_core::{NullSink, PerfEstimator, RejectReason, TelemetryEvent, TelemetrySink};
 use mp_hars::driver::apply_mp_decision;
 use mp_hars::{MpHarsConfig, MpHarsManager};
 
 use crate::admission::{AdmissionDecision, AdmissionPolicy, LoadEstimate};
 use crate::arrival::ArrivalProcess;
+use crate::events::{ScenarioEvent, TimedEvent};
 use crate::outcome::{ScenarioOutcome, TenantOutcome};
 use crate::template::{TemplateSet, TenantSpec};
 
@@ -60,6 +61,13 @@ pub struct ScenarioSpec {
     /// cost. Zero (the default) hands the manager the tenant's own
     /// band.
     pub target_guard: f64,
+    /// Timestamped control-plane actions (reconfigures, admission
+    /// swaps, guard changes) interleaved with the arrivals. Fired in
+    /// `at_ns` order (stable for ties) at the first runtime
+    /// interaction at or after their instant, before any arrival
+    /// sharing it; events at or beyond the horizon never fire.
+    #[serde(default)]
+    pub events: Vec<TimedEvent>,
 }
 
 impl ScenarioSpec {
@@ -77,7 +85,14 @@ impl ScenarioSpec {
             seed,
             solo_budget: 60,
             target_guard: 0.0,
+            events: Vec::new(),
         }
+    }
+
+    /// Adds one control-plane event (builder-style).
+    pub fn with_event(mut self, at_ns: u64, event: ScenarioEvent) -> Self {
+        self.events.push(TimedEvent::new(at_ns, event));
+        self
     }
 
     /// Materializes the scenario's full tenant schedule: ascending
@@ -250,6 +265,39 @@ pub fn run_scenario_cached(
     runtime: ScenarioRuntime,
     solo_cache: &mut SoloRateCache,
 ) -> Result<ScenarioOutcome, SimError> {
+    run_scenario_with_sink(
+        board,
+        engine_cfg,
+        spec,
+        admission,
+        runtime,
+        solo_cache,
+        &mut NullSink,
+    )
+}
+
+/// [`run_scenario_cached`] streaming [`TelemetryEvent`]s into a
+/// caller-owned sink as the scenario unfolds: admission verdicts,
+/// per-decision search cost stamped with the manager's config version,
+/// per-tenant satisfaction transitions, config accept/reject
+/// diagnostics and per-cluster power at reconfigure instants and at
+/// the end. The sink is observe-only — with [`NullSink`] the run is
+/// bit-identical to the sink-less entry points.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine interaction (invalid tenant
+/// specs, malformed decisions).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_with_sink(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    spec: &ScenarioSpec,
+    admission: &mut dyn AdmissionPolicy,
+    runtime: ScenarioRuntime,
+    solo_cache: &mut SoloRateCache,
+    sink: &mut dyn TelemetrySink,
+) -> Result<ScenarioOutcome, SimError> {
     let schedule = spec.tenant_schedule();
     let manager = match runtime {
         ScenarioRuntime::Gts => None,
@@ -261,12 +309,26 @@ pub fn run_scenario_cached(
         spec.target_guard.is_finite() && spec.target_guard >= 0.0,
         "target guard must be non-negative"
     );
+    // Events fire in `at_ns` order; the sort is stable so same-instant
+    // events keep their spec order (determinism). Beyond-horizon
+    // events never fire.
+    let mut events: Vec<TimedEvent> = spec
+        .events
+        .iter()
+        .filter(|e| e.at_ns < spec.horizon_ns)
+        .cloned()
+        .collect();
+    events.sort_by_key(|e| e.at_ns);
     let sim = Sim {
         engine: Engine::new(board.clone(), engine_cfg.clone()),
         board,
         engine_cfg,
         manager,
-        admission,
+        admission: ActiveAdmission::Borrowed(admission),
+        events: events.into(),
+        sink,
+        config_accepted: 0,
+        config_rejected: 0,
         horizon_ns: spec.horizon_ns,
         solo_budget: spec.solo_budget.max(2),
         target_guard: spec.target_guard,
@@ -284,6 +346,7 @@ pub fn run_scenario_cached(
                 solo_rate: 0.0,
                 rated: 0,
                 satisfied: 0,
+                last_satisfied: None,
             })
             .collect(),
         queue: VecDeque::new(),
@@ -308,6 +371,25 @@ struct TenantState {
     solo_rate: f64,
     rated: u64,
     satisfied: u64,
+    /// Last scored satisfaction verdict, to emit
+    /// [`TelemetryEvent::SatisfactionFlip`] on transitions only.
+    last_satisfied: Option<bool>,
+}
+
+/// The admission policy currently in force: the caller's borrow until
+/// a [`ScenarioEvent::SwapAdmission`] replaces it with an owned one.
+enum ActiveAdmission<'a> {
+    Borrowed(&'a mut dyn AdmissionPolicy),
+    Owned(Box<dyn AdmissionPolicy>),
+}
+
+impl ActiveAdmission<'_> {
+    fn policy(&mut self) -> &mut dyn AdmissionPolicy {
+        match self {
+            ActiveAdmission::Borrowed(p) => &mut **p,
+            ActiveAdmission::Owned(p) => &mut **p,
+        }
+    }
 }
 
 struct Sim<'a> {
@@ -315,7 +397,14 @@ struct Sim<'a> {
     board: &'a BoardSpec,
     engine_cfg: &'a EngineConfig,
     manager: Option<MpHarsManager>,
-    admission: &'a mut dyn AdmissionPolicy,
+    admission: ActiveAdmission<'a>,
+    /// Pending control-plane events, ascending `at_ns` (stable order).
+    events: VecDeque<TimedEvent>,
+    /// The telemetry consumer (observe-only; never affects outcomes).
+    sink: &'a mut dyn TelemetrySink,
+    /// Control-plane events accepted / rejected so far.
+    config_accepted: u64,
+    config_rejected: u64,
     horizon_ns: u64,
     solo_budget: u64,
     target_guard: f64,
@@ -339,6 +428,7 @@ impl Sim<'_> {
                 .map(|t| t.arrival_ns.min(self.horizon_ns));
             let deadline = next_t.unwrap_or(self.horizon_ns);
             if let Some(hb) = self.engine.next_heartbeat(deadline) {
+                self.apply_due_events(hb.time_ns)?;
                 self.on_heartbeat(hb.app, hb.index, hb.time_ns)?;
                 continue;
             }
@@ -349,6 +439,7 @@ impl Sim<'_> {
                 if self.engine.now_ns() < t {
                     self.engine.run_until(t);
                 }
+                self.apply_due_events(t)?;
                 self.on_arrival(next_arrival)?;
                 next_arrival += 1;
                 continue;
@@ -359,7 +450,109 @@ impl Sim<'_> {
             // all-done, or the clock hit the horizon.)
             break;
         }
+        // Events scheduled after the last heartbeat/arrival still
+        // resolve — validation, counters, telemetry — before the books
+        // close.
+        self.apply_due_events(u64::MAX)?;
         Ok(self.finish())
+    }
+
+    /// Applies every pending control-plane event with `at_ns ≤ now_ns`.
+    ///
+    /// Events take effect at the first runtime interaction (heartbeat,
+    /// arrival, or scenario end) at or after their scheduled instant —
+    /// not at an engine stop forced at `at_ns` itself. The config they
+    /// carry is only ever *read* at those interactions, so the
+    /// semantics are the same, while the engine's advance timeline
+    /// stays bit-identical to an event-free run: forcing the clock to
+    /// pause mid-advance would split one floating-point work
+    /// integration into two and shift completion instants by an ulp,
+    /// breaking the rejected-delta ⇒ unchanged-behavior contract.
+    fn apply_due_events(&mut self, now_ns: u64) -> Result<(), SimError> {
+        while self.events.front().is_some_and(|e| e.at_ns <= now_ns) {
+            let ev = self.events.pop_front().expect("peeked non-empty");
+            self.apply_event(&ev)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one control-plane event at the current instant. Invalid
+    /// events are counted and reported through the sink, never fatal —
+    /// an operator typo must not take the scenario down.
+    fn apply_event(&mut self, ev: &TimedEvent) -> Result<(), SimError> {
+        let t_ns = self.engine.now_ns();
+        match &ev.event {
+            ScenarioEvent::Reconfigure(delta) => {
+                let applied = match self.manager.as_mut() {
+                    Some(m) => m.apply_config(delta),
+                    None => Err(RejectReason::NoManager),
+                };
+                match applied {
+                    Ok(version) => {
+                        self.config_accepted += 1;
+                        self.sink.emit(&TelemetryEvent::ConfigApplied {
+                            t_ns,
+                            version: version.0,
+                        });
+                        self.emit_cluster_power(t_ns);
+                    }
+                    Err(reason) => {
+                        self.config_rejected += 1;
+                        self.sink.emit(&TelemetryEvent::ConfigRejected {
+                            t_ns,
+                            reason: reason.code(),
+                        });
+                    }
+                }
+            }
+            ScenarioEvent::SwapAdmission(swap) => {
+                if swap.is_valid() {
+                    self.admission = ActiveAdmission::Owned(swap.build());
+                    self.config_accepted += 1;
+                    self.sink.emit(&TelemetryEvent::AdmissionSwapped {
+                        t_ns,
+                        policy: swap.policy_name(),
+                    });
+                    // A looser policy may admit tenants already waiting.
+                    self.drain_queue()?;
+                } else {
+                    self.config_rejected += 1;
+                    self.sink.emit(&TelemetryEvent::ConfigRejected {
+                        t_ns,
+                        reason: "invalid-value",
+                    });
+                }
+            }
+            ScenarioEvent::SetTargetGuard(guard) => {
+                if guard.is_finite() && *guard >= 0.0 {
+                    self.target_guard = *guard;
+                    self.config_accepted += 1;
+                    self.sink.emit(&TelemetryEvent::GuardChanged {
+                        t_ns,
+                        target_guard: *guard,
+                    });
+                } else {
+                    self.config_rejected += 1;
+                    self.sink.emit(&TelemetryEvent::ConfigRejected {
+                        t_ns,
+                        reason: "invalid-value",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits one [`TelemetryEvent::ClusterPower`] per cluster.
+    fn emit_cluster_power(&mut self, t_ns: u64) {
+        for c in self.board.cluster_ids() {
+            let watts = self.engine.energy().average_cluster_power(c);
+            self.sink.emit(&TelemetryEvent::ClusterPower {
+                t_ns,
+                cluster: c.0,
+                watts,
+            });
+        }
     }
 
     fn on_heartbeat(&mut self, app: AppId, hb_index: u64, time_ns: u64) -> Result<(), SimError> {
@@ -373,12 +566,27 @@ impl Sim<'_> {
             .map(|r| r.heartbeats_per_sec());
         if let (Some(r), Some(target)) = (rate, self.tenants[ti].target) {
             self.tenants[ti].rated += 1;
-            if r >= target.min() {
+            let satisfied = r >= target.min();
+            if satisfied {
                 self.tenants[ti].satisfied += 1;
+            }
+            if self.tenants[ti].last_satisfied != Some(satisfied) {
+                self.tenants[ti].last_satisfied = Some(satisfied);
+                self.sink.emit(&TelemetryEvent::SatisfactionFlip {
+                    t_ns: time_ns,
+                    tenant: ti as u64,
+                    satisfied,
+                });
             }
         }
         if let Some(m) = self.manager.as_mut() {
             if let Some(d) = m.on_heartbeat(app, hb_index, rate) {
+                self.sink.emit(&TelemetryEvent::Decision {
+                    t_ns: time_ns,
+                    app: app.0,
+                    config_version: m.config_version().0,
+                    stats: d.stats,
+                });
                 apply_mp_decision(&mut self.engine, &d, time_ns + d.overhead_ns)?;
             }
         }
@@ -395,7 +603,19 @@ impl Sim<'_> {
 
     fn on_arrival(&mut self, ti: usize) -> Result<(), SimError> {
         let load = self.load_estimate();
-        match self.admission.decide(&load, self.queue.len()) {
+        let t_ns = self.engine.now_ns();
+        let decision = self.admission.policy().decide(&load, self.queue.len());
+        let verdict = match decision {
+            AdmissionDecision::Admit => "admit",
+            AdmissionDecision::Queue => "queue",
+            AdmissionDecision::Reject => "reject",
+        };
+        self.sink.emit(&TelemetryEvent::AdmissionVerdict {
+            t_ns,
+            tenant: ti as u64,
+            verdict,
+        });
+        match decision {
             AdmissionDecision::Admit => self.admit(ti)?,
             AdmissionDecision::Queue => {
                 self.tenants[ti].was_queued = true;
@@ -411,9 +631,14 @@ impl Sim<'_> {
         while let Some(&head) = self.queue.front() {
             let load = self.load_estimate();
             // The head has no waiters ahead of it.
-            match self.admission.decide(&load, 0) {
+            match self.admission.policy().decide(&load, 0) {
                 AdmissionDecision::Admit => {
                     self.queue.pop_front();
+                    self.sink.emit(&TelemetryEvent::AdmissionVerdict {
+                        t_ns: self.engine.now_ns(),
+                        tenant: head as u64,
+                        verdict: "admit",
+                    });
                     self.admit(head)?;
                 }
                 _ => break,
@@ -515,7 +740,9 @@ impl Sim<'_> {
         }
     }
 
-    fn finish(self) -> ScenarioOutcome {
+    fn finish(mut self) -> ScenarioOutcome {
+        // Closing power report, whether or not anything reconfigured.
+        self.emit_cluster_power(self.engine.now_ns());
         let horizon = self.horizon_ns;
         let (adaptations, busy, stats) = match &self.manager {
             Some(m) => (m.adaptations(), m.busy_ns(), m.search_stats()),
@@ -579,6 +806,13 @@ impl Sim<'_> {
         // event-heap engine elided.
         out.sensor_samples = self.engine.sensor().total_samples();
         out.sensor_samples_coalesced = self.engine.sensor().coalesced_samples();
+        out.config_version = self
+            .manager
+            .as_ref()
+            .map(|m| m.config_version().0)
+            .unwrap_or(0);
+        out.reconfig_accepted = self.config_accepted;
+        out.reconfig_rejected = self.config_rejected;
         out
     }
 }

@@ -21,7 +21,13 @@
 //!   baseline GTS) mid-run, releases departures, drains the admission
 //!   queue, and aggregates a [`ScenarioOutcome`] (per-tenant
 //!   target-satisfaction rate, queue wait, slowdown vs an isolated
-//!   run, makespan, energy, search cost).
+//!   run, makespan, energy, search cost);
+//! * [`ScenarioEvent`] — timestamped control-plane actions (hot config
+//!   reloads through the managers' validated `apply_config`, admission
+//!   swaps, guard changes) interleaved with the arrivals, with
+//!   [`run_scenario_with_sink`] streaming the whole run as
+//!   [`hars_core::TelemetryEvent`]s (the [`JsonlSink`] writes one JSON
+//!   object per line for dashboards and replay).
 //!
 //! Determinism is load-bearing: a `(spec, seed)` pair reproduces the
 //! identical scenario bit for bit ([`ScenarioOutcome::fingerprint`] is
@@ -63,7 +69,9 @@
 mod admission;
 mod arrival;
 mod driver;
+mod events;
 mod outcome;
+mod telemetry;
 mod template;
 
 pub use admission::{
@@ -71,8 +79,10 @@ pub use admission::{
 };
 pub use arrival::ArrivalProcess;
 pub use driver::{
-    run_scenario, run_scenario_cached, synthetic_power_estimator, ScenarioRuntime, ScenarioSpec,
-    SoloRateCache,
+    run_scenario, run_scenario_cached, run_scenario_with_sink, synthetic_power_estimator,
+    ScenarioRuntime, ScenarioSpec, SoloRateCache,
 };
+pub use events::{AdmissionSwap, ScenarioEvent, TimedEvent};
 pub use outcome::{ScenarioOutcome, TenantOutcome};
+pub use telemetry::JsonlSink;
 pub use template::{AppTemplate, TemplateSet, TenantSpec};

@@ -106,6 +106,24 @@ pub struct ScenarioOutcome {
     /// spans (counted, never materialized or charged a noise draw).
     #[serde(default)]
     pub sensor_samples_coalesced: u64,
+    /// The manager's final config version (0 for GTS runs and runs
+    /// with no accepted reconfigure). Reporting, like
+    /// [`Self::sensor_samples`] — not part of [`Self::fingerprint`]:
+    /// the version counter is control-plane bookkeeping, and the
+    /// fingerprint already covers every behavioral consequence of an
+    /// applied delta.
+    #[serde(default)]
+    pub config_version: u64,
+    /// Mid-run control-plane events accepted ([`crate::ScenarioEvent`]
+    /// reconfigures, admission swaps, guard changes). Not fingerprinted
+    /// (see [`Self::config_version`]).
+    #[serde(default)]
+    pub reconfig_accepted: u64,
+    /// Mid-run control-plane events rejected (invalid deltas, invalid
+    /// swap parameters, `no-manager` reconfigures on GTS runs). Not
+    /// fingerprinted.
+    #[serde(default)]
+    pub reconfig_rejected: u64,
     /// Cumulative search cost across all tenants' adaptations.
     pub search_stats: SearchStats,
 }
@@ -224,6 +242,9 @@ impl ScenarioOutcome {
             manager_busy_ns,
             sensor_samples: 0,
             sensor_samples_coalesced: 0,
+            config_version: 0,
+            reconfig_accepted: 0,
+            reconfig_rejected: 0,
             search_stats,
             tenants,
         }

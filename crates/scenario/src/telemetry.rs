@@ -1,0 +1,134 @@
+//! Scenario-side telemetry sinks: JSON-lines streaming over any
+//! writer.
+//!
+//! The core crate defines the event vocabulary and the in-memory sinks
+//! ([`hars_core::telemetry`]); this module adds the on-disk format the
+//! ops surface uses — one [`TelemetryEvent::to_json`] object per line,
+//! replayable and diffable. Writes are best-effort: a full disk never
+//! perturbs the simulation (sinks must not influence outcomes), but
+//! dropped lines are counted so the caller can notice.
+
+use std::io;
+
+use hars_core::{TelemetryEvent, TelemetrySink};
+
+/// A sink writing one JSON object per line to any [`io::Write`].
+///
+/// ```
+/// use hars_core::{TelemetryEvent, TelemetrySink};
+/// use hars_scenario::JsonlSink;
+///
+/// let mut sink = JsonlSink::new(Vec::new());
+/// sink.emit(&TelemetryEvent::ConfigApplied { t_ns: 5, version: 1 });
+/// let bytes = sink.into_inner();
+/// assert_eq!(
+///     String::from_utf8(bytes).unwrap(),
+///     "{\"event\":\"config_applied\",\"t_ns\":5,\"version\":1}\n"
+/// );
+/// ```
+pub struct JsonlSink<W: io::Write> {
+    writer: W,
+    written: u64,
+    dropped: u64,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// A sink over `writer`.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            written: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events whose write failed (best-effort: the simulation never
+    /// sees the error).
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Unwraps the writer (without flushing beyond the per-line
+    /// writes already issued).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+// Manual Debug: the offline serde/io landscape has no blanket derives
+// for generic writers, and dumping the writer itself is useless —
+// report the counters.
+impl<W: io::Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("written", &self.written)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: io::Write> TelemetrySink for JsonlSink<W> {
+    fn emit(&mut self, event: &TelemetryEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        if self.writer.write_all(line.as_bytes()).is_ok() {
+            self.written += 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&TelemetryEvent::ConfigApplied {
+            t_ns: 1,
+            version: 1,
+        });
+        sink.emit(&TelemetryEvent::ConfigRejected {
+            t_ns: 2,
+            reason: "zero-budget",
+        });
+        assert_eq!(sink.events_written(), 2);
+        assert_eq!(sink.events_dropped(), 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    /// A writer that always fails, to exercise the best-effort path.
+    struct Broken;
+
+    impl io::Write for Broken {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_writes_are_counted_not_fatal() {
+        let mut sink = JsonlSink::new(Broken);
+        sink.emit(&TelemetryEvent::ConfigApplied {
+            t_ns: 1,
+            version: 1,
+        });
+        assert_eq!(sink.events_written(), 0);
+        assert_eq!(sink.events_dropped(), 1);
+    }
+}

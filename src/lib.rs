@@ -17,7 +17,8 @@
 //!   partitioning + interference-aware adaptation) and the CONS-I
 //!   baseline;
 //! * [`hars_scenario`] — the open-system scenario engine (stochastic
-//!   tenant arrivals, admission control, churn benchmarking).
+//!   tenant arrivals, admission control, churn benchmarking, mid-run
+//!   control-plane events and streaming JSONL telemetry).
 //!
 //! ## Quickstart
 //!
@@ -61,13 +62,14 @@ pub use workloads;
 /// The common imports for working with the HARS stack.
 pub mod prelude {
     pub use hars_core::{
-        run_single_app, HarsConfig, PerfEstimator, PowerEstimator, RuntimeManager, SchedulerKind,
-        SearchParams, StateSpace, SystemState,
+        run_single_app, ConfigDelta, ConfigVersion, HarsConfig, NullSink, PerfEstimator,
+        PowerEstimator, RejectReason, RuntimeConfig, RuntimeManager, SchedulerKind, SearchParams,
+        StateSpace, SystemState, TelemetryEvent, TelemetrySink, VecSink,
     };
     pub use hars_scenario::{
-        run_scenario, run_scenario_cached, AdmissionPolicy, AlwaysAdmit, AppTemplate,
-        ArrivalProcess, BoundedQueue, CapacityGate, ScenarioRuntime, ScenarioSpec, SoloRateCache,
-        TemplateSet,
+        run_scenario, run_scenario_cached, run_scenario_with_sink, AdmissionPolicy, AdmissionSwap,
+        AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue, CapacityGate, JsonlSink,
+        ScenarioEvent, ScenarioRuntime, ScenarioSpec, SoloRateCache, TemplateSet, TimedEvent,
     };
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;
