@@ -106,6 +106,20 @@ impl HarsConfig {
         }
     }
 
+    /// This config with the measured search-cost coefficients
+    /// ([`crate::config::CALIBRATED_COST_PER_STATE_NS`] /
+    /// [`crate::config::CALIBRATED_COST_PER_NODE_NS`], fit by the
+    /// `decision_perf` bench) instead of the paper's modeled
+    /// `3000 ns / 0 ns`. Opt-in: [`HarsConfig::default`] keeps the
+    /// modeled costs so the `ci/golden_quick.sha256` bit-identity
+    /// goldens — which pin the historical overhead model — stay valid.
+    #[must_use]
+    pub fn calibrated(mut self) -> Self {
+        self.cost_per_state_ns = crate::config::CALIBRATED_COST_PER_STATE_NS;
+        self.cost_per_node_ns = crate::config::CALIBRATED_COST_PER_NODE_NS;
+        self
+    }
+
     /// The hot-reloadable half of this config — the manager's version-0
     /// [`RuntimeConfig`] snapshot. The rest (scheduler, adaptation
     /// period, initial state, predictor) is construction-time identity
@@ -512,6 +526,32 @@ mod tests {
     use super::*;
     use crate::power_est::LinearCoeff;
     use hmp_sim::{FreqKhz, FreqLadder};
+
+    /// The golden contract behind `ci/golden_quick.sha256`: the default
+    /// preset must keep the paper's modeled overhead costs — calibrated
+    /// coefficients are an explicit opt-in preset, never the default.
+    #[test]
+    fn calibrated_preset_is_opt_in_and_default_matches_goldens() {
+        let default = HarsConfig::default();
+        assert_eq!(default.cost_per_state_ns, 3_000);
+        assert_eq!(default.cost_per_node_ns, 0);
+        let cal = HarsConfig::default().calibrated();
+        assert_eq!(
+            cal.cost_per_state_ns,
+            crate::config::CALIBRATED_COST_PER_STATE_NS
+        );
+        assert_eq!(
+            cal.cost_per_node_ns,
+            crate::config::CALIBRATED_COST_PER_NODE_NS
+        );
+        // The preset and the hot-reload path agree: calibrating at
+        // construction is the same snapshot as calibrating mid-run.
+        assert_eq!(cal.runtime(), default.runtime().with_calibrated_costs());
+        // Everything else is untouched.
+        assert_eq!(cal.policy, default.policy);
+        assert_eq!(cal.adapt_every, default.adapt_every);
+        assert_eq!(cal.cost_per_heartbeat_ns, default.cost_per_heartbeat_ns);
+    }
 
     fn power() -> PowerEstimator {
         let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);

@@ -104,6 +104,41 @@ pub enum TelemetryEvent {
         /// The applied state.
         state: SystemState,
     },
+    /// A solo-rate calibration lookup was served from the cache: the
+    /// tenant's target resolved without an isolated calibration run.
+    CacheHit {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The benchmark whose solo rate was requested.
+        bench: &'static str,
+        /// The requested thread count.
+        threads: u64,
+    },
+    /// A solo-rate calibration lookup missed: an isolated calibration
+    /// run was paid for and its result inserted into the cache.
+    CacheMiss {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The benchmark whose solo rate was requested.
+        bench: &'static str,
+        /// The requested thread count.
+        threads: u64,
+    },
+    /// A fleet placement decision: which board an arriving tenant was
+    /// routed to, at what estimated-load score. Emitted by the fleet
+    /// placement tier; `board` is `u64::MAX` for fleet-rejected
+    /// tenants (every board's admission gate refused the arrival).
+    Placement {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in fleet arrival order.
+        tenant: u64,
+        /// The chosen board's shard index (`u64::MAX` = rejected).
+        board: u64,
+        /// The chosen board's placement score (estimated load plus
+        /// penalties; lower is better). Infinity for rejections.
+        score: f64,
+    },
 }
 
 /// The stable event vocabulary: `(kind, field names)` per variant, in
@@ -132,6 +167,9 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     ("satisfaction", &["t_ns", "tenant", "satisfied"]),
     ("cluster_power", &["t_ns", "cluster", "watts"]),
     ("initial_state", &["t_ns", "state"]),
+    ("cache_hit", &["t_ns", "bench", "threads"]),
+    ("cache_miss", &["t_ns", "bench", "threads"]),
+    ("placement", &["t_ns", "tenant", "board", "score"]),
 ];
 
 /// The canonical schema text (one `kind: field,field,...` line per
@@ -161,6 +199,9 @@ impl TelemetryEvent {
             TelemetryEvent::SatisfactionFlip { .. } => "satisfaction",
             TelemetryEvent::ClusterPower { .. } => "cluster_power",
             TelemetryEvent::InitialState { .. } => "initial_state",
+            TelemetryEvent::CacheHit { .. } => "cache_hit",
+            TelemetryEvent::CacheMiss { .. } => "cache_miss",
+            TelemetryEvent::Placement { .. } => "placement",
         }
     }
 
@@ -175,7 +216,10 @@ impl TelemetryEvent {
             | TelemetryEvent::GuardChanged { t_ns, .. }
             | TelemetryEvent::SatisfactionFlip { t_ns, .. }
             | TelemetryEvent::ClusterPower { t_ns, .. }
-            | TelemetryEvent::InitialState { t_ns, .. } => *t_ns,
+            | TelemetryEvent::InitialState { t_ns, .. }
+            | TelemetryEvent::CacheHit { t_ns, .. }
+            | TelemetryEvent::CacheMiss { t_ns, .. }
+            | TelemetryEvent::Placement { t_ns, .. } => *t_ns,
         }
     }
 
@@ -242,6 +286,37 @@ impl TelemetryEvent {
             ),
             TelemetryEvent::InitialState { t_ns, state } => {
                 format!("{{\"event\":\"initial_state\",\"t_ns\":{t_ns},\"state\":\"{state}\"}}")
+            }
+            TelemetryEvent::CacheHit {
+                t_ns,
+                bench,
+                threads,
+            } => format!(
+                "{{\"event\":\"cache_hit\",\"t_ns\":{t_ns},\"bench\":\"{bench}\",\"threads\":{threads}}}"
+            ),
+            TelemetryEvent::CacheMiss {
+                t_ns,
+                bench,
+                threads,
+            } => format!(
+                "{{\"event\":\"cache_miss\",\"t_ns\":{t_ns},\"bench\":\"{bench}\",\"threads\":{threads}}}"
+            ),
+            TelemetryEvent::Placement {
+                t_ns,
+                tenant,
+                board,
+                score,
+            } => {
+                // A rejection's score is infinite; `null` keeps the
+                // line valid JSON (`{:?}` would print bare `inf`).
+                let score = if score.is_finite() {
+                    format!("{score:?}")
+                } else {
+                    "null".to_string()
+                };
+                format!(
+                    "{{\"event\":\"placement\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"board\":{board},\"score\":{score}}}"
+                )
             }
         }
     }
@@ -332,6 +407,22 @@ mod tests {
                 t_ns: 0,
                 state: SystemState::new(&[(1, hmp_sim::FreqKhz::from_mhz(1_000))]),
             },
+            TelemetryEvent::CacheHit {
+                t_ns: 1,
+                bench: "swaptions",
+                threads: 8,
+            },
+            TelemetryEvent::CacheMiss {
+                t_ns: 1,
+                bench: "swaptions",
+                threads: 8,
+            },
+            TelemetryEvent::Placement {
+                t_ns: 1,
+                tenant: 3,
+                board: 7,
+                score: 0.25,
+            },
         ];
         assert_eq!(events.len(), SCHEMA.len(), "every variant has a schema row");
         for (ev, (kind, fields)) in events.iter().zip(SCHEMA) {
@@ -350,6 +441,17 @@ mod tests {
             }
             assert_eq!(ev.t_ns(), if *kind == "initial_state" { 0 } else { 1 });
         }
+    }
+
+    #[test]
+    fn rejected_placement_scores_serialize_as_null() {
+        let ev = TelemetryEvent::Placement {
+            t_ns: 5,
+            tenant: 2,
+            board: u64::MAX,
+            score: f64::INFINITY,
+        };
+        assert!(ev.to_json().contains("\"score\":null"), "{}", ev.to_json());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! The placement tier: routes each global arrival to one board of the
+//! fleet, before any shard runs.
+//!
+//! Placement is a *sequential, deterministic pre-pass* over the global
+//! tenant schedule: it sees arrivals in time order, keeps a per-board
+//! ledger of estimated outstanding work, pre-screens each candidate
+//! board through that board's own admission policy, and scores the
+//! survivors by feasibility and projected load. The output — which
+//! tenants land on which board — is therefore a pure function of the
+//! fleet spec, independent of worker count or shard execution order,
+//! which is what lets the worker pool run shards in any interleaving
+//! and still reproduce the fleet outcome bit for bit.
+
+use serde::{Deserialize, Serialize};
+
+use hars_core::{TelemetryEvent, TelemetrySink};
+use hars_scenario::{AdmissionDecision, LoadEstimate, TenantSpec};
+
+use crate::spec::FleetSpec;
+
+/// The crude deterministic service-time proxy the ledger charges per
+/// heartbeat of a placed tenant's budget (5 hb/s). Placement needs a
+/// *consistent relative* load signal to spread work, not an accurate
+/// absolute one — the shard's own admission policy re-screens every
+/// arrival against the board's real load at run time.
+const EST_NS_PER_HEARTBEAT: u64 = 200_000_000;
+
+/// How arrivals are routed to boards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Route to the feasible, admitting board with the lowest projected
+    /// load (claimed cores plus this tenant's threads, over capacity).
+    /// Ties break toward the lower shard id.
+    #[default]
+    LeastLoaded,
+    /// Rotate over the boards, skipping boards that reject; spreads
+    /// tenant *count* rather than load.
+    RoundRobin,
+    /// First (lowest shard id) feasible board whose projected load
+    /// stays within capacity; falls back to least-loaded when every
+    /// board is saturated.
+    FirstFit,
+}
+
+impl PlacementPolicy {
+    /// Display name for report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::LeastLoaded => "least-loaded",
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::FirstFit => "first-fit",
+        }
+    }
+}
+
+/// One board's outstanding-work ledger entry: a claim of `cores` until
+/// the estimated completion instant.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    expires_ns: u64,
+    cores: usize,
+}
+
+/// The routing decision for every tenant of the global schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Per-tenant board assignment (global schedule order); `None` for
+    /// tenants every board's admission policy turned away.
+    pub assignments: Vec<Option<usize>>,
+    /// Tenants routed to each board, indexed by shard id.
+    pub per_board: Vec<usize>,
+    /// Tenants rejected fleet-wide at placement time.
+    pub fleet_rejected: usize,
+}
+
+impl Placement {
+    /// A deterministic digest of the whole routing (FNV-1a over
+    /// `(tenant, board)` pairs) — folded into the fleet fingerprint so
+    /// any placement drift is immediately visible.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = hars_core::fnv::FnvHasher::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            h.write(&(i as u64).to_le_bytes());
+            h.write(&(a.map(|b| b as u64).unwrap_or(u64::MAX)).to_le_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// Routes every tenant of `schedule` to a board of `spec.boards`,
+/// emitting one [`TelemetryEvent::Placement`] per arrival (rejected
+/// arrivals carry `board = u64::MAX` and an infinite score, serialized
+/// as `null`).
+///
+/// Each candidate board is screened through a fresh instance of *its
+/// own* admission policy against the ledger's load estimate — the
+/// feedback loop the shard repeats authoritatively at run time. A
+/// `Queue` verdict still routes (the shard's policy will queue it); a
+/// `Reject` sends the tenant to the next-best board; when every board
+/// rejects, the tenant is fleet-rejected and reaches no shard.
+pub fn place(
+    spec: &FleetSpec,
+    schedule: &[(u64, TenantSpec)],
+    sink: &mut dyn TelemetrySink,
+) -> Placement {
+    let n = spec.boards.len();
+    let mut admissions: Vec<_> = spec.boards.iter().map(|b| b.build_admission()).collect();
+    let mut ledgers: Vec<Vec<Claim>> = vec![Vec::new(); n];
+    let mut assignments = Vec::with_capacity(schedule.len());
+    let mut per_board = vec![0usize; n];
+    let mut fleet_rejected = 0usize;
+    let mut rr_cursor = 0usize;
+
+    for (tenant, (arrival_ns, ts)) in schedule.iter().enumerate() {
+        // Expire completed claims before scoring.
+        for ledger in &mut ledgers {
+            ledger.retain(|c| c.expires_ns > *arrival_ns);
+        }
+        // Candidate order encodes the policy's preference; the first
+        // candidate whose admission policy does not reject wins.
+        let candidates = rank(spec, &ledgers, ts, rr_cursor);
+        let mut placed: Option<(usize, f64)> = None;
+        for (shard, score) in candidates {
+            let ledger = &ledgers[shard];
+            let load = load_estimate(&spec.boards[shard].board, ledger);
+            if admissions[shard].decide(&load, 0) != AdmissionDecision::Reject {
+                placed = Some((shard, score));
+                break;
+            }
+        }
+        match placed {
+            Some((shard, score)) => {
+                let cores = ts.threads.min(spec.boards[shard].board.n_cores());
+                ledgers[shard].push(Claim {
+                    expires_ns: arrival_ns
+                        .saturating_add(ts.budget.saturating_mul(EST_NS_PER_HEARTBEAT)),
+                    cores,
+                });
+                per_board[shard] += 1;
+                rr_cursor = (shard + 1) % n;
+                assignments.push(Some(shard));
+                sink.emit(&TelemetryEvent::Placement {
+                    t_ns: *arrival_ns,
+                    tenant: tenant as u64,
+                    board: shard as u64,
+                    score,
+                });
+            }
+            None => {
+                fleet_rejected += 1;
+                assignments.push(None);
+                sink.emit(&TelemetryEvent::Placement {
+                    t_ns: *arrival_ns,
+                    tenant: tenant as u64,
+                    board: u64::MAX,
+                    score: f64::INFINITY,
+                });
+            }
+        }
+    }
+    Placement {
+        assignments,
+        per_board,
+        fleet_rejected,
+    }
+}
+
+/// Ranks the boards for one tenant: ascending score, feasible boards
+/// (enough cores for the tenant's threads) strictly ahead of
+/// infeasible ones, ties broken by shard id. Returns
+/// `(shard, score)` pairs in preference order.
+fn rank(
+    spec: &FleetSpec,
+    ledgers: &[Vec<Claim>],
+    ts: &TenantSpec,
+    rr_cursor: usize,
+) -> Vec<(usize, f64)> {
+    let n = spec.boards.len();
+    let projected = |shard: usize| -> f64 {
+        let board = &spec.boards[shard].board;
+        let claimed: usize = ledgers[shard].iter().map(|c| c.cores).sum();
+        (claimed + ts.threads.min(board.n_cores())) as f64 / board.n_cores() as f64
+    };
+    let feasible = |shard: usize| spec.boards[shard].board.n_cores() >= ts.threads;
+    match spec.placement {
+        PlacementPolicy::LeastLoaded => {
+            let mut ranked: Vec<(usize, f64)> = (0..n).map(|s| (s, projected(s))).collect();
+            // Infeasible boards sort behind every feasible one: a board
+            // smaller than the tenant's thread count can still serve it
+            // (the engine time-shares), but only as a last resort.
+            ranked.sort_by(|a, b| {
+                feasible(b.0)
+                    .cmp(&feasible(a.0))
+                    .then(a.1.total_cmp(&b.1))
+                    .then(a.0.cmp(&b.0))
+            });
+            ranked
+        }
+        PlacementPolicy::RoundRobin => (0..n)
+            .map(|i| {
+                let s = (rr_cursor + i) % n;
+                (s, projected(s))
+            })
+            .collect(),
+        PlacementPolicy::FirstFit => {
+            let mut fits: Vec<(usize, f64)> = (0..n)
+                .map(|s| (s, projected(s)))
+                .filter(|&(s, p)| feasible(s) && p <= 1.0)
+                .collect();
+            // Saturated fleet: fall back to least-loaded order.
+            let mut rest: Vec<(usize, f64)> = (0..n)
+                .map(|s| (s, projected(s)))
+                .filter(|&(s, p)| !(feasible(s) && p <= 1.0))
+                .collect();
+            rest.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            fits.extend(rest);
+            fits
+        }
+    }
+}
+
+/// Synthesizes the [`LoadEstimate`] a board's admission policy sees at
+/// placement time from the ledger (uniform across clusters — the
+/// ledger tracks whole-board claims).
+fn load_estimate(board: &hmp_sim::BoardSpec, ledger: &[Claim]) -> LoadEstimate {
+    let claimed: usize = ledger.iter().map(|c| c.cores).sum();
+    let total = claimed as f64 / board.n_cores() as f64;
+    LoadEstimate {
+        per_cluster: vec![total; board.n_clusters()],
+        total,
+        live_tenants: ledger.len(),
+    }
+}

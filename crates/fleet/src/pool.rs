@@ -1,0 +1,139 @@
+//! The worker pool: runs the fleet's shards on `workers` OS threads
+//! and reduces their outcomes order-independently.
+//!
+//! Every input a shard consumes — its board, its engine seed
+//! ([`crate::shard_seed`]), its tenant slice (the placement tier's
+//! routing), its admission policy and runtime (rebuilt fresh from
+//! serializable descriptors) — is fixed *before* the pool starts, and
+//! the reduction ([`crate::FleetAccum`]) commutes. A fleet run is
+//! therefore bit-identical across worker counts and scheduling
+//! interleavings: `workers = 1` and `workers = 8` produce the same
+//! [`FleetOutcome`], fingerprint included. The only cross-shard
+//! coupling is the shared solo-rate calibration cache, which is
+//! value-transparent by construction (a hit returns exactly what the
+//! miss path would compute).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use parking_lot::Mutex;
+
+use hars_core::{NullSink, TelemetrySink};
+use hars_scenario::{
+    run_shard, ShardConfig, SharedSoloRateCache, SoloCacheHandle, SoloRateCache, TenantSpec,
+};
+use hmp_sim::{EngineConfig, SimError};
+
+use crate::outcome::{FleetAccum, FleetOutcome};
+use crate::placement::place;
+use crate::spec::{shard_seed, FleetCacheMode, FleetSpec};
+
+/// Runs the whole fleet described by `spec` on `workers` threads and
+/// returns the merged outcome.
+///
+/// `sink` receives the placement tier's telemetry (one
+/// [`hars_core::TelemetryEvent::Placement`] per arrival), emitted
+/// sequentially before any shard starts; shard-internal telemetry is
+/// discarded (sinks are exclusive-borrow consumers, and shards run
+/// concurrently — drive [`hars_scenario::run_shard`] directly to
+/// stream one shard).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any shard hits (remaining shards
+/// are abandoned).
+///
+/// # Panics
+///
+/// Panics when `workers` is zero.
+pub fn run_fleet(
+    spec: &FleetSpec,
+    workers: usize,
+    sink: &mut dyn TelemetrySink,
+) -> Result<FleetOutcome, SimError> {
+    assert!(workers > 0, "need at least one worker");
+    let schedule = spec.tenant_schedule();
+    let placement = place(spec, &schedule, sink);
+
+    // Fan the global schedule out into per-shard slices (arrival order
+    // is preserved within each shard).
+    let mut shard_schedules: Vec<Vec<(u64, TenantSpec)>> = vec![Vec::new(); spec.boards.len()];
+    for ((arrival_ns, ts), assignment) in schedule.iter().zip(&placement.assignments) {
+        if let Some(shard) = assignment {
+            shard_schedules[*shard].push((*arrival_ns, ts.clone()));
+        }
+    }
+
+    let shared_cache = SharedSoloRateCache::new();
+    let next = AtomicUsize::new(0);
+    let accum = Mutex::new(FleetAccum::new());
+    let first_err: Mutex<Option<SimError>> = Mutex::new(None);
+
+    thread::scope(|scope| {
+        for _ in 0..workers.min(spec.boards.len()).max(1) {
+            scope.spawn(|| loop {
+                let shard = next.fetch_add(1, Ordering::Relaxed);
+                if shard >= spec.boards.len() || first_err.lock().is_some() {
+                    break;
+                }
+                match run_one_shard(spec, shard, &shard_schedules[shard], &shared_cache) {
+                    Ok(out) => {
+                        let fb = &spec.boards[shard];
+                        accum
+                            .lock()
+                            .absorb(shard, fb.board.name.clone(), fb.runtime.label(), &out);
+                    }
+                    Err(e) => {
+                        first_err.lock().get_or_insert(e);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+    Ok(accum.into_inner().finish(&placement, schedule.len()))
+}
+
+/// Runs one shard with its derived engine seed and the spec's cache
+/// mode.
+fn run_one_shard(
+    spec: &FleetSpec,
+    shard: usize,
+    schedule: &[(u64, TenantSpec)],
+    shared_cache: &SharedSoloRateCache,
+) -> Result<hars_scenario::ScenarioOutcome, SimError> {
+    let fb = &spec.boards[shard];
+    let engine_cfg = EngineConfig {
+        seed: shard_seed(spec.seed, shard as u64),
+        ..spec.engine.clone()
+    };
+    let shard_cfg = ShardConfig {
+        horizon_ns: spec.horizon_ns,
+        solo_budget: spec.solo_budget,
+        target_guard: spec.target_guard,
+        events: Vec::new(),
+    };
+    let mut admission = fb.build_admission();
+    let runtime = fb.runtime.build(&fb.board);
+    let mut local_cache;
+    let cache = match spec.cache {
+        FleetCacheMode::Shared => SoloCacheHandle::Shared(shared_cache),
+        FleetCacheMode::PerShard => {
+            local_cache = SoloRateCache::new();
+            SoloCacheHandle::Local(&mut local_cache)
+        }
+    };
+    run_shard(
+        &fb.board,
+        &engine_cfg,
+        schedule,
+        &shard_cfg,
+        admission.as_mut(),
+        runtime,
+        cache,
+        &mut NullSink,
+    )
+}

@@ -1,0 +1,232 @@
+//! Fleet descriptions: which boards serve, under which runtime and
+//! admission policy, fed by which global arrival stream.
+
+use serde::{Deserialize, Serialize};
+
+use hars_core::policy::SearchPolicy;
+use hars_scenario::{AdmissionPolicy, AdmissionSwap, ArrivalProcess, ScenarioRuntime, TemplateSet};
+use hmp_sim::{BoardSpec, EngineConfig};
+use mp_hars::{mp_hars_e, mp_hars_i, MpHarsConfig};
+
+use crate::placement::PlacementPolicy;
+
+/// The SplitMix64 finalizer: a full-avalanche 64-bit mix.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives shard `shard_id`'s engine seed from the fleet master seed:
+/// one SplitMix64 child stream per shard, so every board gets an
+/// independent sensor-noise stream while the whole fleet stays a pure
+/// function of the master seed. The derivation is positional (golden-
+/// ratio stride, SplitMix64-finalized), so a shard's seed — and with
+/// it the shard's entire outcome — does not depend on how many other
+/// shards exist or which worker runs it.
+pub fn shard_seed(master: u64, shard_id: u64) -> u64 {
+    mix64(master.wrapping_add((shard_id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Which runtime stack a fleet board serves tenants with — a compact,
+/// serializable descriptor instead of a built [`ScenarioRuntime`]
+/// (which owns estimators and is rebuilt fresh inside each shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetRuntimeKind {
+    /// Stock GTS at the maximum state (no manager).
+    Gts,
+    /// MP-HARS with the incremental policy, churn-tuned
+    /// (5-heartbeat adaptation period).
+    MpHarsI,
+    /// MP-HARS with the strongest tractable policy for the board:
+    /// exhaustive on ≤ 2 clusters, adaptive-beam beyond (the churn
+    /// bench's rule — the 8-D exhaustive sweep on a 4-cluster server
+    /// dominates wall time for no decision-quality gain).
+    MpHarsAuto,
+}
+
+impl FleetRuntimeKind {
+    /// Builds the runtime for one shard on `board`.
+    pub fn build(&self, board: &BoardSpec) -> ScenarioRuntime {
+        let tuned = |cfg: MpHarsConfig| MpHarsConfig {
+            adapt_every: 5,
+            ..cfg
+        };
+        match self {
+            FleetRuntimeKind::Gts => ScenarioRuntime::Gts,
+            FleetRuntimeKind::MpHarsI => ScenarioRuntime::mp_hars(board, tuned(mp_hars_i())),
+            FleetRuntimeKind::MpHarsAuto => {
+                if board.n_clusters() <= 2 {
+                    ScenarioRuntime::mp_hars(board, tuned(mp_hars_e()))
+                } else {
+                    ScenarioRuntime::mp_hars(
+                        board,
+                        tuned(MpHarsConfig {
+                            policy: SearchPolicy::adaptive_beam_default(),
+                            ..mp_hars_e()
+                        }),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Display label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetRuntimeKind::Gts => "GTS",
+            FleetRuntimeKind::MpHarsI => "MP-HARS-I",
+            FleetRuntimeKind::MpHarsAuto => "MP-HARS-auto",
+        }
+    }
+}
+
+/// One board of the fleet: the hardware, the runtime serving it, and
+/// the admission policy guarding it. Each board is one *shard* — an
+/// independent scenario run over the tenants the placement tier routes
+/// to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetBoard {
+    /// The simulated hardware.
+    pub board: BoardSpec,
+    /// The runtime stack serving this board.
+    pub runtime: FleetRuntimeKind,
+    /// The board's admission policy (a serializable descriptor; each
+    /// shard builds a fresh instance, and the placement tier builds its
+    /// own to pre-screen arrivals).
+    pub admission: AdmissionSwap,
+}
+
+impl FleetBoard {
+    /// A board served by MP-HARS-auto behind `AlwaysAdmit`.
+    pub fn new(board: BoardSpec) -> Self {
+        Self {
+            board,
+            runtime: FleetRuntimeKind::MpHarsAuto,
+            admission: AdmissionSwap::AlwaysAdmit,
+        }
+    }
+
+    /// Builds this board's admission policy instance.
+    pub fn build_admission(&self) -> Box<dyn AdmissionPolicy> {
+        self.admission.build()
+    }
+}
+
+/// How shards share (or don't share) the solo-rate calibration cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FleetCacheMode {
+    /// One fleet-wide [`hars_scenario::SharedSoloRateCache`]: each
+    /// unique `(board fingerprint, benchmark, threads, budget)`
+    /// calibration runs once for the whole fleet. The default — and
+    /// the fleet layer's wall-clock win.
+    #[default]
+    Shared,
+    /// Every shard calibrates into its own private cache (the naive
+    /// pre-fleet serving baseline). Output-identical to [`Self::Shared`],
+    /// strictly slower; kept for ablation and the equivalence proptest.
+    PerShard,
+}
+
+/// A complete fleet-serving description: the boards, the global tenant
+/// stream, the placement policy routing arrivals to boards, and the
+/// cache mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// The fleet, indexed by shard id.
+    pub boards: Vec<FleetBoard>,
+    /// The global arrival process (one stream for the whole fleet; the
+    /// placement tier fans it out).
+    pub arrivals: ArrivalProcess,
+    /// Tenant blueprints arrivals are drawn from.
+    pub templates: TemplateSet,
+    /// Scenario horizon (ns), shared by every shard.
+    pub horizon_ns: u64,
+    /// Master seed: arrival instants, template draws and per-shard
+    /// engine seeds (via [`shard_seed`]) all derive from it.
+    pub seed: u64,
+    /// Solo calibration heartbeat budget (cache key component).
+    pub solo_budget: u64,
+    /// SLO guard band, shared by every shard
+    /// ([`hars_scenario::ScenarioSpec::target_guard`]).
+    pub target_guard: f64,
+    /// Base engine configuration; each shard runs
+    /// `EngineConfig { seed: shard_seed(seed, id), ..engine }`.
+    pub engine: EngineConfig,
+    /// How arrivals are routed to boards.
+    pub placement: PlacementPolicy,
+    /// Calibration-cache sharing mode.
+    pub cache: FleetCacheMode,
+}
+
+impl FleetSpec {
+    /// A fleet spec with the default 60-heartbeat solo budget, no
+    /// guard, default engine config, least-loaded placement and the
+    /// shared cache.
+    pub fn new(
+        boards: Vec<FleetBoard>,
+        arrivals: ArrivalProcess,
+        templates: TemplateSet,
+        horizon_ns: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!boards.is_empty(), "a fleet needs at least one board");
+        Self {
+            boards,
+            arrivals,
+            templates,
+            horizon_ns,
+            seed,
+            solo_budget: 60,
+            target_guard: 0.0,
+            engine: EngineConfig::default(),
+            placement: PlacementPolicy::LeastLoaded,
+            cache: FleetCacheMode::Shared,
+        }
+    }
+
+    /// Materializes the fleet's global tenant schedule — the same
+    /// derivation as [`hars_scenario::ScenarioSpec::tenant_schedule`],
+    /// so tenant `i` of a fleet run is bit-identical to tenant `i` of
+    /// the equivalent single-board scenario. Placement routes these to
+    /// boards; it never changes who arrives or when.
+    pub fn tenant_schedule(&self) -> Vec<(u64, hars_scenario::TenantSpec)> {
+        hars_scenario::ScenarioSpec {
+            arrivals: self.arrivals.clone(),
+            templates: self.templates.clone(),
+            horizon_ns: self.horizon_ns,
+            seed: self.seed,
+            solo_budget: self.solo_budget,
+            target_guard: self.target_guard,
+            events: Vec::new(),
+        }
+        .tenant_schedule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..256).map(|i| shard_seed(42, i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "child seeds must not collide");
+        assert_eq!(
+            seeds,
+            (0..256).map(|i| shard_seed(42, i)).collect::<Vec<_>>()
+        );
+        assert_ne!(shard_seed(42, 0), shard_seed(43, 0));
+    }
+
+    #[test]
+    fn auto_runtime_picks_policy_by_cluster_count() {
+        let small = FleetRuntimeKind::MpHarsAuto.build(&BoardSpec::odroid_xu3());
+        let big = FleetRuntimeKind::MpHarsAuto.build(&BoardSpec::server_4c_32core());
+        assert_eq!(small.label(), "MP-HARS-E");
+        assert_eq!(big.label(), "MP-HARS-B");
+    }
+}

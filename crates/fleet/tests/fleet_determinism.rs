@@ -1,0 +1,190 @@
+//! Fleet determinism contracts: worker-count invariance, merge-order
+//! independence, and shared-vs-private cache equivalence.
+//!
+//! These are the properties that make fleet-scale parallel serving
+//! safe to ship: adding workers (or racing shards on the shared
+//! calibration cache) must never change a single bit of the outcome.
+
+use proptest::prop_assert_eq;
+use proptest::proptest;
+
+use hars_core::NullSink;
+use hars_fleet::{
+    run_fleet, FleetAccum, FleetBoard, FleetCacheMode, FleetOutcome, FleetRuntimeKind, FleetSpec,
+    Placement, PlacementPolicy,
+};
+use hars_scenario::{
+    run_scenario, AdmissionSwap, AlwaysAdmit, AppTemplate, ArrivalProcess, ScenarioRuntime,
+    ScenarioSpec, TemplateSet,
+};
+use hmp_sim::clock::NS_PER_SEC;
+use hmp_sim::BoardSpec;
+use workloads::Benchmark;
+
+/// A small, fast, mixed fleet: edge boards next to a big server,
+/// heterogeneous runtimes and admission policies, short tenants.
+fn tiny_fleet(seed: u64, n_boards: usize, placement: PlacementPolicy) -> FleetSpec {
+    let presets = [
+        BoardSpec::odroid_xu3(),
+        BoardSpec::dynamiq_1p_3m_4l(),
+        BoardSpec::server_4c_32core(),
+    ];
+    let boards: Vec<FleetBoard> = (0..n_boards)
+        .map(|i| FleetBoard {
+            board: presets[i % presets.len()].clone(),
+            runtime: if i % 3 == 2 {
+                FleetRuntimeKind::Gts
+            } else {
+                FleetRuntimeKind::MpHarsI
+            },
+            admission: if i % 2 == 0 {
+                AdmissionSwap::AlwaysAdmit
+            } else {
+                AdmissionSwap::CapacityGate { max_load: 0.9 }
+            },
+        })
+        .collect();
+    let mut template = AppTemplate::new(Benchmark::Swaptions);
+    template.heartbeats = 15;
+    let mut bg = AppTemplate::new(Benchmark::Blackscholes);
+    bg.heartbeats = 12;
+    bg.target_frac = 0.3;
+    let mut spec = FleetSpec::new(
+        boards,
+        ArrivalProcess::Poisson { rate_per_sec: 0.5 },
+        TemplateSet::uniform(vec![template, bg]),
+        12 * NS_PER_SEC,
+        seed,
+    );
+    spec.solo_budget = 20;
+    spec.placement = placement;
+    spec
+}
+
+fn placements() -> [PlacementPolicy; 3] {
+    [
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::FirstFit,
+    ]
+}
+
+/// Cache hit/miss counters are the only timing-dependent fields; zero
+/// them so whole-struct equality checks the deterministic remainder.
+fn sans_cache_counts(mut out: FleetOutcome) -> FleetOutcome {
+    out.solo_cache_hits = 0;
+    out.solo_cache_misses = 0;
+    out
+}
+
+proptest! {
+    /// One worker and many workers produce byte-identical fleet
+    /// outcomes — fingerprint and all — regardless of placement
+    /// policy. (With a shared cache, even the hit/miss *totals* are
+    /// worker-count-invariant here: lookups are sequential within a
+    /// shard and every value is deterministic; only the per-shard
+    /// split of a racing cold key can vary, and these fleets are too
+    /// small to race — so the counters are compared zeroed anyway to
+    /// keep the contract honest.)
+    #[test]
+    fn worker_count_never_changes_the_outcome(
+        seed in 0u64..1_000,
+        n_boards in 2usize..5,
+        placement_idx in 0usize..3,
+    ) {
+        let spec = tiny_fleet(seed, n_boards, placements()[placement_idx]);
+        let one = run_fleet(&spec, 1, &mut NullSink).expect("fleet runs");
+        let two = run_fleet(&spec, 2, &mut NullSink).expect("fleet runs");
+        let eight = run_fleet(&spec, 8, &mut NullSink).expect("fleet runs");
+        prop_assert_eq!(one.fingerprint, two.fingerprint);
+        prop_assert_eq!(one.fingerprint, eight.fingerprint);
+        prop_assert_eq!(
+            sans_cache_counts(one.clone()),
+            sans_cache_counts(two)
+        );
+        prop_assert_eq!(sans_cache_counts(one), sans_cache_counts(eight));
+    }
+
+    /// The fleet-wide shared calibration cache is value-transparent:
+    /// sharing one cache across all shards and giving every shard its
+    /// own private cache produce identical outcomes (only the hit/miss
+    /// accounting differs — sharing converts repeat misses into hits).
+    #[test]
+    fn shared_cache_is_output_identical_to_private_caches(
+        seed in 0u64..1_000,
+        n_boards in 2usize..5,
+        workers in 1usize..5,
+    ) {
+        let mut spec = tiny_fleet(seed, n_boards, PlacementPolicy::LeastLoaded);
+        spec.cache = FleetCacheMode::Shared;
+        let shared = run_fleet(&spec, workers, &mut NullSink).expect("fleet runs");
+        spec.cache = FleetCacheMode::PerShard;
+        let private = run_fleet(&spec, workers, &mut NullSink).expect("fleet runs");
+        prop_assert_eq!(shared.fingerprint, private.fingerprint);
+        prop_assert_eq!(sans_cache_counts(shared.clone()), sans_cache_counts(private.clone()));
+        // Sharing can only save work, never add it.
+        prop_assert_eq!(
+            shared.solo_cache_hits + shared.solo_cache_misses,
+            private.solo_cache_hits + private.solo_cache_misses
+        );
+        assert!(shared.solo_cache_misses <= private.solo_cache_misses);
+    }
+}
+
+/// Absorbing the same shard outcomes in any order yields the identical
+/// fleet outcome: the reduction is commutative by construction
+/// (wrapping-sum fingerprint terms, sorted rows, order-free sums).
+#[test]
+fn merge_order_never_changes_the_outcome() {
+    let board = BoardSpec::odroid_xu3();
+    let mut template = AppTemplate::new(Benchmark::Swaptions);
+    template.heartbeats = 12;
+    let outcomes: Vec<_> = (0..4u64)
+        .map(|i| {
+            let mut spec = ScenarioSpec::new(
+                ArrivalProcess::Poisson { rate_per_sec: 0.5 },
+                TemplateSet::uniform(vec![template.clone()]),
+                8 * NS_PER_SEC,
+                100 + i,
+            );
+            spec.solo_budget = 20;
+            run_scenario(
+                &board,
+                &hmp_sim::EngineConfig::default(),
+                &spec,
+                &mut AlwaysAdmit,
+                ScenarioRuntime::Gts,
+            )
+            .expect("scenario runs")
+        })
+        .collect();
+    let placement = Placement {
+        assignments: (0..8).map(|i| Some(i % 4)).collect(),
+        per_board: vec![2; 4],
+        fleet_rejected: 0,
+    };
+    let reduce = |order: &[usize]| {
+        let mut accum = FleetAccum::new();
+        for &shard in order {
+            accum.absorb(shard, format!("board-{shard}"), "GTS", &outcomes[shard]);
+        }
+        accum.finish(&placement, 8)
+    };
+    let forward = reduce(&[0, 1, 2, 3]);
+    for order in [[3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]] {
+        let shuffled = reduce(&order);
+        assert_eq!(forward, shuffled, "merge must commute (order {order:?})");
+    }
+    // Sensitivity: swapping which shard produced which outcome must
+    // change the digest — commutativity must not come from ignoring
+    // shard identity.
+    let mut swapped = FleetAccum::new();
+    for (shard, src) in [(0usize, 1usize), (1, 0), (2, 2), (3, 3)] {
+        swapped.absorb(shard, format!("board-{shard}"), "GTS", &outcomes[src]);
+    }
+    assert_ne!(
+        forward.fingerprint,
+        swapped.finish(&placement, 8).fingerprint,
+        "digest must bind outcomes to their shards"
+    );
+}

@@ -95,6 +95,19 @@ impl Default for MpHarsConfig {
 }
 
 impl MpHarsConfig {
+    /// This config with the measured search-cost coefficients
+    /// (`hars_core::config::CALIBRATED_COST_PER_STATE_NS` /
+    /// `CALIBRATED_COST_PER_NODE_NS`, fit by the `decision_perf`
+    /// bench) instead of the paper's modeled `3000 ns / 0 ns`. Opt-in:
+    /// [`MpHarsConfig::default`] keeps the modeled costs so the
+    /// `ci/golden_quick.sha256` bit-identity goldens stay valid.
+    #[must_use]
+    pub fn calibrated(mut self) -> Self {
+        self.cost_per_state_ns = hars_core::config::CALIBRATED_COST_PER_STATE_NS;
+        self.cost_per_node_ns = hars_core::config::CALIBRATED_COST_PER_NODE_NS;
+        self
+    }
+
     /// The hot-reloadable half of this config — the manager's version-0
     /// [`RuntimeConfig`] snapshot. MP-HARS runs without tabu
     /// (`tabu_len` is 0 and deltas setting it are rejected); the
@@ -725,6 +738,30 @@ mod tests {
     use super::*;
     use hars_core::power_est::LinearCoeff;
     use hmp_sim::FreqLadder;
+
+    /// The golden contract behind `ci/golden_quick.sha256`: default
+    /// presets keep the modeled overhead costs; `calibrated()` is an
+    /// explicit opt-in that changes only the cost coefficients.
+    #[test]
+    fn calibrated_preset_is_opt_in_and_default_matches_goldens() {
+        for base in [MpHarsConfig::default(), mp_hars_i(), mp_hars_e()] {
+            assert_eq!(base.cost_per_state_ns, 3_000);
+            assert_eq!(base.cost_per_node_ns, 0);
+            let cal = base.clone().calibrated();
+            assert_eq!(
+                cal.cost_per_state_ns,
+                hars_core::config::CALIBRATED_COST_PER_STATE_NS
+            );
+            assert_eq!(
+                cal.cost_per_node_ns,
+                hars_core::config::CALIBRATED_COST_PER_NODE_NS
+            );
+            assert_eq!(cal.runtime(), base.runtime().with_calibrated_costs());
+            assert_eq!(cal.policy, base.policy);
+            assert_eq!(cal.adapt_every, base.adapt_every);
+            assert_eq!(cal.freeze_heartbeats, base.freeze_heartbeats);
+        }
+    }
 
     fn power() -> PowerEstimator {
         let little_ladder = FreqLadder::from_mhz_range(800, 1_300, 100);

@@ -11,9 +11,11 @@
 //! instead of stepped through tick by tick.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use heartbeats::{AppId, PerfTarget};
 use hmp_sim::{BoardSpec, Engine, EngineConfig, SimError};
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -177,6 +179,10 @@ pub fn synthetic_power_estimator(board: &BoardSpec) -> PowerEstimator {
     PowerEstimator::synthetic_for_board(board)
 }
 
+/// A solo-rate calibration cache key:
+/// `(environment fingerprint, benchmark, threads, solo budget)`.
+type SoloKey = (u64, Benchmark, usize, u64);
+
 /// A cross-scenario solo-rate calibration cache.
 ///
 /// Resolving a tenant's target requires its benchmark's *solo* rate —
@@ -190,13 +196,21 @@ pub fn synthetic_power_estimator(board: &BoardSpec) -> PowerEstimator {
 /// pay for each calibration exactly once. Keys are
 /// `(environment fingerprint, benchmark, threads, solo budget)` where
 /// the environment fingerprint is an FNV-1a hash of the board's and
-/// engine config's full debug representations — any board or config
-/// difference changes the key, so sharing a cache across boards is
-/// safe. Outcomes are bit-identical with or without a shared cache
-/// (the cached value *is* the value the isolated run would produce).
+/// the *canonicalized* engine config's full debug representations —
+/// any board or config difference changes the key, so sharing a cache
+/// across boards is safe. (Canonicalized: the engine noise seed is
+/// normalized away, because calibration always runs in the canonical
+/// reference environment — see [`calibration_config`].) Outcomes are
+/// bit-identical with or without a shared cache (the cached value *is*
+/// the value the isolated run would produce).
+///
+/// For sharing one cache across *concurrent* scenario shards — the
+/// fleet layer's regime — see [`SharedSoloRateCache`].
 #[derive(Debug, Default)]
 pub struct SoloRateCache {
-    map: HashMap<(u64, Benchmark, usize, u64), f64>,
+    map: HashMap<SoloKey, f64>,
+    hits: u64,
+    misses: u64,
 }
 
 impl SoloRateCache {
@@ -215,12 +229,152 @@ impl SoloRateCache {
         self.map.is_empty()
     }
 
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that paid for a calibration run so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
     /// The FNV-1a fingerprint of one calibration environment.
     fn environment_fingerprint(board: &BoardSpec, engine_cfg: &EngineConfig) -> u64 {
         let mut h = crate::outcome::Fnv1a::new();
         h.write_bytes(format!("{board:?}").as_bytes());
-        h.write_bytes(format!("{engine_cfg:?}").as_bytes());
+        h.write_bytes(format!("{:?}", calibration_config(engine_cfg)).as_bytes());
         h.finish()
+    }
+}
+
+/// The canonical calibration environment for `engine_cfg`: the same
+/// config with the engine noise seed normalized to the default.
+///
+/// A solo calibration is a *reference measurement* — the benchmark's
+/// isolated rate at the maximum state — and the heartbeat rate it
+/// resolves is independent of the sensor-noise stream (noise perturbs
+/// stored power samples, never the work schedule). Normalizing the
+/// seed makes that explicit in the cache key: fleet shards that differ
+/// only in their per-shard engine seed (the SplitMix64 seed-split)
+/// share one calibration per `(board, benchmark, threads, budget)`
+/// instead of recalibrating per shard, which is where the fleet-scale
+/// wall-clock win comes from.
+fn calibration_config(engine_cfg: &EngineConfig) -> EngineConfig {
+    EngineConfig {
+        seed: EngineConfig::default().seed,
+        ..engine_cfg.clone()
+    }
+}
+
+/// A `Sync`-shareable [`SoloRateCache`]: one calibration per unique
+/// `(environment, benchmark, threads, budget)` key *fleet-wide*, read
+/// concurrently by every scenario shard on the worker pool.
+///
+/// The map sits behind a `parking_lot::RwLock` — lookups vastly
+/// outnumber inserts, so shards share read access on the hot path and
+/// only a miss takes the write lock (briefly: the calibration run
+/// itself happens *outside* the lock, so a slow calibration never
+/// blocks other shards' lookups). Two shards racing on the same cold
+/// key may both pay for the calibration; both compute the identical
+/// value (the calibration is deterministic), so last-write-wins is
+/// correct and outcomes stay bit-identical regardless of interleaving.
+/// The hit/miss counters are therefore *reporting, not fingerprinted*:
+/// with concurrent shards the split between them depends on timing
+/// (like `ScenarioOutcome::sensor_samples`, they never feed back into
+/// any decision).
+#[derive(Debug, Default)]
+pub struct SharedSoloRateCache {
+    map: RwLock<HashMap<SoloKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedSoloRateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Calibration results currently cached.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far (reporting only — see the
+    /// type docs).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that paid for a calibration run so far (reporting only).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups, in `[0, 1]` (1.0 for an unused cache).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            1.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+/// The solo-rate cache a scenario run reads and fills: a caller's
+/// exclusive [`SoloRateCache`] borrow (the single-board entry points),
+/// or a shared reference to a fleet-wide [`SharedSoloRateCache`]
+/// (concurrent shards on a worker pool). Lookup results are identical
+/// either way — the shared cache only changes *who pays* for each
+/// calibration, never its value.
+#[derive(Debug)]
+pub enum SoloCacheHandle<'a> {
+    /// Exclusive access to a caller-owned cache.
+    Local(&'a mut SoloRateCache),
+    /// Shared read-mostly access to a fleet-wide concurrent cache.
+    Shared(&'a SharedSoloRateCache),
+}
+
+impl SoloCacheHandle<'_> {
+    /// Looks `key` up, counting the hit/miss.
+    fn get(&mut self, key: &SoloKey) -> Option<f64> {
+        match self {
+            SoloCacheHandle::Local(c) => {
+                let v = c.map.get(key).copied();
+                match v {
+                    Some(_) => c.hits += 1,
+                    None => c.misses += 1,
+                }
+                v
+            }
+            SoloCacheHandle::Shared(c) => {
+                let v = c.map.read().get(key).copied();
+                match v {
+                    Some(_) => c.hits.fetch_add(1, Ordering::Relaxed),
+                    None => c.misses.fetch_add(1, Ordering::Relaxed),
+                };
+                v
+            }
+        }
+    }
+
+    /// Inserts a freshly calibrated value.
+    fn insert(&mut self, key: SoloKey, value: f64) {
+        match self {
+            SoloCacheHandle::Local(c) => {
+                c.map.insert(key, value);
+            }
+            SoloCacheHandle::Shared(c) => {
+                c.map.write().insert(key, value);
+            }
+        }
     }
 }
 
@@ -299,6 +453,84 @@ pub fn run_scenario_with_sink(
     sink: &mut dyn TelemetrySink,
 ) -> Result<ScenarioOutcome, SimError> {
     let schedule = spec.tenant_schedule();
+    let shard_cfg = ShardConfig {
+        horizon_ns: spec.horizon_ns,
+        solo_budget: spec.solo_budget,
+        target_guard: spec.target_guard,
+        events: spec.events.clone(),
+    };
+    run_shard(
+        board,
+        engine_cfg,
+        &schedule,
+        &shard_cfg,
+        admission,
+        runtime,
+        SoloCacheHandle::Local(solo_cache),
+        sink,
+    )
+}
+
+/// The per-shard scenario parameters [`run_shard`] takes alongside an
+/// explicit tenant schedule — everything a [`ScenarioSpec`] carries
+/// *except* the arrival process, templates and seed (a shard's tenants
+/// are decided upstream, e.g. by a fleet placement tier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Scenario horizon (ns) — same semantics as
+    /// [`ScenarioSpec::horizon_ns`].
+    pub horizon_ns: u64,
+    /// Solo calibration heartbeat budget
+    /// ([`ScenarioSpec::solo_budget`]).
+    pub solo_budget: u64,
+    /// SLO guard band ([`ScenarioSpec::target_guard`]).
+    pub target_guard: f64,
+    /// Control-plane events ([`ScenarioSpec::events`]).
+    #[serde(default)]
+    pub events: Vec<TimedEvent>,
+}
+
+impl ShardConfig {
+    /// A shard config with the default 60-heartbeat solo budget, no
+    /// guard, no events.
+    pub fn new(horizon_ns: u64) -> Self {
+        Self {
+            horizon_ns,
+            solo_budget: 60,
+            target_guard: 0.0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Runs one scenario *shard*: an explicit, pre-materialized tenant
+/// schedule (ascending `(arrival_ns, tenant)` pairs, e.g. one board's
+/// slice of a fleet placement) against one board. This is the
+/// shard-able core every `run_scenario*` entry point delegates to; it
+/// differs only in taking the schedule directly instead of deriving it
+/// from an arrival process, and in accepting either cache flavor via
+/// [`SoloCacheHandle`] — pass `SoloCacheHandle::Shared` to share one
+/// fleet-wide calibration cache across concurrent shards.
+///
+/// For a fixed schedule the outcome is bit-identical to the equivalent
+/// [`run_scenario_with_sink`] call: same tenants, same instants, same
+/// engine timeline.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine interaction (invalid tenant
+/// specs, malformed decisions).
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    schedule: &[(u64, TenantSpec)],
+    shard_cfg: &ShardConfig,
+    admission: &mut dyn AdmissionPolicy,
+    runtime: ScenarioRuntime,
+    solo_cache: SoloCacheHandle<'_>,
+    sink: &mut dyn TelemetrySink,
+) -> Result<ScenarioOutcome, SimError> {
     let manager = match runtime {
         ScenarioRuntime::Gts => None,
         ScenarioRuntime::MpHars { cfg, perf, power } => {
@@ -306,16 +538,16 @@ pub fn run_scenario_with_sink(
         }
     };
     assert!(
-        spec.target_guard.is_finite() && spec.target_guard >= 0.0,
+        shard_cfg.target_guard.is_finite() && shard_cfg.target_guard >= 0.0,
         "target guard must be non-negative"
     );
     // Events fire in `at_ns` order; the sort is stable so same-instant
     // events keep their spec order (determinism). Beyond-horizon
     // events never fire.
-    let mut events: Vec<TimedEvent> = spec
+    let mut events: Vec<TimedEvent> = shard_cfg
         .events
         .iter()
-        .filter(|e| e.at_ns < spec.horizon_ns)
+        .filter(|e| e.at_ns < shard_cfg.horizon_ns)
         .cloned()
         .collect();
     events.sort_by_key(|e| e.at_ns);
@@ -329,11 +561,12 @@ pub fn run_scenario_with_sink(
         sink,
         config_accepted: 0,
         config_rejected: 0,
-        horizon_ns: spec.horizon_ns,
-        solo_budget: spec.solo_budget.max(2),
-        target_guard: spec.target_guard,
+        horizon_ns: shard_cfg.horizon_ns,
+        solo_budget: shard_cfg.solo_budget.max(2),
+        target_guard: shard_cfg.target_guard,
         tenants: schedule
-            .into_iter()
+            .iter()
+            .cloned()
             .map(|(arrival_ns, ts)| TenantState {
                 ts,
                 arrival_ns,
@@ -354,6 +587,8 @@ pub fn run_scenario_with_sink(
         live: 0,
         env_fp: SoloRateCache::environment_fingerprint(board, engine_cfg),
         solo_cache,
+        cache_hits: 0,
+        cache_misses: 0,
     };
     sim.run()
 }
@@ -414,8 +649,12 @@ struct Sim<'a> {
     live: usize,
     /// This run's calibration-environment fingerprint (cache key part).
     env_fp: u64,
-    /// The (possibly cross-scenario) solo-rate calibration cache.
-    solo_cache: &'a mut SoloRateCache,
+    /// The (possibly cross-scenario, possibly fleet-shared) solo-rate
+    /// calibration cache.
+    solo_cache: SoloCacheHandle<'a>,
+    /// This run's own cache hit/miss counts (reporting only).
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl Sim<'_> {
@@ -676,10 +915,26 @@ impl Sim<'_> {
     /// when the caller shares a [`SoloRateCache`].
     fn solo_rate(&mut self, bench: Benchmark, threads: usize) -> f64 {
         let key = (self.env_fp, bench, threads, self.solo_budget);
-        if let Some(&r) = self.solo_cache.map.get(&key) {
+        let t_ns = self.engine.now_ns();
+        if let Some(r) = self.solo_cache.get(&key) {
+            self.cache_hits += 1;
+            self.sink.emit(&TelemetryEvent::CacheHit {
+                t_ns,
+                bench: bench.name(),
+                threads: threads as u64,
+            });
             return r;
         }
-        let mut engine = Engine::new(self.board.clone(), self.engine_cfg.clone());
+        self.cache_misses += 1;
+        self.sink.emit(&TelemetryEvent::CacheMiss {
+            t_ns,
+            bench: bench.name(),
+            threads: threads as u64,
+        });
+        // Calibration always runs in the canonical reference
+        // environment (default engine seed) so shards with different
+        // noise seeds resolve — and can share — the same value.
+        let mut engine = Engine::new(self.board.clone(), calibration_config(self.engine_cfg));
         // A fixed workload seed: the solo reference is per benchmark,
         // not per tenant.
         let app = engine
@@ -692,7 +947,7 @@ impl Sim<'_> {
             .and_then(|m| m.global_rate())
             .map(|r| r.heartbeats_per_sec())
             .unwrap_or(1.0);
-        self.solo_cache.map.insert(key, rate);
+        self.solo_cache.insert(key, rate);
         rate
     }
 
@@ -813,6 +1068,8 @@ impl Sim<'_> {
             .unwrap_or(0);
         out.reconfig_accepted = self.config_accepted;
         out.reconfig_rejected = self.config_rejected;
+        out.solo_cache_hits = self.cache_hits;
+        out.solo_cache_misses = self.cache_misses;
         out
     }
 }

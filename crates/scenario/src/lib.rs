@@ -27,7 +27,12 @@
 //!   swaps, guard changes) interleaved with the arrivals, with
 //!   [`run_scenario_with_sink`] streaming the whole run as
 //!   [`hars_core::TelemetryEvent`]s (the [`JsonlSink`] writes one JSON
-//!   object per line for dashboards and replay).
+//!   object per line for dashboards and replay);
+//! * [`run_shard`] — the shard-able core the fleet layer drives: an
+//!   explicit pre-placed tenant schedule against one board, with
+//!   either a caller-owned [`SoloRateCache`] or a `Sync`-shareable
+//!   [`SharedSoloRateCache`] so concurrent shards pay for each unique
+//!   solo calibration once fleet-wide.
 //!
 //! Determinism is load-bearing: a `(spec, seed)` pair reproduces the
 //! identical scenario bit for bit ([`ScenarioOutcome::fingerprint`] is
@@ -79,8 +84,9 @@ pub use admission::{
 };
 pub use arrival::ArrivalProcess;
 pub use driver::{
-    run_scenario, run_scenario_cached, run_scenario_with_sink, synthetic_power_estimator,
-    ScenarioRuntime, ScenarioSpec, SoloRateCache,
+    run_scenario, run_scenario_cached, run_scenario_with_sink, run_shard,
+    synthetic_power_estimator, ScenarioRuntime, ScenarioSpec, ShardConfig, SharedSoloRateCache,
+    SoloCacheHandle, SoloRateCache,
 };
 pub use events::{AdmissionSwap, ScenarioEvent, TimedEvent};
 pub use outcome::{ScenarioOutcome, TenantOutcome};

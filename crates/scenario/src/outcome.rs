@@ -124,6 +124,15 @@ pub struct ScenarioOutcome {
     /// fingerprinted.
     #[serde(default)]
     pub reconfig_rejected: u64,
+    /// Solo-rate calibrations this run served from its cache. Not
+    /// fingerprinted: with a fleet-shared cache the hit/miss split
+    /// depends on shard interleaving (the *values* never do).
+    #[serde(default)]
+    pub solo_cache_hits: u64,
+    /// Solo-rate calibrations this run had to compute (cache misses).
+    /// Not fingerprinted (see [`Self::solo_cache_hits`]).
+    #[serde(default)]
+    pub solo_cache_misses: u64,
     /// Cumulative search cost across all tenants' adaptations.
     pub search_stats: SearchStats,
 }
@@ -245,6 +254,8 @@ impl ScenarioOutcome {
             config_version: 0,
             reconfig_accepted: 0,
             reconfig_rejected: 0,
+            solo_cache_hits: 0,
+            solo_cache_misses: 0,
             search_stats,
             tenants,
         }

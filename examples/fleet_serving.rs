@@ -1,0 +1,126 @@
+//! Fleet-scale serving: a heterogeneous board fleet behind a placement
+//! tier, sharded over a worker pool with a shared calibration cache.
+//!
+//! One board is an open system; a fleet is an open *service*: a single
+//! global arrival stream is routed board-by-board by a placement policy
+//! (feasibility- and load-scored, screened by each board's own
+//! admission policy), every board runs as an independent shard with a
+//! SplitMix64-derived seed, and the shards share one fleet-wide
+//! solo-rate calibration cache — each unique `(board spec, benchmark,
+//! threads, budget)` calibration runs once for the whole fleet.
+//!
+//! The defining contract, asserted below: worker count never changes a
+//! bit of the outcome. One worker and eight workers produce the same
+//! fleet fingerprint, so the parallel path needs no separate trust.
+//!
+//! ```sh
+//! cargo run --release --example fleet_serving
+//! ```
+
+use hars::prelude::*;
+use hmp_sim::clock::NS_PER_SEC;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12-board fleet from three hardware classes: XU3 edge nodes
+    // behind a capacity gate, tri-cluster DynamIQ mid nodes, and
+    // 32-core servers that take whatever placement sends them.
+    let boards: Vec<FleetBoard> = (0..12)
+        .map(|i| match i % 3 {
+            0 => FleetBoard {
+                board: BoardSpec::odroid_xu3(),
+                runtime: FleetRuntimeKind::MpHarsI,
+                admission: AdmissionSwap::CapacityGate { max_load: 0.9 },
+            },
+            1 => FleetBoard {
+                board: BoardSpec::dynamiq_1p_3m_4l(),
+                runtime: FleetRuntimeKind::MpHarsI,
+                admission: AdmissionSwap::AlwaysAdmit,
+            },
+            _ => FleetBoard::new(BoardSpec::server_4c_32core()),
+        })
+        .collect();
+
+    // A mixed tenant stream: small latency-critical swaptions next to
+    // wide throughput-oriented bodytrack tenants.
+    let fg = AppTemplate {
+        threads: 2,
+        heartbeats: 14,
+        target_frac: 0.6,
+        target_jitter: 0.03,
+        target_tolerance: 0.20,
+        ..AppTemplate::new(Benchmark::Swaptions)
+    };
+    let bg = AppTemplate {
+        threads: 8,
+        heartbeats: 12,
+        target_frac: 0.25,
+        target_jitter: 0.03,
+        target_tolerance: 0.25,
+        ..AppTemplate::new(Benchmark::Bodytrack)
+    };
+
+    let mut spec = FleetSpec::new(
+        boards,
+        ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+        TemplateSet::weighted(vec![(1.0, fg), (1.0, bg)]),
+        30 * NS_PER_SEC,
+        2026,
+    );
+    spec.solo_budget = 30;
+    spec.target_guard = 0.10;
+    spec.placement = PlacementPolicy::LeastLoaded;
+
+    println!(
+        "fleet: {} boards over 3 hardware classes, {} tenants arriving over 30 s\n",
+        spec.boards.len(),
+        spec.tenant_schedule().len()
+    );
+
+    // Serve the fleet twice: sequentially, then on eight workers. The
+    // outcomes must match bit for bit — seeds are split per shard and
+    // the reduction is commutative, so scheduling cannot leak in.
+    let one = run_fleet(&spec, 1, &mut NullSink)?;
+    let eight = run_fleet(&spec, 8, &mut NullSink)?;
+    assert_eq!(
+        one.fingerprint, eight.fingerprint,
+        "worker count must never change the outcome"
+    );
+
+    println!(
+        "placed {} / fleet-rejected {} of {} arrivals; {} admitted on-board, {} completed",
+        one.placed, one.fleet_rejected, one.arrivals, one.admitted, one.completed
+    );
+    println!(
+        "mean satisfaction {:.1}%, {:.0} J total, {} adaptations",
+        100.0 * one.mean_satisfaction,
+        one.energy_joules,
+        one.adaptations
+    );
+    println!(
+        "shared calibration cache: {} hits / {} misses ({:.0}% served from cache)",
+        one.solo_cache_hits,
+        one.solo_cache_misses,
+        100.0 * one.cache_hit_rate()
+    );
+    println!(
+        "fingerprint {:#018x} — identical at 1 and 8 workers\n",
+        one.fingerprint
+    );
+
+    println!("per-shard outcomes:");
+    println!("  shard  board                       runtime       arr  adm  done  sat%   joules");
+    for s in &one.shards {
+        println!(
+            "  {:>5}  {:<26} {:<13} {:>4} {:>4} {:>5}  {:>5.1}  {:>7.1}",
+            s.shard,
+            s.board,
+            s.runtime,
+            s.arrivals,
+            s.admitted,
+            s.completed,
+            100.0 * s.mean_satisfaction,
+            s.energy_joules,
+        );
+    }
+    Ok(())
+}

@@ -18,7 +18,11 @@
 //!   baseline;
 //! * [`hars_scenario`] — the open-system scenario engine (stochastic
 //!   tenant arrivals, admission control, churn benchmarking, mid-run
-//!   control-plane events and streaming JSONL telemetry).
+//!   control-plane events and streaming JSONL telemetry);
+//! * [`hars_fleet`] — fleet-scale parallel serving: a heterogeneous
+//!   board fleet sharded over a worker pool, with a placement tier and
+//!   a shared solo-rate calibration cache, bit-identical across worker
+//!   counts.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use hars_core;
+pub use hars_fleet;
 pub use hars_scenario;
 pub use heartbeats;
 pub use hmp_sim;
@@ -66,10 +71,15 @@ pub mod prelude {
         PowerEstimator, RejectReason, RuntimeConfig, RuntimeManager, SchedulerKind, SearchParams,
         StateSpace, SystemState, TelemetryEvent, TelemetrySink, VecSink,
     };
+    pub use hars_fleet::{
+        run_fleet, FleetBoard, FleetCacheMode, FleetOutcome, FleetRuntimeKind, FleetSpec,
+        PlacementPolicy,
+    };
     pub use hars_scenario::{
-        run_scenario, run_scenario_cached, run_scenario_with_sink, AdmissionPolicy, AdmissionSwap,
-        AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue, CapacityGate, JsonlSink,
-        ScenarioEvent, ScenarioRuntime, ScenarioSpec, SoloRateCache, TemplateSet, TimedEvent,
+        run_scenario, run_scenario_cached, run_scenario_with_sink, run_shard, AdmissionPolicy,
+        AdmissionSwap, AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue, CapacityGate,
+        JsonlSink, ScenarioEvent, ScenarioRuntime, ScenarioSpec, ShardConfig, SharedSoloRateCache,
+        SoloCacheHandle, SoloRateCache, TemplateSet, TimedEvent,
     };
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;
