@@ -139,6 +139,52 @@ pub enum TelemetryEvent {
         /// penalties; lower is better). Infinity for rejections.
         score: f64,
     },
+    /// A tenant crossed from the admission gate into the runtime: its
+    /// target band is resolved and the app is registered. Carries the
+    /// class identity (benchmark) the observability layer's SLO
+    /// rollups group by, and the admission-queue wait the
+    /// queue-percentile histograms fold in.
+    TenantAdmitted {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in arrival order.
+        tenant: u64,
+        /// The tenant's benchmark (its template class).
+        bench: &'static str,
+        /// The tenant's thread count.
+        threads: u64,
+        /// The resolved target band minimum (hb/s).
+        target_min: f64,
+        /// Time spent waiting for admission (ns; 0 when admitted on
+        /// arrival).
+        queue_wait_ns: u64,
+    },
+    /// A tenant finished its heartbeat budget and left the runtime.
+    /// Closes the tenant's timeline; tenants still running at the
+    /// scenario horizon never emit one.
+    TenantDeparted {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in arrival order.
+        tenant: u64,
+        /// Heartbeats the tenant emitted over its whole tenancy.
+        heartbeats: u64,
+    },
+    /// One rated heartbeat: the tenant's windowed rate at this
+    /// instant, and whether it cleared the tenant's own target-band
+    /// minimum. This is the per-tenant heartbeat-latency series —
+    /// high-volume by design (one event per rated heartbeat), which
+    /// the free [`NullSink`] default makes costless.
+    HeartbeatRate {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in arrival order.
+        tenant: u64,
+        /// The windowed heartbeat rate (hb/s).
+        rate_hz: f64,
+        /// `true` when `rate_hz` meets the tenant's target minimum.
+        satisfied: bool,
+    },
 }
 
 /// The stable event vocabulary: `(kind, field names)` per variant, in
@@ -170,6 +216,22 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     ("cache_hit", &["t_ns", "bench", "threads"]),
     ("cache_miss", &["t_ns", "bench", "threads"]),
     ("placement", &["t_ns", "tenant", "board", "score"]),
+    (
+        "tenant_admitted",
+        &[
+            "t_ns",
+            "tenant",
+            "bench",
+            "threads",
+            "target_min",
+            "queue_wait_ns",
+        ],
+    ),
+    ("tenant_departed", &["t_ns", "tenant", "heartbeats"]),
+    (
+        "heartbeat_rate",
+        &["t_ns", "tenant", "rate_hz", "satisfied"],
+    ),
 ];
 
 /// The canonical schema text (one `kind: field,field,...` line per
@@ -202,6 +264,24 @@ impl TelemetryEvent {
             TelemetryEvent::CacheHit { .. } => "cache_hit",
             TelemetryEvent::CacheMiss { .. } => "cache_miss",
             TelemetryEvent::Placement { .. } => "placement",
+            TelemetryEvent::TenantAdmitted { .. } => "tenant_admitted",
+            TelemetryEvent::TenantDeparted { .. } => "tenant_departed",
+            TelemetryEvent::HeartbeatRate { .. } => "heartbeat_rate",
+        }
+    }
+
+    /// The tenant a tenant-scoped event refers to (arrival-order
+    /// index), `None` for run-scoped events. The observability layer's
+    /// per-tenant timelines key on this.
+    pub fn tenant(&self) -> Option<u64> {
+        match self {
+            TelemetryEvent::AdmissionVerdict { tenant, .. }
+            | TelemetryEvent::SatisfactionFlip { tenant, .. }
+            | TelemetryEvent::Placement { tenant, .. }
+            | TelemetryEvent::TenantAdmitted { tenant, .. }
+            | TelemetryEvent::TenantDeparted { tenant, .. }
+            | TelemetryEvent::HeartbeatRate { tenant, .. } => Some(*tenant),
+            _ => None,
         }
     }
 
@@ -219,7 +299,10 @@ impl TelemetryEvent {
             | TelemetryEvent::InitialState { t_ns, .. }
             | TelemetryEvent::CacheHit { t_ns, .. }
             | TelemetryEvent::CacheMiss { t_ns, .. }
-            | TelemetryEvent::Placement { t_ns, .. } => *t_ns,
+            | TelemetryEvent::Placement { t_ns, .. }
+            | TelemetryEvent::TenantAdmitted { t_ns, .. }
+            | TelemetryEvent::TenantDeparted { t_ns, .. }
+            | TelemetryEvent::HeartbeatRate { t_ns, .. } => *t_ns,
         }
     }
 
@@ -318,6 +401,36 @@ impl TelemetryEvent {
                     "{{\"event\":\"placement\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"board\":{board},\"score\":{score}}}"
                 )
             }
+            TelemetryEvent::TenantAdmitted {
+                t_ns,
+                tenant,
+                bench,
+                threads,
+                target_min,
+                queue_wait_ns,
+            } => format!(
+                concat!(
+                    "{{\"event\":\"tenant_admitted\",\"t_ns\":{},\"tenant\":{},",
+                    "\"bench\":\"{}\",\"threads\":{},\"target_min\":{:?},",
+                    "\"queue_wait_ns\":{}}}"
+                ),
+                t_ns, tenant, bench, threads, target_min, queue_wait_ns
+            ),
+            TelemetryEvent::TenantDeparted {
+                t_ns,
+                tenant,
+                heartbeats,
+            } => format!(
+                "{{\"event\":\"tenant_departed\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"heartbeats\":{heartbeats}}}"
+            ),
+            TelemetryEvent::HeartbeatRate {
+                t_ns,
+                tenant,
+                rate_hz,
+                satisfied,
+            } => format!(
+                "{{\"event\":\"heartbeat_rate\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"rate_hz\":{rate_hz:?},\"satisfied\":{satisfied}}}"
+            ),
         }
     }
 }
@@ -328,6 +441,15 @@ impl TelemetryEvent {
 pub trait TelemetrySink: std::fmt::Debug {
     /// Consumes one event.
     fn emit(&mut self, event: &TelemetryEvent);
+}
+
+// A `&mut` to any sink is itself a sink, so composing sinks (a metrics
+// fold teeing into a JSONL writer, say) never forces a move: wrappers
+// can borrow their inner sink for the run and hand it back after.
+impl<T: TelemetrySink + ?Sized> TelemetrySink for &mut T {
+    fn emit(&mut self, event: &TelemetryEvent) {
+        (**self).emit(event);
+    }
 }
 
 /// The default sink: drops everything. With it, a telemetry-threaded
@@ -423,6 +545,25 @@ mod tests {
                 board: 7,
                 score: 0.25,
             },
+            TelemetryEvent::TenantAdmitted {
+                t_ns: 1,
+                tenant: 3,
+                bench: "swaptions",
+                threads: 4,
+                target_min: 6.5,
+                queue_wait_ns: 250,
+            },
+            TelemetryEvent::TenantDeparted {
+                t_ns: 1,
+                tenant: 3,
+                heartbeats: 60,
+            },
+            TelemetryEvent::HeartbeatRate {
+                t_ns: 1,
+                tenant: 3,
+                rate_hz: 7.25,
+                satisfied: true,
+            },
         ];
         assert_eq!(events.len(), SCHEMA.len(), "every variant has a schema row");
         for (ev, (kind, fields)) in events.iter().zip(SCHEMA) {
@@ -441,6 +582,40 @@ mod tests {
             }
             assert_eq!(ev.t_ns(), if *kind == "initial_state" { 0 } else { 1 });
         }
+    }
+
+    #[test]
+    fn tenant_accessor_covers_tenant_scoped_events() {
+        let scoped = TelemetryEvent::HeartbeatRate {
+            t_ns: 1,
+            tenant: 9,
+            rate_hz: 3.0,
+            satisfied: false,
+        };
+        assert_eq!(scoped.tenant(), Some(9));
+        let unscoped = TelemetryEvent::ConfigApplied {
+            t_ns: 1,
+            version: 2,
+        };
+        assert_eq!(unscoped.tenant(), None);
+    }
+
+    #[test]
+    fn mut_refs_compose_as_sinks() {
+        let mut inner = VecSink::new();
+        {
+            let mut as_dyn: &mut dyn TelemetrySink = &mut inner;
+            as_dyn.emit(&TelemetryEvent::ConfigApplied {
+                t_ns: 1,
+                version: 1,
+            });
+            let reborrow = &mut as_dyn;
+            reborrow.emit(&TelemetryEvent::ConfigApplied {
+                t_ns: 2,
+                version: 2,
+            });
+        }
+        assert_eq!(inner.events.len(), 2);
     }
 
     #[test]

@@ -62,5 +62,5 @@ mod spec;
 
 pub use outcome::{FleetAccum, FleetOutcome, ShardSummary};
 pub use placement::{place, Placement, PlacementPolicy};
-pub use pool::run_fleet;
+pub use pool::{run_fleet, run_fleet_with_metrics};
 pub use spec::{shard_seed, FleetBoard, FleetCacheMode, FleetRuntimeKind, FleetSpec};

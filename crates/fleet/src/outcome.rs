@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use hars_obs::MetricsRollup;
 use hars_scenario::ScenarioOutcome;
 
 use crate::placement::Placement;
@@ -78,6 +79,15 @@ pub struct FleetOutcome {
     pub placement_fingerprint: u64,
     /// The order-independent fleet digest (see [`FleetAccum`]).
     pub fingerprint: u64,
+    /// The fleet-wide observability rollup — shard-level
+    /// [`MetricsRollup`]s merged in ascending shard order (queue-wait
+    /// percentiles, heartbeat-latency histograms, per-class SLO
+    /// rollups). `Some` only for metrics runs
+    /// ([`crate::run_fleet_with_metrics`]); every field of the rollup
+    /// is integral, so the merged value is bit-identical for any
+    /// worker count. Not part of [`Self::fingerprint`] (observe-only).
+    #[serde(default)]
+    pub metrics: Option<MetricsRollup>,
 }
 
 impl FleetOutcome {
@@ -109,6 +119,12 @@ pub struct FleetAccum {
     adaptations: u64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Shard metrics rollups, tagged by shard id. Collected in
+    /// completion order, merged in ascending shard order at
+    /// [`FleetAccum::finish`] — the rollup merge is commutative
+    /// bit-for-bit anyway (all-integer), but sorting keeps the policy
+    /// uniform with the float aggregates above.
+    rollups: Vec<(usize, MetricsRollup)>,
 }
 
 impl FleetAccum {
@@ -135,6 +151,9 @@ impl FleetAccum {
         // the shard that issued it.
         self.cache_hits += out.solo_cache_hits;
         self.cache_misses += out.solo_cache_misses;
+        if let Some(m) = &out.metrics {
+            self.rollups.push((shard, m.rollup.clone()));
+        }
         self.shards.push(ShardSummary {
             shard,
             board,
@@ -155,6 +174,11 @@ impl FleetAccum {
     /// fleet fingerprint.
     pub fn finish(mut self, placement: &Placement, arrivals: usize) -> FleetOutcome {
         self.shards.sort_by_key(|s| s.shard);
+        self.rollups.sort_by_key(|(shard, _)| *shard);
+        let metrics = self.rollups.drain(..).map(|(_, r)| r).reduce(|mut a, b| {
+            a.merge(&b);
+            a
+        });
         let admitted: usize = self.shards.iter().map(|s| s.admitted).sum();
         let completed: usize = self.shards.iter().map(|s| s.completed).sum();
         let shard_rejected: usize = self.shards.iter().map(|s| s.rejected).sum();
@@ -191,6 +215,7 @@ impl FleetAccum {
             fingerprint: self
                 .fingerprint_sum
                 .wrapping_add(mix64(placement_fingerprint)),
+            metrics,
         }
     }
 }

@@ -20,7 +20,8 @@ use parking_lot::Mutex;
 
 use hars_core::{NullSink, TelemetrySink};
 use hars_scenario::{
-    run_shard, ShardConfig, SharedSoloRateCache, SoloCacheHandle, SoloRateCache, TenantSpec,
+    run_shard, run_shard_with_metrics, ShardConfig, SharedSoloRateCache, SoloCacheHandle,
+    SoloRateCache, TenantSpec,
 };
 use hmp_sim::{EngineConfig, SimError};
 
@@ -51,6 +52,39 @@ pub fn run_fleet(
     workers: usize,
     sink: &mut dyn TelemetrySink,
 ) -> Result<FleetOutcome, SimError> {
+    run_fleet_inner(spec, workers, sink, false)
+}
+
+/// [`run_fleet`] with the observability fold mounted inside every
+/// shard: each shard runs under a
+/// [`hars_scenario::run_shard_with_metrics`] wrapper, and the
+/// shard-level [`hars_obs::MetricsRollup`]s are merged (ascending
+/// shard order, all-integer adds) into [`FleetOutcome::metrics`] —
+/// fleet-wide queue-wait percentiles, heartbeat-latency histograms,
+/// and per-class SLO rollups, bit-identical for any worker count.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any shard hits (remaining shards
+/// are abandoned).
+///
+/// # Panics
+///
+/// Panics when `workers` is zero.
+pub fn run_fleet_with_metrics(
+    spec: &FleetSpec,
+    workers: usize,
+    sink: &mut dyn TelemetrySink,
+) -> Result<FleetOutcome, SimError> {
+    run_fleet_inner(spec, workers, sink, true)
+}
+
+fn run_fleet_inner(
+    spec: &FleetSpec,
+    workers: usize,
+    sink: &mut dyn TelemetrySink,
+    with_metrics: bool,
+) -> Result<FleetOutcome, SimError> {
     assert!(workers > 0, "need at least one worker");
     let schedule = spec.tenant_schedule();
     let placement = place(spec, &schedule, sink);
@@ -76,7 +110,13 @@ pub fn run_fleet(
                 if shard >= spec.boards.len() || first_err.lock().is_some() {
                     break;
                 }
-                match run_one_shard(spec, shard, &shard_schedules[shard], &shared_cache) {
+                match run_one_shard(
+                    spec,
+                    shard,
+                    &shard_schedules[shard],
+                    &shared_cache,
+                    with_metrics,
+                ) {
                     Ok(out) => {
                         let fb = &spec.boards[shard];
                         accum
@@ -104,6 +144,7 @@ fn run_one_shard(
     shard: usize,
     schedule: &[(u64, TenantSpec)],
     shared_cache: &SharedSoloRateCache,
+    with_metrics: bool,
 ) -> Result<hars_scenario::ScenarioOutcome, SimError> {
     let fb = &spec.boards[shard];
     let engine_cfg = EngineConfig {
@@ -126,14 +167,27 @@ fn run_one_shard(
             SoloCacheHandle::Local(&mut local_cache)
         }
     };
-    run_shard(
-        &fb.board,
-        &engine_cfg,
-        schedule,
-        &shard_cfg,
-        admission.as_mut(),
-        runtime,
-        cache,
-        &mut NullSink,
-    )
+    if with_metrics {
+        run_shard_with_metrics(
+            &fb.board,
+            &engine_cfg,
+            schedule,
+            &shard_cfg,
+            admission.as_mut(),
+            runtime,
+            cache,
+            &mut NullSink,
+        )
+    } else {
+        run_shard(
+            &fb.board,
+            &engine_cfg,
+            schedule,
+            &shard_cfg,
+            admission.as_mut(),
+            runtime,
+            cache,
+            &mut NullSink,
+        )
+    }
 }

@@ -10,8 +10,8 @@ use proptest::proptest;
 
 use hars_core::NullSink;
 use hars_fleet::{
-    run_fleet, FleetAccum, FleetBoard, FleetCacheMode, FleetOutcome, FleetRuntimeKind, FleetSpec,
-    Placement, PlacementPolicy,
+    run_fleet, run_fleet_with_metrics, FleetAccum, FleetBoard, FleetCacheMode, FleetOutcome,
+    FleetRuntimeKind, FleetSpec, Placement, PlacementPolicy,
 };
 use hars_scenario::{
     run_scenario, AdmissionSwap, AlwaysAdmit, AppTemplate, ArrivalProcess, ScenarioRuntime,
@@ -128,6 +128,38 @@ proptest! {
             private.solo_cache_hits + private.solo_cache_misses
         );
         assert!(shared.solo_cache_misses <= private.solo_cache_misses);
+    }
+
+    /// The observability fold rides the same contract: metrics runs
+    /// produce the same fleet fingerprint as metrics-less runs, and
+    /// the merged [`hars_obs::MetricsRollup`] (queue percentiles, SLO
+    /// rollups, histograms) is bit-identical across 1/2/8 workers.
+    #[test]
+    fn metrics_rollups_are_bit_stable_across_worker_counts(
+        seed in 0u64..1_000,
+        n_boards in 2usize..5,
+        placement_idx in 0usize..3,
+    ) {
+        let spec = tiny_fleet(seed, n_boards, placements()[placement_idx]);
+        let plain = run_fleet(&spec, 1, &mut NullSink).expect("fleet runs");
+        let one = run_fleet_with_metrics(&spec, 1, &mut NullSink).expect("fleet runs");
+        let two = run_fleet_with_metrics(&spec, 2, &mut NullSink).expect("fleet runs");
+        let eight = run_fleet_with_metrics(&spec, 8, &mut NullSink).expect("fleet runs");
+        // Observe-only: the fold never perturbs the run.
+        prop_assert_eq!(plain.fingerprint, one.fingerprint);
+        assert!(plain.metrics.is_none());
+        let m1 = one.metrics.as_ref().expect("metrics run fills the rollup");
+        let m2 = two.metrics.as_ref().expect("metrics run fills the rollup");
+        let m8 = eight.metrics.as_ref().expect("metrics run fills the rollup");
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(m1, m8);
+        prop_assert_eq!(m1.render(), m8.render());
+        prop_assert_eq!(m1.admitted as usize, one.admitted);
+        prop_assert_eq!(
+            m1.queue_wait_ns.count(),
+            m1.admitted,
+            "one queue-wait observation per admitted tenant"
+        );
     }
 }
 

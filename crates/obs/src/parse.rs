@@ -1,0 +1,546 @@
+//! Strict parser for captured `telemetry.jsonl` streams.
+//!
+//! The emitter ([`TelemetryEvent::to_json`]) writes one flat JSON
+//! object per line with the field order pinned by
+//! [`hars_core::telemetry::SCHEMA`]. The parser holds it to that: a
+//! line whose kind is unknown, whose fields are missing, reordered, or
+//! extra, or whose values have the wrong type is an error, not a
+//! shrug — replay must fail loudly when the capture and the binary
+//! disagree about the schema, because a silent skip would quietly
+//! desynchronize the replayed [`MetricsSummary`](crate::MetricsSummary)
+//! from the live one.
+//!
+//! One exception: `initial_state` carries a display-formatted
+//! [`SystemState`](hars_core::SystemState) that does not round-trip.
+//! The parser validates the line's shape and returns it kind-only
+//! ([`ParsedLine::KindOnly`]); the metrics engine counts it exactly as
+//! a live fold would.
+//!
+//! `&'static str` event fields (verdicts, policies, benchmark names,
+//! reject reasons) come back through an [`Interner`]: known vocabulary
+//! resolves to the canonical static strings, and genuinely novel
+//! strings are leaked once and cached — captures are finite and the
+//! vocabulary is small, so the leak is bounded and replay keeps the
+//! exact event type the live path uses.
+
+use std::collections::BTreeMap;
+
+use hars_core::search::SearchStats;
+use hars_core::telemetry::SCHEMA;
+use hars_core::TelemetryEvent;
+
+/// One parsed capture line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// A fully reconstructed event.
+    Event(TelemetryEvent),
+    /// A schema-valid line whose payload is not reconstructable
+    /// (`initial_state`); carries the interned kind for counting.
+    KindOnly(&'static str),
+}
+
+/// A parse failure, with enough context to locate the bad line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 when unknown at this layer).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Resolves parsed strings to `&'static str`, preferring the known
+/// vocabulary and leak-caching novel strings.
+#[derive(Debug, Default)]
+pub struct Interner {
+    leaked: BTreeMap<String, &'static str>,
+}
+
+/// The static vocabulary the runtime emits today: admission verdicts,
+/// policy names, benchmark names, and config-reject codes.
+const KNOWN: &[&str] = &[
+    "admit",
+    "queue",
+    "reject",
+    "always-admit",
+    "capacity-gate",
+    "bounded-queue",
+    "blackscholes",
+    "bodytrack",
+    "swaptions",
+    "x264",
+    "kmeans",
+    "streamcluster",
+    "zero-budget",
+    "budget-overflow",
+    "stale-version",
+    "empty-space",
+];
+
+impl Interner {
+    /// An interner primed with the known vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical `&'static str` for `s`.
+    pub fn intern(&mut self, s: &str) -> &'static str {
+        if let Some(k) = KNOWN.iter().find(|k| **k == s) {
+            return k;
+        }
+        if let Some(k) = self.leaked.get(s) {
+            return k;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        self.leaked.insert(s.to_string(), leaked);
+        leaked
+    }
+}
+
+/// One scanned JSON value from a flat object.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    /// An unquoted numeric token, kept raw for exact typing.
+    Num(String),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl Value {
+    fn as_u64(&self, field: &str) -> Result<u64, String> {
+        match self {
+            Value::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("field {field}: expected unsigned integer, got {raw}")),
+            other => Err(format!("field {field}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_usize(&self, field: &str) -> Result<usize, String> {
+        self.as_u64(field).map(|v| v as usize)
+    }
+
+    fn as_f64(&self, field: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("field {field}: expected float, got {raw}")),
+            // The emitter writes `null` for non-finite scores.
+            Value::Null => Ok(f64::INFINITY),
+            other => Err(format!("field {field}: expected float, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self, field: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("field {field}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, field: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("field {field}: expected string, got {other:?}")),
+        }
+    }
+}
+
+/// Scans one flat JSON object (`{"k":v,...}`, no nesting) into its
+/// key/value pairs, in source order.
+fn scan_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut pairs = Vec::new();
+
+    let bytes = line.as_bytes();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices>| {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+    let scan_string =
+        |chars: &mut std::iter::Peekable<std::str::CharIndices>| -> Result<String, String> {
+            match chars.next() {
+                Some((_, '"')) => {}
+                other => return Err(format!("expected '\"', got {other:?}")),
+            }
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '"')) => return Ok(s),
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '"')) => s.push('"'),
+                        Some((_, '\\')) => s.push('\\'),
+                        Some((_, 'n')) => s.push('\n'),
+                        Some((_, 't')) => s.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    },
+                    Some((_, c)) => s.push(c),
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        };
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected '{'".to_string()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = scan_string(&mut chars)?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(format!("expected ':', got {other:?}")),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some((_, '"')) => Value::Str(scan_string(&mut chars)?),
+                Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+                    let mut end = start;
+                    while let Some(&(i, c)) = chars.peek() {
+                        if c == ',' || c == '}' || c.is_ascii_whitespace() {
+                            break;
+                        }
+                        end = i + c.len_utf8();
+                        chars.next();
+                    }
+                    Value::Num(line[start..end].to_string())
+                }
+                Some(&(start, _)) => {
+                    // Bare words: true / false / null.
+                    let mut end = start;
+                    while let Some(&(i, c)) = chars.peek() {
+                        if !c.is_ascii_alphabetic() {
+                            break;
+                        }
+                        end = i + c.len_utf8();
+                        chars.next();
+                    }
+                    match &line[start..end] {
+                        "true" => Value::Bool(true),
+                        "false" => Value::Bool(false),
+                        "null" => Value::Null,
+                        other => return Err(format!("unexpected token {other:?}")),
+                    }
+                }
+                None => return Err("truncated object".to_string()),
+            };
+            pairs.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((i, _)) = chars.next() {
+        return Err(format!(
+            "trailing content after object: {:?}",
+            &line[i..line.len().min(i + 20)]
+        ));
+    }
+    let _ = bytes;
+    Ok(pairs)
+}
+
+/// Parses one capture line against the pinned schema.
+pub fn parse_line(interner: &mut Interner, line: &str) -> Result<ParsedLine, String> {
+    let pairs = scan_flat_object(line)?;
+    let Some((lead_key, lead_val)) = pairs.first() else {
+        return Err("empty object".to_string());
+    };
+    if lead_key != "event" {
+        return Err(format!("first field must be \"event\", got {lead_key:?}"));
+    }
+    let kind = lead_val.as_str("event")?.to_string();
+    let Some((kind, fields)) = SCHEMA.iter().find(|(k, _)| **k == kind) else {
+        return Err(format!("unknown event kind {kind:?}"));
+    };
+
+    // Strict shape: exactly the schema's fields, in schema order.
+    let got: Vec<&str> = pairs.iter().skip(1).map(|(k, _)| k.as_str()).collect();
+    if got != *fields {
+        return Err(format!(
+            "{kind}: fields {got:?} do not match schema {fields:?}"
+        ));
+    }
+    let v: BTreeMap<&str, &Value> = pairs
+        .iter()
+        .skip(1)
+        .map(|(k, val)| (k.as_str(), val))
+        .collect();
+    let u = |f: &str| v[f].as_u64(f);
+    let t_ns = u("t_ns")?;
+
+    let ev = match *kind {
+        "decision" => TelemetryEvent::Decision {
+            t_ns,
+            app: u("app")?,
+            config_version: u("config_version")?,
+            stats: SearchStats {
+                explored: v["explored"].as_usize("explored")?,
+                evaluated: v["evaluated"].as_usize("evaluated")?,
+                best_rank_changes: v["best_rank_changes"].as_usize("best_rank_changes")?,
+                wall_ns: u("wall_ns")?,
+                nodes: u("nodes")?,
+                truncated: v["truncated"].as_bool("truncated")?,
+            },
+        },
+        "config_applied" => TelemetryEvent::ConfigApplied {
+            t_ns,
+            version: u("version")?,
+        },
+        "config_rejected" => TelemetryEvent::ConfigRejected {
+            t_ns,
+            reason: interner.intern(v["reason"].as_str("reason")?),
+        },
+        "admission" => TelemetryEvent::AdmissionVerdict {
+            t_ns,
+            tenant: u("tenant")?,
+            verdict: interner.intern(v["verdict"].as_str("verdict")?),
+        },
+        "admission_swapped" => TelemetryEvent::AdmissionSwapped {
+            t_ns,
+            policy: interner.intern(v["policy"].as_str("policy")?),
+        },
+        "guard_changed" => TelemetryEvent::GuardChanged {
+            t_ns,
+            target_guard: v["target_guard"].as_f64("target_guard")?,
+        },
+        "satisfaction" => TelemetryEvent::SatisfactionFlip {
+            t_ns,
+            tenant: u("tenant")?,
+            satisfied: v["satisfied"].as_bool("satisfied")?,
+        },
+        "cluster_power" => TelemetryEvent::ClusterPower {
+            t_ns,
+            cluster: v["cluster"].as_usize("cluster")?,
+            watts: v["watts"].as_f64("watts")?,
+        },
+        // SystemState's display form does not round-trip; count only.
+        "initial_state" => return Ok(ParsedLine::KindOnly(kind)),
+        "cache_hit" => TelemetryEvent::CacheHit {
+            t_ns,
+            bench: interner.intern(v["bench"].as_str("bench")?),
+            threads: u("threads")?,
+        },
+        "cache_miss" => TelemetryEvent::CacheMiss {
+            t_ns,
+            bench: interner.intern(v["bench"].as_str("bench")?),
+            threads: u("threads")?,
+        },
+        "placement" => TelemetryEvent::Placement {
+            t_ns,
+            tenant: u("tenant")?,
+            board: u("board")?,
+            score: v["score"].as_f64("score")?,
+        },
+        "tenant_admitted" => TelemetryEvent::TenantAdmitted {
+            t_ns,
+            tenant: u("tenant")?,
+            bench: interner.intern(v["bench"].as_str("bench")?),
+            threads: u("threads")?,
+            target_min: v["target_min"].as_f64("target_min")?,
+            queue_wait_ns: u("queue_wait_ns")?,
+        },
+        "tenant_departed" => TelemetryEvent::TenantDeparted {
+            t_ns,
+            tenant: u("tenant")?,
+            heartbeats: u("heartbeats")?,
+        },
+        "heartbeat_rate" => TelemetryEvent::HeartbeatRate {
+            t_ns,
+            tenant: u("tenant")?,
+            rate_hz: v["rate_hz"].as_f64("rate_hz")?,
+            satisfied: v["satisfied"].as_bool("satisfied")?,
+        },
+        other => return Err(format!("schema kind {other:?} not handled")),
+    };
+    Ok(ParsedLine::Event(ev))
+}
+
+/// Parses a whole capture (one JSON object per non-empty line),
+/// failing on the first bad line with its 1-based number.
+pub fn parse_capture(text: &str) -> Result<Vec<ParsedLine>, ParseError> {
+    let mut interner = Interner::new();
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&mut interner, line) {
+            Ok(p) => out.push(p),
+            Err(message) => {
+                return Err(ParseError {
+                    line: idx + 1,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: &TelemetryEvent) {
+        let mut interner = Interner::new();
+        let parsed = parse_line(&mut interner, &ev.to_json()).expect("parses");
+        assert_eq!(parsed, ParsedLine::Event(ev.clone()), "{}", ev.to_json());
+    }
+
+    #[test]
+    fn every_reconstructable_event_round_trips() {
+        roundtrip(&TelemetryEvent::Decision {
+            t_ns: 12,
+            app: 3,
+            config_version: 4,
+            stats: SearchStats {
+                explored: 10,
+                evaluated: 8,
+                best_rank_changes: 2,
+                wall_ns: 12_345,
+                nodes: 99,
+                truncated: true,
+            },
+        });
+        roundtrip(&TelemetryEvent::ConfigApplied {
+            t_ns: 1,
+            version: 7,
+        });
+        roundtrip(&TelemetryEvent::ConfigRejected {
+            t_ns: 2,
+            reason: "zero-budget",
+        });
+        roundtrip(&TelemetryEvent::AdmissionVerdict {
+            t_ns: 3,
+            tenant: 1,
+            verdict: "queue",
+        });
+        roundtrip(&TelemetryEvent::AdmissionSwapped {
+            t_ns: 4,
+            policy: "bounded-queue",
+        });
+        roundtrip(&TelemetryEvent::GuardChanged {
+            t_ns: 5,
+            target_guard: 0.125,
+        });
+        roundtrip(&TelemetryEvent::SatisfactionFlip {
+            t_ns: 6,
+            tenant: 2,
+            satisfied: false,
+        });
+        roundtrip(&TelemetryEvent::ClusterPower {
+            t_ns: 7,
+            cluster: 1,
+            watts: 2.625,
+        });
+        roundtrip(&TelemetryEvent::CacheHit {
+            t_ns: 8,
+            bench: "swaptions",
+            threads: 4,
+        });
+        roundtrip(&TelemetryEvent::CacheMiss {
+            t_ns: 9,
+            bench: "bodytrack",
+            threads: 2,
+        });
+        roundtrip(&TelemetryEvent::Placement {
+            t_ns: 10,
+            tenant: 5,
+            board: 2,
+            score: 0.75,
+        });
+        roundtrip(&TelemetryEvent::TenantAdmitted {
+            t_ns: 11,
+            tenant: 5,
+            bench: "swaptions",
+            threads: 4,
+            target_min: 6.5,
+            queue_wait_ns: 250,
+        });
+        roundtrip(&TelemetryEvent::TenantDeparted {
+            t_ns: 12,
+            tenant: 5,
+            heartbeats: 60,
+        });
+        roundtrip(&TelemetryEvent::HeartbeatRate {
+            t_ns: 13,
+            tenant: 5,
+            rate_hz: 7.25,
+            satisfied: true,
+        });
+    }
+
+    #[test]
+    fn rejected_placement_null_score_round_trips_to_infinity() {
+        let ev = TelemetryEvent::Placement {
+            t_ns: 1,
+            tenant: 0,
+            board: u64::MAX,
+            score: f64::INFINITY,
+        };
+        roundtrip(&ev);
+    }
+
+    #[test]
+    fn unknown_kind_and_field_drift_are_errors() {
+        let mut i = Interner::new();
+        assert!(parse_line(&mut i, "{\"event\":\"nope\",\"t_ns\":1}").is_err());
+        // Missing field.
+        assert!(parse_line(&mut i, "{\"event\":\"config_applied\",\"t_ns\":1}").is_err());
+        // Extra field.
+        assert!(parse_line(
+            &mut i,
+            "{\"event\":\"config_applied\",\"t_ns\":1,\"version\":2,\"x\":3}"
+        )
+        .is_err());
+        // Reordered fields.
+        assert!(parse_line(
+            &mut i,
+            "{\"event\":\"config_applied\",\"version\":2,\"t_ns\":1}"
+        )
+        .is_err());
+        // Wrong type.
+        assert!(parse_line(
+            &mut i,
+            "{\"event\":\"config_applied\",\"t_ns\":1,\"version\":\"2\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn interner_prefers_known_vocabulary_and_caches_novel() {
+        let mut i = Interner::new();
+        let admit = i.intern("admit");
+        assert_eq!(admit, "admit");
+        let novel_a = i.intern("some-new-bench");
+        let novel_b = i.intern("some-new-bench");
+        assert!(std::ptr::eq(novel_a, novel_b), "leaked once, cached after");
+    }
+
+    #[test]
+    fn capture_errors_carry_line_numbers() {
+        let text = "{\"event\":\"config_applied\",\"t_ns\":1,\"version\":2}\n\nnot json\n";
+        let err = parse_capture(text).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

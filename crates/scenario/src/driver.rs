@@ -593,6 +593,76 @@ pub fn run_shard(
     sim.run()
 }
 
+/// [`run_scenario_with_sink`] with the observability fold mounted in
+/// front of the caller's sink: every event is folded into a
+/// [`hars_obs::MetricsEngine`] *and* forwarded to `sink`, and the
+/// resulting [`hars_obs::MetricsSummary`] rides back on
+/// [`ScenarioOutcome::metrics`]. The summary is observe-only and sits
+/// outside [`ScenarioOutcome::fingerprint`], so the run is
+/// bit-identical to the metrics-less entry points.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine interaction (invalid tenant
+/// specs, malformed decisions).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scenario_with_metrics(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    spec: &ScenarioSpec,
+    admission: &mut dyn AdmissionPolicy,
+    runtime: ScenarioRuntime,
+    solo_cache: &mut SoloRateCache,
+    sink: &mut dyn TelemetrySink,
+) -> Result<ScenarioOutcome, SimError> {
+    let mut metrics = hars_obs::MetricsSink::wrap(sink);
+    let mut out = run_scenario_with_sink(
+        board,
+        engine_cfg,
+        spec,
+        admission,
+        runtime,
+        solo_cache,
+        &mut metrics,
+    )?;
+    out.metrics = Some(metrics.into_summary());
+    Ok(out)
+}
+
+/// [`run_shard`] with the observability fold mounted in front of the
+/// caller's sink — the fleet tier's per-shard metrics entry point.
+/// See [`run_scenario_with_metrics`] for the contract.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from engine interaction (invalid tenant
+/// specs, malformed decisions).
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard_with_metrics(
+    board: &BoardSpec,
+    engine_cfg: &EngineConfig,
+    schedule: &[(u64, TenantSpec)],
+    shard_cfg: &ShardConfig,
+    admission: &mut dyn AdmissionPolicy,
+    runtime: ScenarioRuntime,
+    solo_cache: SoloCacheHandle<'_>,
+    sink: &mut dyn TelemetrySink,
+) -> Result<ScenarioOutcome, SimError> {
+    let mut metrics = hars_obs::MetricsSink::wrap(sink);
+    let mut out = run_shard(
+        board,
+        engine_cfg,
+        schedule,
+        shard_cfg,
+        admission,
+        runtime,
+        solo_cache,
+        &mut metrics,
+    )?;
+    out.metrics = Some(metrics.into_summary());
+    Ok(out)
+}
+
 /// Driver-internal per-tenant bookkeeping.
 struct TenantState {
     ts: TenantSpec,
@@ -809,6 +879,12 @@ impl Sim<'_> {
             if satisfied {
                 self.tenants[ti].satisfied += 1;
             }
+            self.sink.emit(&TelemetryEvent::HeartbeatRate {
+                t_ns: time_ns,
+                tenant: ti as u64,
+                rate_hz: r,
+                satisfied,
+            });
             if self.tenants[ti].last_satisfied != Some(satisfied) {
                 self.tenants[ti].last_satisfied = Some(satisfied);
                 self.sink.emit(&TelemetryEvent::SatisfactionFlip {
@@ -832,6 +908,11 @@ impl Sim<'_> {
         if self.engine.app_done(app) && self.tenants[ti].finished_ns.is_none() {
             self.tenants[ti].finished_ns = Some(time_ns);
             self.live -= 1;
+            self.sink.emit(&TelemetryEvent::TenantDeparted {
+                t_ns: time_ns,
+                tenant: ti as u64,
+                heartbeats: self.engine.app_heartbeats(app),
+            });
             if let Some(m) = self.manager.as_mut() {
                 m.unregister_app(app);
             }
@@ -899,13 +980,22 @@ impl Sim<'_> {
             // is scored against the tenant's own band.
             m.register_app(app, threads, target.scaled(1.0 + self.target_guard));
         }
+        let now = self.engine.now_ns();
         let t = &mut self.tenants[ti];
         t.app = Some(app);
         t.target = Some(target);
         t.solo_rate = solo;
-        t.admitted_ns = Some(self.engine.now_ns());
+        t.admitted_ns = Some(now);
         self.by_app.insert(app, ti);
         self.live += 1;
+        self.sink.emit(&TelemetryEvent::TenantAdmitted {
+            t_ns: now,
+            tenant: ti as u64,
+            bench: bench.name(),
+            threads: threads as u64,
+            target_min: target.min(),
+            queue_wait_ns: now - self.tenants[ti].arrival_ns,
+        });
         Ok(())
     }
 

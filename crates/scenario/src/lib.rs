@@ -84,9 +84,9 @@ pub use admission::{
 };
 pub use arrival::ArrivalProcess;
 pub use driver::{
-    run_scenario, run_scenario_cached, run_scenario_with_sink, run_shard,
-    synthetic_power_estimator, ScenarioRuntime, ScenarioSpec, ShardConfig, SharedSoloRateCache,
-    SoloCacheHandle, SoloRateCache,
+    run_scenario, run_scenario_cached, run_scenario_with_metrics, run_scenario_with_sink,
+    run_shard, run_shard_with_metrics, synthetic_power_estimator, ScenarioRuntime, ScenarioSpec,
+    ShardConfig, SharedSoloRateCache, SoloCacheHandle, SoloRateCache,
 };
 pub use events::{AdmissionSwap, ScenarioEvent, TimedEvent};
 pub use outcome::{ScenarioOutcome, TenantOutcome};

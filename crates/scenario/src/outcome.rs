@@ -135,6 +135,14 @@ pub struct ScenarioOutcome {
     pub solo_cache_misses: u64,
     /// Cumulative search cost across all tenants' adaptations.
     pub search_stats: SearchStats,
+    /// The observability fold over this run's telemetry stream, when
+    /// the caller used a metrics entry point
+    /// ([`crate::run_scenario_with_metrics`]); `None` otherwise.
+    /// Deliberately *outside* [`Self::fingerprint`]: metrics observe
+    /// the run, they never feed back into it, and a metrics-threaded
+    /// run must fingerprint identically to a `NullSink` run.
+    #[serde(default)]
+    pub metrics: Option<hars_obs::MetricsSummary>,
 }
 
 impl ScenarioOutcome {
@@ -257,6 +265,7 @@ impl ScenarioOutcome {
             solo_cache_hits: 0,
             solo_cache_misses: 0,
             search_stats,
+            metrics: None,
             tenants,
         }
     }

@@ -58,6 +58,23 @@ impl<W: io::Write> JsonlSink<W> {
     pub fn into_inner(self) -> W {
         self.writer
     }
+
+    /// Closes the sink: flushes the writer, warns on stderr when any
+    /// event was dropped (best-effort writes make drops silent at emit
+    /// time — this is where they become visible), and returns
+    /// `(written, dropped, writer)`. The warning goes to stderr, never
+    /// into the stream, so a capture with drops stays parseable.
+    pub fn finish(mut self) -> (u64, u64, W) {
+        let _ = self.writer.flush();
+        if self.dropped > 0 {
+            eprintln!(
+                "warning: telemetry capture incomplete: {} of {} events dropped (write failures)",
+                self.dropped,
+                self.written + self.dropped
+            );
+        }
+        (self.written, self.dropped, self.writer)
+    }
 }
 
 // Manual Debug: the offline serde/io landscape has no blanket derives
@@ -130,5 +147,46 @@ mod tests {
         });
         assert_eq!(sink.events_written(), 0);
         assert_eq!(sink.events_dropped(), 1);
+    }
+
+    /// A writer that accepts `ok` writes, then fails every one after.
+    struct FlakyWriter {
+        ok: usize,
+        buf: Vec<u8>,
+    }
+
+    impl io::Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok == 0 {
+                return Err(io::Error::other("disk full"));
+            }
+            self.ok -= 1;
+            self.buf.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn finish_reports_drop_counts_and_keeps_written_lines() {
+        let mut sink = JsonlSink::new(FlakyWriter {
+            ok: 2,
+            buf: Vec::new(),
+        });
+        for v in 0..5 {
+            sink.emit(&TelemetryEvent::ConfigApplied {
+                t_ns: v,
+                version: v,
+            });
+        }
+        assert_eq!(sink.events_written(), 2);
+        assert_eq!(sink.events_dropped(), 3);
+        let (written, dropped, writer) = sink.finish();
+        assert_eq!((written, dropped), (2, 3));
+        let text = String::from_utf8(writer.buf).unwrap();
+        assert_eq!(text.lines().count(), 2, "successful lines intact");
     }
 }

@@ -58,6 +58,7 @@
 
 pub use hars_core;
 pub use hars_fleet;
+pub use hars_obs;
 pub use hars_scenario;
 pub use heartbeats;
 pub use hmp_sim;
@@ -72,14 +73,19 @@ pub mod prelude {
         StateSpace, SystemState, TelemetryEvent, TelemetrySink, VecSink,
     };
     pub use hars_fleet::{
-        run_fleet, FleetBoard, FleetCacheMode, FleetOutcome, FleetRuntimeKind, FleetSpec,
-        PlacementPolicy,
+        run_fleet, run_fleet_with_metrics, FleetBoard, FleetCacheMode, FleetOutcome,
+        FleetRuntimeKind, FleetSpec, PlacementPolicy,
+    };
+    pub use hars_obs::{
+        replay_capture, Log2Histogram, MetricsConfig, MetricsRollup, MetricsSink, MetricsSummary,
+        SloClass, TenantTimeline,
     };
     pub use hars_scenario::{
-        run_scenario, run_scenario_cached, run_scenario_with_sink, run_shard, AdmissionPolicy,
-        AdmissionSwap, AlwaysAdmit, AppTemplate, ArrivalProcess, BoundedQueue, CapacityGate,
-        JsonlSink, ScenarioEvent, ScenarioRuntime, ScenarioSpec, ShardConfig, SharedSoloRateCache,
-        SoloCacheHandle, SoloRateCache, TemplateSet, TimedEvent,
+        run_scenario, run_scenario_cached, run_scenario_with_metrics, run_scenario_with_sink,
+        run_shard, run_shard_with_metrics, AdmissionPolicy, AdmissionSwap, AlwaysAdmit,
+        AppTemplate, ArrivalProcess, BoundedQueue, CapacityGate, JsonlSink, ScenarioEvent,
+        ScenarioRuntime, ScenarioSpec, ShardConfig, SharedSoloRateCache, SoloCacheHandle,
+        SoloRateCache, TemplateSet, TimedEvent,
     };
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;
