@@ -185,6 +185,78 @@ pub enum TelemetryEvent {
         /// `true` when `rate_hz` meets the tenant's target minimum.
         satisfied: bool,
     },
+    /// A platform fault was injected by the deterministic fault plane
+    /// (`hmp_sim::FaultPlan`). `cluster` is `-1` for board-scoped
+    /// faults; `until_ns` is `u64::MAX` for permanent ones.
+    FaultInjected {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// The fault's stable discriminator (`"board_fail"`,
+        /// `"cluster_cap"`, `"sensor_dropout"`, ...).
+        fault: &'static str,
+        /// Affected cluster index, `-1` when board-scoped.
+        cluster: i64,
+        /// Recovery instant (exclusive; `u64::MAX` = permanent).
+        until_ns: u64,
+    },
+    /// The runtime quarantined a cluster in reaction to a thermal-cap
+    /// or offline fault: the manager's search space no longer grows
+    /// onto it and its frequency is pinned.
+    ClusterQuarantined {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Quarantined cluster index.
+        cluster: usize,
+        /// `"cap"` (frequency pinned at the floor) or `"offline"`
+        /// (additionally evicted from the core search space).
+        mode: &'static str,
+        /// Quarantine expiry (exclusive; `u64::MAX` = permanent).
+        until_ns: u64,
+    },
+    /// A cluster's quarantine expired: the runtime returned it to the
+    /// search space.
+    ClusterRestored {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Restored cluster index.
+        cluster: usize,
+    },
+    /// The board died mid-run: serving stops, in-flight tenants are
+    /// marked for failover by the fleet supervisor.
+    BoardFailed {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenants that were in flight (admitted, budget incomplete).
+        tenants_in_flight: u64,
+    },
+    /// Degraded-mode calibration: a sensor-fault window was active at
+    /// admission, so the tenant's target was resolved from the
+    /// last-known-good solo rate instead of a fresh calibration run.
+    DegradedCalibration {
+        /// Emission instant (engine ns).
+        t_ns: u64,
+        /// Tenant index in arrival order.
+        tenant: u64,
+        /// The benchmark whose stale solo rate was reused.
+        bench: &'static str,
+        /// Staleness of the reused rate (ns since it was calibrated).
+        age_ns: u64,
+    },
+    /// The fleet supervisor failed a tenant over from a dead board onto
+    /// a surviving one (capped retries, deterministic backoff).
+    TenantFailedOver {
+        /// Emission instant (engine ns): the rescheduled arrival.
+        t_ns: u64,
+        /// Tenant index in fleet arrival order.
+        tenant: u64,
+        /// The dead board's shard index.
+        from_board: u64,
+        /// The surviving destination's shard index (`u64::MAX` = no
+        /// feasible destination; the tenant is lost).
+        to_board: u64,
+        /// Failover attempt number (1-based).
+        attempt: u64,
+    },
 }
 
 /// The stable event vocabulary: `(kind, field names)` per variant, in
@@ -232,6 +304,21 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
         "heartbeat_rate",
         &["t_ns", "tenant", "rate_hz", "satisfied"],
     ),
+    ("fault_injected", &["t_ns", "fault", "cluster", "until_ns"]),
+    (
+        "cluster_quarantined",
+        &["t_ns", "cluster", "mode", "until_ns"],
+    ),
+    ("cluster_restored", &["t_ns", "cluster"]),
+    ("board_failed", &["t_ns", "tenants_in_flight"]),
+    (
+        "degraded_calibration",
+        &["t_ns", "tenant", "bench", "age_ns"],
+    ),
+    (
+        "tenant_failed_over",
+        &["t_ns", "tenant", "from_board", "to_board", "attempt"],
+    ),
 ];
 
 /// The canonical schema text (one `kind: field,field,...` line per
@@ -267,6 +354,12 @@ impl TelemetryEvent {
             TelemetryEvent::TenantAdmitted { .. } => "tenant_admitted",
             TelemetryEvent::TenantDeparted { .. } => "tenant_departed",
             TelemetryEvent::HeartbeatRate { .. } => "heartbeat_rate",
+            TelemetryEvent::FaultInjected { .. } => "fault_injected",
+            TelemetryEvent::ClusterQuarantined { .. } => "cluster_quarantined",
+            TelemetryEvent::ClusterRestored { .. } => "cluster_restored",
+            TelemetryEvent::BoardFailed { .. } => "board_failed",
+            TelemetryEvent::DegradedCalibration { .. } => "degraded_calibration",
+            TelemetryEvent::TenantFailedOver { .. } => "tenant_failed_over",
         }
     }
 
@@ -280,7 +373,9 @@ impl TelemetryEvent {
             | TelemetryEvent::Placement { tenant, .. }
             | TelemetryEvent::TenantAdmitted { tenant, .. }
             | TelemetryEvent::TenantDeparted { tenant, .. }
-            | TelemetryEvent::HeartbeatRate { tenant, .. } => Some(*tenant),
+            | TelemetryEvent::HeartbeatRate { tenant, .. }
+            | TelemetryEvent::DegradedCalibration { tenant, .. }
+            | TelemetryEvent::TenantFailedOver { tenant, .. } => Some(*tenant),
             _ => None,
         }
     }
@@ -302,7 +397,13 @@ impl TelemetryEvent {
             | TelemetryEvent::Placement { t_ns, .. }
             | TelemetryEvent::TenantAdmitted { t_ns, .. }
             | TelemetryEvent::TenantDeparted { t_ns, .. }
-            | TelemetryEvent::HeartbeatRate { t_ns, .. } => *t_ns,
+            | TelemetryEvent::HeartbeatRate { t_ns, .. }
+            | TelemetryEvent::FaultInjected { t_ns, .. }
+            | TelemetryEvent::ClusterQuarantined { t_ns, .. }
+            | TelemetryEvent::ClusterRestored { t_ns, .. }
+            | TelemetryEvent::BoardFailed { t_ns, .. }
+            | TelemetryEvent::DegradedCalibration { t_ns, .. }
+            | TelemetryEvent::TenantFailedOver { t_ns, .. } => *t_ns,
         }
     }
 
@@ -430,6 +531,52 @@ impl TelemetryEvent {
                 satisfied,
             } => format!(
                 "{{\"event\":\"heartbeat_rate\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"rate_hz\":{rate_hz:?},\"satisfied\":{satisfied}}}"
+            ),
+            TelemetryEvent::FaultInjected {
+                t_ns,
+                fault,
+                cluster,
+                until_ns,
+            } => format!(
+                "{{\"event\":\"fault_injected\",\"t_ns\":{t_ns},\"fault\":\"{fault}\",\"cluster\":{cluster},\"until_ns\":{until_ns}}}"
+            ),
+            TelemetryEvent::ClusterQuarantined {
+                t_ns,
+                cluster,
+                mode,
+                until_ns,
+            } => format!(
+                "{{\"event\":\"cluster_quarantined\",\"t_ns\":{t_ns},\"cluster\":{cluster},\"mode\":\"{mode}\",\"until_ns\":{until_ns}}}"
+            ),
+            TelemetryEvent::ClusterRestored { t_ns, cluster } => {
+                format!("{{\"event\":\"cluster_restored\",\"t_ns\":{t_ns},\"cluster\":{cluster}}}")
+            }
+            TelemetryEvent::BoardFailed {
+                t_ns,
+                tenants_in_flight,
+            } => format!(
+                "{{\"event\":\"board_failed\",\"t_ns\":{t_ns},\"tenants_in_flight\":{tenants_in_flight}}}"
+            ),
+            TelemetryEvent::DegradedCalibration {
+                t_ns,
+                tenant,
+                bench,
+                age_ns,
+            } => format!(
+                "{{\"event\":\"degraded_calibration\",\"t_ns\":{t_ns},\"tenant\":{tenant},\"bench\":\"{bench}\",\"age_ns\":{age_ns}}}"
+            ),
+            TelemetryEvent::TenantFailedOver {
+                t_ns,
+                tenant,
+                from_board,
+                to_board,
+                attempt,
+            } => format!(
+                concat!(
+                    "{{\"event\":\"tenant_failed_over\",\"t_ns\":{},\"tenant\":{},",
+                    "\"from_board\":{},\"to_board\":{},\"attempt\":{}}}"
+                ),
+                t_ns, tenant, from_board, to_board, attempt
             ),
         }
     }
@@ -563,6 +710,39 @@ mod tests {
                 tenant: 3,
                 rate_hz: 7.25,
                 satisfied: true,
+            },
+            TelemetryEvent::FaultInjected {
+                t_ns: 1,
+                fault: "cluster_cap",
+                cluster: 1,
+                until_ns: 2_000_000_000,
+            },
+            TelemetryEvent::ClusterQuarantined {
+                t_ns: 1,
+                cluster: 1,
+                mode: "cap",
+                until_ns: 2_000_000_000,
+            },
+            TelemetryEvent::ClusterRestored {
+                t_ns: 1,
+                cluster: 1,
+            },
+            TelemetryEvent::BoardFailed {
+                t_ns: 1,
+                tenants_in_flight: 3,
+            },
+            TelemetryEvent::DegradedCalibration {
+                t_ns: 1,
+                tenant: 3,
+                bench: "swaptions",
+                age_ns: 500_000_000,
+            },
+            TelemetryEvent::TenantFailedOver {
+                t_ns: 1,
+                tenant: 3,
+                from_board: 0,
+                to_board: 2,
+                attempt: 1,
             },
         ];
         assert_eq!(events.len(), SCHEMA.len(), "every variant has a schema row");

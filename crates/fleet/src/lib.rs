@@ -60,7 +60,9 @@ mod placement;
 mod pool;
 mod spec;
 
-pub use outcome::{FleetAccum, FleetOutcome, ShardSummary};
+pub use outcome::{FleetAccum, FleetOutcome, ShardFailure, ShardSummary};
 pub use placement::{place, Placement, PlacementPolicy};
 pub use pool::{run_fleet, run_fleet_with_metrics};
-pub use spec::{shard_seed, FleetBoard, FleetCacheMode, FleetRuntimeKind, FleetSpec};
+pub use spec::{
+    shard_seed, FleetBoard, FleetCacheMode, FleetFaultSpec, FleetRuntimeKind, FleetSpec,
+};

@@ -41,6 +41,26 @@ pub struct ShardSummary {
     pub makespan_secs: f64,
     /// The shard's own [`ScenarioOutcome::fingerprint`].
     pub fingerprint: u64,
+    /// Fault-plane injections this shard observed (0 without faults).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// The instant this shard's board died mid-run, if it did.
+    #[serde(default)]
+    pub board_failed_at: Option<u64>,
+}
+
+/// A shard that produced no outcome at all: its worker panicked (a
+/// driver bug, distinct from a *simulated* board failure, which yields
+/// a normal truncated outcome). Reported as a structured row instead
+/// of unwinding through the pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardFailure {
+    /// Shard id (board index in the fleet spec).
+    pub shard: usize,
+    /// Board display name.
+    pub board: String,
+    /// The panic payload, stringified.
+    pub reason: String,
 }
 
 /// The merged outcome of one fleet run.
@@ -88,6 +108,42 @@ pub struct FleetOutcome {
     /// worker count. Not part of [`Self::fingerprint`] (observe-only).
     #[serde(default)]
     pub metrics: Option<MetricsRollup>,
+    /// Fault-plane injections across all shards (0 when the fault
+    /// plane is off). Reporting — not part of [`Self::fingerprint`]
+    /// (the per-shard fingerprints already cover every behavioral
+    /// consequence of a fault).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Boards that died mid-run to a simulated
+    /// [`hmp_sim::FaultKind::BoardFail`]. Not fingerprinted.
+    #[serde(default)]
+    pub boards_failed: u64,
+    /// Shards whose worker panicked and produced no outcome (see
+    /// [`ShardFailure`]); their tenants are failed over like those of
+    /// a dead board when failover is on. Not fingerprinted.
+    #[serde(default)]
+    pub failed_shards: Vec<ShardFailure>,
+    /// Successful tenant failovers: victims of a dead board re-placed
+    /// onto a surviving board by the shard supervisor. A tenant
+    /// retried more than once counts once per landing. Not
+    /// fingerprinted.
+    #[serde(default)]
+    pub tenants_failed_over: u64,
+    /// Victims the supervisor gave up on: retry budget exhausted, no
+    /// surviving board admitted them, or the retry arrival fell past
+    /// the horizon. Not fingerprinted.
+    #[serde(default)]
+    pub failover_lost: u64,
+    /// Fleet service level in `[0, 1]`: satisfaction-weighted
+    /// heartbeats served over heartbeats requested,
+    /// `Σ(satisfaction·heartbeats) / Σ(budget)` across every arrival.
+    /// Unlike [`Self::mean_satisfaction`] (which averages over tenants
+    /// that ran), this charges the fleet for work it never served —
+    /// dead boards, lost tenants, rejections — making it the honest
+    /// chaos-bench objective: failover raises it, faults lower it. Not
+    /// fingerprinted.
+    #[serde(default)]
+    pub service_level: f64,
 }
 
 impl FleetOutcome {
@@ -119,6 +175,8 @@ pub struct FleetAccum {
     adaptations: u64,
     cache_hits: u64,
     cache_misses: u64,
+    faults_injected: u64,
+    boards_failed: u64,
     /// Shard metrics rollups, tagged by shard id. Collected in
     /// completion order, merged in ascending shard order at
     /// [`FleetAccum::finish`] — the rollup merge is commutative
@@ -154,6 +212,8 @@ impl FleetAccum {
         if let Some(m) = &out.metrics {
             self.rollups.push((shard, m.rollup.clone()));
         }
+        self.faults_injected += out.faults_injected;
+        self.boards_failed += u64::from(out.board_failed_at.is_some());
         self.shards.push(ShardSummary {
             shard,
             board,
@@ -166,6 +226,8 @@ impl FleetAccum {
             energy_joules: out.energy_joules,
             makespan_secs: out.makespan_secs,
             fingerprint: fp,
+            faults_injected: out.faults_injected,
+            board_failed_at: out.board_failed_at,
         });
     }
 
@@ -216,6 +278,15 @@ impl FleetAccum {
                 .fingerprint_sum
                 .wrapping_add(mix64(placement_fingerprint)),
             metrics,
+            faults_injected: self.faults_injected,
+            boards_failed: self.boards_failed,
+            // The pool's supervisor fills these after the fold — the
+            // accumulator only sees per-shard outcomes, not the
+            // supervision history or the global schedule.
+            failed_shards: Vec::new(),
+            tenants_failed_over: 0,
+            failover_lost: 0,
+            service_level: 0.0,
         }
     }
 }

@@ -23,7 +23,7 @@ use crate::spec::FleetSpec;
 /// *consistent relative* load signal to spread work, not an accurate
 /// absolute one — the shard's own admission policy re-screens every
 /// arrival against the board's real load at run time.
-const EST_NS_PER_HEARTBEAT: u64 = 200_000_000;
+pub(crate) const EST_NS_PER_HEARTBEAT: u64 = 200_000_000;
 
 /// How arrivals are routed to boards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -56,9 +56,38 @@ impl PlacementPolicy {
 /// One board's outstanding-work ledger entry: a claim of `cores` until
 /// the estimated completion instant.
 #[derive(Debug, Clone, Copy)]
-struct Claim {
-    expires_ns: u64,
-    cores: usize,
+pub(crate) struct Claim {
+    pub(crate) expires_ns: u64,
+    pub(crate) cores: usize,
+}
+
+/// The per-board outstanding-work ledgers, shared between the initial
+/// placement pass and the supervisor's failover re-placement.
+#[derive(Debug)]
+pub(crate) struct LedgerSet {
+    claims: Vec<Vec<Claim>>,
+}
+
+impl LedgerSet {
+    /// Empty ledgers for `n` boards.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            claims: vec![Vec::new(); n],
+        }
+    }
+
+    /// Charges `cores` on `shard` until `expires_ns` — how the
+    /// supervisor seeds survivors' load before re-placing victims.
+    pub(crate) fn charge(&mut self, shard: usize, expires_ns: u64, cores: usize) {
+        self.claims[shard].push(Claim { expires_ns, cores });
+    }
+
+    /// Expires every claim held by a dead board: the work it was
+    /// charged for will never be served there, so it must not distort
+    /// load scores (the victims re-enter through failover placement).
+    pub(crate) fn expire_board(&mut self, shard: usize) {
+        self.claims[shard].clear();
+    }
 }
 
 /// The routing decision for every tenant of the global schedule.
@@ -105,8 +134,42 @@ pub fn place(
     sink: &mut dyn TelemetrySink,
 ) -> Placement {
     let n = spec.boards.len();
+    let ids: Vec<u64> = (0..schedule.len() as u64).collect();
+    place_masked(
+        spec,
+        schedule,
+        &ids,
+        &vec![true; n],
+        LedgerSet::new(n),
+        sink,
+    )
+}
+
+/// [`place`] restricted to `eligible` boards, over pre-seeded ledgers
+/// — the supervisor's failover re-placement entry point. `tenant_ids`
+/// carries the *global* tenant id of each schedule entry (failover
+/// schedules are sparse subsets of the global one), used only for
+/// telemetry. Ineligible (dead) boards have their ledger claims
+/// expired up front and are never candidates; boards with zero
+/// feasible capacity (no cores at all) are likewise skipped.
+pub(crate) fn place_masked(
+    spec: &FleetSpec,
+    schedule: &[(u64, TenantSpec)],
+    tenant_ids: &[u64],
+    eligible: &[bool],
+    mut ledgers: LedgerSet,
+    sink: &mut dyn TelemetrySink,
+) -> Placement {
+    let n = spec.boards.len();
+    let usable: Vec<bool> = (0..n)
+        .map(|s| eligible[s] && spec.boards[s].board.n_cores() > 0)
+        .collect();
+    for (s, ok) in usable.iter().enumerate() {
+        if !ok {
+            ledgers.expire_board(s);
+        }
+    }
     let mut admissions: Vec<_> = spec.boards.iter().map(|b| b.build_admission()).collect();
-    let mut ledgers: Vec<Vec<Claim>> = vec![Vec::new(); n];
     let mut assignments = Vec::with_capacity(schedule.len());
     let mut per_board = vec![0usize; n];
     let mut fleet_rejected = 0usize;
@@ -114,15 +177,15 @@ pub fn place(
 
     for (tenant, (arrival_ns, ts)) in schedule.iter().enumerate() {
         // Expire completed claims before scoring.
-        for ledger in &mut ledgers {
+        for ledger in &mut ledgers.claims {
             ledger.retain(|c| c.expires_ns > *arrival_ns);
         }
         // Candidate order encodes the policy's preference; the first
         // candidate whose admission policy does not reject wins.
-        let candidates = rank(spec, &ledgers, ts, rr_cursor);
+        let candidates = rank(spec, &ledgers.claims, ts, rr_cursor, &usable);
         let mut placed: Option<(usize, f64)> = None;
         for (shard, score) in candidates {
-            let ledger = &ledgers[shard];
+            let ledger = &ledgers.claims[shard];
             let load = load_estimate(&spec.boards[shard].board, ledger);
             if admissions[shard].decide(&load, 0) != AdmissionDecision::Reject {
                 placed = Some((shard, score));
@@ -132,17 +195,17 @@ pub fn place(
         match placed {
             Some((shard, score)) => {
                 let cores = ts.threads.min(spec.boards[shard].board.n_cores());
-                ledgers[shard].push(Claim {
-                    expires_ns: arrival_ns
-                        .saturating_add(ts.budget.saturating_mul(EST_NS_PER_HEARTBEAT)),
+                ledgers.charge(
+                    shard,
+                    arrival_ns.saturating_add(ts.budget.saturating_mul(EST_NS_PER_HEARTBEAT)),
                     cores,
-                });
+                );
                 per_board[shard] += 1;
                 rr_cursor = (shard + 1) % n;
                 assignments.push(Some(shard));
                 sink.emit(&TelemetryEvent::Placement {
                     t_ns: *arrival_ns,
-                    tenant: tenant as u64,
+                    tenant: tenant_ids[tenant],
                     board: shard as u64,
                     score,
                 });
@@ -152,7 +215,7 @@ pub fn place(
                 assignments.push(None);
                 sink.emit(&TelemetryEvent::Placement {
                     t_ns: *arrival_ns,
-                    tenant: tenant as u64,
+                    tenant: tenant_ids[tenant],
                     board: u64::MAX,
                     score: f64::INFINITY,
                 });
@@ -168,13 +231,15 @@ pub fn place(
 
 /// Ranks the boards for one tenant: ascending score, feasible boards
 /// (enough cores for the tenant's threads) strictly ahead of
-/// infeasible ones, ties broken by shard id. Returns
+/// infeasible ones, ties broken by shard id. Boards outside `usable`
+/// (dead, or zero capacity) are never candidates. Returns
 /// `(shard, score)` pairs in preference order.
 fn rank(
     spec: &FleetSpec,
     ledgers: &[Vec<Claim>],
     ts: &TenantSpec,
     rr_cursor: usize,
+    usable: &[bool],
 ) -> Vec<(usize, f64)> {
     let n = spec.boards.len();
     let projected = |shard: usize| -> f64 {
@@ -183,9 +248,10 @@ fn rank(
         (claimed + ts.threads.min(board.n_cores())) as f64 / board.n_cores() as f64
     };
     let feasible = |shard: usize| spec.boards[shard].board.n_cores() >= ts.threads;
+    let pool = || (0..n).filter(|&s| usable[s]);
     match spec.placement {
         PlacementPolicy::LeastLoaded => {
-            let mut ranked: Vec<(usize, f64)> = (0..n).map(|s| (s, projected(s))).collect();
+            let mut ranked: Vec<(usize, f64)> = pool().map(|s| (s, projected(s))).collect();
             // Infeasible boards sort behind every feasible one: a board
             // smaller than the tenant's thread count can still serve it
             // (the engine time-shares), but only as a last resort.
@@ -198,18 +264,17 @@ fn rank(
             ranked
         }
         PlacementPolicy::RoundRobin => (0..n)
-            .map(|i| {
-                let s = (rr_cursor + i) % n;
-                (s, projected(s))
-            })
+            .map(|i| (rr_cursor + i) % n)
+            .filter(|&s| usable[s])
+            .map(|s| (s, projected(s)))
             .collect(),
         PlacementPolicy::FirstFit => {
-            let mut fits: Vec<(usize, f64)> = (0..n)
+            let mut fits: Vec<(usize, f64)> = pool()
                 .map(|s| (s, projected(s)))
                 .filter(|&(s, p)| feasible(s) && p <= 1.0)
                 .collect();
             // Saturated fleet: fall back to least-loaded order.
-            let mut rest: Vec<(usize, f64)> = (0..n)
+            let mut rest: Vec<(usize, f64)> = pool()
                 .map(|s| (s, projected(s)))
                 .filter(|&(s, p)| !(feasible(s) && p <= 1.0))
                 .collect();
@@ -230,5 +295,77 @@ fn load_estimate(board: &hmp_sim::BoardSpec, ledger: &[Claim]) -> LoadEstimate {
         per_cluster: vec![total; board.n_clusters()],
         total,
         live_tenants: ledger.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FleetBoard, FleetSpec};
+    use hars_core::NullSink;
+    use hars_scenario::{AppTemplate, ArrivalProcess, TemplateSet};
+    use hmp_sim::BoardSpec;
+    use workloads::Benchmark;
+
+    /// A degenerate board with no clusters at all — zero feasible
+    /// capacity.
+    fn husk() -> BoardSpec {
+        BoardSpec {
+            clusters: Vec::new(),
+            name: "husk".to_string(),
+            ..BoardSpec::odroid_xu3()
+        }
+    }
+
+    fn two_board_spec(first: BoardSpec, second: BoardSpec) -> FleetSpec {
+        FleetSpec::new(
+            vec![FleetBoard::new(first), FleetBoard::new(second)],
+            ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            TemplateSet::uniform(vec![AppTemplate::new(Benchmark::Swaptions)]),
+            10_000_000_000,
+            5,
+        )
+    }
+
+    fn schedule(n: usize) -> Vec<(u64, TenantSpec)> {
+        let t = AppTemplate::new(Benchmark::Swaptions);
+        (0..n)
+            .map(|i| (i as u64 * 1_000_000_000, t.instantiate(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn zero_capacity_boards_are_never_candidates() {
+        let spec = two_board_spec(husk(), BoardSpec::odroid_xu3());
+        let sched = schedule(4);
+        let p = place(&spec, &sched, &mut NullSink);
+        assert!(
+            p.assignments.iter().all(|a| *a == Some(1)),
+            "every tenant must route around the zero-capacity board: {:?}",
+            p.assignments
+        );
+        // A fleet of only husks cannot place anyone.
+        let dead = two_board_spec(husk(), husk());
+        let p = place(&dead, &sched, &mut NullSink);
+        assert_eq!(p.fleet_rejected, sched.len());
+        assert!(p.assignments.iter().all(|a| a.is_none()));
+    }
+
+    #[test]
+    fn masked_boards_lose_claims_and_candidacy() {
+        let spec = two_board_spec(BoardSpec::odroid_xu3(), BoardSpec::odroid_xu3());
+        let sched = schedule(4);
+        // Board 0 is dead and still holds stale claims; placement must
+        // expire them and route everything to board 1.
+        let mut ledgers = LedgerSet::new(2);
+        ledgers.charge(0, u64::MAX, 8);
+        let ids: Vec<u64> = (10..14).collect();
+        let p = place_masked(&spec, &sched, &ids, &[false, true], ledgers, &mut NullSink);
+        assert!(
+            p.assignments.iter().all(|a| *a == Some(1)),
+            "dead board must not receive tenants: {:?}",
+            p.assignments
+        );
+        assert_eq!(p.per_board, vec![0, 4]);
     }
 }

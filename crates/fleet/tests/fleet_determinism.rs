@@ -10,8 +10,8 @@ use proptest::proptest;
 
 use hars_core::NullSink;
 use hars_fleet::{
-    run_fleet, run_fleet_with_metrics, FleetAccum, FleetBoard, FleetCacheMode, FleetOutcome,
-    FleetRuntimeKind, FleetSpec, Placement, PlacementPolicy,
+    run_fleet, run_fleet_with_metrics, FleetAccum, FleetBoard, FleetCacheMode, FleetFaultSpec,
+    FleetOutcome, FleetRuntimeKind, FleetSpec, Placement, PlacementPolicy,
 };
 use hars_scenario::{
     run_scenario, AdmissionSwap, AlwaysAdmit, AppTemplate, ArrivalProcess, ScenarioRuntime,
@@ -161,6 +161,108 @@ proptest! {
             "one queue-wait observation per admitted tenant"
         );
     }
+}
+
+/// A fault model exercising every channel at once, hot enough that
+/// boards die and failover rounds actually run.
+fn chaos_faults(seed: u64) -> FleetFaultSpec {
+    let mut f = FleetFaultSpec::new(seed);
+    f.board_fail_prob = 0.4;
+    f.cluster_cap_prob = 0.3;
+    f.cluster_offline_prob = 0.2;
+    f.sensor_fault_prob = 0.3;
+    f.hb_stall_prob = 0.3;
+    f
+}
+
+proptest! {
+    /// The supervised fault plane rides the same determinism contract
+    /// as fault-free serving: the same fleet spec and fault seed
+    /// produce bit-identical outcomes — failover landings, service
+    /// level and all — for 1, 2 and 8 workers.
+    #[test]
+    fn faulty_fleets_are_bit_identical_across_worker_counts(
+        seed in 0u64..200,
+        fault_seed in 0u64..50,
+        n_boards in 2usize..5,
+        placement_idx in 0usize..3,
+    ) {
+        let mut spec = tiny_fleet(seed, n_boards, placements()[placement_idx]);
+        spec.faults = Some(chaos_faults(fault_seed));
+        let one = run_fleet(&spec, 1, &mut NullSink).expect("fleet runs");
+        let two = run_fleet(&spec, 2, &mut NullSink).expect("fleet runs");
+        let eight = run_fleet(&spec, 8, &mut NullSink).expect("fleet runs");
+        prop_assert_eq!(one.fingerprint, two.fingerprint);
+        prop_assert_eq!(one.fingerprint, eight.fingerprint);
+        prop_assert_eq!(sans_cache_counts(one.clone()), sans_cache_counts(two));
+        prop_assert_eq!(sans_cache_counts(one), sans_cache_counts(eight));
+    }
+
+    /// An installed-but-silent fault model (every probability zero) is
+    /// indistinguishable from no fault model at all — the off-by-
+    /// default contract that keeps pre-fault-plane goldens intact.
+    #[test]
+    fn zero_probability_faults_match_no_fault_model(
+        seed in 0u64..200,
+        n_boards in 2usize..5,
+    ) {
+        let mut spec = tiny_fleet(seed, n_boards, PlacementPolicy::LeastLoaded);
+        let plain = run_fleet(&spec, 2, &mut NullSink).expect("fleet runs");
+        spec.faults = Some(FleetFaultSpec::new(1234));
+        let silent = run_fleet(&spec, 2, &mut NullSink).expect("fleet runs");
+        prop_assert_eq!(plain.fingerprint, silent.fingerprint);
+        prop_assert_eq!(sans_cache_counts(plain), sans_cache_counts(silent));
+    }
+}
+
+/// With a board guaranteed dead mid-run, the supervisor re-places its
+/// tenants on the survivors: failovers happen, the landings show up in
+/// survivor schedules, and service recovers relative to supervision
+/// switched off — all under the same fault schedule.
+#[test]
+fn failover_recovers_tenants_of_a_dead_board() {
+    // Hunt a fault seed that kills at least one board but not all of
+    // them — deterministic (the scan order is fixed), and cheap (plan
+    // derivation only; no simulation).
+    let spec0 = tiny_fleet(17, 3, PlacementPolicy::LeastLoaded);
+    let fault_seed = (0..500u64)
+        .find(|&fs| {
+            let mut f = FleetFaultSpec::new(fs);
+            f.board_fail_prob = 0.5;
+            let dead = (0..3)
+                .filter(|&b| !f.plan_for(b, 2, spec0.horizon_ns).is_empty())
+                .count();
+            (1..3).contains(&dead)
+        })
+        .expect("some seed under p=0.5 kills 1-2 of 3 boards");
+    let mut faults = FleetFaultSpec::new(fault_seed);
+    faults.board_fail_prob = 0.5;
+
+    let mut with = tiny_fleet(17, 3, PlacementPolicy::LeastLoaded);
+    with.faults = Some(faults);
+    let supervised = run_fleet(&with, 4, &mut NullSink).expect("fleet runs");
+
+    faults.failover = false;
+    let mut without = tiny_fleet(17, 3, PlacementPolicy::LeastLoaded);
+    without.faults = Some(faults);
+    let abandoned = run_fleet(&without, 4, &mut NullSink).expect("fleet runs");
+
+    assert!(supervised.boards_failed >= 1, "a board must have died");
+    assert_eq!(supervised.boards_failed, abandoned.boards_failed);
+    assert!(
+        supervised.tenants_failed_over > 0,
+        "victims must be re-placed (faults_injected={}, boards_failed={})",
+        supervised.faults_injected,
+        supervised.boards_failed
+    );
+    assert!(
+        supervised.service_level > abandoned.service_level,
+        "failover must strictly beat abandonment under the same fault \
+         schedule: {} vs {}",
+        supervised.service_level,
+        abandoned.service_level
+    );
+    assert!(supervised.failed_shards.is_empty(), "no worker panicked");
 }
 
 /// Absorbing the same shard outcomes in any order yields the identical

@@ -18,6 +18,7 @@ use crate::cpuset::{CoreId, CpuSet};
 use crate::energy::EnergyMeter;
 use crate::error::SimError;
 use crate::events::{EventHeap, EventKey};
+use crate::fault::{FaultKind, FaultNotice, FaultPlan};
 use crate::freq::FreqKhz;
 use crate::power::cluster_power;
 use crate::sched::gts::{gts_tick, update_loads};
@@ -149,6 +150,25 @@ pub struct Engine {
     /// Per-core memoized thread speeds, parallel to each core's run
     /// queue; valid while the `(rq_epoch, freq_epoch)` stamps match.
     speed_cache: Vec<SpeedCache>,
+    /// Installed fault schedule (empty and inert by default; see
+    /// [`Engine::install_faults`]).
+    faults: FaultPlan,
+    /// Applied faults not yet drained by the driving runtime.
+    fault_notices: Vec<FaultNotice>,
+    /// Board-death instant, once a [`FaultKind::BoardFail`] applied.
+    failed_at: Option<u64>,
+    /// Per-cluster thermal-cap expiry (0 = unquarantined), indexed by
+    /// cluster. While `now < expiry`, frequency requests clamp to the
+    /// cluster's ladder floor.
+    quarantined_until: Vec<u64>,
+    /// Sensor dropout-window end (0 = none).
+    sensor_dropout_until: u64,
+    /// Sensor stuck-at-window end (0 = none).
+    sensor_stuck_until: u64,
+    /// Heartbeat stall-window end (0 = none).
+    hb_stall_until: u64,
+    /// Heartbeats whose emission was swallowed by a stall window.
+    stalled_heartbeats: u64,
 }
 
 /// Memoized per-core thread speeds (parallel to the core's run queue),
@@ -196,6 +216,14 @@ impl Engine {
             event_heap: EventHeap::new(),
             freq_epochs: vec![0; n_clusters],
             speed_cache: vec![SpeedCache::default(); n_cores],
+            faults: FaultPlan::empty(),
+            fault_notices: Vec::new(),
+            failed_at: None,
+            quarantined_until: vec![0; n_clusters],
+            sensor_dropout_until: 0,
+            sensor_stuck_until: 0,
+            hb_stall_until: 0,
+            stalled_heartbeats: 0,
         };
         let first_tick = engine.next_tick_ns;
         let first_sample = engine.sensor.next_sample_ns();
@@ -385,6 +413,7 @@ impl Engine {
                 cluster: self.board.cluster_name(cluster).to_string(),
             });
         }
+        let freq = self.clamp_quarantined(cluster, freq);
         let from = self.freqs[cluster.index()];
         if from != freq {
             self.trace.record(TraceEvent::FreqChange {
@@ -483,6 +512,7 @@ impl Engine {
         match action {
             Action::SetClusterFreq { cluster, freq } => {
                 // Validated at schedule time.
+                let freq = self.clamp_quarantined(cluster, freq);
                 let from = self.freqs[cluster.index()];
                 if from != freq {
                     self.trace.record(TraceEvent::FreqChange {
@@ -502,6 +532,161 @@ impl Engine {
             } => {
                 // Validated at schedule time; the thread cannot vanish.
                 let _ = self.set_thread_affinity(app, thread, affinity);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault plane (see crate::fault)
+    // ------------------------------------------------------------------
+
+    /// Installs a fault schedule. Onsets become first-class engine
+    /// events: both executor modes stop exactly at each onset instant
+    /// and apply the fault in [`Engine::process_due`]'s canonical
+    /// order. Call before running; an empty plan is a no-op.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for at_ns in plan.onsets() {
+            self.push_event(at_ns, EventKey::Fault);
+        }
+        self.faults = plan;
+    }
+
+    /// The instant a [`FaultKind::BoardFail`] was applied, if any.
+    pub fn board_failed(&self) -> Option<u64> {
+        self.failed_at
+    }
+
+    /// `true` while `cluster` is thermally quarantined (frequency
+    /// clamped to its ladder floor).
+    pub fn cluster_quarantined(&self, cluster: ClusterId) -> bool {
+        self.now_ns < self.quarantined_until[cluster.index()]
+    }
+
+    /// `true` while an injected sensor fault (dropout or stuck-at)
+    /// window is active.
+    pub fn sensor_faulted(&self) -> bool {
+        self.now_ns < self.sensor_dropout_until || self.now_ns < self.sensor_stuck_until
+    }
+
+    /// `true` while a heartbeat-stall window is active (emissions do
+    /// not reach the monitors).
+    pub fn heartbeats_stalled(&self) -> bool {
+        self.now_ns < self.hb_stall_until
+    }
+
+    /// Heartbeats whose emission a stall window swallowed.
+    pub fn stalled_heartbeats(&self) -> u64 {
+        self.stalled_heartbeats
+    }
+
+    /// Drains the applied-fault notices accumulated since the last
+    /// drain, oldest first, so the driving runtime can react and
+    /// telemeter them.
+    pub fn drain_fault_notices(&mut self) -> Vec<FaultNotice> {
+        std::mem::take(&mut self.fault_notices)
+    }
+
+    /// The ladder floor a quarantined cluster is capped to.
+    fn ladder_floor(&self, cluster: ClusterId) -> FreqKhz {
+        self.board.ladder(cluster).min()
+    }
+
+    /// While a cluster is quarantined, frequency requests clamp to its
+    /// floor (a firmware thermal governor outranks the runtime).
+    fn clamp_quarantined(&self, cluster: ClusterId, freq: FreqKhz) -> FreqKhz {
+        if self.now_ns < self.quarantined_until[cluster.index()] {
+            self.ladder_floor(cluster).min(freq)
+        } else {
+            freq
+        }
+    }
+
+    /// Applies one due fault (called from [`Engine::process_due`] so
+    /// both executor modes apply it at the identical instant and in the
+    /// identical order relative to other same-instant events).
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::BoardFail => {
+                if self.failed_at.is_none() {
+                    self.failed_at = Some(self.now_ns);
+                    // Every thread stops for good; apps stay not-done
+                    // so their budgets read as incomplete.
+                    for tid in 0..self.threads.len() {
+                        dequeue_thread(tid, &self.threads, &mut self.cores);
+                        self.threads[tid].run = RunState::Finished;
+                        self.threads[tid].work_left = 0.0;
+                    }
+                }
+            }
+            FaultKind::ClusterCap { cluster, until_ns }
+            | FaultKind::ClusterOffline { cluster, until_ns } => {
+                let i = cluster.index();
+                self.quarantined_until[i] = self.quarantined_until[i].max(until_ns);
+                let floor = self.ladder_floor(cluster);
+                if self.freqs[i] != floor {
+                    // Validated by construction: the floor is on the
+                    // ladder.
+                    let _ = self.set_cluster_freq(cluster, floor);
+                }
+                if matches!(kind, FaultKind::ClusterOffline { .. }) {
+                    self.evacuate_cluster(cluster);
+                }
+            }
+            FaultKind::SensorDropout { until_ns } => {
+                self.sensor_dropout_until = self.sensor_dropout_until.max(until_ns);
+            }
+            FaultKind::SensorStuck { until_ns } => {
+                self.sensor_stuck_until = self.sensor_stuck_until.max(until_ns);
+            }
+            FaultKind::HeartbeatStall { until_ns } => {
+                self.hb_stall_until = self.hb_stall_until.max(until_ns);
+            }
+        }
+        self.fault_notices.push(FaultNotice {
+            t_ns: self.now_ns,
+            kind,
+        });
+    }
+
+    /// Masks an offline cluster's cores out of every thread's affinity
+    /// (threads with nowhere else to go keep their mask — a
+    /// single-cluster board cannot evacuate).
+    fn evacuate_cluster(&mut self, cluster: ClusterId) {
+        let offline: CpuSet = self
+            .board
+            .all_cores()
+            .iter()
+            .filter(|&c| self.board.cluster_of(c) == cluster)
+            .collect();
+        let fallback: CpuSet = self
+            .board
+            .all_cores()
+            .iter()
+            .filter(|&c| self.board.cluster_of(c) != cluster)
+            .collect();
+        if fallback.is_empty() {
+            return;
+        }
+        for tid in 0..self.threads.len() {
+            let cur = self.threads[tid].affinity;
+            let masked = cur.difference(offline);
+            let new = if masked.is_empty() { fallback } else { masked };
+            if new == cur {
+                continue;
+            }
+            self.threads[tid].affinity = new;
+            let needs_move = self.threads[tid]
+                .core
+                .map(|c| !new.contains(c))
+                .unwrap_or(false);
+            if needs_move {
+                if self.threads[tid].is_runnable() {
+                    dequeue_thread(tid, &self.threads, &mut self.cores);
+                    self.threads[tid].core = None;
+                    place_thread(tid, &mut self.threads, &mut self.cores);
+                } else {
+                    self.threads[tid].core = None; // re-placed at wake-up
+                }
             }
         }
     }
@@ -624,6 +809,9 @@ impl Engine {
         let mut next = deadline_ns
             .min(self.next_tick_ns)
             .min(self.sensor.next_sample_ns());
+        if let Some(t) = self.faults.next_due() {
+            next = next.min(t);
+        }
         if let Some((&t, _)) = self.actions.first_key_value() {
             next = next.min(t);
         }
@@ -690,6 +878,7 @@ impl Engine {
                     self.threads.get(tid).map(|t| t.run),
                     Some(RunState::Blocked(BlockReason::Sleep { until_ns })) if until_ns == due
                 ),
+                EventKey::Fault => self.faults.next_due() == Some(due),
             };
             if valid {
                 return Some(due);
@@ -734,6 +923,9 @@ impl Engine {
     /// handles that instant in the engine's canonical event order.
     fn idle_fast_forward(&mut self, deadline_ns: u64) {
         let mut stop = deadline_ns;
+        if let Some(t) = self.faults.next_due() {
+            stop = stop.min(t);
+        }
         if let Some((&t, _)) = self.actions.first_key_value() {
             stop = stop.min(t);
         }
@@ -781,7 +973,12 @@ impl Engine {
                 self.next_tick_ns += self.cfg.gts.tick_ns;
             }
             if self.sensor.next_sample_ns() <= self.now_ns {
-                if self.cfg.coalesce_idle_sensor {
+                if self.now_ns < self.sensor_dropout_until {
+                    self.sensor.drop_sample();
+                } else if self.now_ns < self.sensor_stuck_until {
+                    let now = self.now_ns;
+                    self.sensor.stuck_sample(now, n);
+                } else if self.cfg.coalesce_idle_sensor {
                     self.sensor.skip_sample();
                 } else {
                     // Idle truth equals the hoisted powers bit-for-bit
@@ -847,6 +1044,12 @@ impl Engine {
     fn process_due(&mut self) {
         loop {
             let mut progressed = false;
+            // Fault onsets first: a fault is platform authority and
+            // overrides whatever same-instant control events would do.
+            while let Some(f) = self.faults.pop_due(self.now_ns) {
+                self.apply_fault(f.kind);
+                progressed = true;
+            }
             // Deferred actions.
             while let Some((&t, _)) = self.actions.first_key_value() {
                 if t > self.now_ns {
@@ -914,11 +1117,19 @@ impl Engine {
                 self.push_event(tick, EventKey::Tick);
                 progressed = true;
             }
-            // Sensor sample.
+            // Sensor sample (dropout and stuck-at windows intercept).
             if self.sensor.next_sample_ns() <= self.now_ns {
-                let truth = self.instant_power();
-                self.sensor
-                    .sample(self.now_ns, &truth[..self.board.n_clusters()]);
+                if self.now_ns < self.sensor_dropout_until {
+                    self.sensor.drop_sample();
+                } else if self.now_ns < self.sensor_stuck_until {
+                    let now = self.now_ns;
+                    let n = self.board.n_clusters();
+                    self.sensor.stuck_sample(now, n);
+                } else {
+                    let truth = self.instant_power();
+                    self.sensor
+                        .sample(self.now_ns, &truth[..self.board.n_clusters()]);
+                }
                 let sample = self.sensor.next_sample_ns();
                 self.push_event(sample, EventKey::Sensor);
                 progressed = true;
@@ -1042,14 +1253,22 @@ impl Engine {
         self.threads[tid].run = RunState::Blocked(reason);
     }
 
-    /// Emits a heartbeat for an app and buffers the event.
+    /// Emits a heartbeat for an app and buffers the event. During a
+    /// [`FaultKind::HeartbeatStall`] window the emission never reaches
+    /// the monitors (observed window rates go stale), but the app's own
+    /// budget and the engine-to-driver event stream still advance — a
+    /// wedged telemetry daemon does not pause the application.
     fn emit_heartbeat(&mut self, app_idx: usize) {
         let hb_id = self.apps[app_idx].hb_id;
         let index = self.apps[app_idx].heartbeats;
         self.apps[app_idx].heartbeats += 1;
-        self.registry
-            .emit(hb_id, self.now_ns)
-            .expect("engine-registered app");
+        if self.now_ns < self.hb_stall_until {
+            self.stalled_heartbeats += 1;
+        } else {
+            self.registry
+                .emit(hb_id, self.now_ns)
+                .expect("engine-registered app");
+        }
         self.events.push_back(HeartbeatEvent {
             app: hb_id,
             index,

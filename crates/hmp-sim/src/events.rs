@@ -52,6 +52,9 @@ pub(crate) enum EventKey {
         /// Engine thread-table index.
         tid: usize,
     },
+    /// A scheduled fault onset; valid while the fault plan's cursor
+    /// still points at this instant (`FaultPlan::next_due() == due`).
+    Fault,
 }
 
 /// Min-heap of `(due_ns, EventKey)` wake-ups with lazy deletion.

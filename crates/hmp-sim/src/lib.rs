@@ -49,6 +49,7 @@ mod energy;
 mod engine;
 mod error;
 mod events;
+mod fault;
 mod freq;
 pub mod microbench;
 mod power;
@@ -63,6 +64,7 @@ pub use cpuset::{CoreId, CpuSet, CpuSetIter};
 pub use energy::{EnergyMeter, EnergySnapshot};
 pub use engine::{Action, Engine, EngineConfig, ExecMode, HeartbeatEvent};
 pub use error::SimError;
+pub use fault::{FaultKind, FaultNotice, FaultPlan, TimedFault};
 pub use freq::{FreqKhz, FreqLadder};
 pub use power::{board_power, cluster_power};
 pub use sched::GtsConfig;

@@ -44,6 +44,10 @@ pub struct PowerSensor {
     samples: Vec<PowerSample>,
     /// Samples elided across idle spans (counted, never materialized).
     coalesced: u64,
+    /// Samples lost to an injected dropout fault.
+    lost: u64,
+    /// Samples that repeated a stale reading under a stuck-at fault.
+    stuck: u64,
 }
 
 impl PowerSensor {
@@ -63,6 +67,8 @@ impl PowerSensor {
             rng: StdRng::seed_from_u64(seed),
             samples: Vec::new(),
             coalesced: 0,
+            lost: 0,
+            stuck: 0,
         }
     }
 
@@ -98,18 +104,52 @@ impl PowerSensor {
         self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
     }
 
+    /// Drops one scheduled sample to an injected dropout fault: the
+    /// schedule advances, the loss is counted, and (like
+    /// [`PowerSensor::skip_sample`]) no noise is drawn — a dead rail
+    /// reads nothing.
+    pub(crate) fn drop_sample(&mut self) {
+        self.lost += 1;
+        self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
+    }
+
+    /// Records one stuck-at sample: the last pre-fault reading is
+    /// repeated at `time_ns` (zeros if nothing was ever measured), the
+    /// schedule advances, and no noise is drawn — the rail replays a
+    /// frozen register, it does not re-measure.
+    pub(crate) fn stuck_sample(&mut self, time_ns: u64, n_rails: usize) {
+        let watts = self
+            .samples
+            .last()
+            .map(|s| s.watts.clone())
+            .unwrap_or_else(|| vec![0.0; n_rails]);
+        self.samples.push(PowerSample { time_ns, watts });
+        self.stuck += 1;
+        self.next_sample_ns = self.next_sample_ns.saturating_add(self.period_ns);
+    }
+
     /// Samples elided across idle spans (scheduled instants that were
     /// counted but never materialized).
     pub fn coalesced_samples(&self) -> u64 {
         self.coalesced
     }
 
+    /// Samples lost to injected dropout faults.
+    pub fn samples_lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Samples that repeated a stale reading under stuck-at faults.
+    pub fn samples_stuck(&self) -> u64 {
+        self.stuck
+    }
+
     /// Total scheduled sample instants reached so far: materialized
-    /// plus coalesced. Invariant under idle-span coalescing — the
-    /// engine's equivalence proptests pin it against the fixed-step
-    /// reference.
+    /// (stuck-at repeats included) plus coalesced plus dropout losses.
+    /// Invariant under idle-span coalescing — the engine's equivalence
+    /// proptests pin it against the fixed-step reference.
     pub fn total_samples(&self) -> u64 {
-        self.samples.len() as u64 + self.coalesced
+        self.samples.len() as u64 + self.coalesced + self.lost
     }
 
     fn noisy(&mut self, truth: f64) -> f64 {

@@ -36,5 +36,5 @@ pub use cons::{ConsConfig, ConsDecision, ConsIManager};
 pub use driver::{run_multi_app, AppRunStats, MpRunOutcome, MpVersion};
 pub use freeze::{combine_others, decide, FreezeDecision, StateDecision};
 pub use hars_core::ratio_learn::RatioLearning;
-pub use manager::{mp_hars_e, mp_hars_i, MpDecision, MpHarsConfig, MpHarsManager};
+pub use manager::{mp_hars_e, mp_hars_i, MpDecision, MpHarsConfig, MpHarsManager, QuarantineMode};
 pub use partition::{get_allocatable_core_set, AllocatedCores};

@@ -170,6 +170,29 @@ impl MpDecision {
     }
 }
 
+/// How a quarantined cluster is constrained in the manager's search
+/// space (the runtime's reaction to an injected cluster fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineMode {
+    /// Thermal cap: the cluster's shared frequency is pinned at the
+    /// DVFS floor; apps keep (and may still claim) its cores.
+    Cap,
+    /// Offline: frequency pinned *and* the cluster is evicted from the
+    /// search space — searches must propose zero cores there, so owned
+    /// cores drain back to the free list at each app's next adaptation.
+    Offline,
+}
+
+impl QuarantineMode {
+    /// The stable discriminator telemetry leads with.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineMode::Cap => "cap",
+            QuarantineMode::Offline => "offline",
+        }
+    }
+}
+
 /// The multi-application runtime manager.
 #[derive(Debug, Clone)]
 pub struct MpHarsManager {
@@ -198,6 +221,9 @@ pub struct MpHarsManager {
     apps: Vec<AppData>,
     /// Per-cluster partitioning state, indexed by cluster.
     clusters: Vec<ClusterData>,
+    /// Per-cluster quarantine state (fault-plane reaction), indexed by
+    /// cluster; `None` everywhere in fault-free runs.
+    quarantine: Vec<Option<QuarantineMode>>,
     /// The per-cluster online ratio learner (shared estimator, shared
     /// learner: every app's consumed predictions contribute evidence).
     learner: RatioLearner,
@@ -232,6 +258,7 @@ impl MpHarsManager {
             power,
             apps: Vec::new(),
             clusters: ClusterData::for_board(board),
+            quarantine: vec![None; board.n_clusters()],
             learner,
             busy_ns: 0,
             adaptations: 0,
@@ -407,6 +434,40 @@ impl MpHarsManager {
         self.learner.mean_recent_error()
     }
 
+    /// Quarantines `cluster` (fault-plane reaction): its shared
+    /// frequency is pinned at the DVFS floor and — under
+    /// [`QuarantineMode::Offline`] — searches must vacate it, so owned
+    /// cores drain back at each app's next adaptation. Re-quarantining
+    /// an already-quarantined cluster upgrades/downgrades the mode in
+    /// place. Unfreezes the cluster first: a freeze gate must never
+    /// outrank a fault reaction.
+    pub fn set_cluster_quarantine(&mut self, cluster: ClusterId, mode: QuarantineMode) {
+        self.unfreeze(cluster);
+        let floor = self.board.ladder(cluster).min();
+        self.clusters[cluster.index()].freq = floor;
+        // Every app's view of the shared frequency, and any pending
+        // rate prediction armed against the old frequency, are stale.
+        for a in &mut self.apps {
+            a.state.set_freq(cluster, floor);
+            if a.uses_cluster(cluster) {
+                a.pending_prediction = None;
+            }
+        }
+        self.quarantine[cluster.index()] = Some(mode);
+    }
+
+    /// Lifts a cluster's quarantine: searches may grow onto it and move
+    /// its frequency again from the next adaptation on. A no-op for
+    /// unquarantined clusters.
+    pub fn clear_cluster_quarantine(&mut self, cluster: ClusterId) {
+        self.quarantine[cluster.index()] = None;
+    }
+
+    /// The cluster's active quarantine mode, `None` when healthy.
+    pub fn cluster_quarantine(&self, cluster: ClusterId) -> Option<QuarantineMode> {
+        self.quarantine[cluster.index()]
+    }
+
     /// Algorithm 3 for one incoming heartbeat of `app`.
     pub fn on_heartbeat(
         &mut self,
@@ -423,6 +484,14 @@ impl MpHarsManager {
         }
         // Lines 12–15: refresh the per-cluster frozen flags.
         self.refresh_frozen_flags();
+        // Fault-plane reaction outranks the adaptation period: an app
+        // still holding cores on an offline-quarantined cluster is
+        // evacuated now, not at its next scheduled adaptation.
+        if self.apps[ai].allocated {
+            if let Some(d) = self.evacuation_decision(ai) {
+                return Some(d);
+            }
+        }
         // Line 16: adaptation period?
         if !(hb_index > 0 && hb_index.is_multiple_of(self.adapt_every)) {
             // The initial allocation happens at the very first heartbeat.
@@ -550,7 +619,14 @@ impl MpHarsManager {
         let mut wants: Vec<usize> = self
             .clusters
             .iter()
-            .map(|c| (c.len() / napps).min(c.free_count()).min(threads))
+            .enumerate()
+            .map(|(ci, c)| {
+                if self.quarantine[ci] == Some(QuarantineMode::Offline) {
+                    0
+                } else {
+                    (c.len() / napps).min(c.free_count()).min(threads)
+                }
+            })
             .collect();
         let mut surplus = wants.iter().sum::<usize>().saturating_sub(threads);
         for w in wants.iter_mut() {
@@ -561,10 +637,10 @@ impl MpHarsManager {
         if wants.iter().sum::<usize>() == 0 {
             // Everything is owned: fall back to one free core anywhere,
             // fastest cluster first (GTS would have packed there too).
-            match (0..self.clusters.len())
-                .rev()
-                .find(|&ci| self.clusters[ci].free_count() > 0)
-            {
+            match (0..self.clusters.len()).rev().find(|&ci| {
+                self.quarantine[ci] != Some(QuarantineMode::Offline)
+                    && self.clusters[ci].free_count() > 0
+            }) {
                 Some(ci) => wants[ci] = 1,
                 // Truly nothing free. With `park_overflow`, confine
                 // the app to the slowest cluster instead of leaving
@@ -585,6 +661,57 @@ impl MpHarsManager {
             .collect();
         let state = SystemState::new(&per);
         self.apps[ai].allocated = true;
+        Some(self.apply_state(ai, state, 0, SearchStats::default()))
+    }
+
+    /// The explicit drain off offline-quarantined clusters: vacate
+    /// their cores and recover the lost width from free cores on
+    /// healthy clusters, fastest first. Bypasses the search — the
+    /// distance-ball sweep is centered on the current state and cannot
+    /// reach a "shed this whole cluster" target in one adaptation, and
+    /// a fault reaction must not wait for several. `None` when the app
+    /// holds nothing on an offline cluster (the fault-free hot path).
+    fn evacuation_decision(&mut self, ai: usize) -> Option<MpDecision> {
+        let offline = |ci: usize| -> bool { self.quarantine[ci] == Some(QuarantineMode::Offline) };
+        let holds = (0..self.clusters.len())
+            .any(|ci| offline(ci) && self.apps[ai].owned(ClusterId(ci)) > 0);
+        if !holds {
+            return None;
+        }
+        let threads = self.apps[ai].threads;
+        let mut cores: Vec<usize> = (0..self.clusters.len())
+            .map(|ci| {
+                if offline(ci) {
+                    0
+                } else {
+                    self.apps[ai].owned(ClusterId(ci))
+                }
+            })
+            .collect();
+        let mut have: usize = cores.iter().sum();
+        for ci in (0..self.clusters.len()).rev() {
+            if offline(ci) {
+                continue;
+            }
+            let grab = self.clusters[ci]
+                .free_count()
+                .min(threads.saturating_sub(have));
+            cores[ci] += grab;
+            have += grab;
+        }
+        if have == 0 {
+            // Nowhere to go: keep the bookkeeping and retry at the next
+            // heartbeat (a departure frees cores). The engine has
+            // already physically evacuated the app's threads.
+            return None;
+        }
+        let per: Vec<(usize, FreqKhz)> = cores
+            .iter()
+            .zip(&self.clusters)
+            .map(|(&w, c)| (w, c.freq))
+            .collect();
+        let state = SystemState::new(&per);
+        self.adaptations += 1;
         Some(self.apply_state(ai, state, 0, SearchStats::default()))
     }
 
@@ -609,6 +736,25 @@ impl MpHarsManager {
         let app = &self.apps[ai];
         let mut constraints = SearchConstraints::unrestricted(&self.space);
         for c in self.board.cluster_ids() {
+            // A quarantined cluster's frequency is pinned at the floor;
+            // an offline one is additionally evicted from the search
+            // space, so the search must propose states that vacate it.
+            match self.quarantine[c.index()] {
+                Some(QuarantineMode::Offline) => {
+                    constraints.set_max_cores(c, 0);
+                    constraints.set_freq_change(c, FreqChange::Fixed);
+                    continue;
+                }
+                Some(QuarantineMode::Cap) => {
+                    constraints.set_max_cores(
+                        c,
+                        app.state.cores(c) + self.clusters[c.index()].free_count(),
+                    );
+                    constraints.set_freq_change(c, FreqChange::Fixed);
+                    continue;
+                }
+                None => {}
+            }
             constraints.set_max_cores(
                 c,
                 app.state.cores(c) + self.clusters[c.index()].free_count(),
@@ -885,6 +1031,64 @@ mod tests {
                 "little freq decreased under interference"
             );
         }
+    }
+
+    #[test]
+    fn quarantine_pins_freq_and_offline_drains_cluster() {
+        let mut m = manager(mp_hars_e());
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None);
+        let s = m.app_state(AppId(0)).unwrap();
+        assert!(s.big_cores() > 0, "initial alloc claims big cores");
+        let board = BoardSpec::odroid_xu3();
+        let floor = board.ladder(ClusterId::BIG).min();
+
+        // Cap: frequency pinned at the floor, cores stay claimable.
+        m.set_cluster_quarantine(ClusterId::BIG, QuarantineMode::Cap);
+        assert_eq!(
+            m.cluster_quarantine(ClusterId::BIG),
+            Some(QuarantineMode::Cap)
+        );
+        assert_eq!(m.cluster_freq(ClusterId::BIG), floor);
+        for step in 1..30u64 {
+            if let Some(d) = m.on_heartbeat(AppId(0), step * 10, Some(2.0)) {
+                assert_eq!(d.big_freq(), floor, "capped freq must stay pinned");
+            }
+        }
+
+        // Offline: searches must vacate the cluster.
+        m.set_cluster_quarantine(ClusterId::BIG, QuarantineMode::Offline);
+        for step in 30..60u64 {
+            let _ = m.on_heartbeat(AppId(0), step * 10, Some(2.0));
+        }
+        let s = m.app_state(AppId(0)).unwrap();
+        assert_eq!(s.big_cores(), 0, "offline cluster must drain");
+        assert_eq!(m.cluster_freq(ClusterId::BIG), floor);
+
+        // Restore: the cluster is claimable and movable again.
+        m.clear_cluster_quarantine(ClusterId::BIG);
+        assert_eq!(m.cluster_quarantine(ClusterId::BIG), None);
+        let mut regrew = false;
+        for step in 60..120u64 {
+            let _ = m.on_heartbeat(AppId(0), step * 10, Some(2.0));
+            let s = m.app_state(AppId(0)).unwrap();
+            if s.big_cores() > 0 || m.cluster_freq(ClusterId::BIG) > floor {
+                regrew = true;
+                break;
+            }
+        }
+        assert!(regrew, "restored cluster must re-enter the search space");
+    }
+
+    #[test]
+    fn initial_allocation_skips_offline_clusters() {
+        let mut m = manager(mp_hars_e());
+        m.set_cluster_quarantine(ClusterId::BIG, QuarantineMode::Offline);
+        m.register_app(AppId(0), 8, target(9.0, 11.0));
+        let _ = m.on_heartbeat(AppId(0), 0, None).expect("initial alloc");
+        let s = m.app_state(AppId(0)).unwrap();
+        assert_eq!(s.big_cores(), 0, "offline cluster must not be claimed");
+        assert!(s.little_cores() > 0);
     }
 
     #[test]

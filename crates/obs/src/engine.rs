@@ -208,6 +208,25 @@ pub struct MetricsRollup {
     pub decision_wall_ns: Log2Histogram,
     /// Fleet placement scores (micro-units; finite scores only).
     pub placement_score_micros: Log2Histogram,
+    /// Fault-plane injections observed (`fault_injected` events; 0 in
+    /// fault-free streams).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Board deaths observed (`board_failed` events).
+    #[serde(default)]
+    pub boards_failed: u64,
+    /// Cluster quarantines applied (`cluster_quarantined` events).
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Degraded-mode calibrations served (`degraded_calibration`
+    /// events: targets resolved from last-known-good solo rates while
+    /// a sensor fault was active).
+    #[serde(default)]
+    pub degraded_calibrations: u64,
+    /// Tenants the fleet supervisor failed over off dead boards
+    /// (`tenant_failed_over` events).
+    #[serde(default)]
+    pub tenants_failed_over: u64,
     /// Per-class SLO rollups, keyed by benchmark name.
     pub classes: BTreeMap<String, SloClass>,
 }
@@ -234,6 +253,11 @@ impl MetricsRollup {
             heartbeat_latency_ns: Log2Histogram::new(),
             decision_wall_ns: Log2Histogram::new(),
             placement_score_micros: Log2Histogram::new(),
+            faults_injected: 0,
+            boards_failed: 0,
+            quarantines: 0,
+            degraded_calibrations: 0,
+            tenants_failed_over: 0,
             classes: BTreeMap::new(),
         }
     }
@@ -264,6 +288,11 @@ impl MetricsRollup {
         self.decision_wall_ns.merge(&other.decision_wall_ns);
         self.placement_score_micros
             .merge(&other.placement_score_micros);
+        self.faults_injected += other.faults_injected;
+        self.boards_failed += other.boards_failed;
+        self.quarantines += other.quarantines;
+        self.degraded_calibrations += other.degraded_calibrations;
+        self.tenants_failed_over += other.tenants_failed_over;
         for (k, v) in &other.classes {
             let c = self.classes.entry(k.clone()).or_default();
             c.tenants += v.tenants;
@@ -593,6 +622,25 @@ impl MetricsEngine {
             TelemetryEvent::Placement { score, .. } => {
                 self.rollup.placement_score_micros.record_f64_micros(*score);
             }
+            TelemetryEvent::FaultInjected { .. } => {
+                self.rollup.faults_injected += 1;
+            }
+            TelemetryEvent::BoardFailed { .. } => {
+                self.rollup.boards_failed += 1;
+            }
+            TelemetryEvent::ClusterQuarantined { .. } => {
+                self.rollup.quarantines += 1;
+            }
+            TelemetryEvent::DegradedCalibration { t_ns, tenant, .. } => {
+                // The timeline exists from the degraded admission on,
+                // even if the tenant_admitted event is filtered out of
+                // a replayed capture.
+                self.tenant(*tenant, *t_ns);
+                self.rollup.degraded_calibrations += 1;
+            }
+            TelemetryEvent::TenantFailedOver { .. } => {
+                self.rollup.tenants_failed_over += 1;
+            }
             // Counter-only kinds: already counted by observe_kind.
             // (CacheHit/CacheMiss returned early above.)
             TelemetryEvent::ConfigApplied { .. }
@@ -600,6 +648,7 @@ impl MetricsEngine {
             | TelemetryEvent::AdmissionSwapped { .. }
             | TelemetryEvent::GuardChanged { .. }
             | TelemetryEvent::InitialState { .. }
+            | TelemetryEvent::ClusterRestored { .. }
             | TelemetryEvent::CacheHit { .. }
             | TelemetryEvent::CacheMiss { .. } => {}
         }

@@ -128,6 +128,15 @@ impl Value {
         self.as_u64(field).map(|v| v as usize)
     }
 
+    fn as_i64(&self, field: &str) -> Result<i64, String> {
+        match self {
+            Value::Num(raw) => raw
+                .parse::<i64>()
+                .map_err(|_| format!("field {field}: expected integer, got {raw}")),
+            other => Err(format!("field {field}: expected number, got {other:?}")),
+        }
+    }
+
     fn as_f64(&self, field: &str) -> Result<f64, String> {
         match self {
             Value::Num(raw) => raw
@@ -370,6 +379,39 @@ pub fn parse_line(interner: &mut Interner, line: &str) -> Result<ParsedLine, Str
             rate_hz: v["rate_hz"].as_f64("rate_hz")?,
             satisfied: v["satisfied"].as_bool("satisfied")?,
         },
+        "fault_injected" => TelemetryEvent::FaultInjected {
+            t_ns,
+            fault: interner.intern(v["fault"].as_str("fault")?),
+            cluster: v["cluster"].as_i64("cluster")?,
+            until_ns: u("until_ns")?,
+        },
+        "cluster_quarantined" => TelemetryEvent::ClusterQuarantined {
+            t_ns,
+            cluster: v["cluster"].as_usize("cluster")?,
+            mode: interner.intern(v["mode"].as_str("mode")?),
+            until_ns: u("until_ns")?,
+        },
+        "cluster_restored" => TelemetryEvent::ClusterRestored {
+            t_ns,
+            cluster: v["cluster"].as_usize("cluster")?,
+        },
+        "board_failed" => TelemetryEvent::BoardFailed {
+            t_ns,
+            tenants_in_flight: u("tenants_in_flight")?,
+        },
+        "degraded_calibration" => TelemetryEvent::DegradedCalibration {
+            t_ns,
+            tenant: u("tenant")?,
+            bench: interner.intern(v["bench"].as_str("bench")?),
+            age_ns: u("age_ns")?,
+        },
+        "tenant_failed_over" => TelemetryEvent::TenantFailedOver {
+            t_ns,
+            tenant: u("tenant")?,
+            from_board: u("from_board")?,
+            to_board: u("to_board")?,
+            attempt: u("attempt")?,
+        },
         other => return Err(format!("schema kind {other:?} not handled")),
     };
     Ok(ParsedLine::Event(ev))
@@ -487,6 +529,39 @@ mod tests {
             tenant: 5,
             rate_hz: 7.25,
             satisfied: true,
+        });
+        roundtrip(&TelemetryEvent::FaultInjected {
+            t_ns: 14,
+            fault: "cluster_offline",
+            cluster: -1,
+            until_ns: u64::MAX,
+        });
+        roundtrip(&TelemetryEvent::ClusterQuarantined {
+            t_ns: 15,
+            cluster: 1,
+            mode: "offline",
+            until_ns: 9_000_000_000,
+        });
+        roundtrip(&TelemetryEvent::ClusterRestored {
+            t_ns: 16,
+            cluster: 1,
+        });
+        roundtrip(&TelemetryEvent::BoardFailed {
+            t_ns: 17,
+            tenants_in_flight: 4,
+        });
+        roundtrip(&TelemetryEvent::DegradedCalibration {
+            t_ns: 18,
+            tenant: 6,
+            bench: "swaptions",
+            age_ns: 250_000_000,
+        });
+        roundtrip(&TelemetryEvent::TenantFailedOver {
+            t_ns: 19,
+            tenant: 6,
+            from_board: 1,
+            to_board: 3,
+            attempt: 2,
         });
     }
 

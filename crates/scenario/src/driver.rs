@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use heartbeats::{AppId, PerfTarget};
-use hmp_sim::{BoardSpec, Engine, EngineConfig, SimError};
+use hmp_sim::{BoardSpec, ClusterId, Engine, EngineConfig, FaultKind, FaultPlan, SimError};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,7 +26,7 @@ use hars_core::power_est::PowerEstimator;
 use hars_core::search::SearchStats;
 use hars_core::{NullSink, PerfEstimator, RejectReason, TelemetryEvent, TelemetrySink};
 use mp_hars::driver::apply_mp_decision;
-use mp_hars::{MpHarsConfig, MpHarsManager};
+use mp_hars::{MpHarsConfig, MpHarsManager, QuarantineMode};
 
 use crate::admission::{AdmissionDecision, AdmissionPolicy, LoadEstimate};
 use crate::arrival::ArrivalProcess;
@@ -70,6 +70,11 @@ pub struct ScenarioSpec {
     /// sharing it; events at or beyond the horizon never fire.
     #[serde(default)]
     pub events: Vec<TimedEvent>,
+    /// The deterministic fault plan injected into the serving engine
+    /// (never into calibration engines). Empty — the default — leaves
+    /// the run bit-identical to a pre-fault-plane run.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -88,12 +93,19 @@ impl ScenarioSpec {
             solo_budget: 60,
             target_guard: 0.0,
             events: Vec::new(),
+            faults: FaultPlan::empty(),
         }
     }
 
     /// Adds one control-plane event (builder-style).
     pub fn with_event(mut self, at_ns: u64, event: ScenarioEvent) -> Self {
         self.events.push(TimedEvent::new(at_ns, event));
+        self
+    }
+
+    /// Installs a fault plan (builder-style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -458,6 +470,7 @@ pub fn run_scenario_with_sink(
         solo_budget: spec.solo_budget,
         target_guard: spec.target_guard,
         events: spec.events.clone(),
+        faults: spec.faults.clone(),
     };
     run_shard(
         board,
@@ -488,18 +501,30 @@ pub struct ShardConfig {
     /// Control-plane events ([`ScenarioSpec::events`]).
     #[serde(default)]
     pub events: Vec<TimedEvent>,
+    /// The shard's deterministic fault plan
+    /// ([`ScenarioSpec::faults`]) — injected into the serving engine,
+    /// never into calibration engines.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl ShardConfig {
     /// A shard config with the default 60-heartbeat solo budget, no
-    /// guard, no events.
+    /// guard, no events, no faults.
     pub fn new(horizon_ns: u64) -> Self {
         Self {
             horizon_ns,
             solo_budget: 60,
             target_guard: 0.0,
             events: Vec::new(),
+            faults: FaultPlan::empty(),
         }
+    }
+
+    /// Installs a fault plan (builder-style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -551,8 +576,12 @@ pub fn run_shard(
         .cloned()
         .collect();
     events.sort_by_key(|e| e.at_ns);
+    let mut engine = Engine::new(board.clone(), engine_cfg.clone());
+    if !shard_cfg.faults.is_empty() {
+        engine.install_faults(shard_cfg.faults.clone());
+    }
     let sim = Sim {
-        engine: Engine::new(board.clone(), engine_cfg.clone()),
+        engine,
         board,
         engine_cfg,
         manager,
@@ -589,6 +618,12 @@ pub fn run_shard(
         solo_cache,
         cache_hits: 0,
         cache_misses: 0,
+        quarantine_until: vec![0; board.n_clusters()],
+        last_good_solo: HashMap::new(),
+        faults_injected: 0,
+        quarantines: 0,
+        degraded_calibrations: 0,
+        board_failed_at: None,
     };
     sim.run()
 }
@@ -725,7 +760,28 @@ struct Sim<'a> {
     /// This run's own cache hit/miss counts (reporting only).
     cache_hits: u64,
     cache_misses: u64,
+    /// Driver-side quarantine expiries, indexed by cluster (0 = none):
+    /// the manager's quarantine is cleared, and the restore
+    /// telemetered, at the first interaction at or past the expiry.
+    quarantine_until: Vec<u64>,
+    /// Last-known-good solo rates — `(rate, resolved_at_ns)` per
+    /// `(benchmark, threads)` — the degraded-mode calibration fallback
+    /// while a sensor fault is active.
+    last_good_solo: HashMap<(Benchmark, usize), (f64, u64)>,
+    /// Fault-plane injections observed (reporting).
+    faults_injected: u64,
+    /// Cluster quarantines applied (reporting).
+    quarantines: u64,
+    /// Degraded-mode calibrations served (reporting).
+    degraded_calibrations: u64,
+    /// The instant the board died, when a `BoardFail` fault fired.
+    board_failed_at: Option<u64>,
 }
+
+/// Degraded-mode staleness bound: a last-known-good solo rate older
+/// than this is not trusted for target resolution — the driver falls
+/// back to a fresh calibration run even mid-fault.
+const DEGRADED_SOLO_MAX_AGE_NS: u64 = 600_000_000_000;
 
 impl Sim<'_> {
     fn run(mut self) -> Result<ScenarioOutcome, SimError> {
@@ -738,7 +794,11 @@ impl Sim<'_> {
             let deadline = next_t.unwrap_or(self.horizon_ns);
             if let Some(hb) = self.engine.next_heartbeat(deadline) {
                 self.apply_due_events(hb.time_ns)?;
+                self.poll_faults();
                 self.on_heartbeat(hb.app, hb.index, hb.time_ns)?;
+                if self.board_failed_at.is_some() {
+                    break;
+                }
                 continue;
             }
             // No heartbeat before `deadline`: either the clock reached
@@ -749,6 +809,14 @@ impl Sim<'_> {
                     self.engine.run_until(t);
                 }
                 self.apply_due_events(t)?;
+                self.poll_faults();
+                if self.board_failed_at.is_some() {
+                    // The board is dead: remaining arrivals are never
+                    // processed (no admission verdict, no rejection) —
+                    // the fleet supervisor recognizes and re-places
+                    // them.
+                    break;
+                }
                 self.on_arrival(next_arrival)?;
                 next_arrival += 1;
                 continue;
@@ -761,8 +829,9 @@ impl Sim<'_> {
         }
         // Events scheduled after the last heartbeat/arrival still
         // resolve — validation, counters, telemetry — before the books
-        // close.
+        // close. Fault notices from the final engine advance likewise.
         self.apply_due_events(u64::MAX)?;
+        self.poll_faults();
         Ok(self.finish())
     }
 
@@ -850,6 +919,89 @@ impl Sim<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Drains the engine's fault notices and reacts: telemetry for
+    /// every injection, manager quarantine for cluster faults,
+    /// board-death bookkeeping for `BoardFail` — then lifts expired
+    /// quarantines. A no-op (one empty drain) in fault-free runs, so
+    /// the fault-free timeline stays bit-identical.
+    fn poll_faults(&mut self) {
+        for n in self.engine.drain_fault_notices() {
+            self.faults_injected += 1;
+            let cluster = n.kind.cluster().map(|c| c.index() as i64).unwrap_or(-1);
+            let until_ns = n.kind.until_ns().unwrap_or(u64::MAX);
+            self.sink.emit(&TelemetryEvent::FaultInjected {
+                t_ns: n.t_ns,
+                fault: n.kind.name(),
+                cluster,
+                until_ns,
+            });
+            match n.kind {
+                FaultKind::BoardFail => {
+                    self.board_failed_at = Some(n.t_ns);
+                    let in_flight = self
+                        .tenants
+                        .iter()
+                        .filter(|t| t.app.is_some() && t.finished_ns.is_none())
+                        .count();
+                    self.sink.emit(&TelemetryEvent::BoardFailed {
+                        t_ns: n.t_ns,
+                        tenants_in_flight: in_flight as u64,
+                    });
+                }
+                FaultKind::ClusterCap { cluster, until_ns } => {
+                    self.quarantine_cluster(n.t_ns, cluster, QuarantineMode::Cap, until_ns);
+                }
+                FaultKind::ClusterOffline { cluster, until_ns } => {
+                    self.quarantine_cluster(n.t_ns, cluster, QuarantineMode::Offline, until_ns);
+                }
+                // Sensor and heartbeat faults need no control action:
+                // the engine degrades the sample/monitor streams itself
+                // and the admission path switches to last-known-good
+                // calibration while `sensor_faulted()` holds.
+                FaultKind::SensorDropout { .. }
+                | FaultKind::SensorStuck { .. }
+                | FaultKind::HeartbeatStall { .. } => {}
+            }
+        }
+        // Lift expired quarantines at the first interaction past them.
+        let now = self.engine.now_ns();
+        for ci in 0..self.quarantine_until.len() {
+            if self.quarantine_until[ci] != 0 && now >= self.quarantine_until[ci] {
+                self.quarantine_until[ci] = 0;
+                if let Some(m) = self.manager.as_mut() {
+                    m.clear_cluster_quarantine(ClusterId(ci));
+                }
+                self.sink.emit(&TelemetryEvent::ClusterRestored {
+                    t_ns: now,
+                    cluster: ci,
+                });
+            }
+        }
+    }
+
+    /// Applies one cluster quarantine: manager eviction plus expiry
+    /// bookkeeping plus telemetry.
+    fn quarantine_cluster(
+        &mut self,
+        t_ns: u64,
+        cluster: ClusterId,
+        mode: QuarantineMode,
+        until_ns: u64,
+    ) {
+        if let Some(m) = self.manager.as_mut() {
+            m.set_cluster_quarantine(cluster, mode);
+        }
+        let slot = &mut self.quarantine_until[cluster.index()];
+        *slot = (*slot).max(until_ns);
+        self.quarantines += 1;
+        self.sink.emit(&TelemetryEvent::ClusterQuarantined {
+            t_ns,
+            cluster: cluster.index(),
+            mode: mode.name(),
+            until_ns,
+        });
     }
 
     /// Emits one [`TelemetryEvent::ClusterPower`] per cluster.
@@ -969,7 +1121,7 @@ impl Sim<'_> {
 
     fn admit(&mut self, ti: usize) -> Result<(), SimError> {
         let (bench, threads) = (self.tenants[ti].ts.bench, self.tenants[ti].ts.threads);
-        let solo = self.solo_rate(bench, threads);
+        let solo = self.solo_rate(ti, bench, threads);
         let t = &mut self.tenants[ti];
         let target = PerfTarget::from_center(t.target_frac_center(solo), t.ts.target_tolerance)
             .expect("positive target center");
@@ -1003,9 +1155,29 @@ impl Sim<'_> {
     /// maximum state (GTS, performance governor), cached per
     /// `(environment, benchmark, threads, budget)` — across scenarios
     /// when the caller shares a [`SoloRateCache`].
-    fn solo_rate(&mut self, bench: Benchmark, threads: usize) -> f64 {
+    fn solo_rate(&mut self, ti: usize, bench: Benchmark, threads: usize) -> f64 {
         let key = (self.env_fp, bench, threads, self.solo_budget);
         let t_ns = self.engine.now_ns();
+        // Degraded mode: while a sensor fault is active, target
+        // resolution is served from the last-known-good solo rate
+        // (bounded staleness) instead of trusting a fresh calibration
+        // — telemetered per admission. Too-stale (or absent) entries
+        // fall through to the normal path.
+        if self.engine.sensor_faulted() {
+            if let Some(&(rate, at_ns)) = self.last_good_solo.get(&(bench, threads)) {
+                let age_ns = t_ns.saturating_sub(at_ns);
+                if age_ns <= DEGRADED_SOLO_MAX_AGE_NS {
+                    self.degraded_calibrations += 1;
+                    self.sink.emit(&TelemetryEvent::DegradedCalibration {
+                        t_ns,
+                        tenant: ti as u64,
+                        bench: bench.name(),
+                        age_ns,
+                    });
+                    return rate;
+                }
+            }
+        }
         if let Some(r) = self.solo_cache.get(&key) {
             self.cache_hits += 1;
             self.sink.emit(&TelemetryEvent::CacheHit {
@@ -1013,6 +1185,7 @@ impl Sim<'_> {
                 bench: bench.name(),
                 threads: threads as u64,
             });
+            self.last_good_solo.insert((bench, threads), (r, t_ns));
             return r;
         }
         self.cache_misses += 1;
@@ -1038,6 +1211,7 @@ impl Sim<'_> {
             .map(|r| r.heartbeats_per_sec())
             .unwrap_or(1.0);
         self.solo_cache.insert(key, rate);
+        self.last_good_solo.insert((bench, threads), (rate, t_ns));
         rate
     }
 
@@ -1151,6 +1325,13 @@ impl Sim<'_> {
         // event-heap engine elided.
         out.sensor_samples = self.engine.sensor().total_samples();
         out.sensor_samples_coalesced = self.engine.sensor().coalesced_samples();
+        out.sensor_samples_lost = self.engine.sensor().samples_lost();
+        out.sensor_samples_stuck = self.engine.sensor().samples_stuck();
+        out.faults_injected = self.faults_injected;
+        out.board_failed_at = self.board_failed_at;
+        out.quarantines = self.quarantines;
+        out.degraded_calibrations = self.degraded_calibrations;
+        out.stalled_heartbeats = self.engine.stalled_heartbeats();
         out.config_version = self
             .manager
             .as_ref()

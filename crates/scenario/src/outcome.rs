@@ -133,6 +133,38 @@ pub struct ScenarioOutcome {
     /// Not fingerprinted (see [`Self::solo_cache_hits`]).
     #[serde(default)]
     pub solo_cache_misses: u64,
+    /// Fault-plane injections observed over the run (0 in fault-free
+    /// runs). Reporting, not fingerprinted: faults change *behavior*,
+    /// and the fingerprint covers every behavioral consequence.
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// The instant the board died mid-run (`None` for runs that made
+    /// it to the horizon). Arrivals after this instant were never
+    /// processed — the fleet supervisor fails them over. Not
+    /// fingerprinted (see [`Self::faults_injected`]).
+    #[serde(default)]
+    pub board_failed_at: Option<u64>,
+    /// Cluster quarantines the runtime applied (cap + offline). Not
+    /// fingerprinted.
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Admissions whose target was resolved from a last-known-good
+    /// solo rate because a sensor fault was active (degraded-mode
+    /// calibration). Not fingerprinted.
+    #[serde(default)]
+    pub degraded_calibrations: u64,
+    /// Heartbeats the monitor registry never saw because a
+    /// heartbeat-stall fault window was active. Not fingerprinted.
+    #[serde(default)]
+    pub stalled_heartbeats: u64,
+    /// Power-sensor samples lost to injected dropout faults. Not
+    /// fingerprinted.
+    #[serde(default)]
+    pub sensor_samples_lost: u64,
+    /// Power-sensor samples that repeated a stale reading under
+    /// stuck-at faults. Not fingerprinted.
+    #[serde(default)]
+    pub sensor_samples_stuck: u64,
     /// Cumulative search cost across all tenants' adaptations.
     pub search_stats: SearchStats,
     /// The observability fold over this run's telemetry stream, when
@@ -264,6 +296,13 @@ impl ScenarioOutcome {
             reconfig_rejected: 0,
             solo_cache_hits: 0,
             solo_cache_misses: 0,
+            faults_injected: 0,
+            board_failed_at: None,
+            quarantines: 0,
+            degraded_calibrations: 0,
+            stalled_heartbeats: 0,
+            sensor_samples_lost: 0,
+            sensor_samples_stuck: 0,
             search_stats,
             metrics: None,
             tenants,

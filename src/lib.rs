@@ -20,9 +20,10 @@
 //!   tenant arrivals, admission control, churn benchmarking, mid-run
 //!   control-plane events and streaming JSONL telemetry);
 //! * [`hars_fleet`] — fleet-scale parallel serving: a heterogeneous
-//!   board fleet sharded over a worker pool, with a placement tier and
-//!   a shared solo-rate calibration cache, bit-identical across worker
-//!   counts.
+//!   board fleet sharded over a worker pool, with a placement tier, a
+//!   shared solo-rate calibration cache, and a seeded fault plane with
+//!   shard supervision and tenant failover — all bit-identical across
+//!   worker counts.
 //!
 //! ## Quickstart
 //!
@@ -73,8 +74,8 @@ pub mod prelude {
         StateSpace, SystemState, TelemetryEvent, TelemetrySink, VecSink,
     };
     pub use hars_fleet::{
-        run_fleet, run_fleet_with_metrics, FleetBoard, FleetCacheMode, FleetOutcome,
-        FleetRuntimeKind, FleetSpec, PlacementPolicy,
+        run_fleet, run_fleet_with_metrics, FleetBoard, FleetCacheMode, FleetFaultSpec,
+        FleetOutcome, FleetRuntimeKind, FleetSpec, PlacementPolicy, ShardFailure,
     };
     pub use hars_obs::{
         replay_capture, Log2Histogram, MetricsConfig, MetricsRollup, MetricsSink, MetricsSummary,
@@ -90,9 +91,11 @@ pub mod prelude {
     pub use heartbeats::{AppId, HeartbeatMonitor, PerfTarget};
     pub use hmp_sim::microbench::CalibrationConfig;
     pub use hmp_sim::{
-        AppSpec, BoardSpec, ClusterId, ClusterSpec, CoreId, CpuSet, Engine, EngineConfig, FreqKhz,
-        FreqLadder, GtsConfig, SpeedProfile,
+        AppSpec, BoardSpec, ClusterId, ClusterSpec, CoreId, CpuSet, Engine, EngineConfig,
+        FaultKind, FaultPlan, FreqKhz, FreqLadder, GtsConfig, SpeedProfile, TimedFault,
     };
-    pub use mp_hars::{ConsConfig, ConsIManager, MpHarsConfig, MpHarsManager, MpVersion};
+    pub use mp_hars::{
+        ConsConfig, ConsIManager, MpHarsConfig, MpHarsManager, MpVersion, QuarantineMode,
+    };
     pub use workloads::Benchmark;
 }
